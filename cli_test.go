@@ -1,0 +1,108 @@
+package disc_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goRun executes a command of this module via the go tool; the CLIs
+// are part of the deliverable, so they get smoke coverage too.
+func goRun(t *testing.T, args ...string) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+const cliProgram = `
+main:
+    LDI R0, 5
+    LDI R1, 4
+    MUL R2, R0, R1
+    STM R2, [0x40]
+    HALT
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIDiscasm(t *testing.T) {
+	src := writeTemp(t, "p.s", cliProgram)
+	out := goRun(t, "./cmd/discasm", src)
+	if !strings.HasPrefix(out, "@0000\n") {
+		t.Fatalf("hex image malformed:\n%s", out)
+	}
+	listing := goRun(t, "./cmd/discasm", "-l", src)
+	if !strings.Contains(listing, "MUL R2, R0, R1") {
+		t.Fatalf("listing missing disassembly:\n%s", listing)
+	}
+}
+
+func TestCLIDiscsimSourceAndHex(t *testing.T) {
+	src := writeTemp(t, "p.s", cliProgram)
+	out := goRun(t, "./cmd/discsim", "-streams", "1", "-start", "0=main", "-dump", "40:42", src)
+	if !strings.Contains(out, "0040: 0014") {
+		t.Fatalf("discsim did not compute 5*4:\n%s", out)
+	}
+	// The same program via the hex-image path.
+	hex := goRun(t, "./cmd/discasm", src)
+	hexPath := writeTemp(t, "p.hex", hex)
+	out = goRun(t, "./cmd/discsim", "-streams", "1", "-start", "0=0", "-dump", "40:41", hexPath)
+	if !strings.Contains(out, "0040: 0014") {
+		t.Fatalf("hex path failed:\n%s", out)
+	}
+}
+
+func TestCLIStochsim(t *testing.T) {
+	out := goRun(t, "./cmd/stochsim", "-streams", "load1,load1", "-cycles", "20000")
+	for _, want := range []string{"PD", "Ps(load1)", "Delta"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stochsim output missing %q:\n%s", want, out)
+		}
+	}
+	out = goRun(t, "./cmd/stochsim", "-streams", "load1:4,load2", "-cycles", "10000", "-slots", "0,0,0,1")
+	if !strings.Contains(out, "IS1:") {
+		t.Fatalf("combined-load run malformed:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsSingle(t *testing.T) {
+	out := goRun(t, "./cmd/experiments", "-only", "4.2", "-cycles", "20000")
+	if !strings.Contains(out, "Table 4.2a") || !strings.Contains(out, "load3") {
+		t.Fatalf("experiments 4.2 malformed:\n%s", out)
+	}
+	out = goRun(t, "./cmd/experiments", "-only", "3.2", "-cycles", "1000")
+	if !strings.Contains(out, "IF") || strings.Contains(out, "WARNING") {
+		t.Fatalf("experiments 3.2 malformed:\n%s", out)
+	}
+}
+
+func TestCLIMinicc(t *testing.T) {
+	src := writeTemp(t, "p.mc", `
+var answer;
+func main() { answer = 6 * 7; }
+`)
+	out := goRun(t, "./cmd/minicc", "-run", src)
+	if !strings.Contains(out, "answer") || !strings.Contains(out, "= 42") {
+		t.Fatalf("minicc -run output:\n%s", out)
+	}
+	asmOut := goRun(t, "./cmd/minicc", src)
+	if !strings.Contains(asmOut, "mc_main:") {
+		t.Fatalf("minicc assembly output malformed:\n%s", asmOut)
+	}
+}

@@ -1,0 +1,61 @@
+// Command discasm assembles DISC1 assembly source into a loadable hex
+// image and/or a disassembly listing.
+//
+// Usage:
+//
+//	discasm [-o image.hex] [-l] program.s
+//
+// The hex image format is line based: "@xxxx" sets the load address
+// (hex, program words), and every following line is one 24-bit
+// instruction word in hex. cmd/discsim loads the same format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"disc/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "write hex image to this file (default: stdout)")
+	listing := flag.Bool("l", false, "print a disassembly listing instead of the image")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: discasm [-o image.hex] [-l] program.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	im, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	var b strings.Builder
+	if *listing {
+		for _, sec := range im.Sections {
+			for _, line := range asm.Disassemble(sec.Words, sec.Base) {
+				fmt.Fprintln(&b, line)
+			}
+		}
+	} else {
+		b.WriteString(asm.EncodeHex(im))
+	}
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "discasm: %d words in %d sections -> %s\n", im.Size(), len(im.Sections), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "discasm:", err)
+	os.Exit(1)
+}

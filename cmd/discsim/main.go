@@ -1,0 +1,256 @@
+// Command discsim runs DISC1 programs on the cycle-accurate machine
+// simulator.
+//
+// Usage:
+//
+//	discsim [flags] program.s|program.hex
+//
+//	-streams n        number of instruction streams (default 4)
+//	-start spec       comma list of stream=label-or-addr, e.g. "0=main,1=0x100"
+//	-cycles n         run for n cycles (default: run until idle, max 1e6)
+//	-shares spec      scheduler partition weights, e.g. "3,1,1,1"
+//	-vb addr          interrupt vector base (default 0x0200)
+//	-extram waits     attach external RAM at 0x0400 with given wait states (default 4)
+//	-trace n          after warm-up, print an n-cycle pipeline trace
+//	-dump a:b         dump internal memory [a,b) after the run
+//	-break label      stop when any stream reaches the label/address
+//	-watch addr       stop when the internal-memory address is written
+//	-vcd file         with -trace: write the trace as a VCD waveform
+//	-profile n        list the n hottest instructions after the run
+//
+// A standard peripheral board is always attached: timer @0xF000 (IRQ
+// stream 0 bit 4), UART @0xF010, GPIO @0xF020, ADC @0xF030 (IRQ stream
+// 0 bit 5), stepper @0xF040.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"disc/internal/asm"
+	"disc/internal/bus"
+	"disc/internal/core"
+	"disc/internal/isa"
+	"disc/internal/trace"
+)
+
+func main() {
+	streams := flag.Int("streams", 4, "number of instruction streams")
+	start := flag.String("start", "0=0", "stream=label-or-address list")
+	cycles := flag.Int("cycles", 0, "cycles to run (0: until idle, capped at 1e6)")
+	shares := flag.String("shares", "", "scheduler partition weights, e.g. 3,1,1,1")
+	vb := flag.Uint("vb", 0x0200, "interrupt vector base")
+	extram := flag.Int("extram", 4, "external RAM wait states")
+	traceN := flag.Int("trace", 0, "render an n-cycle pipeline trace")
+	dump := flag.String("dump", "", "dump internal memory range a:b after run")
+	breakAt := flag.String("break", "", "stop at a label or address (any stream)")
+	vcd := flag.String("vcd", "", "with -trace: also write the trace as a VCD waveform to this file")
+	profileN := flag.Int("profile", 0, "after the run, list the n hottest instructions")
+	watch := flag.String("watch", "", "stop when this internal-memory address is written")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: discsim [flags] program.s|program.hex")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	im, err := loadImage(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{Streams: *streams, VectorBase: uint16(*vb)}
+	if *shares != "" {
+		for _, f := range strings.Split(*shares, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fatal(fmt.Errorf("bad share %q", f))
+			}
+			cfg.Shares = append(cfg.Shares, v)
+		}
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	attachBoard(m, *extram)
+	for _, sec := range im.Sections {
+		if err := m.LoadProgram(sec.Base, sec.Words); err != nil {
+			fatal(err)
+		}
+	}
+	for _, spec := range strings.Split(*start, ",") {
+		parts := strings.SplitN(strings.TrimSpace(spec), "=", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -start entry %q", spec))
+		}
+		sid, err := strconv.Atoi(parts[0])
+		if err != nil {
+			fatal(fmt.Errorf("bad stream in %q", spec))
+		}
+		addr, err := resolve(im, parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.StartStream(sid, addr); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *profileN > 0 {
+		m.EnableProfile()
+	}
+	if *traceN > 0 {
+		rec := trace.Record(m, *traceN)
+		fmt.Print(rec.RenderPipeline())
+		if *vcd != "" {
+			f, err := os.Create(*vcd)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.WriteVCD(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "discsim: wrote %s\n", *vcd)
+		}
+	}
+	if *breakAt != "" || *watch != "" {
+		if *breakAt != "" {
+			addr, err := resolve(im, *breakAt)
+			if err != nil {
+				fatal(err)
+			}
+			if err := m.AddBreakpoint(-1, addr); err != nil {
+				fatal(err)
+			}
+		}
+		if *watch != "" {
+			addr, err := resolve(im, *watch)
+			if err != nil {
+				fatal(err)
+			}
+			if err := m.AddWatchpoint(addr); err != nil {
+				fatal(err)
+			}
+		}
+		budget := *cycles
+		if budget == 0 {
+			budget = 1_000_000
+		}
+		if evs, ok := m.RunDebug(budget); ok {
+			for _, ev := range evs {
+				fmt.Println("discsim:", ev)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "discsim: no debug event within %d cycles\n", budget)
+		}
+	} else if *cycles > 0 {
+		m.Run(*cycles)
+	} else {
+		ran, idle := m.RunUntilIdle(1_000_000)
+		if !idle {
+			fmt.Fprintf(os.Stderr, "discsim: not idle after %d cycles; stopping\n", ran)
+		}
+	}
+
+	st := m.Stats()
+	fmt.Printf("cycles      %d\n", st.Cycles)
+	fmt.Printf("retired     %d (PD = %.3f)\n", st.Retired, st.Utilization())
+	fmt.Printf("idle slots  %d\n", st.IdleCycles)
+	fmt.Printf("flushed     %d\n", st.Flushed)
+	fmt.Printf("bus waits   %d (retries %d)\n", st.BusWaits, st.BusRetries)
+	fmt.Printf("dispatches  %d\n", st.Dispatches)
+	for i, ss := range st.PerStream {
+		fmt.Printf("  IS%d: issued %d retired %d flushed %d buswaits %d irq %d\n",
+			i, ss.Issued, ss.Retired, ss.Flushed, ss.BusWaits, ss.Dispatches)
+	}
+
+	if *profileN > 0 {
+		fmt.Println("hot spots:")
+		for _, e := range m.HotSpots(*profileN) {
+			text := asm.Disassemble([]isa.Word{m.Program().Fetch(e.PC)}, e.PC)[0]
+			fmt.Printf("  IS%d %-28s x%d\n", e.Stream, text, e.Retired)
+		}
+	}
+	if *dump != "" {
+		lo, hi, err := parseRange(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		for a := lo; a < hi; a += 8 {
+			fmt.Printf("%04x:", a)
+			for j := uint16(0); j < 8 && a+j < hi; j++ {
+				fmt.Printf(" %04x", m.Internal().Read(a+j))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// loadImage assembles .s sources or parses .hex images.
+func loadImage(path string) (*asm.Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".hex") {
+		return asm.DecodeHex(string(data))
+	}
+	return asm.Assemble(string(data))
+}
+
+// resolve turns a label or numeric literal into a program address.
+func resolve(im *asm.Image, s string) (uint16, error) {
+	if v, ok := im.Symbol(s); ok {
+		return v, nil
+	}
+	base := 10
+	if strings.HasPrefix(s, "0x") {
+		base, s = 16, s[2:]
+	}
+	v, err := strconv.ParseUint(s, base, 16)
+	if err != nil {
+		return 0, fmt.Errorf("start %q: not a label or address", s)
+	}
+	return uint16(v), nil
+}
+
+func parseRange(s string) (uint16, uint16, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad range %q (want a:b)", s)
+	}
+	lo, err1 := strconv.ParseUint(strings.TrimPrefix(parts[0], "0x"), 16, 16)
+	hi, err2 := strconv.ParseUint(strings.TrimPrefix(parts[1], "0x"), 16, 16)
+	if err1 != nil || err2 != nil || lo > hi {
+		return 0, 0, fmt.Errorf("bad range %q", s)
+	}
+	return uint16(lo), uint16(hi), nil
+}
+
+// attachBoard populates the bus with the standard peripheral set.
+func attachBoard(m *core.Machine, ramWaits int) {
+	b := m.Bus()
+	must := func(err error) {
+		if err != nil {
+			fatal(err)
+		}
+	}
+	must(b.Attach(isa.ExternalBase, 0x1000, bus.NewRAM("extram", 0x1000, ramWaits)))
+	must(b.Attach(isa.IOBase+0x00, 4, bus.NewTimer("timer0", 2, m.RaiseIRQ, 0, 4)))
+	must(b.Attach(isa.IOBase+0x10, 2, bus.NewUART("uart0", 6)))
+	must(b.Attach(isa.IOBase+0x20, 8, bus.NewGPIO("gpio0", 1)))
+	must(b.Attach(isa.IOBase+0x30, 4, bus.NewADC("adc0", 4, 25, nil)))
+	must(b.Attach(isa.IOBase+0x40, 2, bus.NewStepper("step0", 3)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "discsim:", err)
+	os.Exit(1)
+}

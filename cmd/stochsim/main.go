@@ -1,0 +1,114 @@
+// Command stochsim runs the paper's §4.1 stochastic evaluation model
+// directly: assign a workload to each instruction stream, simulate the
+// DISC1 sequencer, and print PD, the standard-processor baseline Ps
+// and Delta.
+//
+// Usage:
+//
+//	stochsim [flags]
+//
+//	-streams spec   comma list of per-IS loads: load1..load4, or
+//	                pairs like load1:4 (combined); default "load1,load1"
+//	-cycles n       simulated cycles (default 200000)
+//	-seed n         RNG seed (default 1991)
+//	-pipe n         pipeline length (default 4)
+//	-slots spec     scheduler slot table, e.g. "0,0,0,1" (default even)
+//	-baseline name  load used for the Ps baseline (default: first stream)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"disc/internal/baseline"
+	"disc/internal/stoch"
+	"disc/internal/workload"
+)
+
+var byName = map[string]workload.Params{
+	"load1": workload.Ld1,
+	"load2": workload.Ld2,
+	"load3": workload.Ld3,
+	"load4": workload.Ld4,
+}
+
+// parseLoad accepts "load2" or combined forms like "load1:4".
+func parseLoad(s string) (workload.Load, error) {
+	s = strings.TrimSpace(s)
+	if p, ok := byName[s]; ok {
+		return workload.Simple(p), nil
+	}
+	if i := strings.IndexByte(s, ':'); i > 0 {
+		a, okA := byName[s[:i]]
+		b, okB := byName["load"+s[i+1:]]
+		if okA && okB {
+			return workload.Combine(s, workload.Simple(a), workload.Simple(b)), nil
+		}
+	}
+	return workload.Load{}, fmt.Errorf("unknown load %q (want load1..load4 or load1:4)", s)
+}
+
+func main() {
+	streams := flag.String("streams", "load1,load1", "per-stream loads")
+	cycles := flag.Uint64("cycles", stoch.DefaultCycles, "simulated cycles")
+	seed := flag.Uint64("seed", 1991, "RNG seed")
+	pipe := flag.Int("pipe", stoch.DefaultPipeLen, "pipeline length")
+	slots := flag.String("slots", "", "scheduler slot table, e.g. 0,0,0,1")
+	baseName := flag.String("baseline", "", "load for the Ps baseline (default: first stream)")
+	flag.Parse()
+
+	var loads []workload.Load
+	for _, f := range strings.Split(*streams, ",") {
+		l, err := parseLoad(f)
+		if err != nil {
+			fatal(err)
+		}
+		loads = append(loads, l)
+	}
+	cfg := stoch.Config{PipeLen: *pipe, Cycles: *cycles, Seed: *seed, Streams: loads}
+	if *slots != "" {
+		for _, f := range strings.Split(*slots, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fatal(fmt.Errorf("bad slot %q", f))
+			}
+			cfg.Slots = append(cfg.Slots, v)
+		}
+	}
+	res, err := stoch.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	baseLoad := loads[0]
+	if *baseName != "" {
+		baseLoad, err = parseLoad(*baseName)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	base, err := baseline.Run(baseLoad, *pipe, *cycles, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("streams     %s\n", *streams)
+	fmt.Printf("cycles      %d (live %d)\n", res.Cycles, res.LiveCycles)
+	fmt.Printf("executed    %d   flushed %d\n", res.Executed, res.Flushed)
+	fmt.Printf("bus busy    %d cycles (%.1f%%)\n", res.BusBusy, 100*float64(res.BusBusy)/float64(res.Cycles))
+	fmt.Printf("PD          %.4f\n", res.PD())
+	fmt.Printf("Ps(%s)  %.4f\n", baseLoad.Name, base.Ps())
+	fmt.Printf("Delta       %+.1f%%\n", stoch.Delta(res.PD(), base.Ps()))
+	for i, s := range res.PerStream {
+		fmt.Printf("  IS%d: exec %d flush %d jumps %d reqs %d rejects %d wait %d off %d\n",
+			i, s.Executed, s.Flushed, s.Jumps, s.Requests, s.Rejects, s.WaitCycles, s.OffCycles)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stochsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+package disc
+
+import (
+	"fmt"
+
+	"disc/internal/asm"
+	"disc/internal/bus"
+	"disc/internal/core"
+	"disc/internal/isa"
+	"disc/internal/rt"
+)
+
+// Machine is a configured DISC1 processor. See core.Machine for the
+// full method set: Step/Run/RunUntilIdle, Stats, Bus, Internal memory,
+// per-stream windows and interrupt units, and PipeView for tracing.
+type Machine = core.Machine
+
+// Config selects machine geometry: stream count, stack-window depth,
+// vector base and the scheduler partition (Shares or explicit Slots).
+type Config = core.Config
+
+// Stats summarises a machine run; Stats.Utilization is the paper's PD.
+type Stats = core.Stats
+
+// Image is an assembled DISC1 program.
+type Image = asm.Image
+
+// Architectural constants re-exported for callers sizing programs.
+const (
+	NumStreams   = isa.NumStreams
+	PipeDepth    = isa.PipeDepth
+	WindowSize   = isa.WindowSize
+	InternalSize = isa.InternalSize
+	ExternalBase = isa.ExternalBase
+	IOBase       = isa.IOBase
+)
+
+// NewMachine builds a DISC1 machine.
+func NewMachine(cfg Config) (*Machine, error) { return core.New(cfg) }
+
+// Assemble translates DISC1 assembly source (see internal/asm for the
+// syntax) into a loadable image.
+func Assemble(source string) (*Image, error) { return asm.Assemble(source) }
+
+// Disassemble renders machine words as assembly, one line per word.
+func Disassemble(words []Word, base uint16) []string { return asm.Disassemble(words, base) }
+
+// Word is one 24-bit DISC1 instruction word.
+type Word = isa.Word
+
+// LoadImage installs every section of an assembled image into the
+// machine's program memory.
+func LoadImage(m *Machine, im *Image) error {
+	for _, sec := range im.Sections {
+		if err := m.LoadProgram(sec.Base, sec.Words); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Build assembles source, loads it, and starts each stream named in
+// starts at the given label — the one-call path from source text to a
+// runnable machine.
+func Build(cfg Config, source string, starts map[int]string) (*Machine, error) {
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	im, err := asm.Assemble(source)
+	if err != nil {
+		return nil, err
+	}
+	if err := LoadImage(m, im); err != nil {
+		return nil, err
+	}
+	for stream, label := range starts {
+		addr, ok := im.Symbol(label)
+		if !ok {
+			return nil, fmt.Errorf("disc: start label %q not defined", label)
+		}
+		if err := m.StartStream(stream, addr); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Peripheral device constructors, re-exported so examples and callers
+// can populate the asynchronous bus without importing internals.
+var (
+	NewRAM      = bus.NewRAM
+	NewTimer    = bus.NewTimer
+	NewUART     = bus.NewUART
+	NewADC      = bus.NewADC
+	NewStepper  = bus.NewStepper
+	NewGPIO     = bus.NewGPIO
+	NewWatchdog = bus.NewWatchdog
+)
+
+// Real-time measurement helpers (package rt).
+type (
+	// PeriodicTask binds a hard-deadline task to a stream and IR bit.
+	PeriodicTask = rt.PeriodicTask
+	// TaskResult reports a task's deadline behaviour.
+	TaskResult = rt.TaskResult
+	// LatencySamples holds interrupt-latency measurements in cycles.
+	LatencySamples = rt.Samples
+)
+
+// MeasureDispatchLatency measures cycles from raising an interrupt to
+// the target stream entering its handler level.
+func MeasureDispatchLatency(m *Machine, stream int, bit uint8, events, gap int) (LatencySamples, int, error) {
+	return rt.MeasureDispatchLatency(m, stream, bit, events, gap)
+}
+
+// RunDeadlines drives the machine with periodic interrupt activations
+// and accounts deadline misses per task.
+func RunDeadlines(m *Machine, tasks []PeriodicTask, cycles uint64) ([]TaskResult, error) {
+	return rt.RunDeadlines(m, tasks, cycles)
+}
+
+// ConventionalLatency is the closed-form context-saving interrupt
+// latency of a conventional single-stream controller, the comparison
+// point for MeasureDispatchLatency.
+func ConventionalLatency(pipeLen, regs, memWait int) uint64 {
+	return rt.ConventionalLatency(pipeLen, regs, memWait)
+}

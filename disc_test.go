@@ -1,0 +1,150 @@
+package disc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartPath is the README's quickstart, verifying the public
+// API end to end: build a two-stream machine from source and observe
+// the producer/consumer handshake.
+func TestQuickstartPath(t *testing.T) {
+	m, err := Build(Config{Streams: 2}, `
+producer:
+    LDI R0, 42
+    STM R0, [0x100]
+    SIGNAL 1, 2
+    HALT
+consumer:
+    SETMR 0xFB      ; mask bit 2 so the signal joins instead of vectoring
+    WAITI 2
+    LDM R0, [0x100]
+    ADDI R0, 1
+    STM R0, [0x101]
+    HALT
+`, map[int]string{0: "producer", 1: "consumer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, idle := m.RunUntilIdle(500); !idle {
+		t.Fatal("machine did not drain")
+	}
+	if got := m.Internal().Read(0x101); got != 43 {
+		t.Fatalf("consumer produced %d, want 43", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Config{Streams: 1}, "NOP", map[int]string{0: "missing"}); err == nil {
+		t.Fatal("undefined start label accepted")
+	}
+	if _, err := Build(Config{Streams: 0}, "NOP", nil); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := Build(Config{Streams: 1}, "BROKEN", nil); err == nil {
+		t.Fatal("broken source accepted")
+	}
+	if _, err := Build(Config{Streams: 1}, "x: NOP", map[int]string{5: "x"}); err == nil {
+		t.Fatal("out-of-range stream accepted")
+	}
+}
+
+func TestAssembleDisassembleFacade(t *testing.T) {
+	im, err := Assemble("ADD R0, R1, R2\nHALT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := Disassemble(im.Sections[0].Words, 0)
+	if len(lines) != 2 || !strings.Contains(lines[0], "ADD R0, R1, R2") {
+		t.Fatalf("disassembly: %v", lines)
+	}
+}
+
+func TestStochasticFacade(t *testing.T) {
+	res, err := Simulate(StochConfig{
+		Cycles:  20000,
+		Streams: []Load{SimpleLoad(Load1), SimpleLoad(Load1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := SimulateBaseline(SimpleLoad(Load1), 4, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Delta(res.PD(), base.Ps())
+	if d < -100 || d > 500 {
+		t.Fatalf("implausible delta %v (PD=%v Ps=%v)", d, res.PD(), base.Ps())
+	}
+}
+
+func TestCombineLoadsFacade(t *testing.T) {
+	l := CombineLoads("1:4", SimpleLoad(Load1), SimpleLoad(Load4))
+	if len(l.Phases) != 2 {
+		t.Fatalf("combined load has %d phases", len(l.Phases))
+	}
+}
+
+func TestTableFacades(t *testing.T) {
+	rows42, err := Table42(TableOpts{Cycles: 20000})
+	if err != nil || len(rows42) != 4 {
+		t.Fatalf("Table42: %v, %d rows", err, len(rows42))
+	}
+	rows43, err := Table43(TableOpts{Cycles: 20000})
+	if err != nil || len(rows43) != 3 {
+		t.Fatalf("Table43: %v, %d rows", err, len(rows43))
+	}
+}
+
+// TestPeripheralFacade attaches every re-exported device type to a
+// machine's bus.
+func TestPeripheralFacade(t *testing.T) {
+	m, err := NewMachine(Config{Streams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bus().Attach(ExternalBase, 256, NewRAM("xram", 256, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bus().Attach(IOBase, 4, NewTimer("t0", 2, m.RaiseIRQ, 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bus().Attach(IOBase+0x10, 2, NewUART("u0", 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bus().Attach(IOBase+0x20, 4, NewADC("a0", 4, 10, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bus().Attach(IOBase+0x30, 2, NewStepper("s0", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bus().Attach(IOBase+0x40, 8, NewGPIO("g0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Bus().Devices()) != 6 {
+		t.Fatalf("%d devices attached", len(m.Bus().Devices()))
+	}
+}
+
+// TestLatencyFacade exercises the rt re-exports through the public API.
+func TestLatencyFacade(t *testing.T) {
+	m, err := Build(Config{Streams: 2, VectorBase: 0x200}, `
+.org 0
+bg: ADDI R0, 1
+    JMP bg
+.org 0x20B
+    RETI
+`, map[int]string{0: "bg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(10)
+	samples, _, err := MeasureDispatchLatency(m, 1, 3, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples.Max() >= ConventionalLatency(PipeDepth, 12, 4) {
+		t.Fatalf("dedicated-stream latency %d not under conventional %d",
+			samples.Max(), ConventionalLatency(PipeDepth, 12, 4))
+	}
+}

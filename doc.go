@@ -1,0 +1,28 @@
+// Package disc is a library reproduction of the Dynamic Instruction
+// Stream Computer (DISC) — Nemirovsky, Brewer & Wood, MICRO-24, 1991 —
+// a processor architecture for hard real-time systems that interleaves
+// several instruction streams at the instruction level and dynamically
+// reallocates throughput whenever a stream cannot run.
+//
+// The package exposes three layers:
+//
+//   - A cycle-accurate simulator of DISC1, the paper's experimental
+//     16-bit implementation: four instruction streams, a four-stage
+//     pipeline, stack-window register files, per-stream vectored
+//     interrupts, a 16-slot partitioning hardware scheduler and an
+//     asynchronous bus interface with pseudo-DMA loads and stores.
+//     Programs are written in DISC1 assembly (package-level Assemble)
+//     and run on a Machine.
+//
+//   - The paper's stochastic evaluation model (§4.1): Poisson-driven
+//     workload processes, the DISC sequencer simulation producing
+//     processor utilization PD, and the standard-processor baseline
+//     producing Ps, with Delta = (PD−Ps)/Ps·100%.
+//
+//   - A real-time harness measuring interrupt dispatch latency and
+//     hard-deadline miss rates on the simulated machine.
+//
+// The quickstart in examples/quickstart builds a two-stream machine in
+// a dozen lines; cmd/experiments regenerates every table and figure of
+// the paper's evaluation section.
+package disc

@@ -1,0 +1,94 @@
+// Thermostat: a control loop written in minic (the repository's small
+// compiled language) instead of assembly — demonstrating that the whole
+// software stack works: minic → DISC1 assembly → machine → memory-
+// mapped peripherals over the asynchronous bus.
+//
+// The controller polls a temperature ADC through mem[], applies a
+// bang-bang law with hysteresis around the setpoint, drives a heater
+// relay on a GPIO port, and keeps min/max statistics — all in a
+// language with while/if/functions rather than opcodes.
+//
+//	go run ./examples/thermostat
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disc"
+)
+
+const controller = `
+// Device registers (bus addresses; mem[] goes through the ABI).
+// ADC at 0xF030: data, ctrl, status. GPIO at 0xF020: port 0 = relay.
+var samples;
+var heatOn;
+var minT;
+var maxT;
+
+func readTemp() {
+    mem[0xF031] = 1;                 // start conversion
+    while (mem[0xF032] == 0) { }     // wait for done
+    return mem[0xF030];
+}
+
+func main() {
+    var t;
+    var relay;
+    minT = 0xFFFF;
+    relay = 0;
+    while (samples < 40) {
+        t = readTemp();
+        samples = samples + 1;
+        if (t < minT) { minT = t; }
+        if (t > maxT) { maxT = t; }
+        // bang-bang with hysteresis: on below 695, off above 705
+        if (relay == 0 && t < 695) { relay = 1; }
+        if (relay == 1 && t > 705) { relay = 0; }
+        mem[0xF020] = relay;         // drive the heater
+        heatOn = heatOn + relay;
+    }
+}
+`
+
+func main() {
+	m, prog, err := disc.BuildMinic(controller, disc.MinicOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A plant: temperature drifts down when the heater is off and up
+	// when it is on. The GPIO latch is the heater relay.
+	gpio := disc.NewGPIO("relay", 1)
+	temp := 700
+	adc := disc.NewADC("thermo", 4, 30, func(n int) uint16 {
+		if gpio.Read(0) != 0 {
+			temp += 3 // heating
+		} else {
+			temp -= 2 // cooling
+		}
+		return uint16(temp)
+	})
+	if err := m.Bus().Attach(0xF020, 8, gpio); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Bus().Attach(0xF030, 4, adc); err != nil {
+		log.Fatal(err)
+	}
+
+	n, idle := m.RunUntilIdle(2_000_000)
+	if !idle {
+		log.Fatal("controller did not finish")
+	}
+	read := func(name string) uint16 { return m.Internal().Read(prog.Globals[name]) }
+	fmt.Printf("controller ran %d cycles for %d samples\n", n, read("samples"))
+	fmt.Printf("temperature band: min %d, max %d (setpoint 700 ± 5 + plant lag)\n",
+		read("minT"), read("maxT"))
+	fmt.Printf("heater duty     : %d of %d samples\n", read("heatOn"), read("samples"))
+
+	if read("samples") != 40 {
+		log.Fatal("wrong sample count")
+	}
+	if read("minT") < 650 || read("maxT") > 750 {
+		log.Fatalf("bang-bang control lost the band: [%d, %d]", read("minT"), read("maxT"))
+	}
+}

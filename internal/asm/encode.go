@@ -1,0 +1,302 @@
+package asm
+
+import (
+	"strings"
+
+	"disc/internal/isa"
+)
+
+// encodeStmt turns one parsed statement into machine words. LI is the
+// only multi-word pseudo-instruction.
+func (a *assembler) encodeStmt(st statement) ([]isa.Word, error) {
+	enc := func(in isa.Instruction) ([]isa.Word, error) {
+		in.SW = st.sw
+		w, err := in.Encode()
+		if err != nil {
+			return nil, errf(st.line, "%v", err)
+		}
+		return []isa.Word{w}, nil
+	}
+	need := func(n int) error {
+		if len(st.args) != n {
+			return errf(st.line, "%s wants %d operands, got %d", st.mnem, n, len(st.args))
+		}
+		return nil
+	}
+	regArg := func(i int) (isa.Reg, error) {
+		r, err := parseReg(st.args[i])
+		if err != nil {
+			return r, errf(st.line, "%s: %v", st.mnem, err)
+		}
+		return r, nil
+	}
+	immArg := func(i int) (int64, error) {
+		v, err := evalExpr(st.args[i], a.symbols)
+		if err != nil {
+			return 0, errf(st.line, "%s: %v", st.mnem, err)
+		}
+		return v, nil
+	}
+
+	// Branches: B, BAL, BEQ, ...
+	if strings.HasPrefix(st.mnem, "B") {
+		if cond, ok := condFromSuffix[st.mnem[1:]]; ok {
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			target, err := immArg(0)
+			if err != nil {
+				return nil, err
+			}
+			disp := target - int64(st.addr) - 1
+			if disp < -2048 || disp > 2047 {
+				return nil, errf(st.line, "branch to %#x out of range (disp %d)", target, disp)
+			}
+			return enc(isa.Instruction{Op: isa.OpBcc, Cond: cond, Imm: int32(disp)})
+		}
+	}
+
+	switch st.mnem {
+	case "NOP", "RETI", "HALT":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpByName[st.mnem]})
+
+	case "ADD", "SUB", "AND", "OR", "XOR", "SHL", "SHR", "ASR", "MUL":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := regArg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := regArg(1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := regArg(2)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpByName[st.mnem], Rd: rd, Rs: rs, Rt: rt})
+
+	case "CMP":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := regArg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := regArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpCMP, Rs: rs, Rt: rt})
+
+	case "MOV", "NOT", "NEG", "SWP":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regArg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := regArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpByName[st.mnem], Rd: rd, Rs: rs})
+
+	case "ADDI", "SUBI", "ANDI", "ORI", "XORI", "CMPI", "LDI", "LDHI":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regArg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := immArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpByName[st.mnem], Rd: rd, Imm: int32(v)})
+
+	case "LI":
+		// Pseudo: load any 16-bit constant in two words.
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regArg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := immArg(1)
+		if err != nil {
+			return nil, err
+		}
+		if v < -32768 || v > 65535 {
+			return nil, errf(st.line, "LI value %d outside 16 bits", v)
+		}
+		u := uint16(v)
+		hi, err1 := isa.Instruction{Op: isa.OpLDHI, Rd: rd, Imm: int32(u >> 8)}.Encode()
+		lo := isa.Instruction{Op: isa.OpORI, Rd: rd, Imm: int32(u & 0xFF), SW: st.sw}
+		loW, err2 := lo.Encode()
+		if err1 != nil || err2 != nil {
+			return nil, errf(st.line, "LI expansion failed: %v %v", err1, err2)
+		}
+		return []isa.Word{hi, loW}, nil
+
+	case "LD", "ST", "TAS":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regArg(0)
+		if err != nil {
+			return nil, err
+		}
+		reg, off, hasReg, err := parseMem(st.args[1], a.symbols)
+		if err != nil {
+			return nil, errf(st.line, "%s: %v", st.mnem, err)
+		}
+		if hasReg {
+			return enc(isa.Instruction{Op: isa.OpByName[st.mnem], Rd: rd, Rs: reg, Imm: int32(off)})
+		}
+		// Absolute form maps to LDM/STM where available.
+		switch st.mnem {
+		case "LD":
+			return enc(isa.Instruction{Op: isa.OpLDM, Rd: rd, Imm: int32(off)})
+		case "ST":
+			return enc(isa.Instruction{Op: isa.OpSTM, Rd: rd, Imm: int32(off)})
+		default:
+			return nil, errf(st.line, "TAS needs a register base")
+		}
+
+	case "LDM", "STM":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regArg(0)
+		if err != nil {
+			return nil, err
+		}
+		_, off, hasReg, err := parseMem(st.args[1], a.symbols)
+		if err != nil || hasReg {
+			return nil, errf(st.line, "%s wants an absolute [addr] operand", st.mnem)
+		}
+		return enc(isa.Instruction{Op: isa.OpByName[st.mnem], Rd: rd, Imm: int32(off)})
+
+	case "JMP", "CALL":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := immArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpByName[st.mnem], Imm: int32(v)})
+
+	case "JR", "CALR":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := regArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpByName[st.mnem], Rs: rs})
+
+	case "RET":
+		// RET n; plain RET means n = 0 (no locals allocated).
+		n := int64(0)
+		if len(st.args) == 1 {
+			var err error
+			n, err = immArg(0)
+			if err != nil {
+				return nil, err
+			}
+		} else if len(st.args) != 0 {
+			return nil, errf(st.line, "RET wants at most one operand")
+		}
+		return enc(isa.Instruction{Op: isa.OpRET, Imm: int32(n)})
+
+	case "SSTART":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		s, err := immArg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := regArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpSSTART, S: uint8(s), Rs: rs})
+
+	case "SIGNAL":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		s, err := immArg(0)
+		if err != nil {
+			return nil, err
+		}
+		n, err := immArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpSIGNAL, S: uint8(s), N: uint8(n)})
+
+	case "CLRI", "WAITI":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n, err := immArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpByName[st.mnem], N: uint8(n)})
+
+	case "SETMR":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := immArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpSETMR, Imm: int32(v)})
+
+	case "MFS":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := regArg(0)
+		if err != nil {
+			return nil, err
+		}
+		sp, ok := isa.SpecialByName[strings.ToUpper(st.args[1])]
+		if !ok {
+			return nil, errf(st.line, "MFS: unknown special %q", st.args[1])
+		}
+		return enc(isa.Instruction{Op: isa.OpMFS, Rd: rd, Spec: sp})
+
+	case "MTS":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		sp, ok := isa.SpecialByName[strings.ToUpper(st.args[0])]
+		if !ok {
+			return nil, errf(st.line, "MTS: unknown special %q", st.args[0])
+		}
+		rs, err := regArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return enc(isa.Instruction{Op: isa.OpMTS, Spec: sp, Rs: rs})
+	}
+
+	return nil, errf(st.line, "unknown mnemonic %q", st.mnem)
+}

@@ -1,0 +1,63 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"disc/internal/isa"
+)
+
+// EncodeHex renders an image in the line-based hex format shared by
+// discasm and discsim: "@xxxx" lines set the load address, every other
+// non-empty line is one 24-bit word in hex. '#' starts a comment.
+func EncodeHex(im *Image) string {
+	var b strings.Builder
+	for _, sec := range im.Sections {
+		fmt.Fprintf(&b, "@%04x\n", sec.Base)
+		for _, w := range sec.Words {
+			fmt.Fprintf(&b, "%06x\n", uint32(w))
+		}
+	}
+	return b.String()
+}
+
+// DecodeHex parses the hex image format back into sections.
+func DecodeHex(text string) (*Image, error) {
+	im := &Image{Symbols: map[string]uint16{}}
+	var cur *Section
+	addr := uint32(0)
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if line[0] == '@' {
+			v, err := strconv.ParseUint(line[1:], 16, 16)
+			if err != nil {
+				return nil, fmt.Errorf("asm: hex image line %d: bad address %q", ln+1, line)
+			}
+			addr = uint32(v)
+			im.Sections = append(im.Sections, Section{Base: uint16(addr)})
+			cur = &im.Sections[len(im.Sections)-1]
+			continue
+		}
+		v, err := strconv.ParseUint(line, 16, 32)
+		if err != nil || v > uint64(isa.MaxWord) {
+			return nil, fmt.Errorf("asm: hex image line %d: bad word %q", ln+1, line)
+		}
+		if cur == nil {
+			im.Sections = append(im.Sections, Section{Base: 0})
+			cur = &im.Sections[len(im.Sections)-1]
+		}
+		if addr >= 1<<16 {
+			return nil, fmt.Errorf("asm: hex image line %d: image overflows program memory", ln+1)
+		}
+		cur.Words = append(cur.Words, isa.Word(v))
+		addr++
+	}
+	return im, nil
+}

@@ -1,0 +1,75 @@
+package asm
+
+import (
+	"testing"
+
+	"disc/internal/isa"
+)
+
+func TestHexRoundTrip(t *testing.T) {
+	im := mustAssemble(t, `
+.org 0x10
+    LDI R0, 5
+    HALT
+.org 0x200
+    NOP
+`)
+	text := EncodeHex(im)
+	back, err := DecodeHex(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sections) != len(im.Sections) {
+		t.Fatalf("sections %d vs %d", len(back.Sections), len(im.Sections))
+	}
+	for i, sec := range im.Sections {
+		if back.Sections[i].Base != sec.Base {
+			t.Fatalf("section %d base %#x vs %#x", i, back.Sections[i].Base, sec.Base)
+		}
+		for j, w := range sec.Words {
+			if back.Sections[i].Words[j] != w {
+				t.Fatalf("word %d.%d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeHexComments(t *testing.T) {
+	im, err := DecodeHex("# header\n@0040\n000001 # inline\n\n000002\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Sections[0].Base != 0x40 || len(im.Sections[0].Words) != 2 {
+		t.Fatalf("parse: %+v", im.Sections)
+	}
+}
+
+func TestDecodeHexImplicitBase(t *testing.T) {
+	im, err := DecodeHex("00000a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Sections[0].Base != 0 || im.Sections[0].Words[0] != 0x0A {
+		t.Fatalf("parse: %+v", im.Sections)
+	}
+}
+
+func TestDecodeHexErrors(t *testing.T) {
+	for _, bad := range []string{
+		"@zz\n",
+		"1000000\n", // > 24 bits
+		"xyz\n",
+		"@ffff\n000001\n000002\n", // overflow past memory end
+	} {
+		if _, err := DecodeHex(bad); err == nil {
+			t.Errorf("DecodeHex accepted %q", bad)
+		}
+	}
+}
+
+func TestEncodeHexWordWidth(t *testing.T) {
+	im := &Image{Sections: []Section{{Base: 0, Words: []isa.Word{1}}}}
+	if got := EncodeHex(im); got != "@0000\n000001\n" {
+		t.Fatalf("EncodeHex = %q", got)
+	}
+}

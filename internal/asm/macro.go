@@ -1,0 +1,176 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"disc/internal/isa"
+)
+
+// Macro support: a textual preprocessing pass that runs before pass 1.
+//
+//	.macro push2 a, b        ; define
+//	    MOV+ ZR, \a
+//	    MOV+ ZR, \b
+//	.endm
+//	    push2 R0, R1         ; invoke by bare name
+//
+// Inside a body, \name substitutes the corresponding argument and \@
+// expands to a number unique to each expansion, for local labels:
+//
+//	.macro spin n
+//	    LDI  R7, \n
+//	l\@: SUBI R7, 1
+//	    BNE  l\@
+//	.endm
+//
+// Macros may invoke other macros (depth-limited); definitions must not
+// nest. Diagnostics point at the invocation line.
+type macro struct {
+	name   string
+	params []string
+	body   []string
+	line   int
+}
+
+// maxMacroDepth bounds recursive expansion.
+const maxMacroDepth = 8
+
+// expandMacros collects definitions and expands invocations, returning
+// the flattened source. Expanded lines carry no separate line mapping:
+// errors inside a body are reported at the invocation's position by
+// emitting a line-sync comment the caller ignores (the assembler's
+// line numbers therefore refer to the expanded text when macros are
+// used; the returned usedMacros flag tells Assemble to say so).
+func expandMacros(src string) (string, bool, error) {
+	lines := strings.Split(src, "\n")
+	macros := map[string]*macro{}
+	var defless []string
+
+	// Pass 0a: strip definitions.
+	var cur *macro
+	for i, raw := range lines {
+		line := i + 1
+		text := strings.TrimSpace(stripComment(raw))
+		fields := strings.Fields(text)
+		switch {
+		case len(fields) > 0 && strings.EqualFold(fields[0], ".macro"):
+			if cur != nil {
+				return "", false, errf(line, "nested .macro definition")
+			}
+			rest := strings.TrimSpace(text[len(fields[0]):])
+			parts := strings.Fields(strings.ReplaceAll(rest, ",", " "))
+			if len(parts) == 0 || !isIdent(parts[0]) {
+				return "", false, errf(line, ".macro wants NAME [params]")
+			}
+			name := strings.ToUpper(parts[0])
+			if _, dup := macros[name]; dup {
+				return "", false, errf(line, "duplicate macro %q", parts[0])
+			}
+			if _, clash := OpByNameCheck(name); clash {
+				return "", false, errf(line, "macro %q shadows an instruction", parts[0])
+			}
+			cur = &macro{name: name, line: line}
+			for _, p := range parts[1:] {
+				if !isIdent(p) {
+					return "", false, errf(line, "bad macro parameter %q", p)
+				}
+				cur.params = append(cur.params, p)
+			}
+		case len(fields) > 0 && strings.EqualFold(fields[0], ".endm"):
+			if cur == nil {
+				return "", false, errf(line, ".endm without .macro")
+			}
+			macros[cur.name] = cur
+			cur = nil
+		case cur != nil:
+			cur.body = append(cur.body, raw)
+		default:
+			defless = append(defless, raw)
+		}
+	}
+	if cur != nil {
+		return "", false, errf(len(lines), "unterminated .macro %q", cur.name)
+	}
+	if len(macros) == 0 {
+		return src, false, nil
+	}
+
+	// Pass 0b: expand invocations (repeatedly, for nested calls).
+	counter := 0
+	var expand func(lines []string, depth int) ([]string, error)
+	expand = func(in []string, depth int) ([]string, error) {
+		if depth > maxMacroDepth {
+			return nil, errf(0, "macro expansion deeper than %d (recursive macro?)", maxMacroDepth)
+		}
+		var out []string
+		for i, raw := range in {
+			text := stripComment(raw)
+			// Peel labels so "lbl: MACRO args" works.
+			prefix := ""
+			for {
+				trimmed := strings.TrimSpace(text)
+				ci := strings.Index(trimmed, ":")
+				if ci < 0 || !isIdent(strings.TrimSpace(trimmed[:ci])) {
+					break
+				}
+				prefix += trimmed[:ci+1] + "\n"
+				text = trimmed[ci+1:]
+			}
+			mnem, rest := splitMnemonic(text)
+			m, ok := macros[mnem]
+			if !ok {
+				out = append(out, raw)
+				continue
+			}
+			args := splitArgs(rest)
+			if len(args) != len(m.params) {
+				return nil, errf(i+1, "macro %s wants %d arguments, got %d", m.name, len(m.params), len(args))
+			}
+			counter++
+			if prefix != "" {
+				out = append(out, strings.TrimSuffix(prefix, "\n"))
+			}
+			body := make([]string, 0, len(m.body))
+			for _, bl := range m.body {
+				s := bl
+				for pi, p := range m.params {
+					s = strings.ReplaceAll(s, `\`+p, args[pi])
+				}
+				s = strings.ReplaceAll(s, `\@`, fmt.Sprintf("%d", counter))
+				if strings.Contains(s, `\`) {
+					return nil, errf(m.line, "macro %s: unresolved \\reference in %q", m.name, strings.TrimSpace(s))
+				}
+				body = append(body, s)
+			}
+			inner, err := expand(body, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, inner...)
+		}
+		return out, nil
+	}
+	expanded, err := expand(defless, 1)
+	if err != nil {
+		return "", false, err
+	}
+	return strings.Join(expanded, "\n"), true, nil
+}
+
+// OpByNameCheck reports whether name is an instruction mnemonic or a
+// branch form the assembler claims, so macros cannot shadow them.
+func OpByNameCheck(name string) (struct{}, bool) {
+	if _, ok := isa.OpByName[name]; ok {
+		return struct{}{}, true
+	}
+	if strings.HasPrefix(name, "B") {
+		if _, ok := condFromSuffix[name[1:]]; ok {
+			return struct{}{}, true
+		}
+	}
+	if name == "LI" {
+		return struct{}{}, true
+	}
+	return struct{}{}, false
+}

@@ -1,0 +1,151 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"disc/internal/core"
+	"disc/internal/isa"
+)
+
+func TestMacroBasicExpansion(t *testing.T) {
+	im := mustAssemble(t, `
+.macro addtwo d, a, b
+    ADD \d, \a, \b
+    ADDI \d, 1
+.endm
+    addtwo R0, R1, R2
+    addtwo G0, R3, R4
+`)
+	w := im.Sections[0].Words
+	if len(w) != 4 {
+		t.Fatalf("%d words from two expansions", len(w))
+	}
+	a, _ := isa.Decode(w[0])
+	if a.Op != isa.OpADD || a.Rd != isa.R0 || a.Rs != isa.R1 || a.Rt != isa.R2 {
+		t.Fatalf("first expansion: %+v", a)
+	}
+	c, _ := isa.Decode(w[2])
+	if c.Rd != isa.G0 || c.Rs != isa.R3 {
+		t.Fatalf("second expansion: %+v", c)
+	}
+}
+
+func TestMacroLocalLabels(t *testing.T) {
+	im := mustAssemble(t, `
+.macro spin n
+    LDI  R7, \n
+sp\@:
+    SUBI R7, 1
+    BNE  sp\@
+.endm
+    spin 3
+    spin 5
+    HALT
+`)
+	if im.Size() != 7 {
+		t.Fatalf("size %d", im.Size())
+	}
+	// Each expansion's branch must target its own label (disp -2).
+	for _, idx := range []int{2, 5} {
+		in, _ := isa.Decode(im.Sections[0].Words[idx])
+		if in.Op != isa.OpBcc || in.Imm != -2 {
+			t.Fatalf("local label broken at word %d: %+v", idx, in)
+		}
+	}
+}
+
+func TestMacroNested(t *testing.T) {
+	im := mustAssemble(t, `
+.macro inc r
+    ADDI \r, 1
+.endm
+.macro inc2 r
+    inc \r
+    inc \r
+.endm
+    inc2 R3
+`)
+	if im.Size() != 2 {
+		t.Fatalf("size %d", im.Size())
+	}
+}
+
+func TestMacroWithLeadingLabel(t *testing.T) {
+	im := mustAssemble(t, `
+.macro nop2
+    NOP
+    NOP
+.endm
+here: nop2
+    JMP here
+`)
+	j, _ := isa.Decode(im.Sections[0].Words[2])
+	if j.Imm != 0 {
+		t.Fatalf("label before macro lost: JMP %d", j.Imm)
+	}
+}
+
+func TestMacroRunsOnMachine(t *testing.T) {
+	// End to end: a macro-built saturating add, executed.
+	im := mustAssemble(t, `
+.macro satadd d, a, b
+    ADD  \d, \a, \b
+    BCC  ok\@
+    LI   \d, 0xFFFF
+ok\@:
+.endm
+    LI  R1, 0xFFF0
+    LDI R2, 0x20
+    satadd R0, R1, R2
+    STM R0, [0]
+    LDI R1, 5
+    satadd R0, R1, R2
+    STM R0, [1]
+    HALT
+`)
+	m := core.MustNew(core.Config{Streams: 1})
+	for _, sec := range im.Sections {
+		if err := m.LoadProgram(sec.Base, sec.Words); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.StartStream(0, 0)
+	if _, idle := m.RunUntilIdle(500); !idle {
+		t.Fatal("macro program did not halt")
+	}
+	if got := m.Internal().Read(0); got != 0xFFFF {
+		t.Fatalf("saturating add overflow case = %#x", got)
+	}
+	if got := m.Internal().Read(1); got != 0x25 {
+		t.Fatalf("saturating add normal case = %#x", got)
+	}
+}
+
+func TestMacroErrors(t *testing.T) {
+	cases := []string{
+		".macro\n.endm",                    // missing name
+		".macro x\n.macro y\n.endm\n.endm", // nested definition
+		".endm",                            // endm without macro
+		".macro x\nNOP",                    // unterminated
+		".macro x a\nADD \\a, \\a, \\b\n.endm\nx R0", // unresolved \b
+		".macro x a\nNOP\n.endm\nx R0, R1",           // arity
+		".macro ADD a\nNOP\n.endm",                   // shadows an instruction
+		".macro BNE a\nNOP\n.endm",                   // shadows a branch
+		".macro LI a\nNOP\n.endm",                    // shadows the pseudo
+		".macro x\nNOP\n.endm\n.macro x\nNOP\n.endm", // duplicate
+		".macro x\nx\n.endm\nx",                      // recursion -> depth
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestNoMacrosPassThrough(t *testing.T) {
+	out, used, err := expandMacros("NOP\nHALT\n")
+	if err != nil || used || !strings.Contains(out, "NOP") {
+		t.Fatalf("pass-through broken: %v %v", used, err)
+	}
+}

@@ -1,0 +1,227 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"disc/internal/isa"
+)
+
+// stripComment removes ';' comments, respecting character literals.
+func stripComment(s string) string {
+	inChar := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			inChar = !inChar
+		case ';':
+			if !inChar {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// isIdent reports whether s is a plain identifier.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitMnemonic separates the first word (upper-cased) from the rest.
+func splitMnemonic(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return strings.ToUpper(s), ""
+	}
+	return strings.ToUpper(s[:i]), s[i+1:]
+}
+
+// splitArgs splits a comma-separated operand list, trimming space.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// splitSW strips a trailing + or - AWP-adjust suffix from a mnemonic.
+func splitSW(mnem string) (string, isa.SW, error) {
+	switch {
+	case strings.HasSuffix(mnem, "+"):
+		return mnem[:len(mnem)-1], isa.SWInc, nil
+	case strings.HasSuffix(mnem, "-"):
+		return mnem[:len(mnem)-1], isa.SWDec, nil
+	}
+	return mnem, isa.SWNone, nil
+}
+
+// evalExpr evaluates a constant expression: NUMBER, SYMBOL, or
+// SYMBOL±NUMBER.
+func evalExpr(s string, symbols map[string]uint16) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty expression")
+	}
+	// Character literal.
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	// Pure number (possibly negative).
+	if v, err := parseNumber(s); err == nil {
+		return v, nil
+	}
+	// SYMBOL±NUMBER.
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			name := strings.TrimSpace(s[:i])
+			if !isIdent(name) {
+				continue
+			}
+			base, ok := symbols[name]
+			if !ok {
+				return 0, fmt.Errorf("undefined symbol %q", name)
+			}
+			off, err := parseNumber(strings.TrimSpace(s[i+1:]))
+			if err != nil {
+				return 0, fmt.Errorf("bad offset in %q", s)
+			}
+			if s[i] == '-' {
+				off = -off
+			}
+			return int64(base) + off, nil
+		}
+	}
+	if isIdent(s) {
+		v, ok := symbols[s]
+		if !ok {
+			return 0, fmt.Errorf("undefined symbol %q", s)
+		}
+		return int64(v), nil
+	}
+	return 0, fmt.Errorf("cannot parse expression %q", s)
+}
+
+// parseNumber handles decimal, 0x, 0b and negative forms.
+func parseNumber(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x"), strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseUint(s[2:], 16, 32)
+	case strings.HasPrefix(s, "0b"), strings.HasPrefix(s, "0B"):
+		v, err = strconv.ParseUint(s[2:], 2, 32)
+	default:
+		v, err = strconv.ParseUint(s, 10, 32)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	out := int64(v)
+	if neg {
+		out = -out
+	}
+	return out, nil
+}
+
+// regNames maps operand spellings to register fields.
+var regNames = func() map[string]isa.Reg {
+	m := map[string]isa.Reg{"H": isa.H, "SR": isa.SR, "ZR": isa.ZR}
+	for i := 0; i < isa.WindowSize; i++ {
+		m[fmt.Sprintf("R%d", i)] = isa.Reg(i)
+	}
+	for i := 0; i < isa.NumGlobals; i++ {
+		m[fmt.Sprintf("G%d", i)] = isa.G0 + isa.Reg(i)
+	}
+	return m
+}()
+
+// parseReg resolves a register operand.
+func parseReg(s string) (isa.Reg, error) {
+	r, ok := regNames[strings.ToUpper(strings.TrimSpace(s))]
+	if !ok {
+		return isa.RegInvalid, fmt.Errorf("bad register %q", s)
+	}
+	return r, nil
+}
+
+// parseMem parses a [base±off] or [addr] operand. It returns either a
+// register+offset pair (hasReg true) or an absolute address.
+func parseMem(s string, symbols map[string]uint16) (reg isa.Reg, off int64, hasReg bool, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, false, fmt.Errorf("memory operand %q must be bracketed", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	// Try register, register+off, register-off.
+	for i := 0; i <= len(inner); i++ {
+		var regPart, offPart string
+		var negOff bool
+		if i == len(inner) {
+			regPart, offPart = inner, ""
+		} else if inner[i] == '+' || inner[i] == '-' {
+			regPart, offPart = strings.TrimSpace(inner[:i]), strings.TrimSpace(inner[i+1:])
+			negOff = inner[i] == '-'
+		} else {
+			continue
+		}
+		r, rerr := parseReg(regPart)
+		if rerr != nil {
+			break // not a register form; fall through to absolute
+		}
+		var o int64
+		if offPart != "" {
+			o, err = evalExpr(offPart, symbols)
+			if err != nil {
+				return 0, 0, false, err
+			}
+			if negOff {
+				o = -o
+			}
+		}
+		return r, o, true, nil
+	}
+	v, err := evalExpr(inner, symbols)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return 0, v, false, nil
+}
+
+// condFromSuffix maps branch suffixes ("EQ", "NE", ... or "" / "AL").
+var condFromSuffix = map[string]isa.Cond{
+	"": isa.CondAL, "AL": isa.CondAL,
+	"EQ": isa.CondEQ, "NE": isa.CondNE,
+	"CS": isa.CondCS, "CC": isa.CondCC,
+	"MI": isa.CondMI, "PL": isa.CondPL,
+	"VS": isa.CondVS, "VC": isa.CondVC,
+	"HI": isa.CondHI, "LS": isa.CondLS,
+	"GE": isa.CondGE, "LT": isa.CondLT,
+	"GT": isa.CondGT, "LE": isa.CondLE,
+}

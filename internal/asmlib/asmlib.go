@@ -1,0 +1,266 @@
+// Package asmlib is a small, tested library of DISC1 assembly routines
+// — the software layer §5 says "numerous operating system, compiler,
+// and other software questions" would need. DISC1 has no divide or
+// square-root hardware, so controller code needs exactly these.
+//
+// Calling convention (documented per routine): arguments and results
+// pass in the shared globals G0..G3; window registers are callee-local
+// thanks to the stack-window protocol (§3.5) — every routine allocates
+// its frame with NOP+ and releases it with RET n, so caller locals
+// survive. Routines that pass arguments in globals are not reentrant
+// across streams; guard cross-stream use with a TAS semaphore.
+//
+// All routines operate on unsigned 16-bit values unless noted.
+package asmlib
+
+import "fmt"
+
+// Div16 divides unsigned words: in G0 (dividend), G1 (divisor);
+// out G2 = quotient, G3 = remainder. G0 is clobbered. Division by
+// zero yields quotient 0xFFFF and remainder = dividend, like a
+// hardware restoring divider left to run.
+const Div16 = `
+div16:
+    NOP+                ; R0 = loop counter; return address at R1
+    LDI  R0, 16
+    LDI  G2, 0          ; quotient
+    LDI  G3, 0          ; remainder
+d16_loop:
+    ADD  G3, G3, G3     ; remainder <<= 1
+    ADD  G0, G0, G0     ; dividend <<= 1, C = bit shifted out
+    BCC  d16_nobit
+    ORI  G3, 1
+d16_nobit:
+    ADD  G2, G2, G2     ; quotient <<= 1
+    CMP  G3, G1
+    BCC  d16_next       ; remainder < divisor
+    SUB  G3, G3, G1
+    ORI  G2, 1
+d16_next:
+    SUBI R0, 1
+    BNE  d16_loop
+    RET  1
+`
+
+// Sqrt16 computes G1 = floor(sqrt(G0)). G0 is clobbered.
+const Sqrt16 = `
+sqrt16:
+    NOP+
+    NOP+
+    NOP+                 ; locals R0 (bit), R1 (shift const), R2 (tmp)
+    LI   R0, 0x4000      ; bit = 1 << 14
+    LDI  G1, 0           ; result
+    LDI  R1, 2
+sq_shrink:
+    CMP  G0, R0
+    BCS  sq_main         ; num >= bit: start
+    SHR  R0, R0, R1      ; bit >>= 2
+    CMPI R0, 0
+    BNE  sq_shrink
+sq_main:
+    CMPI R0, 0
+    BEQ  sq_done
+    ADD  R2, G1, R0      ; t = res + bit
+    CMP  G0, R2
+    BCC  sq_else         ; num < t
+    SUB  G0, G0, R2
+    LDI  R2, 1
+    SHR  G1, G1, R2
+    ADD  G1, G1, R0      ; res = (res >> 1) + bit
+    JMP  sq_next
+sq_else:
+    LDI  R2, 1
+    SHR  G1, G1, R2      ; res >>= 1
+sq_next:
+    LDI  R2, 2
+    SHR  R0, R0, R2      ; bit >>= 2
+    JMP  sq_main
+sq_done:
+    RET  3
+`
+
+// Memcpy copies G2 words from address G0 to address G1 (ascending;
+// ranges must not overlap destructively). Works across the internal
+// and external (ABI) address spaces, so copying to external RAM
+// exercises the §3.6.1 pseudo-DMA path. Clobbers G0, G1, G2.
+const Memcpy = `
+memcpy:
+    NOP+                 ; R0 = word buffer
+    CMPI G2, 0
+    BEQ  mc_done
+mc_loop:
+    LD   R0, [G0]
+    ST   R0, [G1]
+    ADDI G0, 1
+    ADDI G1, 1
+    SUBI G2, 1
+    BNE  mc_loop
+mc_done:
+    RET  1
+`
+
+// CRC16 computes the CRC-16/CCITT (poly 0x1021, init 0xFFFF) of G1
+// 16-bit words starting at address G0; result in G2. Clobbers G0, G1.
+const CRC16 = `
+crc16:
+    NOP+
+    NOP+                 ; locals R0 (data), R1 (bit counter)
+    LI   G2, 0xFFFF
+c_word:
+    CMPI G1, 0
+    BEQ  c_done
+    LD   R0, [G0]
+    ADDI G0, 1
+    SUBI G1, 1
+    XOR  G2, G2, R0
+    LDI  R1, 16
+c_bit:
+    ADD  G2, G2, G2      ; crc <<= 1, C = old msb
+    BCC  c_noxor
+    LI   R0, 0x1021
+    XOR  G2, G2, R0
+c_noxor:
+    SUBI R1, 1
+    BNE  c_bit
+    JMP  c_word
+c_done:
+    RET  2
+`
+
+// FixMul multiplies two non-negative Q8.8 fixed-point values:
+// G2 = (G0 × G1) >> 8, using the 16×16 hardware multiplier's full
+// 32-bit product (low half + H).
+const FixMul = `
+fixmul:
+    NOP+
+    NOP+                 ; locals R0 (low), R1 (high)
+    MUL  R0, G0, G1
+    MFS  R1, H
+    LDI  G2, 8
+    SHR  R0, R0, G2
+    SHL  R1, R1, G2
+    OR   G2, R0, R1
+    RET  2
+`
+
+// PID is a proportional-integral-derivative controller step in Q8.8:
+// in G0 = setpoint, G1 = measurement; out G2 = Kp·e + Ki·I + Kd·Δe.
+// Gains and state live in internal memory at the PIDEquates addresses.
+// Terms must stay non-negative (FixMul is unsigned); clamp upstream.
+// Requires FixMul to be assembled in the same image.
+const PID = `
+pid:
+    NOP+
+    NOP+                 ; locals R0 (accumulator), R1 (error)
+    SUB  R1, G0, G1      ; e = setpoint - measurement
+    LDM  G3, [PID_I]
+    ADD  G3, G3, R1
+    STM  G3, [PID_I]     ; integral += e
+    LDM  G0, [PID_KP]
+    MOV  G1, R1
+    CALL fixmul
+    MOV  R0, G2          ; acc = Kp*e
+    LDM  G0, [PID_KI]
+    LDM  G1, [PID_I]
+    CALL fixmul
+    ADD  R0, R0, G2      ; acc += Ki*I
+    LDM  G1, [PID_E]
+    SUB  G1, R1, G1      ; de = e - eprev
+    LDM  G0, [PID_KD]
+    CALL fixmul
+    ADD  R0, R0, G2      ; acc += Kd*de
+    STM  R1, [PID_E]     ; eprev = e
+    MOV  G2, R0
+    RET  2
+`
+
+// PIDEquates emits the .equ block binding the PID state block to four
+// consecutive internal-memory words at base: KP, KI, KD, then the
+// mutable I (integral) and E (previous error) cells.
+func PIDEquates(base uint16) string {
+	return fmt.Sprintf(`
+.equ PID_KP, %d
+.equ PID_KI, %d
+.equ PID_KD, %d
+.equ PID_I,  %d
+.equ PID_E,  %d
+`, base, base+1, base+2, base+3, base+4)
+}
+
+// All concatenates every routine (PID last, since it calls fixmul).
+func All() string {
+	return Div16 + Sqrt16 + Memcpy + CRC16 + FixMul + PID
+}
+
+// Executive is a minimal cooperative two-task executive running INSIDE
+// one instruction stream — the conventional-microcontroller way of
+// multitasking that DISC's hardware streams make unnecessary (§1: "it
+// is difficult to make use of the processor idle time ... due to the
+// overhead required to change program context"; §3.1: with resident
+// stream contexts "all overhead for context switching is removed").
+//
+// Tasks call `yield` to hand over the processor. Each task context —
+// the visible registers R0..R5, the AWP and the resume PC — is saved
+// into a task control block in internal memory and the other task's is
+// restored, including a full window relocation via MTS AWP. The cost
+// of one yield, measured by the softswitch experiment, is the software
+// context-switch overhead a DISC stream never pays.
+//
+// Convention: tasks may use R0..R5 and the globals are owned by the
+// executive during a switch. TCBs are 8 words: R0..R5, AWP, resume PC.
+const Executive = `
+yield:
+    ; CALL pushed the resume PC into a fresh R0; caller's R0..R5 are
+    ; now visible as R1..R6.
+    LDM  G3, [EXEC_CUR]
+    CMPI G3, 0
+    BEQ  y_tcb0
+    LI   G2, EXEC_TCB1
+    LDI  G3, 0
+    JMP  y_save
+y_tcb0:
+    LI   G2, EXEC_TCB0
+    LDI  G3, 1
+y_save:
+    STM  G3, [EXEC_CUR]
+    ST   R1, [G2+0]     ; caller R0..R5
+    ST   R2, [G2+1]
+    ST   R3, [G2+2]
+    ST   R4, [G2+3]
+    ST   R5, [G2+4]
+    ST   R6, [G2+5]
+    MFS  R1, AWP
+    SUBI R1, 1          ; caller's AWP (before the CALL push)
+    ST   R1, [G2+6]
+    ST   R0, [G2+7]     ; resume PC
+    ; restore the other task
+    LDM  G3, [EXEC_CUR]
+    CMPI G3, 0
+    BEQ  y_ld0
+    LI   G2, EXEC_TCB1
+    JMP  y_load
+y_ld0:
+    LI   G2, EXEC_TCB0
+y_load:
+    LD   G0, [G2+6]     ; target AWP
+    LD   G1, [G2+7]     ; target resume PC
+    MTS  AWP, G0        ; relocate the window wholesale
+    LD   R0, [G2+0]
+    LD   R1, [G2+1]
+    LD   R2, [G2+2]
+    LD   R3, [G2+3]
+    LD   R4, [G2+4]
+    LD   R5, [G2+5]
+    JR   G1
+`
+
+// ExecEquates binds the executive's state to internal memory at base:
+// the current-task id followed by two 8-word TCBs. The block occupies
+// 17 words, base..base+16; callers must not place data inside it.
+func ExecEquates(base uint16) string {
+	return fmt.Sprintf(`
+.equ EXEC_CUR,  %d
+.equ EXEC_TCB0, %d
+.equ EXEC_TCB1, %d
+`, base, base+1, base+9)
+}

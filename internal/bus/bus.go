@@ -1,0 +1,188 @@
+// Package bus implements the DISC1 Asynchronous Bus Interface (ABI)
+// and the peripheral devices that hang off the 16-bit asynchronous data
+// bus (§3.6.1, §3.7).
+//
+// DISC is a load/store machine, but a load or store to external space
+// must not stop the other instruction streams. The ABI therefore works
+// like a one-entry pseudo-DMA engine: the executing stream posts the
+// effective address (and, for a load, the destination register), enters
+// a wait state, and the ABI runs the access by itself, counting the
+// device's wait states. When the access completes the ABI writes the
+// data directly into the destination register file and reactivates all
+// waiting streams. A second stream that requests the bus while it is
+// busy is also flushed into a wait state and retries after reactivation
+// — the paper's "busy flag" protocol, reproduced here exactly because
+// Tables 4.2/4.3 depend on its contention behaviour.
+package bus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Request is one posted external access.
+type Request struct {
+	Stream int    // requesting instruction stream
+	Write  bool   // store (true) or load (false)
+	Addr   uint16 // effective address on the data bus
+	Data   uint16 // store data
+	Dest   uint8  // load destination register field (opaque to the bus)
+	Tag    uint64 // issuing-cycle tag, for latency accounting
+}
+
+// Completion reports a finished access back to the machine.
+type Completion struct {
+	Req  Request
+	Data uint16 // load result (undefined for stores)
+	Err  error  // non-nil for accesses to unmapped addresses
+}
+
+// Device is a peripheral or external memory reachable over the data
+// bus. Addr values passed in are offsets from the device's base.
+type Device interface {
+	Name() string
+	// AccessCycles returns how many bus cycles the access occupies.
+	// Zero-cycle devices are promoted to one cycle: the bus is
+	// synchronous at the cycle level even when the device is fast.
+	AccessCycles(offset uint16, write bool) int
+	Read(offset uint16) uint16
+	Write(offset uint16, v uint16)
+}
+
+// Ticker is implemented by devices that advance with machine cycles
+// (timers, ADC sampling, UART drains).
+type Ticker interface {
+	Tick()
+}
+
+type mapping struct {
+	base uint16
+	size uint16
+	dev  Device
+}
+
+// Bus is the ABI plus the address decoder for the external data space.
+type Bus struct {
+	maps []mapping
+
+	busy      bool
+	current   Request
+	remaining int
+
+	// statistics
+	BusyCycles  uint64 // cycles the bus spent occupied
+	Accesses    uint64 // completed accesses
+	Rejections  uint64 // requests that found the bus busy
+	ErrAccesses uint64 // accesses to unmapped addresses
+}
+
+// New returns an empty bus; attach devices before use.
+func New() *Bus { return &Bus{} }
+
+// Attach maps dev at [base, base+size). Overlapping ranges are
+// rejected so the address decode stays unambiguous.
+func (b *Bus) Attach(base, size uint16, dev Device) error {
+	if size == 0 {
+		return fmt.Errorf("bus: device %s mapped with zero size", dev.Name())
+	}
+	end := uint32(base) + uint32(size)
+	if end > 1<<16 {
+		return fmt.Errorf("bus: device %s at %#x+%#x exceeds the address space", dev.Name(), base, size)
+	}
+	for _, m := range b.maps {
+		mEnd := uint32(m.base) + uint32(m.size)
+		if uint32(base) < mEnd && end > uint32(m.base) {
+			return fmt.Errorf("bus: device %s overlaps %s", dev.Name(), m.dev.Name())
+		}
+	}
+	b.maps = append(b.maps, mapping{base, size, dev})
+	sort.Slice(b.maps, func(i, j int) bool { return b.maps[i].base < b.maps[j].base })
+	return nil
+}
+
+// lookup finds the device covering addr.
+func (b *Bus) lookup(addr uint16) (Device, uint16, bool) {
+	for _, m := range b.maps {
+		if addr >= m.base && uint32(addr) < uint32(m.base)+uint32(m.size) {
+			return m.dev, addr - m.base, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Busy reports whether an access is in flight. A stream seeing true
+// must flush its instruction and wait (§4.1's contention rule).
+func (b *Bus) Busy() bool { return b.busy }
+
+// Start posts a request. It returns false (and counts a rejection)
+// when the bus is already occupied.
+func (b *Bus) Start(r Request) bool {
+	if b.busy {
+		b.Rejections++
+		return false
+	}
+	b.busy = true
+	b.current = r
+	if dev, off, ok := b.lookup(r.Addr); ok {
+		c := dev.AccessCycles(off, r.Write)
+		if c < 1 {
+			c = 1
+		}
+		b.remaining = c
+	} else {
+		b.remaining = 1 // unmapped accesses fault after one cycle
+	}
+	return true
+}
+
+// Tick advances the in-flight access by one bus cycle. When the access
+// completes it is performed against the device and reported; otherwise
+// Tick returns ok=false.
+func (b *Bus) Tick() (Completion, bool) {
+	if !b.busy {
+		return Completion{}, false
+	}
+	b.BusyCycles++
+	b.remaining--
+	if b.remaining > 0 {
+		return Completion{}, false
+	}
+	b.busy = false
+	b.Accesses++
+	r := b.current
+	dev, off, ok := b.lookup(r.Addr)
+	if !ok {
+		b.ErrAccesses++
+		return Completion{Req: r, Data: 0xFFFF, Err: fmt.Errorf("bus: access to unmapped address %#04x", r.Addr)}, true
+	}
+	if r.Write {
+		dev.Write(off, r.Data)
+		return Completion{Req: r}, true
+	}
+	return Completion{Req: r, Data: dev.Read(off)}, true
+}
+
+// TickDevices advances every attached device that keeps time.
+func (b *Bus) TickDevices() {
+	for _, m := range b.maps {
+		if t, ok := m.dev.(Ticker); ok {
+			t.Tick()
+		}
+	}
+}
+
+// Devices returns the attached devices in address order.
+func (b *Bus) Devices() []Device {
+	out := make([]Device, len(b.maps))
+	for i, m := range b.maps {
+		out[i] = m.dev
+	}
+	return out
+}
+
+// Reset aborts any in-flight access and clears statistics.
+func (b *Bus) Reset() {
+	b.busy = false
+	b.remaining = 0
+	b.BusyCycles, b.Accesses, b.Rejections, b.ErrAccesses = 0, 0, 0, 0
+}

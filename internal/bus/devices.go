@@ -1,0 +1,413 @@
+package bus
+
+import "fmt"
+
+// IRQFunc delivers a device interrupt: it sets bit `bit` in the IR of
+// instruction stream `stream` (§3.6.3: "External interrupts can also
+// set a request to any of the IRs").
+type IRQFunc func(stream, bit uint8)
+
+// RAM is external memory with a fixed access time — the paper's tmem
+// parameter made concrete.
+type RAM struct {
+	name  string
+	waits int
+	words []uint16
+}
+
+// NewRAM returns size words of external memory costing waits bus
+// cycles per access.
+func NewRAM(name string, size int, waits int) *RAM {
+	return &RAM{name: name, waits: waits, words: make([]uint16, size)}
+}
+
+func (r *RAM) Name() string                      { return r.name }
+func (r *RAM) AccessCycles(_ uint16, _ bool) int { return r.waits }
+func (r *RAM) Read(off uint16) uint16            { return r.words[int(off)%len(r.words)] }
+func (r *RAM) Write(off uint16, v uint16)        { r.words[int(off)%len(r.words)] = v }
+func (r *RAM) Poke(off uint16, v uint16)         { r.Write(off, v) }
+func (r *RAM) Peek(off uint16) uint16            { return r.Read(off) }
+func (r *RAM) SetWaits(w int)                    { r.waits = w }
+
+var _ Device = (*RAM)(nil)
+
+// Timer register offsets.
+const (
+	TimerCount  = 0 // current count (read), immediate load (write)
+	TimerReload = 1 // auto-reload value; 0 disables auto-reload
+	TimerCtrl   = 2 // bit0 run, bit1 irq enable
+	TimerStatus = 3 // bit0 expired (write any value to clear)
+)
+
+// Timer is a countdown timer that raises a vectored interrupt when it
+// expires — the timer-based hard-deadline source §3.4 discusses.
+type Timer struct {
+	name              string
+	waits             int
+	count, reload     uint16
+	ctrl, status      uint16
+	irq               IRQFunc
+	irqStream, irqBit uint8
+	Expirations       uint64
+}
+
+// NewTimer wires a timer to raise (stream, bit) through irq on expiry.
+func NewTimer(name string, waits int, irq IRQFunc, stream, bit uint8) *Timer {
+	return &Timer{name: name, waits: waits, irq: irq, irqStream: stream, irqBit: bit}
+}
+
+func (t *Timer) Name() string                      { return t.name }
+func (t *Timer) AccessCycles(_ uint16, _ bool) int { return t.waits }
+
+func (t *Timer) Read(off uint16) uint16 {
+	switch off {
+	case TimerCount:
+		return t.count
+	case TimerReload:
+		return t.reload
+	case TimerCtrl:
+		return t.ctrl
+	case TimerStatus:
+		return t.status
+	}
+	return 0
+}
+
+func (t *Timer) Write(off uint16, v uint16) {
+	switch off {
+	case TimerCount:
+		t.count = v
+	case TimerReload:
+		t.reload = v
+	case TimerCtrl:
+		t.ctrl = v
+	case TimerStatus:
+		t.status = 0
+	}
+}
+
+// Tick advances the countdown by one machine cycle.
+func (t *Timer) Tick() {
+	if t.ctrl&1 == 0 {
+		return
+	}
+	if t.count == 0 {
+		return
+	}
+	t.count--
+	if t.count == 0 {
+		t.status |= 1
+		t.Expirations++
+		if t.ctrl&2 != 0 && t.irq != nil {
+			t.irq(t.irqStream, t.irqBit)
+		}
+		if t.reload != 0 {
+			t.count = t.reload
+		}
+	}
+}
+
+var _ Device = (*Timer)(nil)
+var _ Ticker = (*Timer)(nil)
+
+// UART register offsets.
+const (
+	UARTData   = 0 // write: transmit byte; read: next received byte
+	UARTStatus = 1 // bit0 rx ready, bit1 tx idle
+)
+
+// UART is a slow serial port. Transmitted bytes land in TX for the
+// host to inspect; received bytes are queued with Feed. Its long access
+// time is what exercises the mean_io path of the stochastic model on
+// the real machine.
+type UART struct {
+	name              string
+	waits             int
+	TX                []byte
+	rx                []byte
+	irq               IRQFunc
+	irqStream, irqBit uint8
+}
+
+// NewUART creates a UART costing waits cycles per register access.
+func NewUART(name string, waits int) *UART {
+	return &UART{name: name, waits: waits}
+}
+
+// WireIRQ makes the UART raise (stream, bit) whenever a byte is fed.
+func (u *UART) WireIRQ(irq IRQFunc, stream, bit uint8) {
+	u.irq, u.irqStream, u.irqBit = irq, stream, bit
+}
+
+func (u *UART) Name() string                      { return u.name }
+func (u *UART) AccessCycles(_ uint16, _ bool) int { return u.waits }
+
+func (u *UART) Read(off uint16) uint16 {
+	switch off {
+	case UARTData:
+		if len(u.rx) == 0 {
+			return 0
+		}
+		b := u.rx[0]
+		u.rx = u.rx[1:]
+		return uint16(b)
+	case UARTStatus:
+		var s uint16 = 0x2 // tx always idle in this model
+		if len(u.rx) > 0 {
+			s |= 0x1
+		}
+		return s
+	}
+	return 0
+}
+
+func (u *UART) Write(off uint16, v uint16) {
+	if off == UARTData {
+		u.TX = append(u.TX, byte(v))
+	}
+}
+
+// Feed queues received bytes and raises the RX interrupt if wired.
+func (u *UART) Feed(bs ...byte) {
+	u.rx = append(u.rx, bs...)
+	if u.irq != nil && len(bs) > 0 {
+		u.irq(u.irqStream, u.irqBit)
+	}
+}
+
+var _ Device = (*UART)(nil)
+
+// ADC register offsets.
+const (
+	ADCData   = 0 // last completed conversion
+	ADCCtrl   = 1 // write: start conversion
+	ADCStatus = 2 // bit0 conversion done
+)
+
+// ADC models a slow analog sensor: a conversion started through CTRL
+// completes after ConvCycles machine cycles, optionally interrupting.
+// The sample values come from a user function of the sample index, so
+// tests and examples can model crank-angle or temperature curves.
+type ADC struct {
+	name       string
+	waits      int
+	ConvCycles int
+	sample     func(n int) uint16
+
+	converting bool
+	remaining  int
+	data       uint16
+	done       bool
+	n          int
+
+	irq               IRQFunc
+	irqStream, irqBit uint8
+}
+
+// NewADC creates an ADC; sample(n) produces the n-th conversion value.
+func NewADC(name string, waits, convCycles int, sample func(n int) uint16) *ADC {
+	if sample == nil {
+		sample = func(n int) uint16 { return uint16(n) }
+	}
+	return &ADC{name: name, waits: waits, ConvCycles: convCycles, sample: sample}
+}
+
+// WireIRQ makes conversion-complete raise (stream, bit).
+func (a *ADC) WireIRQ(irq IRQFunc, stream, bit uint8) {
+	a.irq, a.irqStream, a.irqBit = irq, stream, bit
+}
+
+func (a *ADC) Name() string                      { return a.name }
+func (a *ADC) AccessCycles(_ uint16, _ bool) int { return a.waits }
+
+func (a *ADC) Read(off uint16) uint16 {
+	switch off {
+	case ADCData:
+		return a.data
+	case ADCStatus:
+		if a.done {
+			return 1
+		}
+	}
+	return 0
+}
+
+func (a *ADC) Write(off uint16, _ uint16) {
+	if off == ADCCtrl && !a.converting {
+		a.converting = true
+		a.remaining = a.ConvCycles
+		a.done = false
+	}
+}
+
+// Tick advances a conversion in progress.
+func (a *ADC) Tick() {
+	if !a.converting {
+		return
+	}
+	a.remaining--
+	if a.remaining > 0 {
+		return
+	}
+	a.converting = false
+	a.data = a.sample(a.n)
+	a.n++
+	a.done = true
+	if a.irq != nil {
+		a.irq(a.irqStream, a.irqBit)
+	}
+}
+
+var _ Device = (*ADC)(nil)
+var _ Ticker = (*ADC)(nil)
+
+// Stepper register offsets.
+const (
+	StepperCmd = 0 // write: +1 step forward, 0xFFFF step back
+	StepperPos = 1 // read: current position
+)
+
+// Stepper is the stepper-motor port from the paper's automotive
+// motivation (the 68332 TPU example in §2).
+type Stepper struct {
+	name  string
+	waits int
+	pos   int16
+	Steps uint64
+}
+
+// NewStepper creates a stepper port with the given access time.
+func NewStepper(name string, waits int) *Stepper {
+	return &Stepper{name: name, waits: waits}
+}
+
+func (s *Stepper) Name() string                      { return s.name }
+func (s *Stepper) AccessCycles(_ uint16, _ bool) int { return s.waits }
+
+func (s *Stepper) Read(off uint16) uint16 {
+	if off == StepperPos {
+		return uint16(s.pos)
+	}
+	return 0
+}
+
+func (s *Stepper) Write(off uint16, v uint16) {
+	if off != StepperCmd {
+		return
+	}
+	s.Steps++
+	if v == 0xFFFF {
+		s.pos--
+	} else {
+		s.pos++
+	}
+}
+
+// Position returns the motor position as a signed count.
+func (s *Stepper) Position() int16 { return s.pos }
+
+var _ Device = (*Stepper)(nil)
+
+// GPIO is a bank of simple latched ports with negligible logic — the
+// cheapest possible external device, useful to measure pure bus cost.
+type GPIO struct {
+	name  string
+	waits int
+	ports [8]uint16
+}
+
+// NewGPIO creates an 8-port latch bank.
+func NewGPIO(name string, waits int) *GPIO { return &GPIO{name: name, waits: waits} }
+
+func (g *GPIO) Name() string                      { return g.name }
+func (g *GPIO) AccessCycles(_ uint16, _ bool) int { return g.waits }
+func (g *GPIO) Read(off uint16) uint16            { return g.ports[off%8] }
+func (g *GPIO) Write(off uint16, v uint16)        { g.ports[off%8] = v }
+
+var _ Device = (*GPIO)(nil)
+
+// String summarises a request for traces and error messages.
+func (r Request) String() string {
+	kind := "LD"
+	if r.Write {
+		kind = "ST"
+	}
+	return fmt.Sprintf("%s IS%d @%#04x", kind, r.Stream, r.Addr)
+}
+
+// Watchdog register offsets.
+const (
+	WatchdogKick = 0 // write any value to restart the countdown
+	WatchdogCtrl = 1 // bit0 enable
+	WatchdogLeft = 2 // read: cycles until bite
+)
+
+// Watchdog is the classic RTS fail-safe: software must kick it within
+// its timeout or it raises the highest-priority interrupt (typically
+// bit 7, the NMI analogue). On DISC the recovery handler runs on
+// whichever stream the watchdog is wired to — without destroying the
+// other streams' state, which is exactly the §3.4 argument for
+// interrupts creating their own instruction streams.
+type Watchdog struct {
+	name              string
+	waits             int
+	timeout           uint16
+	left              uint16
+	enabled           bool
+	irq               IRQFunc
+	irqStream, irqBit uint8
+	Bites             uint64
+}
+
+// NewWatchdog creates a watchdog that bites after timeout cycles
+// without a kick, raising (stream, bit) through irq.
+func NewWatchdog(name string, waits int, timeout uint16, irq IRQFunc, stream, bit uint8) *Watchdog {
+	return &Watchdog{name: name, waits: waits, timeout: timeout, left: timeout,
+		irq: irq, irqStream: stream, irqBit: bit}
+}
+
+func (w *Watchdog) Name() string                      { return w.name }
+func (w *Watchdog) AccessCycles(_ uint16, _ bool) int { return w.waits }
+
+func (w *Watchdog) Read(off uint16) uint16 {
+	switch off {
+	case WatchdogCtrl:
+		if w.enabled {
+			return 1
+		}
+	case WatchdogLeft:
+		return w.left
+	}
+	return 0
+}
+
+func (w *Watchdog) Write(off uint16, v uint16) {
+	switch off {
+	case WatchdogKick:
+		w.left = w.timeout
+	case WatchdogCtrl:
+		w.enabled = v&1 != 0
+		w.left = w.timeout
+	}
+}
+
+// Tick advances the countdown; at zero the watchdog bites, raises its
+// interrupt and rearms (so a wedged system keeps getting recovery
+// attempts).
+func (w *Watchdog) Tick() {
+	if !w.enabled {
+		return
+	}
+	if w.left > 0 {
+		w.left--
+		return
+	}
+	w.Bites++
+	w.left = w.timeout
+	if w.irq != nil {
+		w.irq(w.irqStream, w.irqBit)
+	}
+}
+
+var _ Device = (*Watchdog)(nil)
+var _ Ticker = (*Watchdog)(nil)

@@ -1,0 +1,332 @@
+// Package core implements the DISC1 machine — the paper's primary
+// contribution (§3): a dynamically interleaved multistream pipeline
+// with single-cycle task switching.
+//
+// Up to isa.NumStreams instruction streams are live at once. Every
+// stream owns a full context — PC, stack-window register file,
+// interrupt register pair, status and multiply-high registers — stored
+// inside the processor, so switching streams costs nothing: the
+// hardware scheduler (package sched) simply picks which stream's PC the
+// next fetch uses. The four-stage pipeline (IF, RD, EX, WR) carries
+// instructions from any mix of streams; when a stream stalls — a branch
+// in flight, an external access on the asynchronous bus, a WAITI join,
+// or simply no pending interrupt bits — its slots are dynamically
+// reallocated to the streams that can run (§3.4).
+//
+// Timing model. Instructions advance one stage per cycle and their
+// semantics execute atomically when they reach EX; since same-stream
+// instructions always reach EX in program order, the machine behaves as
+// if it had a perfect bypass network (the paper's "all the instructions
+// are effectively single cycle"). Control transfers resolve at EX; a
+// stream with an unresolved control transfer does not fetch (the
+// "branch shadow"), which reproduces Figure 3.2 — no wrong-path fetch
+// ever occurs, only lost slots that other streams soak up. External
+// loads and stores post to the ABI and put the stream in a wait state,
+// flushing its younger in-flight instructions, exactly as §3.6.1 and
+// the §4.1 model describe.
+package core
+
+import (
+	"fmt"
+
+	"disc/internal/bus"
+	"disc/internal/interrupt"
+	"disc/internal/isa"
+	"disc/internal/mem"
+	"disc/internal/sched"
+	"disc/internal/stackwin"
+)
+
+// Config selects the machine geometry.
+type Config struct {
+	// Streams is the number of instruction streams to support (1..4).
+	Streams int
+	// WindowDepth is the physical register count of each stream's
+	// stack-window file. Zero selects stackwin.DefaultDepth.
+	WindowDepth int
+	// VectorBase is the reset value of every stream's VB register.
+	VectorBase uint16
+	// Shares, when non-nil, builds the scheduler partition table from
+	// per-stream weights (§3.4). Nil shares the machine evenly.
+	Shares []int
+	// Slots, when non-nil, is an explicit scheduler slot table and
+	// takes precedence over Shares.
+	Slots []int
+	// Priority selects strict-priority scheduling (§3.1's preemptive
+	// model): stream 0 always wins when ready, stream 1 runs in its
+	// gaps, and so on. Takes precedence over Slots and Shares.
+	Priority bool
+}
+
+// StreamState describes why a stream is or is not fetchable.
+type StreamState uint8
+
+// Stream states.
+const (
+	StateRun     StreamState = iota // fetching normally (if IR bits pending)
+	StateBusWait                    // §3.6.1 wait state: blocked on the ABI
+	StateIRQWait                    // WAITI: blocked until an IR bit arrives
+)
+
+func (s StreamState) String() string {
+	switch s {
+	case StateRun:
+		return "run"
+	case StateBusWait:
+		return "buswait"
+	case StateIRQWait:
+		return "irqwait"
+	}
+	return fmt.Sprintf("StreamState(%d)", uint8(s))
+}
+
+// stream is one instruction stream's stored context.
+type stream struct {
+	pc    uint16
+	win   *stackwin.File
+	intr  *interrupt.Unit
+	flags uint8  // Z,N,C,V
+	h     uint16 // multiply high half
+	vb    uint16 // vector base
+
+	state   StreamState
+	waitBit uint8 // IRQWait: the bit WAITI blocks on
+
+	// branchShadow counts unresolved control transfers in the pipe;
+	// while non-zero the stream does not fetch.
+	branchShadow int
+
+	// entryInFlight is true while an interrupt-entry micro-op is in
+	// the pipe but has not yet raised the level at EX; it prevents the
+	// dispatcher from injecting the same entry twice.
+	entryInFlight bool
+
+	// stats
+	issued     uint64
+	retired    uint64
+	flushed    uint64
+	busWaits   uint64
+	busRetries uint64
+	dispatches uint64
+	stackFault uint64
+}
+
+// sr composes the architectural SR value: flags plus the current
+// interrupt level.
+func (s *stream) sr() uint16 {
+	return uint16(s.flags) | uint16(s.intr.Level())<<isa.SRLevelShift
+}
+
+// slotKind distinguishes fetched instructions from the hardware
+// interrupt-entry micro-operation that the dispatcher injects.
+type slotKind uint8
+
+const (
+	kindInstr slotKind = iota
+	kindIntEntry
+)
+
+// slot is one pipeline stage's content.
+type slot struct {
+	valid  bool
+	stream int
+	pc     uint16
+	instr  isa.Instruction
+	kind   slotKind
+	bit    uint8  // interrupt bit for kindIntEntry
+	retPC  uint16 // return address for kindIntEntry
+	shadow bool   // this slot holds an unresolved control transfer
+}
+
+// Machine is a configured DISC1 processor.
+type Machine struct {
+	cfg     Config
+	prog    *mem.Program
+	imem    *mem.Internal
+	bus     *bus.Bus
+	sch     *sched.Scheduler
+	globals [isa.NumGlobals]uint16
+	streams []*stream
+	pipe    [isa.PipeDepth]slot // pipe[0]=IF ... pipe[3]=WR
+	cycle   uint64
+	seq     uint64
+	halted  bool // RunUntilIdle latch
+	dbg     *debugState
+	profile map[uint32]uint64 // per-(stream,pc) retirement counts
+
+	stats Stats
+}
+
+// New builds a machine. The program and data memories start empty; use
+// LoadProgram and StartStream (or the asm/facade helpers) to arrange
+// execution.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Streams < 1 || cfg.Streams > isa.NumStreams {
+		return nil, fmt.Errorf("core: %d streams outside 1..%d", cfg.Streams, isa.NumStreams)
+	}
+	depth := cfg.WindowDepth
+	if depth == 0 {
+		depth = stackwin.DefaultDepth
+	}
+	var sc *sched.Scheduler
+	var err error
+	switch {
+	case cfg.Priority:
+		sc, err = sched.NewPriority(cfg.Streams)
+	case cfg.Slots != nil:
+		sc, err = sched.NewTable(cfg.Slots, cfg.Streams)
+	case cfg.Shares != nil:
+		sc, err = sched.NewShares(cfg.Shares)
+		if err == nil && sc.NumStreams() != cfg.Streams {
+			err = fmt.Errorf("core: %d shares for %d streams", len(cfg.Shares), cfg.Streams)
+		}
+	default:
+		sc = sched.NewEven(cfg.Streams)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:  cfg,
+		prog: mem.NewProgram(),
+		imem: mem.NewInternal(),
+		bus:  bus.New(),
+		sch:  sc,
+	}
+	for i := 0; i < cfg.Streams; i++ {
+		w, err := stackwin.New(depth)
+		if err != nil {
+			return nil, err
+		}
+		st := &stream{win: w, intr: interrupt.New(), vb: cfg.VectorBase}
+		m.streams = append(m.streams, st)
+	}
+	m.stats.PerStream = make([]StreamStats, cfg.Streams)
+	return m, nil
+}
+
+// MustNew is New for configurations known to be valid.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Program returns the instruction memory for loading.
+func (m *Machine) Program() *mem.Program { return m.prog }
+
+// Internal returns the shared on-chip data memory.
+func (m *Machine) Internal() *mem.Internal { return m.imem }
+
+// Bus returns the asynchronous bus for attaching devices.
+func (m *Machine) Bus() *bus.Bus { return m.bus }
+
+// Scheduler returns the hardware scheduler (to inspect slot tables).
+func (m *Machine) Scheduler() *sched.Scheduler { return m.sch }
+
+// Cycle returns the number of cycles executed.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Streams returns the number of configured streams.
+func (m *Machine) Streams() int { return len(m.streams) }
+
+// LoadProgram copies an assembled image at base.
+func (m *Machine) LoadProgram(base uint16, image []isa.Word) error {
+	return m.prog.Load(base, image)
+}
+
+// StartStream points stream i at pc and raises its background bit, the
+// software-visible SSTART operation performed from outside.
+func (m *Machine) StartStream(i int, pc uint16) error {
+	if i < 0 || i >= len(m.streams) {
+		return fmt.Errorf("core: stream %d out of range", i)
+	}
+	s := m.streams[i]
+	s.pc = pc
+	s.state = StateRun
+	s.intr.Request(interrupt.Background)
+	return nil
+}
+
+// RaiseIRQ sets interrupt bit on a stream's IR; it satisfies
+// bus.IRQFunc so devices can be wired straight to streams. Out-of-range
+// values are ignored (a device cannot crash the machine).
+func (m *Machine) RaiseIRQ(streamID, bit uint8) {
+	if int(streamID) >= len(m.streams) {
+		return
+	}
+	m.streams[streamID].intr.Request(bit)
+}
+
+// StreamActive reports whether stream i has any unmasked IR bit.
+func (m *Machine) StreamActive(i int) bool { return m.streams[i].intr.Active() }
+
+// StreamState returns the stream's wait state.
+func (m *Machine) StreamState(i int) StreamState { return m.streams[i].state }
+
+// StreamPC returns stream i's fetch PC.
+func (m *Machine) StreamPC(i int) uint16 { return m.streams[i].pc }
+
+// Window returns a copy of stream i's visible register window.
+func (m *Machine) Window(i int) [isa.WindowSize]uint16 { return m.streams[i].win.Window() }
+
+// WindowFile exposes stream i's stack-window file (tests, spill code).
+func (m *Machine) WindowFile(i int) *stackwin.File { return m.streams[i].win }
+
+// Interrupts exposes stream i's interrupt unit.
+func (m *Machine) Interrupts(i int) *interrupt.Unit { return m.streams[i].intr }
+
+// Global returns shared global register g.
+func (m *Machine) Global(g int) uint16 { return m.globals[g] }
+
+// SetGlobal writes shared global register g.
+func (m *Machine) SetGlobal(g int, v uint16) { m.globals[g] = v }
+
+// Idle reports whether nothing can make progress any more: every
+// stream inactive (or wait-blocked with nothing to wake it), the pipe
+// drained and the bus quiet.
+func (m *Machine) Idle() bool {
+	for _, sl := range m.pipe {
+		if sl.valid {
+			return false
+		}
+	}
+	if m.bus.Busy() {
+		return false
+	}
+	for _, s := range m.streams {
+		if s.intr.Active() && s.state == StateRun {
+			return false
+		}
+		if s.state == StateIRQWait && s.intr.Test(s.waitBit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset returns the machine to power-on state: streams halted with
+// cleared contexts, pipe empty, cycle counter and statistics zeroed,
+// bus aborted. Program memory and internal data memory are preserved,
+// so a loaded image can be re-run without rebuilding the machine.
+func (m *Machine) Reset() {
+	for _, s := range m.streams {
+		s.pc = 0
+		s.win.Reset()
+		s.intr.Reset()
+		s.flags, s.h = 0, 0
+		s.vb = m.cfg.VectorBase
+		s.state = StateRun
+		s.waitBit = 0
+		s.branchShadow = 0
+		s.entryInFlight = false
+	}
+	m.pipe = [isa.PipeDepth]slot{}
+	m.globals = [isa.NumGlobals]uint16{}
+	m.bus.Reset()
+	m.cycle, m.seq = 0, 0
+	m.dbg = nil
+	m.ResetStats()
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Debug support: breakpoints on (stream, pc) issue, watchpoints on
+// internal-memory writes, and bounded run-until helpers. The hooks are
+// checked only when armed, so an undebuged machine pays one nil check
+// per cycle.
+
+// BreakEvent describes why a debug run stopped.
+type BreakEvent struct {
+	Cycle  uint64
+	Stream int
+	PC     uint16 // breakpoint address, or the writing instruction's PC
+	Addr   uint16 // watchpoint address (watch events only)
+	Value  uint16 // value written (watch events only)
+	Watch  bool   // true for watchpoint hits
+}
+
+func (e BreakEvent) String() string {
+	if e.Watch {
+		return fmt.Sprintf("watch [%#04x] = %#04x by IS%d at pc %#04x (cycle %d)",
+			e.Addr, e.Value, e.Stream, e.PC, e.Cycle)
+	}
+	return fmt.Sprintf("break IS%d at pc %#04x (cycle %d)", e.Stream, e.PC, e.Cycle)
+}
+
+type debugState struct {
+	breaks  map[uint32]bool // stream<<16 | pc
+	watches map[uint16]bool
+	pending []BreakEvent
+}
+
+func bkey(stream int, pc uint16) uint32 { return uint32(stream)<<16 | uint32(pc) }
+
+func (m *Machine) debug() *debugState {
+	if m.dbg == nil {
+		m.dbg = &debugState{breaks: map[uint32]bool{}, watches: map[uint16]bool{}}
+	}
+	return m.dbg
+}
+
+// AddBreakpoint arms a breakpoint: the machine stops after the cycle
+// in which stream issues the instruction at pc. A negative stream arms
+// the address for every stream.
+func (m *Machine) AddBreakpoint(stream int, pc uint16) error {
+	if stream >= len(m.streams) {
+		return fmt.Errorf("core: stream %d out of range", stream)
+	}
+	d := m.debug()
+	if stream < 0 {
+		for s := range m.streams {
+			d.breaks[bkey(s, pc)] = true
+		}
+		return nil
+	}
+	d.breaks[bkey(stream, pc)] = true
+	return nil
+}
+
+// ClearBreakpoint removes a breakpoint (all streams when stream < 0).
+func (m *Machine) ClearBreakpoint(stream int, pc uint16) {
+	if m.dbg == nil {
+		return
+	}
+	if stream < 0 {
+		for s := range m.streams {
+			delete(m.dbg.breaks, bkey(s, pc))
+		}
+		return
+	}
+	delete(m.dbg.breaks, bkey(stream, pc))
+}
+
+// AddWatchpoint arms a write watchpoint on an internal-memory address.
+func (m *Machine) AddWatchpoint(addr uint16) error {
+	if !m.imem.Contains(addr) {
+		return fmt.Errorf("core: watchpoint %#04x outside internal memory", addr)
+	}
+	m.debug().watches[addr] = true
+	return nil
+}
+
+// ClearWatchpoint disarms a watchpoint.
+func (m *Machine) ClearWatchpoint(addr uint16) {
+	if m.dbg != nil {
+		delete(m.dbg.watches, addr)
+	}
+}
+
+// checkBreak is called at issue time.
+func (m *Machine) checkBreak(stream int, pc uint16) {
+	if m.dbg == nil || len(m.dbg.breaks) == 0 {
+		return
+	}
+	if m.dbg.breaks[bkey(stream, pc)] {
+		m.dbg.pending = append(m.dbg.pending, BreakEvent{
+			Cycle: m.cycle, Stream: stream, PC: pc,
+		})
+	}
+}
+
+// checkWatch is called on internal-memory writes during execute.
+func (m *Machine) checkWatch(stream int, pc, addr, value uint16) {
+	if m.dbg == nil || len(m.dbg.watches) == 0 {
+		return
+	}
+	if m.dbg.watches[addr] {
+		m.dbg.pending = append(m.dbg.pending, BreakEvent{
+			Cycle: m.cycle, Stream: stream, PC: pc, Addr: addr, Value: value, Watch: true,
+		})
+	}
+}
+
+// RunDebug steps until a breakpoint or watchpoint fires or max cycles
+// elapse. It returns the events raised in the stopping cycle (several
+// can coincide) and whether anything fired.
+func (m *Machine) RunDebug(max int) ([]BreakEvent, bool) {
+	d := m.debug()
+	for i := 0; i < max; i++ {
+		m.Step()
+		if len(d.pending) > 0 {
+			evs := d.pending
+			d.pending = nil
+			return evs, true
+		}
+	}
+	return nil, false
+}
+
+// RunUntilPC is a convenience: break once when any stream issues pc.
+func (m *Machine) RunUntilPC(pc uint16, max int) (BreakEvent, bool) {
+	if err := m.AddBreakpoint(-1, pc); err != nil {
+		return BreakEvent{}, false
+	}
+	defer m.ClearBreakpoint(-1, pc)
+	evs, ok := m.RunDebug(max)
+	if !ok {
+		return BreakEvent{}, false
+	}
+	return evs[0], true
+}
+
+// Profiling: per-PC retirement counts, for hot-spot listings.
+
+// EnableProfile starts counting retirements per program address.
+func (m *Machine) EnableProfile() {
+	if m.profile == nil {
+		m.profile = map[uint32]uint64{}
+	}
+}
+
+// profileRetire records one retirement (called from Step when armed).
+func (m *Machine) profileRetire(stream int, pc uint16) {
+	if m.profile != nil {
+		m.profile[bkey(stream, pc)]++
+	}
+}
+
+// ProfileEntry is one hot spot.
+type ProfileEntry struct {
+	Stream  int
+	PC      uint16
+	Retired uint64
+}
+
+// HotSpots returns the top-n retirement sites, hottest first.
+func (m *Machine) HotSpots(n int) []ProfileEntry {
+	out := make([]ProfileEntry, 0, len(m.profile))
+	for k, v := range m.profile {
+		out = append(out, ProfileEntry{Stream: int(k >> 16), PC: uint16(k), Retired: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Retired != out[j].Retired {
+			return out[i].Retired > out[j].Retired
+		}
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

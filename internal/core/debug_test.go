@@ -1,0 +1,149 @@
+package core
+
+import "testing"
+
+func TestBreakpointStopsAtPC(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	load(t, m, `
+    LDI R0, 1
+    LDI R0, 2
+target:
+    LDI R0, 3
+    HALT
+`)
+	m.StartStream(0, 0)
+	if err := m.AddBreakpoint(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	evs, ok := m.RunDebug(100)
+	if !ok || len(evs) != 1 {
+		t.Fatalf("break events: %v ok=%v", evs, ok)
+	}
+	if evs[0].PC != 2 || evs[0].Stream != 0 || evs[0].Watch {
+		t.Fatalf("event: %+v", evs[0])
+	}
+	// Continuing must not re-fire (one-shot pending queue, breakpoint
+	// still armed but pc 2 is past).
+	if _, ok := m.RunDebug(100); ok {
+		t.Fatal("breakpoint re-fired after passing")
+	}
+}
+
+func TestBreakpointValidation(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	if err := m.AddBreakpoint(4, 0); err == nil {
+		t.Fatal("out-of-range stream accepted")
+	}
+	if err := m.AddWatchpoint(0x8000); err == nil {
+		t.Fatal("external watchpoint accepted")
+	}
+}
+
+func TestWatchpointSeesWriteAndValue(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	load(t, m, `
+    LDI R0, 7
+    STM R0, [0x20]    ; not watched
+    LDI R0, 9
+    STM R0, [0x21]    ; watched
+    HALT
+`)
+	m.StartStream(0, 0)
+	if err := m.AddWatchpoint(0x21); err != nil {
+		t.Fatal(err)
+	}
+	evs, ok := m.RunDebug(100)
+	if !ok {
+		t.Fatal("watchpoint never fired")
+	}
+	e := evs[0]
+	if !e.Watch || e.Addr != 0x21 || e.Value != 9 || e.PC != 3 {
+		t.Fatalf("event: %+v (%s)", e, e)
+	}
+}
+
+func TestRunUntilPC(t *testing.T) {
+	m := MustNew(Config{Streams: 2})
+	load(t, m, `
+.org 0
+a:  ADDI R0, 1
+    JMP a
+.org 0x100
+    LDI R0, 1
+hit:
+    HALT
+`)
+	m.StartStream(0, 0)
+	m.StartStream(1, 0x100)
+	ev, ok := m.RunUntilPC(0x101, 1000)
+	if !ok || ev.Stream != 1 || ev.PC != 0x101 {
+		t.Fatalf("RunUntilPC: %+v ok=%v", ev, ok)
+	}
+	// The helper must clean up after itself.
+	m.Run(50)
+	if _, ok := m.RunDebug(50); ok {
+		t.Fatal("stale breakpoint left armed")
+	}
+}
+
+func TestClearBreakAndWatch(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	load(t, m, `
+x:  LDI R0, 1
+    STM R0, [0x30]
+    JMP x
+`)
+	m.StartStream(0, 0)
+	m.AddBreakpoint(-1, 0)
+	m.AddWatchpoint(0x30)
+	m.ClearBreakpoint(-1, 0)
+	m.ClearWatchpoint(0x30)
+	if _, ok := m.RunDebug(100); ok {
+		t.Fatal("cleared debug hooks still fire")
+	}
+}
+
+func TestDebugZeroCostWhenUnarmed(t *testing.T) {
+	// Not a benchmark assertion, just the structural guarantee: a
+	// machine that never armed anything has no debug state allocated.
+	m := MustNew(Config{Streams: 1})
+	load(t, m, "x: ADDI R0, 1\nJMP x\n")
+	m.StartStream(0, 0)
+	m.Run(100)
+	if m.dbg != nil {
+		t.Fatal("debug state allocated without arming")
+	}
+}
+
+func TestProfileHotSpots(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	load(t, m, `
+    LDI R0, 50
+hot:
+    ADDI R1, 1       ; the loop body dominates
+    SUBI R0, 1
+    BNE hot
+    HALT
+`)
+	m.EnableProfile()
+	m.StartStream(0, 0)
+	m.RunUntilIdle(2000)
+	top := m.HotSpots(3)
+	if len(top) != 3 {
+		t.Fatalf("%d hot spots", len(top))
+	}
+	// The three loop instructions (pc 1,2,3) dominate with ~50 each.
+	for _, e := range top {
+		if e.PC < 1 || e.PC > 3 {
+			t.Fatalf("unexpected hot spot at pc %#x: %+v", e.PC, top)
+		}
+		if e.Retired < 45 {
+			t.Fatalf("hot spot undercounted: %+v", e)
+		}
+	}
+	// Unprofiled machine returns nothing.
+	m2 := MustNew(Config{Streams: 1})
+	if len(m2.HotSpots(5)) != 0 {
+		t.Fatal("profile data without EnableProfile")
+	}
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"testing"
+
+	"disc/internal/bus"
+	"disc/internal/isa"
+)
+
+// runSrc builds a 1-stream machine, runs src from 0, and returns it.
+func runSrc(t *testing.T, src string) *Machine {
+	t.Helper()
+	m := MustNew(Config{Streams: 1})
+	load(t, m, src)
+	m.StartStream(0, 0)
+	if _, idle := m.RunUntilIdle(5000); !idle {
+		t.Fatal("did not reach idle")
+	}
+	return m
+}
+
+func TestShiftSemantics(t *testing.T) {
+	m := runSrc(t, `
+    LI  R0, 0x8001
+    LDI R1, 1
+    SHL R2, R0, R1     ; 0x0002, carry out = 1
+    STM R2, [0]
+    MFS R3, SR
+    STM R3, [1]
+    SHR R2, R0, R1     ; 0x4000
+    STM R2, [2]
+    LDI R1, 4
+    ASR R2, R0, R1     ; arithmetic: 0xF800
+    STM R2, [3]
+    LDI R1, 0
+    SHL R2, R0, R1     ; shift by zero: unchanged, C untouched
+    STM R2, [4]
+    HALT
+`)
+	if got := m.Internal().Read(0); got != 0x0002 {
+		t.Errorf("SHL = %#x", got)
+	}
+	if sr := m.Internal().Read(1); sr&isa.FlagC == 0 {
+		t.Errorf("SHL carry lost: SR=%#x", sr)
+	}
+	if got := m.Internal().Read(2); got != 0x4000 {
+		t.Errorf("SHR = %#x", got)
+	}
+	if got := m.Internal().Read(3); got != 0xF800 {
+		t.Errorf("ASR = %#x", got)
+	}
+	if got := m.Internal().Read(4); got != 0x8001 {
+		t.Errorf("shift-by-0 = %#x", got)
+	}
+}
+
+func TestLogicalImmediates(t *testing.T) {
+	m := runSrc(t, `
+    LI   R0, 0xF0F0
+    XORI R0, 0x0FF
+    STM  R0, [0]
+    LI   R1, 0x1234
+    CMPI R1, 0x234     ; not equal
+    BEQ  bad
+    LDI  R2, 1
+    STM  R2, [1]
+bad:
+    HALT
+`)
+	if got := m.Internal().Read(0); got != 0xF00F {
+		t.Errorf("XORI = %#x", got)
+	}
+	if m.Internal().Read(1) != 1 {
+		t.Error("CMPI equality misfired")
+	}
+}
+
+// TestAllConditionCodes drives each Bcc through a taken and a
+// not-taken case derived from one CMP.
+func TestAllConditionCodes(t *testing.T) {
+	cases := []struct {
+		a, b  int16
+		cond  string
+		taken bool
+	}{
+		{5, 5, "EQ", true}, {5, 4, "EQ", false},
+		{5, 4, "NE", true}, {5, 5, "NE", false},
+		{5, 4, "CS", true}, {4, 5, "CS", false}, // unsigned >=
+		{4, 5, "CC", true}, {5, 4, "CC", false}, // unsigned <
+		{-1, 1, "MI", true}, {2, 1, "MI", false},
+		{2, 1, "PL", true}, {-1, 1, "PL", false},
+		{5, 4, "HI", true}, {5, 5, "HI", false},
+		{5, 5, "LS", true}, {5, 4, "LS", false},
+		{5, 4, "GE", true}, {-3, 2, "GE", false}, // signed
+		{-3, 2, "LT", true}, {5, 4, "LT", false},
+		{5, 4, "GT", true}, {5, 5, "GT", false},
+		{5, 5, "LE", true}, {5, 4, "LE", false},
+		{-32768, 1, "VS", true}, {5, 4, "VC", true}, // overflow cases
+	}
+	for _, c := range cases {
+		m := runSrc(t, `
+    LI  R0, `+itoa(int(c.a))+`
+    LI  R1, `+itoa(int(c.b))+`
+    CMP R0, R1
+    B`+c.cond+` yes
+    LDI R2, 0
+    JMP out
+yes:
+    LDI R2, 1
+out:
+    STM R2, [0]
+    HALT
+`)
+		got := m.Internal().Read(0) == 1
+		if got != c.taken {
+			t.Errorf("CMP %d,%d B%s: taken=%v, want %v", c.a, c.b, c.cond, got, c.taken)
+		}
+	}
+}
+
+func TestComputedJumps(t *testing.T) {
+	m := runSrc(t, `
+    LI  R0, target
+    JR  R0
+    LDI R1, 99         ; skipped
+    STM R1, [1]
+target:
+    LI  R2, sub
+    CALR R2
+    HALT
+sub:
+    LDI R3, 7
+    STM R3, [0]
+    RET 0
+`)
+	if m.Internal().Read(0) != 7 {
+		t.Error("CALR target never ran")
+	}
+	if m.Internal().Read(1) != 0 {
+		t.Error("JR fell through")
+	}
+}
+
+// TestMTSPCIsAJump: writing PC through MTS must act as a control
+// transfer with a proper shadow (no wrong-path execution).
+func TestMTSPCIsAJump(t *testing.T) {
+	m := runSrc(t, `
+    LI  R0, dest
+    MTS PC, R0
+    LDI R1, 1          ; must never run
+    STM R1, [1]
+dest:
+    LDI R2, 2
+    STM R2, [0]
+    HALT
+`)
+	if m.Internal().Read(0) != 2 || m.Internal().Read(1) != 0 {
+		t.Fatalf("MTS PC: mem = %d,%d", m.Internal().Read(0), m.Internal().Read(1))
+	}
+}
+
+func TestMFSPCReadsOwnAddress(t *testing.T) {
+	m := runSrc(t, `
+    NOP
+    MFS R0, PC         ; at address 1
+    STM R0, [0]
+    HALT
+`)
+	if got := m.Internal().Read(0); got != 1 {
+		t.Fatalf("MFS PC = %d, want 1", got)
+	}
+}
+
+// TestVectorBaseRelocation: MTS VB moves the whole vector table.
+func TestVectorBaseRelocation(t *testing.T) {
+	m := MustNew(Config{Streams: 1, VectorBase: 0x200})
+	load(t, m, `
+.org 0
+    LI  R0, 0x300
+    MTS VB, R0
+spin:
+    JMP spin
+.org 0x303             ; relocated vector for bit 3
+    LDI R1, 1
+    STM R1, [0]
+    RETI
+.org 0x203             ; the old vector: must NOT run
+    LDI R1, 2
+    STM R1, [0]
+    RETI
+`)
+	m.StartStream(0, 0)
+	m.Run(20)
+	m.RaiseIRQ(0, 3)
+	m.Run(40)
+	if got := m.Internal().Read(0); got != 1 {
+		t.Fatalf("vector base relocation failed: marker = %d", got)
+	}
+}
+
+// TestSWPGlobalSemaphore: atomic register exchange implements a lock
+// in the globals (§3.6.2's register-file semaphore).
+func TestSWPGlobalSemaphore(t *testing.T) {
+	m := MustNew(Config{Streams: 2})
+	prog := `
+.org BASE
+    LDI  R2, 40
+loop:
+    LDI  R1, 1
+acq:
+    SWP  R1, G0        ; try to take the lock (G0: 0 = free)
+    CMPI R1, 0
+    BNE  acq           ; someone else holds it
+    LDM  R0, [0x50]
+    ADDI R0, 1
+    STM  R0, [0x50]
+    LDI  R1, 0
+    SWP  R1, G0        ; release
+    SUBI R2, 1
+    BNE  loop
+    HALT
+`
+	load(t, m, ".equ BASE, 0x000\n"+prog)
+	load(t, m, ".equ BASE, 0x200\n"+prog)
+	m.StartStream(0, 0)
+	m.StartStream(1, 0x200)
+	if _, idle := m.RunUntilIdle(40000); !idle {
+		t.Fatal("did not reach idle")
+	}
+	if got := m.Internal().Read(0x50); got != 80 {
+		t.Fatalf("SWP lock lost updates: %d, want 80", got)
+	}
+}
+
+func TestUnmappedBusAccessCounted(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	load(t, m, `
+    LI  R1, 0x8000     ; nothing mapped there
+    LD  R0, [R1]
+    STM R0, [0]
+    HALT
+`)
+	m.StartStream(0, 0)
+	m.RunUntilIdle(200)
+	if m.Stats().BusFaults != 1 {
+		t.Fatalf("BusFaults = %d", m.Stats().BusFaults)
+	}
+	if got := m.Internal().Read(0); got != 0xFFFF {
+		t.Fatalf("unmapped read = %#x, want 0xFFFF", got)
+	}
+}
+
+func TestExternalTASDegradesToLoad(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	ram := bus.NewRAM("ext", 16, 2)
+	ram.Poke(0, 0x1234)
+	m.Bus().Attach(isa.ExternalBase, 16, ram)
+	load(t, m, `
+    LI  R1, 0x400
+    TAS R0, [R1]
+    STM R0, [0]
+    HALT
+`)
+	m.StartStream(0, 0)
+	m.RunUntilIdle(200)
+	if m.Stats().UndefinedTAS != 1 {
+		t.Fatalf("UndefinedTAS = %d", m.Stats().UndefinedTAS)
+	}
+	if got := m.Internal().Read(0); got != 0x1234 {
+		t.Fatalf("external TAS read = %#x", got)
+	}
+	if ram.Peek(0) != 0x1234 {
+		t.Fatal("external TAS must not write")
+	}
+}
+
+func TestSStartOnActiveStreamIgnored(t *testing.T) {
+	m := MustNew(Config{Streams: 2})
+	load(t, m, `
+.org 0
+    LI R0, 0x300       ; bogus target
+    SSTART 1, R0       ; stream 1 is already running: must be ignored
+    HALT
+.org 0x100
+x:  ADDI R1, 1
+    JMP x
+`)
+	m.StartStream(0, 0)
+	m.StartStream(1, 0x100)
+	m.Run(100)
+	if m.Stats().SStartIgnored != 1 {
+		t.Fatalf("SStartIgnored = %d", m.Stats().SStartIgnored)
+	}
+	if pc := m.StreamPC(1); pc < 0x100 || pc > 0x102 {
+		t.Fatalf("running stream was redirected to %#x", pc)
+	}
+}
+
+func TestNegAndNotSemantics(t *testing.T) {
+	m := runSrc(t, `
+    LDI R0, 5
+    NEG R1, R0
+    STM R1, [0]        ; 0xFFFB
+    NOT R2, R0
+    STM R2, [1]        ; 0xFFFA
+    LDI R0, 0
+    NEG R3, R0         ; 0, sets Z
+    BEQ z
+    JMP out
+z:  LDI R4, 1
+    STM R4, [2]
+out:
+    HALT
+`)
+	if m.Internal().Read(0) != 0xFFFB {
+		t.Errorf("NEG 5 = %#x", m.Internal().Read(0))
+	}
+	if m.Internal().Read(1) != 0xFFFA {
+		t.Errorf("NOT 5 = %#x", m.Internal().Read(1))
+	}
+	if m.Internal().Read(2) != 1 {
+		t.Error("NEG 0 did not set Z")
+	}
+}
+
+// TestInternalBoundaryAddressing: address 0x3FF is the last internal
+// word; 0x400 is the first external one.
+func TestInternalBoundaryAddressing(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	ram := bus.NewRAM("ext", 4, 2)
+	m.Bus().Attach(isa.ExternalBase, 4, ram)
+	load(t, m, `
+    LDI R0, 7
+    STM R0, [0x3FF]    ; last internal word
+    LI  R1, 0x400
+    LDI R0, 9
+    ST  R0, [R1]       ; first external word
+    HALT
+`)
+	m.StartStream(0, 0)
+	m.RunUntilIdle(200)
+	if m.Internal().Read(0x3FF) != 7 {
+		t.Error("last internal word lost")
+	}
+	if ram.Peek(0) != 9 {
+		t.Error("first external word lost")
+	}
+	if m.Stats().BusWaits != 1 {
+		t.Fatalf("boundary confusion: %d bus waits", m.Stats().BusWaits)
+	}
+}
+
+// TestHaltWithPendingVector: HALT clears the background bit but a
+// pending vectored interrupt keeps the stream alive and dispatches.
+func TestHaltWithPendingVector(t *testing.T) {
+	m := MustNew(Config{Streams: 1, VectorBase: 0x200})
+	load(t, m, `
+.org 0
+    SIGNAL 0, 2        ; raise our own bit 2...
+    HALT               ; ...then drop background
+spin:
+    JMP spin
+.org 0x202
+    LDI R1, 1
+    STM R1, [0]
+    RETI
+`)
+	m.StartStream(0, 0)
+	m.Run(60)
+	if got := m.Internal().Read(0); got != 1 {
+		t.Fatalf("pending vector after HALT did not run (marker %d)", got)
+	}
+	// After RETI the stream has no bits left: fully halted.
+	m.Run(5)
+	if m.StreamActive(0) {
+		t.Fatal("stream still active after handler drained")
+	}
+}

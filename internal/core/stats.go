@@ -1,0 +1,79 @@
+package core
+
+import "fmt"
+
+// StreamStats summarises one stream's activity.
+type StreamStats struct {
+	Issued     uint64 // instructions (and entry micro-ops) issued
+	Retired    uint64 // instructions that completed WR
+	Flushed    uint64 // instructions flushed on wait-state entry
+	BusWaits   uint64 // successful ABI posts that blocked the stream
+	BusRetries uint64 // requests that found the bus busy
+	Dispatches uint64 // vectored interrupt entries
+	StackFault uint64 // stack-window overflow/underflow events
+}
+
+// Stats summarises a machine run. Utilization — the paper's PD — is
+// retired instructions over elapsed cycles.
+type Stats struct {
+	Cycles        uint64
+	Issued        uint64
+	Retired       uint64
+	Flushed       uint64
+	IdleCycles    uint64 // cycles in which no stream could issue
+	BusWaits      uint64
+	BusRetries    uint64
+	Dispatches    uint64
+	StackFaults   uint64
+	DoubleFaults  uint64
+	IllegalInstr  uint64
+	UndefinedTAS  uint64
+	BusFaults     uint64 // accesses to unmapped bus addresses
+	SStartIgnored uint64
+
+	PerStream []StreamStats
+}
+
+// Utilization returns retired instructions per cycle (the paper's PD).
+func (s Stats) Utilization() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d retired=%d PD=%.3f idle=%d flushed=%d buswaits=%d retries=%d dispatches=%d",
+		s.Cycles, s.Retired, s.Utilization(), s.IdleCycles, s.Flushed, s.BusWaits, s.BusRetries, s.Dispatches)
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (m *Machine) Stats() Stats {
+	out := m.stats
+	out.PerStream = make([]StreamStats, len(m.streams))
+	for i, s := range m.streams {
+		out.PerStream[i] = StreamStats{
+			Issued:     s.issued,
+			Retired:    s.retired,
+			Flushed:    s.flushed,
+			BusWaits:   s.busWaits,
+			BusRetries: s.busRetries,
+			Dispatches: s.dispatches,
+			StackFault: s.stackFault,
+		}
+	}
+	return out
+}
+
+// Retired returns the retired-instruction count for stream i.
+func (m *Machine) Retired(i int) uint64 { return m.streams[i].retired }
+
+// ResetStats zeroes the counters (the cycle counter keeps running).
+func (m *Machine) ResetStats() {
+	m.stats = Stats{PerStream: make([]StreamStats, len(m.streams))}
+	for _, s := range m.streams {
+		s.issued, s.retired, s.flushed = 0, 0, 0
+		s.busWaits, s.busRetries, s.dispatches, s.stackFault = 0, 0, 0, 0
+	}
+	m.sch.ResetStats()
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"disc/internal/bus"
+	"disc/internal/interrupt"
+	"disc/internal/isa"
+	"disc/internal/stackwin"
+)
+
+// Step advances the machine by one clock cycle:
+//
+//  1. peripherals tick (they may raise IR bits),
+//  2. the ABI advances; a completing access writes its destination
+//     register and reactivates every bus-waiting stream (§3.6.1),
+//  3. the pipe shifts — the WR slot retires, the RD slot arrives at EX
+//     and its semantics execute atomically,
+//  4. the scheduler picks a ready stream and the IF slot is filled,
+//     injecting a vectored interrupt entry when one is pending (§3.6.3).
+func (m *Machine) Step() {
+	m.cycle++
+	m.stats.Cycles++
+
+	m.bus.TickDevices()
+	if c, ok := m.bus.Tick(); ok {
+		m.completeBus(c)
+	}
+
+	// Latch begin-of-cycle readiness: in hardware the instruction fetch
+	// is concurrent with EX, so the fetch decision cannot observe this
+	// cycle's execute results. A branch resolving at EX therefore costs
+	// its full shadow (Figure 3.2), not one cycle less.
+	var readyMask [isa.NumStreams]bool
+	for i := range m.streams {
+		readyMask[i] = m.ready(i)
+	}
+
+	// Retire WR.
+	if wr := m.pipe[isa.PipeDepth-1]; wr.valid {
+		m.streams[wr.stream].retired++
+		m.stats.Retired++
+		m.profileRetire(wr.stream, wr.pc)
+	}
+	// Shift.
+	for i := isa.PipeDepth - 1; i > 0; i-- {
+		m.pipe[i] = m.pipe[i-1]
+	}
+	m.pipe[0] = slot{}
+
+	// Execute the slot that just arrived at EX (stage index 2 of 4).
+	ex := &m.pipe[isa.PipeDepth-2]
+	if ex.valid {
+		m.execute(ex)
+	}
+
+	// Issue using the latched decision. If this cycle's execute pushed
+	// the chosen stream into a wait state (or rewound it), the slot is
+	// lost — hardware would have fetched and immediately flushed.
+	id, _, ok := m.sch.Next(func(i int) bool { return readyMask[i] })
+	if ok && m.ready(id) {
+		m.issue(id)
+	} else {
+		m.stats.IdleCycles++
+	}
+}
+
+// Run executes n cycles.
+func (m *Machine) Run(n int) {
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+}
+
+// RunUntilIdle steps until the machine is idle or max cycles elapse.
+// It returns the number of cycles executed and whether it went idle.
+func (m *Machine) RunUntilIdle(max int) (int, bool) {
+	for i := 0; i < max; i++ {
+		m.Step()
+		if m.Idle() {
+			return i + 1, true
+		}
+	}
+	return max, false
+}
+
+// ready reports whether stream id can supply an instruction this cycle.
+func (m *Machine) ready(id int) bool {
+	s := m.streams[id]
+	if s.branchShadow > 0 {
+		return false
+	}
+	switch s.state {
+	case StateBusWait:
+		return false
+	case StateIRQWait:
+		// A WAITI sleeper wakes when its bit arrives, or when a
+		// higher-priority vectored interrupt preempts the join.
+		if s.intr.Test(s.waitBit) {
+			return true
+		}
+		_, ok := s.intr.Dispatch()
+		return ok && !s.entryInFlight
+	}
+	return s.intr.Active()
+}
+
+// issue fills the IF slot from stream id.
+func (m *Machine) issue(id int) {
+	s := m.streams[id]
+	m.seq++
+
+	// A WAITI sleeper whose awaited bit has arrived resumes its join;
+	// the join consumes the bit synchronously rather than vectoring.
+	// (The documented join protocol also masks the join bit in MR so
+	// a signal arriving *before* the WAITI cannot vector the stream.)
+	resumeJoin := s.state == StateIRQWait && s.intr.Test(s.waitBit)
+
+	// Vectored interrupt dispatch happens at fetch time: the next
+	// instruction of this stream starts at the vector (§3.6.3). The
+	// entry micro-op flows down the pipe and performs the context push
+	// at EX, in order with the stream's older instructions.
+	if !resumeJoin {
+		if bit, ok := s.intr.Dispatch(); ok && !s.entryInFlight {
+			retPC := s.pc
+			s.pc = interrupt.Vector(s.vb, uint8(id), bit)
+			s.state = StateRun
+			s.entryInFlight = true
+			s.dispatches++
+			m.stats.Dispatches++
+			m.pipe[0] = slot{valid: true, stream: id, pc: s.pc, kind: kindIntEntry, bit: bit, retPC: retPC}
+			s.issued++
+			m.stats.Issued++
+			return
+		}
+	}
+	if s.state == StateIRQWait {
+		// Re-execute the WAITI; its bit is now pending.
+		s.state = StateRun
+	}
+
+	pc := s.pc
+	m.checkBreak(id, pc)
+	word := m.prog.Fetch(pc)
+	in, err := isa.Decode(word)
+	if err != nil {
+		// Illegal instruction: counted, executed as NOP.
+		m.stats.IllegalInstr++
+		in = isa.Instruction{Op: isa.OpNOP}
+	}
+	s.pc = pc + 1
+	sl := slot{valid: true, stream: id, pc: pc, instr: in, kind: kindInstr}
+	if in.Op.IsBranch() || (in.Op == isa.OpMTS && in.Spec == isa.SpecPC) {
+		sl.shadow = true
+		s.branchShadow++
+	}
+	m.pipe[0] = sl
+	s.issued++
+	m.stats.Issued++
+}
+
+// flushYounger invalidates the in-flight instructions of stream id in
+// the stages younger than EX (IF and RD). It is called when a stream
+// enters a wait state — the §4.1 rule "all instructions on the pipe
+// belonging to the same IS are flushed". Flushed instructions will be
+// re-fetched: callers rewind the stream PC right after flushing. A
+// flushed interrupt-entry micro-op undoes its vector redirect so the
+// still-pending IR bit re-dispatches with a correct return address.
+func (m *Machine) flushYounger(id int) {
+	for i := 0; i < isa.PipeDepth-2; i++ {
+		sl := &m.pipe[i]
+		if sl.valid && sl.stream == id {
+			if sl.shadow {
+				m.streams[id].branchShadow--
+			}
+			if sl.kind == kindIntEntry {
+				m.streams[id].pc = sl.retPC
+				m.streams[id].entryInFlight = false
+			}
+			sl.valid = false
+			m.streams[id].flushed++
+			m.stats.Flushed++
+		}
+	}
+}
+
+// completeBus applies a finished ABI access: load data is written
+// straight into the destination register ("without affecting the
+// running instruction streams") and all waiting streams reactivate.
+func (m *Machine) completeBus(c bus.Completion) {
+	if c.Err != nil {
+		m.stats.BusFaults++
+	}
+	if !c.Req.Write {
+		s := m.streams[c.Req.Stream]
+		m.writeReg(s, isa.Reg(c.Req.Dest), c.Data)
+	}
+	for _, s := range m.streams {
+		if s.state == StateBusWait {
+			s.state = StateRun
+		}
+	}
+}
+
+// readReg reads an architectural register for stream s.
+func (m *Machine) readReg(s *stream, r isa.Reg) uint16 {
+	switch {
+	case r.IsWindow():
+		return s.win.Read(int(r))
+	case r.IsGlobal():
+		return m.globals[r-isa.G0]
+	case r == isa.H:
+		return s.h
+	case r == isa.SR:
+		return s.sr()
+	}
+	return 0 // ZR and reserved
+}
+
+// writeReg writes an architectural register for stream s.
+func (m *Machine) writeReg(s *stream, r isa.Reg, v uint16) {
+	switch {
+	case r.IsWindow():
+		s.win.Write(int(r), v)
+	case r.IsGlobal():
+		m.globals[r-isa.G0] = v
+	case r == isa.H:
+		s.h = v
+	case r == isa.SR:
+		s.flags = uint8(v & 0xF)
+	}
+	// ZR and reserved: discarded.
+}
+
+func (m *Machine) setZN(s *stream, v uint16) {
+	s.flags &^= isa.FlagZ | isa.FlagN
+	if v == 0 {
+		s.flags |= isa.FlagZ
+	}
+	if v&0x8000 != 0 {
+		s.flags |= isa.FlagN
+	}
+}
+
+func (m *Machine) addFlags(s *stream, a, b, r uint16) {
+	m.setZN(s, r)
+	s.flags &^= isa.FlagC | isa.FlagV
+	if uint32(a)+uint32(b) > 0xFFFF {
+		s.flags |= isa.FlagC
+	}
+	if (^(a ^ b) & (a ^ r) & 0x8000) != 0 {
+		s.flags |= isa.FlagV
+	}
+}
+
+func (m *Machine) subFlags(s *stream, a, b, r uint16) {
+	m.setZN(s, r)
+	s.flags &^= isa.FlagC | isa.FlagV
+	if a >= b { // C = no borrow
+		s.flags |= isa.FlagC
+	}
+	if ((a ^ b) & (a ^ r) & 0x8000) != 0 {
+		s.flags |= isa.FlagV
+	}
+}
+
+// condTrue evaluates a branch condition against stream flags.
+func condTrue(c isa.Cond, f uint8) bool {
+	z := f&isa.FlagZ != 0
+	n := f&isa.FlagN != 0
+	cf := f&isa.FlagC != 0
+	v := f&isa.FlagV != 0
+	switch c {
+	case isa.CondAL:
+		return true
+	case isa.CondEQ:
+		return z
+	case isa.CondNE:
+		return !z
+	case isa.CondCS:
+		return cf
+	case isa.CondCC:
+		return !cf
+	case isa.CondMI:
+		return n
+	case isa.CondPL:
+		return !n
+	case isa.CondVS:
+		return v
+	case isa.CondVC:
+		return !v
+	case isa.CondHI:
+		return cf && !z
+	case isa.CondLS:
+		return !cf || z
+	case isa.CondGE:
+		return n == v
+	case isa.CondLT:
+		return n != v
+	case isa.CondGT:
+		return !z && n == v
+	case isa.CondLE:
+		return z || n != v
+	}
+	return false
+}
+
+// raiseStackEvent converts a stack-window fault into the automatic
+// stack-fault interrupt (§3.6.3). Faults occurring while already
+// servicing the stack-fault level count as double faults instead of
+// recursing.
+func (m *Machine) raiseStackEvent(id int, ev stackwin.Event) {
+	if ev == stackwin.EventNone {
+		return
+	}
+	s := m.streams[id]
+	s.stackFault++
+	m.stats.StackFaults++
+	if s.intr.Level() == interrupt.StackFault {
+		m.stats.DoubleFaults++
+		return
+	}
+	s.intr.Request(interrupt.StackFault)
+}

@@ -1,0 +1,36 @@
+package core
+
+import "disc/internal/isa"
+
+// StageNames labels the four pipeline stages, youngest first, matching
+// the order PipeView returns.
+var StageNames = [isa.PipeDepth]string{"IF", "RD", "EX", "WR"}
+
+// SlotView is an externally visible snapshot of one pipeline stage,
+// used by the trace renderer to draw Figures 3.1 and 3.2.
+type SlotView struct {
+	Valid    bool
+	Stream   int
+	PC       uint16
+	Text     string // disassembly or "INT<bit>"
+	IntEntry bool
+}
+
+// PipeView snapshots the pipeline, index 0 = IF through 3 = WR.
+func (m *Machine) PipeView() [isa.PipeDepth]SlotView {
+	var out [isa.PipeDepth]SlotView
+	for i, sl := range m.pipe {
+		if !sl.valid {
+			continue
+		}
+		v := SlotView{Valid: true, Stream: sl.stream, PC: sl.pc}
+		if sl.kind == kindIntEntry {
+			v.IntEntry = true
+			v.Text = "INT" + string(rune('0'+sl.bit))
+		} else {
+			v.Text = sl.instr.String()
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package interrupt implements the per-stream interrupt structure of
+// §3.6.3: every instruction stream owns an 8-bit Interrupt Register
+// (IR) and Mask Register (MR). Bit 7 is the highest priority, bit 0 is
+// the background (normal run) level and is the only non-vectored bit.
+//
+// The IR is the stream's activity word: a stream is schedulable exactly
+// when it has some unmasked request bit set, so setting a bit starts a
+// stream and clearing the last bit halts it — interrupts, stream
+// start/stop and inter-stream synchronization are all the same
+// mechanism, which is what makes DISC's single-cycle "context switch"
+// possible.
+//
+// Request bits can be set by any stream (SIGNAL), by external devices
+// or by the hardware itself (stack overflow), but are cleared only by
+// the owning stream (CLRI, RETI, HALT, WAITI), as the paper specifies.
+package interrupt
+
+import (
+	"fmt"
+
+	"disc/internal/isa"
+)
+
+// Background is the bit number of the non-vectored background level.
+const Background = 0
+
+// StackFault is the IR bit the machine raises for stack-window
+// overflow/underflow, the "automatically generated" interrupt of
+// §3.6.3. Bit 6 leaves bit 7 free for an external highest-priority
+// source.
+const StackFault = 6
+
+// Unit is one stream's interrupt register pair plus its current
+// execution level.
+type Unit struct {
+	ir    uint8
+	mr    uint8
+	level uint8 // 0 = background, 1..7 = servicing that vectored level
+}
+
+// New returns a Unit with all requests clear and all levels unmasked.
+func New() *Unit { return &Unit{mr: 0xFF} }
+
+// Reset restores power-on state (ir=0: stream halted; mr=0xFF).
+func (u *Unit) Reset() { u.ir, u.mr, u.level = 0, 0xFF, 0 }
+
+// IR returns the interrupt request register.
+func (u *Unit) IR() uint8 { return u.ir }
+
+// MR returns the mask register.
+func (u *Unit) MR() uint8 { return u.mr }
+
+// SetIR overwrites the request register (MTS IR; also used at reset by
+// the loader to start stream 0 at the background level).
+func (u *Unit) SetIR(v uint8) { u.ir = v }
+
+// SetMR overwrites the mask register (SETMR / MTS MR).
+func (u *Unit) SetMR(v uint8) { u.mr = v }
+
+// Level returns the level the stream is currently executing at.
+func (u *Unit) Level() uint8 { return u.level }
+
+// SetLevel restores a saved level (the SR write-back in RETI).
+func (u *Unit) SetLevel(l uint8) { u.level = l & 0x7 }
+
+// Request sets request bit n. It reports whether the stream was
+// inactive before — the caller uses this to wake a halted stream.
+func (u *Unit) Request(n uint8) (wasInactive bool, err error) {
+	if n >= isa.NumIRBits {
+		return false, fmt.Errorf("interrupt: request bit %d out of range", n)
+	}
+	wasInactive = !u.Active()
+	u.ir |= 1 << n
+	return wasInactive, nil
+}
+
+// Clear clears request bit n (owner-only operations route here).
+func (u *Unit) Clear(n uint8) error {
+	if n >= isa.NumIRBits {
+		return fmt.Errorf("interrupt: clear bit %d out of range", n)
+	}
+	u.ir &^= 1 << n
+	return nil
+}
+
+// Pending returns the set of unmasked pending requests.
+func (u *Unit) Pending() uint8 { return u.ir & u.mr }
+
+// Active reports whether the stream is schedulable: §3.6.3, "when no
+// bit of the IS is set, the instruction stream will not be scheduled".
+func (u *Unit) Active() bool { return u.Pending() != 0 }
+
+// Test reports whether request bit n is set (masked or not).
+func (u *Unit) Test(n uint8) bool { return u.ir&(1<<n) != 0 }
+
+// Highest returns the highest-priority unmasked pending bit.
+func (u *Unit) Highest() (bit uint8, ok bool) {
+	p := u.Pending()
+	if p == 0 {
+		return 0, false
+	}
+	for b := int8(isa.NumIRBits - 1); b >= 0; b-- {
+		if p&(1<<uint8(b)) != 0 {
+			return uint8(b), true
+		}
+	}
+	return 0, false
+}
+
+// Dispatch reports whether a vectored interrupt should be taken now:
+// the highest pending unmasked bit must be vectored (1..7) and strictly
+// higher than the level already being serviced. It does not change any
+// state; the machine performs the entry sequence and then calls Enter.
+func (u *Unit) Dispatch() (bit uint8, ok bool) {
+	b, ok := u.Highest()
+	if !ok || b == Background || b <= u.level {
+		return 0, false
+	}
+	return b, true
+}
+
+// Enter records that the stream has started servicing level bit and
+// returns the level that was previously active so the machine can push
+// it with the return PC.
+func (u *Unit) Enter(bit uint8) (prev uint8) {
+	prev = u.level
+	u.level = bit & 0x7
+	return prev
+}
+
+// Exit ends servicing of the current level: the level's request bit is
+// cleared (only the owner reaches Exit) and the saved level is
+// restored. It is the register-side half of RETI.
+func (u *Unit) Exit(savedLevel uint8) {
+	if u.level != Background {
+		u.ir &^= 1 << u.level
+	}
+	u.level = savedLevel & 0x7
+}
+
+// Vector returns the program-memory address of the handler for the
+// given stream and bit, relative to the stream-file's vector base:
+// VB + 8*stream + bit (§3.6.3, vectored to avoid source polling).
+func Vector(vb uint16, stream, bit uint8) uint16 {
+	return vb + uint16(stream)*isa.NumIRBits + uint16(bit)
+}

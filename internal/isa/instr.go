@@ -1,0 +1,254 @@
+package isa
+
+import "fmt"
+
+// Instruction is the decoded form of one 24-bit DISC1 instruction word.
+// Fields that do not apply to the opcode's format are zero.
+type Instruction struct {
+	Op   Op
+	SW   SW      // post-instruction AWP adjust (§3.5)
+	Rd   Reg     // destination / source for stores
+	Rs   Reg     // first source / base register
+	Rt   Reg     // second source
+	Imm  int32   // immediate: imm12, off8, disp12, addr16 or RET count
+	Cond Cond    // branch condition (FmtB)
+	S    uint8   // target stream (FmtS)
+	N    uint8   // interrupt bit number (FmtS)
+	Spec Special // special register (MFS/MTS)
+}
+
+// signedImmOps lists the I-format opcodes whose immediate is
+// sign-extended; the rest are zero-extended.
+func signedImm(op Op) bool {
+	switch op {
+	case OpADDI, OpSUBI, OpCMPI, OpLDI:
+		return true
+	}
+	return false
+}
+
+// immRange returns the inclusive legal immediate range for an opcode.
+func immRange(op Op) (lo, hi int32) {
+	switch op {
+	case OpADDI, OpSUBI, OpCMPI, OpLDI:
+		return -2048, 2047
+	case OpANDI, OpORI, OpXORI, OpLDM, OpSTM:
+		return 0, 4095
+	case OpLDHI, OpSETMR:
+		return 0, 255
+	case OpRET:
+		return 0, WindowSize
+	case OpJMP, OpCALL:
+		return 0, 0xFFFF
+	case OpBcc:
+		return -2048, 2047
+	case OpLD, OpST, OpTAS:
+		return -128, 127
+	}
+	return 0, 0
+}
+
+// Validate checks that the instruction's fields are encodable.
+func (in Instruction) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if in.SW > SWDec {
+		return fmt.Errorf("isa: %s: invalid stack-window adjust %d", in.Op, in.SW)
+	}
+	lo, hi := immRange(in.Op)
+	switch in.Op.Format() {
+	case FmtR:
+		if in.Op == OpMFS || in.Op == OpMTS {
+			if in.Spec >= NumSpecials {
+				return fmt.Errorf("isa: %s: invalid special register %d", in.Op, in.Spec)
+			}
+			if in.Op == OpMFS && !in.Rd.Valid() {
+				return fmt.Errorf("isa: MFS: invalid rd %d", in.Rd)
+			}
+			if in.Op == OpMTS && !in.Rs.Valid() {
+				return fmt.Errorf("isa: MTS: invalid rs %d", in.Rs)
+			}
+			return nil
+		}
+		if !in.Rd.Valid() || !in.Rs.Valid() || !in.Rt.Valid() {
+			return fmt.Errorf("isa: %s: invalid register field (rd=%d rs=%d rt=%d)", in.Op, in.Rd, in.Rs, in.Rt)
+		}
+	case FmtI:
+		if !in.Rd.Valid() {
+			return fmt.Errorf("isa: %s: invalid rd %d", in.Op, in.Rd)
+		}
+		if in.Imm < lo || in.Imm > hi {
+			return fmt.Errorf("isa: %s: immediate %d out of [%d,%d]", in.Op, in.Imm, lo, hi)
+		}
+	case FmtM:
+		if !in.Rd.Valid() || !in.Rs.Valid() {
+			return fmt.Errorf("isa: %s: invalid register field (rd=%d rs=%d)", in.Op, in.Rd, in.Rs)
+		}
+		if in.Imm < lo || in.Imm > hi {
+			return fmt.Errorf("isa: %s: offset %d out of [%d,%d]", in.Op, in.Imm, lo, hi)
+		}
+	case FmtB:
+		if in.Cond >= NumConds {
+			return fmt.Errorf("isa: B: invalid condition %d", in.Cond)
+		}
+		if in.Imm < lo || in.Imm > hi {
+			return fmt.Errorf("isa: B%s: displacement %d out of [%d,%d]", in.Cond, in.Imm, lo, hi)
+		}
+	case FmtJ:
+		if in.Imm < lo || in.Imm > hi {
+			return fmt.Errorf("isa: %s: address %d out of [0,0xFFFF]", in.Op, in.Imm)
+		}
+	case FmtS:
+		if in.S >= NumStreams {
+			return fmt.Errorf("isa: %s: stream %d out of range", in.Op, in.S)
+		}
+		if in.N >= NumIRBits {
+			return fmt.Errorf("isa: %s: interrupt bit %d out of range", in.Op, in.N)
+		}
+		if in.Op == OpSSTART && !in.Rs.Valid() {
+			return fmt.Errorf("isa: SSTART: invalid rs %d", in.Rs)
+		}
+	case FmtN:
+		// no operands
+	}
+	return nil
+}
+
+// Encode packs the instruction into a 24-bit word.
+func (in Instruction) Encode() (Word, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	w := Word(in.Op)<<18 | Word(in.SW)<<16
+	switch in.Op.Format() {
+	case FmtR:
+		rt := in.Rt
+		if in.Op == OpMFS || in.Op == OpMTS {
+			rt = Reg(in.Spec)
+		}
+		w |= Word(in.Rd)<<12 | Word(in.Rs)<<8 | Word(rt)<<4
+	case FmtI:
+		w |= Word(in.Rd)<<12 | Word(uint32(in.Imm)&0xFFF)
+	case FmtM:
+		w |= Word(in.Rd)<<12 | Word(in.Rs)<<8 | Word(uint32(in.Imm)&0xFF)
+	case FmtB:
+		w |= Word(in.Cond)<<12 | Word(uint32(in.Imm)&0xFFF)
+	case FmtJ:
+		w |= Word(uint32(in.Imm) & 0xFFFF)
+	case FmtS:
+		w |= Word(in.S)<<14 | Word(in.N)<<11 | Word(in.Rs)<<7
+	case FmtN:
+	}
+	return w, nil
+}
+
+// Decode unpacks a 24-bit word into an Instruction. It returns an
+// error for undefined opcodes or illegal field values so that the
+// machine can raise an illegal-instruction condition.
+func Decode(w Word) (Instruction, error) {
+	if w > MaxWord {
+		return Instruction{}, fmt.Errorf("isa: word %#x exceeds 24 bits", uint32(w))
+	}
+	in := Instruction{
+		Op: Op(w >> 18),
+		SW: SW(w >> 16 & 0x3),
+	}
+	if !in.Op.Valid() {
+		return in, fmt.Errorf("isa: undefined opcode %d in word %#06x", in.Op, uint32(w))
+	}
+	if in.SW > SWDec {
+		return in, fmt.Errorf("isa: illegal stack-window adjust in word %#06x", uint32(w))
+	}
+	switch in.Op.Format() {
+	case FmtR:
+		in.Rd = Reg(w >> 12 & 0xF)
+		in.Rs = Reg(w >> 8 & 0xF)
+		in.Rt = Reg(w >> 4 & 0xF)
+		if in.Op == OpMFS || in.Op == OpMTS {
+			in.Spec = Special(in.Rt)
+			in.Rt = R0
+		}
+	case FmtI:
+		in.Rd = Reg(w >> 12 & 0xF)
+		in.Imm = int32(w & 0xFFF)
+		if signedImm(in.Op) && in.Imm&0x800 != 0 {
+			in.Imm -= 0x1000
+		}
+	case FmtM:
+		in.Rd = Reg(w >> 12 & 0xF)
+		in.Rs = Reg(w >> 8 & 0xF)
+		in.Imm = int32(w & 0xFF)
+		if in.Imm&0x80 != 0 {
+			in.Imm -= 0x100
+		}
+	case FmtB:
+		in.Cond = Cond(w >> 12 & 0xF)
+		in.Imm = int32(w & 0xFFF)
+		if in.Imm&0x800 != 0 {
+			in.Imm -= 0x1000
+		}
+	case FmtJ:
+		in.Imm = int32(w & 0xFFFF)
+	case FmtS:
+		in.S = uint8(w >> 14 & 0x3)
+		in.N = uint8(w >> 11 & 0x7)
+		in.Rs = Reg(w >> 7 & 0xF)
+	case FmtN:
+	}
+	if err := in.Validate(); err != nil {
+		return in, err
+	}
+	return in, nil
+}
+
+// String renders the instruction in assembler syntax, including the
+// stack-window adjust suffix ("+" increments AWP, "-" decrements).
+func (in Instruction) String() string {
+	mn := in.Op.Name() + in.SW.String()
+	switch in.Op.Format() {
+	case FmtR:
+		switch in.Op {
+		case OpMOV, OpNOT, OpNEG, OpSWP, OpJR, OpCALR:
+			if in.Op == OpJR || in.Op == OpCALR {
+				return fmt.Sprintf("%s %s", mn, in.Rs)
+			}
+			return fmt.Sprintf("%s %s, %s", mn, in.Rd, in.Rs)
+		case OpCMP:
+			return fmt.Sprintf("%s %s, %s", mn, in.Rs, in.Rt)
+		case OpMFS:
+			return fmt.Sprintf("%s %s, %s", mn, in.Rd, in.Spec)
+		case OpMTS:
+			return fmt.Sprintf("%s %s, %s", mn, in.Spec, in.Rs)
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", mn, in.Rd, in.Rs, in.Rt)
+		}
+	case FmtI:
+		switch in.Op {
+		case OpRET:
+			return fmt.Sprintf("%s %d", mn, in.Imm)
+		case OpSETMR:
+			return fmt.Sprintf("%s %#02x", mn, in.Imm)
+		case OpLDM, OpSTM:
+			return fmt.Sprintf("%s %s, [%d]", mn, in.Rd, in.Imm)
+		default:
+			return fmt.Sprintf("%s %s, %d", mn, in.Rd, in.Imm)
+		}
+	case FmtM:
+		return fmt.Sprintf("%s %s, [%s%+d]", mn, in.Rd, in.Rs, in.Imm)
+	case FmtB:
+		return fmt.Sprintf("B%s%s %+d", in.Cond, in.SW, in.Imm)
+	case FmtJ:
+		return fmt.Sprintf("%s %#04x", mn, in.Imm)
+	case FmtS:
+		switch in.Op {
+		case OpSSTART:
+			return fmt.Sprintf("%s %d, %s", mn, in.S, in.Rs)
+		case OpSIGNAL:
+			return fmt.Sprintf("%s %d, %d", mn, in.S, in.N)
+		default:
+			return fmt.Sprintf("%s %d", mn, in.N)
+		}
+	}
+	return mn
+}

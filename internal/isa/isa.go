@@ -1,0 +1,367 @@
+// Package isa defines the DISC1 instruction set architecture: the
+// register model, the 24-bit instruction encodings and the opcode map.
+//
+// The paper (§3.7) fixes the register organization — 16 registers per
+// instruction stream: eight stack-window locals R0..R7, four globals
+// G0..G3 shared by every stream, and four specials — a 24-bit program
+// bus, a 16-bit asynchronous data bus, and single-cycle load/store
+// instructions, but it does not publish an opcode map. This package is
+// the documented reconstruction described in DESIGN.md §5; every
+// encoding decision is consistent with the paper's prose (for example,
+// the two-bit stack-window adjust field carried by every instruction
+// implements §3.5's "stack increment and decrement is added to some
+// instructions such as Load, Store, Add, Subtract, etc.").
+package isa
+
+import "fmt"
+
+// Architectural constants for DISC1.
+const (
+	WordBits     = 16   // data word width
+	InstrBits    = 24   // program bus width
+	NumStreams   = 4    // concurrent instruction streams supported
+	PipeDepth    = 4    // pipeline stages: IF, RD, EX, WR
+	WindowSize   = 8    // visible stack-window registers R0..R7
+	NumGlobals   = 4    // shared global registers G0..G3
+	NumIRBits    = 8    // interrupt register width (bit 7 highest priority)
+	SchedSlots   = 16   // scheduler partition granularity (1/16 of throughput)
+	InternalSize = 1024 // internal memory words (2 KB of 16-bit words)
+)
+
+// Address map boundaries (§3.7: 2 KB internal memory, asynchronous
+// external data bus, memory-mapped peripherals).
+const (
+	InternalBase = 0x0000 // 0x0000..0x03FF internal memory, zero wait
+	ExternalBase = 0x0400 // 0x0400..0xEFFF external memory via ABI
+	IOBase       = 0xF000 // 0xF000..0xFFFF peripheral I/O via ABI
+)
+
+// Word is one 24-bit instruction word (stored in the low bits).
+type Word uint32
+
+// MaxWord is the largest representable instruction word.
+const MaxWord Word = 1<<InstrBits - 1
+
+// Reg names one of the 16 architectural registers visible in a
+// three-operand instruction field.
+//
+//	0..7   R0..R7 — stack-window locals (Rn reads physical AWP-n)
+//	8..11  G0..G3 — globals shared between all streams
+//	12     H      — multiply high half (per stream)
+//	13     SR     — status register (per stream)
+//	14     ZR     — always reads zero, writes discarded
+//	15     reserved (illegal)
+type Reg uint8
+
+// Register field values.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	G0
+	G1
+	G2
+	G3
+	H
+	SR
+	ZR
+	RegInvalid
+)
+
+// IsWindow reports whether r is a stack-window local.
+func (r Reg) IsWindow() bool { return r <= R7 }
+
+// IsGlobal reports whether r is one of the shared globals.
+func (r Reg) IsGlobal() bool { return r >= G0 && r <= G3 }
+
+// Valid reports whether r is an architecturally legal register field.
+func (r Reg) Valid() bool { return r < RegInvalid }
+
+func (r Reg) String() string {
+	switch {
+	case r <= R7:
+		return fmt.Sprintf("R%d", r)
+	case r <= G3:
+		return fmt.Sprintf("G%d", r-G0)
+	case r == H:
+		return "H"
+	case r == SR:
+		return "SR"
+	case r == ZR:
+		return "ZR"
+	}
+	return fmt.Sprintf("Reg(%d)", uint8(r))
+}
+
+// Special names a special register reachable only through MFS/MTS.
+type Special uint8
+
+// Special register indices.
+const (
+	SpecPC  Special = iota // program counter
+	SpecSR                 // status register (also reg field 13)
+	SpecH                  // multiply high half (also reg field 12)
+	SpecVB                 // interrupt vector base
+	SpecAWP                // active window pointer
+	SpecBOS                // bottom-of-stack pointer
+	SpecIR                 // interrupt request register
+	SpecMR                 // interrupt mask register
+	NumSpecials
+)
+
+func (s Special) String() string {
+	names := [...]string{"PC", "SR", "H", "VB", "AWP", "BOS", "IR", "MR"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("Special(%d)", uint8(s))
+}
+
+// SpecialByName maps assembler names to special-register indices.
+var SpecialByName = map[string]Special{
+	"PC": SpecPC, "SR": SpecSR, "H": SpecH, "VB": SpecVB,
+	"AWP": SpecAWP, "BOS": SpecBOS, "IR": SpecIR, "MR": SpecMR,
+}
+
+// SW is the two-bit stack-window adjust carried by every instruction
+// (§3.5). The adjustment applies after the instruction completes, so
+// operands are addressed relative to the pre-adjust AWP.
+type SW uint8
+
+// Stack-window adjust values.
+const (
+	SWNone SW = 0
+	SWInc  SW = 1
+	SWDec  SW = 2
+)
+
+func (s SW) String() string {
+	switch s {
+	case SWNone:
+		return ""
+	case SWInc:
+		return "+"
+	case SWDec:
+		return "-"
+	}
+	return "?"
+}
+
+// Cond is a branch condition evaluated against the stream's SR flags.
+type Cond uint8
+
+// Branch conditions (ALU flags Z, N, C, V live in SR bits 0..3).
+const (
+	CondAL Cond = iota // always
+	CondEQ             // Z
+	CondNE             // !Z
+	CondCS             // C (unsigned >=)
+	CondCC             // !C (unsigned <)
+	CondMI             // N
+	CondPL             // !N
+	CondVS             // V
+	CondVC             // !V
+	CondHI             // C && !Z (unsigned >)
+	CondLS             // !C || Z (unsigned <=)
+	CondGE             // N == V
+	CondLT             // N != V
+	CondGT             // !Z && N == V
+	CondLE             // Z || N != V
+	NumConds
+)
+
+func (c Cond) String() string {
+	names := [...]string{"AL", "EQ", "NE", "CS", "CC", "MI", "PL", "VS", "VC", "HI", "LS", "GE", "LT", "GT", "LE"}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("Cond(%d)", uint8(c))
+}
+
+// SR flag bit positions.
+const (
+	FlagZ = 1 << 0
+	FlagN = 1 << 1
+	FlagC = 1 << 2
+	FlagV = 1 << 3
+	// SR bits 8..10 hold the stream's current interrupt level.
+	SRLevelShift = 8
+	SRLevelMask  = 0x7 << SRLevelShift
+)
+
+// Format identifies an instruction encoding layout. All formats share
+// op(6) sw(2) in bits 23..16.
+type Format uint8
+
+// Instruction formats.
+const (
+	FmtR Format = iota // rd(4) rs(4) rt(4) x(4)
+	FmtI               // rd(4) imm12
+	FmtM               // rd(4) rs(4) off8 (signed)
+	FmtB               // cond(4) disp12 (signed, PC-relative)
+	FmtJ               // addr16
+	FmtS               // s(2) n(3) rs(4) x(7) — stream/interrupt ops
+	FmtN               // no operands
+)
+
+// Op is a DISC1 opcode.
+type Op uint8
+
+// Opcodes. The numeric values are the 6-bit encodings.
+const (
+	OpNOP Op = iota
+	// ALU register-register.
+	OpADD
+	OpSUB
+	OpAND
+	OpOR
+	OpXOR
+	OpSHL
+	OpSHR
+	OpASR
+	OpMUL
+	OpCMP
+	OpMOV
+	OpNOT
+	OpNEG
+	OpSWP // atomic exchange rd <-> rs (semaphore support, §3.6.2)
+	// ALU immediate.
+	OpADDI
+	OpSUBI
+	OpANDI
+	OpORI
+	OpXORI
+	OpCMPI
+	OpLDI  // rd = sign-extended imm12
+	OpLDHI // rd = imm8<<8, low byte cleared (LI = LDHI + ORI)
+	// Memory.
+	OpLD  // rd = mem[rs+off8]
+	OpST  // mem[rs+off8] = rd
+	OpLDM // rd = mem[imm12]  (§3.7: 9-bit immediate addressing; 12 here)
+	OpSTM // mem[imm12] = rd
+	OpTAS // atomic: rd = mem[rs+off8]; mem[rs+off8] |= 0x8000
+	// Control flow.
+	OpJMP  // absolute
+	OpJR   // PC = rs
+	OpBcc  // conditional relative
+	OpCALL // AWP++; new R0 = return PC; jump (§3.5)
+	OpCALR // as CALL, target from register
+	OpRET  // AWP -= imm4 to reach return cell; PC = R0; AWP-- (§3.5)
+	// Stream and interrupt control (§3.4, §3.6.3).
+	OpSSTART // start stream s at PC = rs (sets its IR bit 0)
+	OpSIGNAL // set IR bit n of stream s
+	OpCLRI   // clear own IR bit n
+	OpSETMR  // MR = imm8
+	OpWAITI  // block until own IR bit n is set, then clear it (join)
+	OpRETI   // return from vectored interrupt: pop SR, PC; clear level bit
+	OpMFS    // rd = special[n]
+	OpMTS    // special[n] = rs
+	OpHALT   // clear own IR bit 0 (stream deactivates if IR&MR == 0)
+	NumOps
+)
+
+var opInfo = [NumOps]struct {
+	name string
+	fmt  Format
+}{
+	OpNOP:    {"NOP", FmtN},
+	OpADD:    {"ADD", FmtR},
+	OpSUB:    {"SUB", FmtR},
+	OpAND:    {"AND", FmtR},
+	OpOR:     {"OR", FmtR},
+	OpXOR:    {"XOR", FmtR},
+	OpSHL:    {"SHL", FmtR},
+	OpSHR:    {"SHR", FmtR},
+	OpASR:    {"ASR", FmtR},
+	OpMUL:    {"MUL", FmtR},
+	OpCMP:    {"CMP", FmtR},
+	OpMOV:    {"MOV", FmtR},
+	OpNOT:    {"NOT", FmtR},
+	OpNEG:    {"NEG", FmtR},
+	OpSWP:    {"SWP", FmtR},
+	OpADDI:   {"ADDI", FmtI},
+	OpSUBI:   {"SUBI", FmtI},
+	OpANDI:   {"ANDI", FmtI},
+	OpORI:    {"ORI", FmtI},
+	OpXORI:   {"XORI", FmtI},
+	OpCMPI:   {"CMPI", FmtI},
+	OpLDI:    {"LDI", FmtI},
+	OpLDHI:   {"LDHI", FmtI},
+	OpLD:     {"LD", FmtM},
+	OpST:     {"ST", FmtM},
+	OpLDM:    {"LDM", FmtI},
+	OpSTM:    {"STM", FmtI},
+	OpTAS:    {"TAS", FmtM},
+	OpJMP:    {"JMP", FmtJ},
+	OpJR:     {"JR", FmtR},
+	OpBcc:    {"B", FmtB},
+	OpCALL:   {"CALL", FmtJ},
+	OpCALR:   {"CALR", FmtR},
+	OpRET:    {"RET", FmtI},
+	OpSSTART: {"SSTART", FmtS},
+	OpSIGNAL: {"SIGNAL", FmtS},
+	OpCLRI:   {"CLRI", FmtS},
+	OpSETMR:  {"SETMR", FmtI},
+	OpWAITI:  {"WAITI", FmtS},
+	OpRETI:   {"RETI", FmtN},
+	OpMFS:    {"MFS", FmtR},
+	OpMTS:    {"MTS", FmtR},
+	OpHALT:   {"HALT", FmtN},
+}
+
+// Name returns the assembler mnemonic for the opcode.
+func (o Op) Name() string {
+	if o < NumOps {
+		return opInfo[o].name
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Format returns the encoding layout used by the opcode.
+func (o Op) Format() Format {
+	if o < NumOps {
+		return opInfo[o].fmt
+	}
+	return FmtN
+}
+
+func (o Op) String() string { return o.Name() }
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < NumOps }
+
+// IsBranch reports whether the opcode can redirect control flow. These
+// are the instructions whose execution flushes younger same-stream
+// instructions from the pipe (§3.2, Figure 3.2).
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpJMP, OpJR, OpBcc, OpCALL, OpCALR, OpRET, OpRETI:
+		return true
+	}
+	return false
+}
+
+// IsMemory reports whether the opcode accesses data memory and may
+// therefore engage the asynchronous bus interface (§3.6.1).
+func (o Op) IsMemory() bool {
+	switch o {
+	case OpLD, OpST, OpLDM, OpSTM, OpTAS:
+		return true
+	}
+	return false
+}
+
+// OpByName maps assembler mnemonics to opcodes. Bcc appears both as
+// plain "B" and under each condition suffix handled by the assembler.
+var OpByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); op < NumOps; op++ {
+		m[opInfo[op].name] = op
+	}
+	return m
+}()

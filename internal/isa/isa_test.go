@@ -1,0 +1,270 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNamesUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); op < NumOps; op++ {
+		name := op.Name()
+		if name == "" {
+			t.Fatalf("opcode %d has empty name", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("mnemonic %q used by both %d and %d", name, prev, op)
+		}
+		seen[name] = op
+	}
+	if len(OpByName) != int(NumOps) {
+		t.Fatalf("OpByName has %d entries, want %d", len(OpByName), NumOps)
+	}
+}
+
+func TestRegClassification(t *testing.T) {
+	for r := R0; r <= R7; r++ {
+		if !r.IsWindow() || r.IsGlobal() {
+			t.Errorf("%s misclassified", r)
+		}
+	}
+	for r := G0; r <= G3; r++ {
+		if r.IsWindow() || !r.IsGlobal() {
+			t.Errorf("%s misclassified", r)
+		}
+	}
+	if RegInvalid.Valid() {
+		t.Error("RegInvalid reported valid")
+	}
+	if !ZR.Valid() {
+		t.Error("ZR reported invalid")
+	}
+}
+
+func TestRegStrings(t *testing.T) {
+	cases := map[Reg]string{R0: "R0", R7: "R7", G0: "G0", G3: "G3", H: "H", SR: "SR", ZR: "ZR"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripExamples(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpNOP},
+		{Op: OpADD, Rd: R0, Rs: R1, Rt: G2},
+		{Op: OpADD, SW: SWInc, Rd: R0, Rs: R1, Rt: R2},
+		{Op: OpSUB, SW: SWDec, Rd: R3, Rs: R3, Rt: G0},
+		{Op: OpMUL, Rd: R1, Rs: R2, Rt: R3},
+		{Op: OpCMP, Rs: R0, Rt: G1},
+		{Op: OpMOV, Rd: G0, Rs: R5},
+		{Op: OpSWP, Rd: R0, Rs: G3},
+		{Op: OpADDI, Rd: R4, Imm: -7},
+		{Op: OpLDI, Rd: R0, Imm: 2047},
+		{Op: OpLDI, Rd: R0, Imm: -2048},
+		{Op: OpLDHI, Rd: R2, Imm: 0xAB},
+		{Op: OpORI, Rd: R2, Imm: 0xCD},
+		{Op: OpLD, Rd: R0, Rs: G0, Imm: -128},
+		{Op: OpST, SW: SWInc, Rd: R7, Rs: R6, Imm: 127},
+		{Op: OpLDM, Rd: R1, Imm: 1023},
+		{Op: OpSTM, Rd: R1, Imm: 0},
+		{Op: OpTAS, Rd: R0, Rs: G1, Imm: 4},
+		{Op: OpJMP, Imm: 0xFFFF},
+		{Op: OpJR, Rs: R0},
+		{Op: OpBcc, Cond: CondNE, Imm: -2048},
+		{Op: OpBcc, Cond: CondAL, Imm: 2047},
+		{Op: OpCALL, Imm: 0x1234},
+		{Op: OpCALR, Rs: R3},
+		{Op: OpRET, Imm: 3},
+		{Op: OpSSTART, S: 2, Rs: R1},
+		{Op: OpSIGNAL, S: 3, N: 7},
+		{Op: OpCLRI, N: 1},
+		{Op: OpSETMR, Rd: R0, Imm: 0xFF},
+		{Op: OpWAITI, N: 5},
+		{Op: OpRETI},
+		{Op: OpMFS, Rd: R0, Spec: SpecAWP},
+		{Op: OpMTS, Rs: R1, Spec: SpecVB},
+		{Op: OpHALT},
+	}
+	for _, in := range cases {
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %v (%#06x): %v", in, uint32(w), err)
+		}
+		if out != in {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+		}
+	}
+}
+
+func TestEncodeRejectsBadFields(t *testing.T) {
+	bad := []Instruction{
+		{Op: NumOps},
+		{Op: OpADD, SW: 3, Rd: R0, Rs: R0, Rt: R0},
+		{Op: OpADD, Rd: RegInvalid, Rs: R0, Rt: R0},
+		{Op: OpLDI, Rd: R0, Imm: 2048},
+		{Op: OpLDI, Rd: R0, Imm: -2049},
+		{Op: OpLDHI, Rd: R0, Imm: 256},
+		{Op: OpLD, Rd: R0, Rs: R0, Imm: 128},
+		{Op: OpJMP, Imm: 0x10000},
+		{Op: OpJMP, Imm: -1},
+		{Op: OpBcc, Cond: NumConds, Imm: 0},
+		{Op: OpRET, Imm: 9},
+		{Op: OpSSTART, S: 4, Rs: R0},
+		{Op: OpSIGNAL, S: 0, N: 8},
+		{Op: OpMFS, Rd: R0, Spec: NumSpecials},
+		{Op: OpSETMR, Rd: R0, Imm: 300},
+	}
+	for _, in := range bad {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("encode accepted invalid instruction %+v", in)
+		}
+	}
+}
+
+func TestDecodeRejectsUndefinedOpcode(t *testing.T) {
+	w := Word(uint32(NumOps) << 18)
+	if _, err := Decode(w); err == nil {
+		t.Fatal("decode accepted undefined opcode")
+	}
+	if _, err := Decode(MaxWord + 1); err == nil {
+		t.Fatal("decode accepted >24-bit word")
+	}
+}
+
+// TestRoundTripProperty fuzzes random field combinations: anything that
+// encodes must decode back to an identical instruction.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(op, sw, rd, rs, rt, cond, s, n uint8, imm int16) bool {
+		in := Instruction{
+			Op:   Op(op % uint8(NumOps)),
+			SW:   SW(sw % 3),
+			Rd:   Reg(rd % 15),
+			Rs:   Reg(rs % 15),
+			Rt:   Reg(rt % 15),
+			Cond: Cond(cond % uint8(NumConds)),
+			S:    s % NumStreams,
+			N:    n % NumIRBits,
+			Imm:  int32(imm),
+		}
+		// Clamp the immediate into the op's legal range.
+		lo, hi := immRange(in.Op)
+		if hi > lo {
+			span := hi - lo + 1
+			in.Imm = lo + (in.Imm%span+span)%span
+		} else {
+			in.Imm = 0
+		}
+		// Zero fields the format does not carry, mirroring Decode output.
+		switch in.Op.Format() {
+		case FmtR:
+			in.Cond, in.S, in.N = 0, 0, 0
+			if in.Op == OpMFS || in.Op == OpMTS {
+				in.Spec = Special(rt % uint8(NumSpecials))
+				in.Rt = R0
+			}
+		case FmtI:
+			in.Rs, in.Rt, in.Cond, in.S, in.N = 0, 0, 0, 0, 0
+		case FmtM:
+			in.Rt, in.Cond, in.S, in.N = 0, 0, 0, 0
+		case FmtB:
+			in.Rd, in.Rs, in.Rt, in.S, in.N = 0, 0, 0, 0, 0
+		case FmtJ:
+			in.Rd, in.Rs, in.Rt, in.Cond, in.S, in.N = 0, 0, 0, 0, 0, 0
+		case FmtS:
+			in.Rd, in.Rt, in.Cond, in.Imm = 0, 0, 0, 0
+		case FmtN:
+			in = Instruction{Op: in.Op, SW: in.SW}
+		}
+		w, err := in.Encode()
+		if err != nil {
+			return true // invalid combinations are allowed to be rejected
+		}
+		out, err := Decode(w)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTotalOverWordSpace(t *testing.T) {
+	// Sampled sweep: Decode must never panic, and anything it accepts
+	// must re-encode to the canonical bits it came from modulo unused
+	// fields. We verify no panic and re-encodability.
+	for w := Word(0); w <= MaxWord; w += 97 {
+		in, err := Decode(w)
+		if err != nil {
+			continue
+		}
+		if _, err := in.Encode(); err != nil {
+			t.Fatalf("decoded %#06x to %v which fails to re-encode: %v", uint32(w), in, err)
+		}
+	}
+}
+
+func TestInstructionStrings(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpADD, Rd: R0, Rs: R1, Rt: R2}, "ADD R0, R1, R2"},
+		{Instruction{Op: OpADD, SW: SWInc, Rd: R0, Rs: R1, Rt: R2}, "ADD+ R0, R1, R2"},
+		{Instruction{Op: OpLD, Rd: R0, Rs: G0, Imm: 4}, "LD R0, [G0+4]"},
+		{Instruction{Op: OpBcc, Cond: CondNE, Imm: -4}, "BNE -4"},
+		{Instruction{Op: OpMFS, Rd: R0, Spec: SpecIR}, "MFS R0, IR"},
+		{Instruction{Op: OpSIGNAL, S: 2, N: 3}, "SIGNAL 2, 3"},
+		{Instruction{Op: OpHALT}, "HALT"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBranchAndMemoryClassification(t *testing.T) {
+	branches := []Op{OpJMP, OpJR, OpBcc, OpCALL, OpCALR, OpRET, OpRETI}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%s not classified as branch", op)
+		}
+	}
+	mems := []Op{OpLD, OpST, OpLDM, OpSTM, OpTAS}
+	for _, op := range mems {
+		if !op.IsMemory() {
+			t.Errorf("%s not classified as memory", op)
+		}
+	}
+	for _, op := range []Op{OpADD, OpNOP, OpSIGNAL, OpMFS} {
+		if op.IsBranch() || op.IsMemory() {
+			t.Errorf("%s misclassified", op)
+		}
+	}
+}
+
+func TestSpecialNames(t *testing.T) {
+	for name, sp := range SpecialByName {
+		if sp.String() != name {
+			t.Errorf("special %q round-trips to %q", name, sp.String())
+		}
+	}
+	if len(SpecialByName) != int(NumSpecials) {
+		t.Errorf("SpecialByName has %d entries, want %d", len(SpecialByName), NumSpecials)
+	}
+}
+
+func TestCondStrings(t *testing.T) {
+	if CondEQ.String() != "EQ" || CondAL.String() != "AL" || CondLE.String() != "LE" {
+		t.Error("condition names wrong")
+	}
+	if !strings.HasPrefix(NumConds.String(), "Cond(") {
+		t.Error("out-of-range condition should format as Cond(n)")
+	}
+}

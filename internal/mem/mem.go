@@ -1,0 +1,100 @@
+// Package mem implements the two DISC1 memories of the Harvard
+// architecture (§3.7): the 24-bit-wide program memory reached over the
+// program bus, and the 2 KB shared internal data memory that all
+// instruction streams address with zero wait states.
+//
+// External memory and peripherals are NOT here — anything at or above
+// isa.ExternalBase goes through the asynchronous bus interface in
+// package bus, which is what gives DISC its wait-state/reactivation
+// behaviour.
+package mem
+
+import (
+	"fmt"
+
+	"disc/internal/isa"
+)
+
+// ProgramSize is the number of 24-bit words in program memory (16-bit
+// word-addressed PC).
+const ProgramSize = 1 << 16
+
+// Program is the instruction store fetched over the 24-bit program bus.
+// It is written at load time and read-only to executing streams, which
+// is what permits a same-cycle instruction fetch and data access.
+type Program struct {
+	words [ProgramSize]isa.Word
+	limit uint32 // highest loaded address + 1, for diagnostics
+}
+
+// NewProgram returns an empty program memory filled with NOP (word 0).
+func NewProgram() *Program { return &Program{} }
+
+// Load copies an assembled image into program memory starting at base.
+func (p *Program) Load(base uint16, image []isa.Word) error {
+	if int(base)+len(image) > ProgramSize {
+		return fmt.Errorf("mem: image of %d words at %#04x overflows program memory", len(image), base)
+	}
+	copy(p.words[base:], image)
+	if end := uint32(base) + uint32(len(image)); end > p.limit {
+		p.limit = end
+	}
+	return nil
+}
+
+// Fetch returns the instruction word at pc. Program memory wraps like
+// the 16-bit PC does, so Fetch is total.
+func (p *Program) Fetch(pc uint16) isa.Word { return p.words[pc] }
+
+// Set writes a single instruction word (used by tests and the monitor).
+func (p *Program) Set(pc uint16, w isa.Word) {
+	p.words[pc] = w
+	if uint32(pc)+1 > p.limit {
+		p.limit = uint32(pc) + 1
+	}
+}
+
+// Limit returns one past the highest address ever loaded.
+func (p *Program) Limit() uint32 { return p.limit }
+
+// Internal is the 2 KB on-chip data memory shared between all
+// instruction streams (§3.7). Accesses are zero-wait and, because the
+// machine executes one instruction per cycle, read-modify-write
+// instructions (TAS, SWP against memory) are atomic — which is exactly
+// the property §3.6.2 relies on for semaphores.
+type Internal struct {
+	words [isa.InternalSize]uint16
+}
+
+// NewInternal returns zeroed internal memory.
+func NewInternal() *Internal { return &Internal{} }
+
+// Contains reports whether addr falls in the internal address window.
+func (m *Internal) Contains(addr uint16) bool {
+	return addr < isa.InternalSize
+}
+
+// Read returns the word at addr. addr must satisfy Contains.
+func (m *Internal) Read(addr uint16) uint16 {
+	return m.words[addr]
+}
+
+// Write stores v at addr. addr must satisfy Contains.
+func (m *Internal) Write(addr uint16, v uint16) {
+	m.words[addr] = v
+}
+
+// TestAndSet atomically returns the word at addr and sets its top bit,
+// the semaphore primitive of §3.6.2.
+func (m *Internal) TestAndSet(addr uint16) uint16 {
+	old := m.words[addr]
+	m.words[addr] = old | 0x8000
+	return old
+}
+
+// Snapshot copies the memory contents (for tests and checkpointing).
+func (m *Internal) Snapshot() []uint16 {
+	out := make([]uint16, isa.InternalSize)
+	copy(out, m.words[:])
+	return out
+}

@@ -1,0 +1,112 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"disc/internal/isa"
+)
+
+func TestProgramLoadFetch(t *testing.T) {
+	p := NewProgram()
+	img := []isa.Word{0x000001, 0x000002, 0x000003}
+	if err := p.Load(0x100, img); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range img {
+		if got := p.Fetch(uint16(0x100 + i)); got != w {
+			t.Fatalf("Fetch(%#x) = %#x, want %#x", 0x100+i, got, w)
+		}
+	}
+	if p.Fetch(0x0FF) != 0 {
+		t.Fatal("unloaded program memory not NOP")
+	}
+	if p.Limit() != 0x103 {
+		t.Fatalf("Limit = %#x, want 0x103", p.Limit())
+	}
+}
+
+func TestProgramLoadOverflow(t *testing.T) {
+	p := NewProgram()
+	img := make([]isa.Word, 3)
+	if err := p.Load(0xFFFE, img); err == nil {
+		t.Fatal("Load accepted an image overflowing program memory")
+	}
+	if err := p.Load(0xFFFD, img); err != nil {
+		t.Fatalf("Load rejected a fitting image: %v", err)
+	}
+}
+
+func TestProgramSet(t *testing.T) {
+	p := NewProgram()
+	p.Set(0x42, 0xABCDEF)
+	if p.Fetch(0x42) != 0xABCDEF {
+		t.Fatal("Set/Fetch mismatch")
+	}
+	if p.Limit() != 0x43 {
+		t.Fatalf("Limit = %#x after Set", p.Limit())
+	}
+}
+
+func TestInternalReadWrite(t *testing.T) {
+	m := NewInternal()
+	m.Write(0, 0x1234)
+	m.Write(isa.InternalSize-1, 0x5678)
+	if m.Read(0) != 0x1234 || m.Read(isa.InternalSize-1) != 0x5678 {
+		t.Fatal("read/write mismatch")
+	}
+}
+
+func TestInternalContains(t *testing.T) {
+	m := NewInternal()
+	if !m.Contains(0) || !m.Contains(isa.InternalSize-1) {
+		t.Fatal("Contains rejects in-range address")
+	}
+	if m.Contains(isa.InternalSize) || m.Contains(isa.ExternalBase) {
+		t.Fatal("Contains accepts out-of-range address")
+	}
+}
+
+func TestTestAndSetSemantics(t *testing.T) {
+	m := NewInternal()
+	m.Write(10, 0x0001)
+	old := m.TestAndSet(10)
+	if old != 0x0001 {
+		t.Fatalf("TAS returned %#x, want old value 0x0001", old)
+	}
+	if m.Read(10) != 0x8001 {
+		t.Fatalf("TAS left %#x, want 0x8001", m.Read(10))
+	}
+	// A second TAS sees the lock bit — the semaphore "taken" case.
+	if old := m.TestAndSet(10); old&0x8000 == 0 {
+		t.Fatalf("second TAS returned %#x without lock bit", old)
+	}
+}
+
+// TestTASIdempotentOnce: property — after one TAS the top bit is always
+// set and the low 15 bits are preserved.
+func TestTASProperty(t *testing.T) {
+	f := func(addr uint16, v uint16) bool {
+		a := addr % isa.InternalSize
+		m := NewInternal()
+		m.Write(a, v)
+		old := m.TestAndSet(a)
+		return old == v && m.Read(a) == v|0x8000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	m := NewInternal()
+	m.Write(5, 42)
+	snap := m.Snapshot()
+	if snap[5] != 42 {
+		t.Fatal("snapshot missed a write")
+	}
+	snap[5] = 0
+	if m.Read(5) != 42 {
+		t.Fatal("mutating the snapshot changed the memory")
+	}
+}

@@ -1,0 +1,137 @@
+package minic
+
+// The abstract syntax tree. Everything is a 16-bit unsigned word.
+
+type program struct {
+	globals []decl
+	funcs   []*function
+}
+
+// decl is one variable declaration; Size > 1 declares an array.
+type decl struct {
+	name string
+	size int
+}
+
+type function struct {
+	name   string
+	params []string
+	locals []decl // collected from var statements
+	body   []stmt
+	line   int
+}
+
+// stmt is a statement node.
+type stmt interface{ stmtNode() }
+
+type assignStmt struct {
+	name string // variable target
+	expr expr
+	line int
+}
+
+type memStmt struct { // mem[addr] = expr
+	addr expr
+	expr expr
+	line int
+}
+
+type ifStmt struct {
+	cond       expr
+	then, alts []stmt
+	line       int
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+	line int
+}
+
+type forStmt struct {
+	init, post stmt // may be nil
+	cond       expr // may be nil (infinite)
+	body       []stmt
+	line       int
+}
+
+type indexStmt struct { // name[idx] = expr
+	name string
+	idx  expr
+	expr expr
+	line int
+}
+
+type returnStmt struct {
+	expr expr // nil for bare return
+	line int
+}
+
+type exprStmt struct { // a call evaluated for effect
+	expr expr
+	line int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+func (*assignStmt) stmtNode()   {}
+func (*memStmt) stmtNode()      {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*indexStmt) stmtNode()    {}
+func (*returnStmt) stmtNode()   {}
+func (*exprStmt) stmtNode()     {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+
+// expr is an expression node.
+type expr interface{ exprNode() }
+
+type numExpr struct {
+	val  uint16
+	line int
+}
+
+type varExpr struct {
+	name string
+	line int
+}
+
+type memExpr struct { // mem[addr]
+	addr expr
+	line int
+}
+
+type unaryExpr struct {
+	op   string // "-", "~", "!"
+	x    expr
+	line int
+}
+
+type binExpr struct {
+	op   string
+	x, y expr
+	line int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+type indexExpr struct { // name[idx]
+	name string
+	idx  expr
+	line int
+}
+
+func (*numExpr) exprNode()   {}
+func (*varExpr) exprNode()   {}
+func (*memExpr) exprNode()   {}
+func (*unaryExpr) exprNode() {}
+func (*binExpr) exprNode()   {}
+func (*callExpr) exprNode()  {}
+func (*indexExpr) exprNode() {}

@@ -1,0 +1,422 @@
+package minic
+
+import "fmt"
+
+// Interpret executes a minic program directly on a Go evaluator — the
+// reference semantics the compiled DISC1 code is differentially tested
+// against. mem is the 16-bit data memory image (mem[addr] reads and
+// writes go here); globals are returned by name. The step budget
+// bounds runaway loops.
+func Interpret(src string, mem []uint16, steps int) (map[string]uint16, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := parse(toks)
+	if err != nil {
+		return nil, err
+	}
+	ip := &interp{
+		mem: mem, budget: steps,
+		globals: map[string]uint16{},
+		garrays: map[string][]uint16{},
+		funcs:   map[string]*function{},
+	}
+	for _, g := range prog.globals {
+		if g.size > 1 {
+			ip.garrays[g.name] = make([]uint16, g.size)
+		} else {
+			ip.globals[g.name] = 0
+		}
+	}
+	var mainFn *function
+	for _, fn := range prog.funcs {
+		ip.funcs[fn.name] = fn
+		if fn.name == "main" {
+			mainFn = fn
+		}
+	}
+	if mainFn == nil {
+		return nil, errf(0, "no main function")
+	}
+	if _, err := ip.call(mainFn, nil); err != nil {
+		return nil, err
+	}
+	return ip.globals, nil
+}
+
+type interp struct {
+	mem     []uint16
+	budget  int
+	globals map[string]uint16
+	garrays map[string][]uint16
+	funcs   map[string]*function
+}
+
+// ctrl is the statement outcome.
+type ctrl uint8
+
+const (
+	ctrlNext ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type env struct {
+	vars   map[string]uint16
+	arrays map[string][]uint16
+	ret    uint16
+}
+
+func (ip *interp) tick(line int) error {
+	ip.budget--
+	if ip.budget <= 0 {
+		return errf(line, "interpreter step budget exhausted (infinite loop?)")
+	}
+	return nil
+}
+
+func (ip *interp) call(fn *function, args []uint16) (uint16, error) {
+	e := &env{vars: map[string]uint16{}, arrays: map[string][]uint16{}}
+	for i, p := range fn.params {
+		e.vars[p] = args[i]
+	}
+	for _, l := range fn.locals {
+		if l.size > 1 {
+			e.arrays[l.name] = make([]uint16, l.size)
+		} else {
+			e.vars[l.name] = 0
+		}
+	}
+	for _, s := range fn.body {
+		c, err := ip.stmt(e, s)
+		if err != nil {
+			return 0, err
+		}
+		if c == ctrlReturn {
+			return e.ret, nil
+		}
+	}
+	return 0, nil
+}
+
+// array resolves an array by name (locals shadow globals).
+func (ip *interp) array(e *env, name string, line int) ([]uint16, error) {
+	if a, ok := e.arrays[name]; ok {
+		return a, nil
+	}
+	if a, ok := ip.garrays[name]; ok {
+		return a, nil
+	}
+	return nil, errf(line, "%q is not an array", name)
+}
+
+func (ip *interp) stmt(e *env, s stmt) (ctrl, error) {
+	switch v := s.(type) {
+	case *assignStmt:
+		if err := ip.tick(v.line); err != nil {
+			return 0, err
+		}
+		val, err := ip.eval(e, v.expr)
+		if err != nil {
+			return 0, err
+		}
+		if _, ok := e.vars[v.name]; ok {
+			e.vars[v.name] = val
+		} else if _, ok := ip.globals[v.name]; ok {
+			ip.globals[v.name] = val
+		} else {
+			return 0, errf(v.line, "undefined variable %q", v.name)
+		}
+	case *memStmt:
+		addr, err := ip.eval(e, v.addr)
+		if err != nil {
+			return 0, err
+		}
+		val, err := ip.eval(e, v.expr)
+		if err != nil {
+			return 0, err
+		}
+		if int(addr) >= len(ip.mem) {
+			return 0, errf(v.line, "mem[%d] outside the test memory image", addr)
+		}
+		ip.mem[addr] = val
+	case *ifStmt:
+		cond, err := ip.eval(e, v.cond)
+		if err != nil {
+			return 0, err
+		}
+		body := v.then
+		if cond == 0 {
+			body = v.alts
+		}
+		for _, t := range body {
+			c, err := ip.stmt(e, t)
+			if err != nil || c != ctrlNext {
+				return c, err
+			}
+		}
+	case *indexStmt:
+		a, err := ip.array(e, v.name, v.line)
+		if err != nil {
+			return 0, err
+		}
+		idx, err := ip.eval(e, v.idx)
+		if err != nil {
+			return 0, err
+		}
+		if int(idx) >= len(a) {
+			return 0, errf(v.line, "index %d out of bounds for %q (len %d)", idx, v.name, len(a))
+		}
+		val, err := ip.eval(e, v.expr)
+		if err != nil {
+			return 0, err
+		}
+		a[idx] = val
+	case *forStmt:
+		if v.init != nil {
+			if _, err := ip.stmt(e, v.init); err != nil {
+				return 0, err
+			}
+		}
+	floop:
+		for {
+			if err := ip.tick(v.line); err != nil {
+				return 0, err
+			}
+			if v.cond != nil {
+				cond, err := ip.eval(e, v.cond)
+				if err != nil {
+					return 0, err
+				}
+				if cond == 0 {
+					break
+				}
+			}
+			for _, t := range v.body {
+				c, err := ip.stmt(e, t)
+				if err != nil {
+					return 0, err
+				}
+				switch c {
+				case ctrlBreak:
+					break floop
+				case ctrlContinue:
+					goto fpost
+				case ctrlReturn:
+					return ctrlReturn, nil
+				}
+			}
+		fpost:
+			if v.post != nil {
+				if _, err := ip.stmt(e, v.post); err != nil {
+					return 0, err
+				}
+			}
+		}
+	case *whileStmt:
+	loop:
+		for {
+			if err := ip.tick(v.line); err != nil {
+				return 0, err
+			}
+			cond, err := ip.eval(e, v.cond)
+			if err != nil {
+				return 0, err
+			}
+			if cond == 0 {
+				break
+			}
+			for _, t := range v.body {
+				c, err := ip.stmt(e, t)
+				if err != nil {
+					return 0, err
+				}
+				switch c {
+				case ctrlBreak:
+					break loop
+				case ctrlContinue:
+					continue loop
+				case ctrlReturn:
+					return ctrlReturn, nil
+				}
+			}
+		}
+	case *returnStmt:
+		if v.expr != nil {
+			val, err := ip.eval(e, v.expr)
+			if err != nil {
+				return 0, err
+			}
+			e.ret = val
+		} else {
+			e.ret = 0
+		}
+		return ctrlReturn, nil
+	case *exprStmt:
+		if _, err := ip.eval(e, v.expr); err != nil {
+			return 0, err
+		}
+	case *breakStmt:
+		return ctrlBreak, nil
+	case *continueStmt:
+		return ctrlContinue, nil
+	}
+	return ctrlNext, nil
+}
+
+func (ip *interp) eval(e *env, x expr) (uint16, error) {
+	switch v := x.(type) {
+	case *numExpr:
+		return v.val, nil
+	case *varExpr:
+		if val, ok := e.vars[v.name]; ok {
+			return val, nil
+		}
+		if val, ok := ip.globals[v.name]; ok {
+			return val, nil
+		}
+		return 0, errf(v.line, "undefined variable %q", v.name)
+	case *memExpr:
+		addr, err := ip.eval(e, v.addr)
+		if err != nil {
+			return 0, err
+		}
+		if int(addr) >= len(ip.mem) {
+			return 0, errf(v.line, "mem[%d] outside the test memory image", addr)
+		}
+		return ip.mem[addr], nil
+	case *indexExpr:
+		a, err := ip.array(e, v.name, v.line)
+		if err != nil {
+			return 0, err
+		}
+		idx, err := ip.eval(e, v.idx)
+		if err != nil {
+			return 0, err
+		}
+		if int(idx) >= len(a) {
+			return 0, errf(v.line, "index %d out of bounds for %q (len %d)", idx, v.name, len(a))
+		}
+		return a[idx], nil
+	case *unaryExpr:
+		val, err := ip.eval(e, v.x)
+		if err != nil {
+			return 0, err
+		}
+		switch v.op {
+		case "-":
+			return -val, nil
+		case "~":
+			return ^val, nil
+		case "!":
+			if val == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *binExpr:
+		return ip.evalBin(e, v)
+	case *callExpr:
+		fn, ok := ip.funcs[v.name]
+		if !ok {
+			return 0, errf(v.line, "call to undefined function %q", v.name)
+		}
+		if len(v.args) != len(fn.params) {
+			return 0, errf(v.line, "%s takes %d arguments, got %d", v.name, len(fn.params), len(v.args))
+		}
+		if err := ip.tick(v.line); err != nil {
+			return 0, err
+		}
+		args := make([]uint16, len(v.args))
+		for i, a := range v.args {
+			val, err := ip.eval(e, a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = val
+		}
+		return ip.call(fn, args)
+	}
+	return 0, fmt.Errorf("minic: unhandled expression %T", x)
+}
+
+func (ip *interp) evalBin(e *env, v *binExpr) (uint16, error) {
+	// Short-circuit forms first.
+	if v.op == "&&" || v.op == "||" {
+		a, err := ip.eval(e, v.x)
+		if err != nil {
+			return 0, err
+		}
+		if v.op == "&&" && a == 0 {
+			return 0, nil
+		}
+		if v.op == "||" && a != 0 {
+			return 1, nil
+		}
+		b, err := ip.eval(e, v.y)
+		if err != nil {
+			return 0, err
+		}
+		if b != 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	a, err := ip.eval(e, v.x)
+	if err != nil {
+		return 0, err
+	}
+	b, err := ip.eval(e, v.y)
+	if err != nil {
+		return 0, err
+	}
+	bool16 := func(c bool) uint16 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch v.op {
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		if b == 0 {
+			return 0xFFFF, nil // matches the div16 runtime
+		}
+		return a / b, nil
+	case "%":
+		if b == 0 {
+			return a, nil // matches the div16 runtime
+		}
+		return a % b, nil
+	case "&":
+		return a & b, nil
+	case "|":
+		return a | b, nil
+	case "^":
+		return a ^ b, nil
+	case "<<":
+		return a << (b & 0xF), nil
+	case ">>":
+		return a >> (b & 0xF), nil
+	case "==":
+		return bool16(a == b), nil
+	case "!=":
+		return bool16(a != b), nil
+	case "<":
+		return bool16(a < b), nil
+	case "<=":
+		return bool16(a <= b), nil
+	case ">":
+		return bool16(a > b), nil
+	case ">=":
+		return bool16(a >= b), nil
+	}
+	return 0, errf(v.line, "operator %q not implemented", v.op)
+}

@@ -1,0 +1,178 @@
+// Package minic is a small structured language compiled to DISC1
+// assembly — a concrete answer to §5's "numerous operating system,
+// compiler, and other software questions need to be addressed".
+//
+// The language is a C-like subset over 16-bit unsigned words:
+//
+//	var total;                     // globals live in internal memory
+//	func add(a, b) { return a + b; }
+//	func main() {
+//	    var i;
+//	    i = 0;
+//	    while (i < 10) {
+//	        total = add(total, i);
+//	        i = i + 1;
+//	    }
+//	    mem[0x80] = total;         // arbitrary addresses, incl. the bus
+//	}
+//
+// Statements: assignment, if/else, while, for(init; cond; post),
+// break/continue, return, mem[e] stores, array stores. Declarations:
+// `var x;` (scalars, with `var x = e;` sugar) and `var a[N];` (arrays,
+// in globals or function frames). Expressions: + - * / % & | ^ << >>,
+// comparisons, unary - ~ !, short-circuit && and ||, calls, a[i]
+// indexing and mem[e] loads. Division and modulo call asmlib's div16
+// runtime.
+//
+// Code generation targets the stack window directly (§3.5): expression
+// temporaries are pushed by moving the window up one register and
+// popped by arithmetic carrying the AWP-decrement suffix, so an
+// expression never spills temporaries to memory. Locals and parameters
+// get static internal-memory frames (functions are therefore not
+// reentrant — no recursion — which the compiler rejects), and results
+// return in G0.
+package minic
+
+import "fmt"
+
+// tokKind enumerates token types.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tNumber
+	tIdent
+	tKeyword
+	tPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  uint16 // for tNumber
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"var": true, "func": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true,
+	"continue": true, "mem": true,
+}
+
+// Error is a compile diagnostic tied to a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the whole source.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			start := i
+			base := 10
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				i += 2
+			}
+			v := uint32(0)
+			digits := 0
+			for i < len(src) {
+				d := digitVal(src[i])
+				if d < 0 || d >= base {
+					break
+				}
+				v = v*uint32(base) + uint32(d)
+				if v > 0xFFFF {
+					return nil, errf(line, "number %s... exceeds 16 bits", src[start:i+1])
+				}
+				digits++
+				i++
+			}
+			if digits == 0 {
+				return nil, errf(line, "malformed number")
+			}
+			toks = append(toks, token{kind: tNumber, text: src[start:i], val: uint16(v), line: line})
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentChar(src[i]) {
+				i++
+			}
+			text := src[start:i]
+			k := tIdent
+			if keywords[text] {
+				k = tKeyword
+			}
+			toks = append(toks, token{kind: k, text: text, line: line})
+		default:
+			// Multi-character operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "<<", ">>", "&&", "||":
+				toks = append(toks, token{kind: tPunct, text: two, line: line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>',
+				'=', '(', ')', '{', '}', '[', ']', ',', ';':
+				toks = append(toks, token{kind: tPunct, text: string(c), line: line})
+				i++
+			default:
+				return nil, errf(line, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tEOF, line: line})
+	return toks, nil
+}
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

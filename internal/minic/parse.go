@@ -1,0 +1,443 @@
+package minic
+
+// Recursive-descent parser with precedence climbing for expressions.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind != tEOF && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return errf(p.cur().line, "expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+// parse builds the program AST.
+func parse(toks []token) (*program, error) {
+	p := &parser{toks: toks}
+	prog := &program{}
+	for p.cur().kind != tEOF {
+		switch {
+		case p.accept("var"):
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, d)
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case p.accept("func"):
+			fn, err := p.function()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, fn)
+		default:
+			return nil, errf(p.cur().line, "expected 'var' or 'func', found %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return "", errf(t.line, "expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// varDecl parses NAME or NAME[N] after 'var'.
+func (p *parser) varDecl() (decl, error) {
+	line := p.cur().line
+	name, err := p.ident()
+	if err != nil {
+		return decl{}, err
+	}
+	d := decl{name: name, size: 1}
+	if p.accept("[") {
+		t := p.cur()
+		if t.kind != tNumber || t.val == 0 {
+			return decl{}, errf(line, "array size must be a positive number literal")
+		}
+		p.pos++
+		d.size = int(t.val)
+		if err := p.expect("]"); err != nil {
+			return decl{}, err
+		}
+	}
+	return d, nil
+}
+
+// simpleStmt parses an assignment / index-assignment / mem-store /
+// call statement WITHOUT the trailing semicolon (for for-headers).
+func (p *parser) simpleStmt() (stmt, error) {
+	t := p.cur()
+	if p.accept("mem") {
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		addr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &memStmt{addr: addr, expr: val, line: t.line}, nil
+	}
+	if t.kind != tIdent {
+		return nil, errf(t.line, "expected a statement, found %s", t)
+	}
+	name := p.next().text
+	if p.accept("[") {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &indexStmt{name: name, idx: idx, expr: val, line: t.line}, nil
+	}
+	if p.accept("=") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{name: name, expr: e, line: t.line}, nil
+	}
+	if p.cur().text == "(" {
+		call, err := p.callTail(name, t.line)
+		if err != nil {
+			return nil, err
+		}
+		return &exprStmt{expr: call, line: t.line}, nil
+	}
+	return nil, errf(t.line, "expected '=', '[' or '(' after %q", name)
+}
+
+func (p *parser) function() (*function, error) {
+	line := p.cur().line
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	fn := &function{name: name, line: line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.accept(")") {
+		if len(fn.params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		fn.params = append(fn.params, param)
+	}
+	body, err := p.block(fn)
+	if err != nil {
+		return nil, err
+	}
+	fn.body = body
+	return fn, nil
+}
+
+// block parses { stmt* }, collecting var declarations into fn.locals.
+func (p *parser) block(fn *function) ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.accept("}") {
+		if p.cur().kind == tEOF {
+			return nil, errf(p.cur().line, "unterminated block")
+		}
+		s, err := p.statement(fn)
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) statement(fn *function) (stmt, error) {
+	t := p.cur()
+	switch {
+	case p.accept("var"):
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		fn.locals = append(fn.locals, d)
+		// Optional initializer sugar: var x = e; (scalars only).
+		if p.accept("=") {
+			if d.size != 1 {
+				return nil, errf(t.line, "array %q cannot have an initializer", d.name)
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return &assignStmt{name: d.name, expr: e, line: t.line}, nil
+		}
+		return nil, p.expect(";")
+	case p.accept("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		f := &forStmt{line: t.line}
+		if !p.accept(";") {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			f.init = s
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(";") {
+			c, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.cond = c
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().text != ")" {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			f.post = s
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block(fn)
+		if err != nil {
+			return nil, err
+		}
+		f.body = body
+		return f, nil
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block(fn)
+		if err != nil {
+			return nil, err
+		}
+		var alts []stmt
+		if p.accept("else") {
+			if p.cur().text == "if" {
+				s, err := p.statement(fn)
+				if err != nil {
+					return nil, err
+				}
+				alts = []stmt{s}
+			} else {
+				alts, err = p.block(fn)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &ifStmt{cond: cond, then: then, alts: alts, line: t.line}, nil
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block(fn)
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: t.line}, nil
+	case p.accept("return"):
+		if p.accept(";") {
+			return &returnStmt{line: t.line}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &returnStmt{expr: e, line: t.line}, p.expect(";")
+	case p.accept("break"):
+		return &breakStmt{line: t.line}, p.expect(";")
+	case p.accept("continue"):
+		return &continueStmt{line: t.line}, p.expect(";")
+	case t.text == "mem" || t.kind == tIdent:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	}
+	return nil, errf(t.line, "unexpected %s", t)
+}
+
+// Operator precedence, lowest binds loosest.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := precedence[t.text]
+		if t.kind != tPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binExpr{op: t.text, x: lhs, y: rhs, line: t.line}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	switch t.text {
+	case "-", "~", "!":
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: t.text, x: x, line: t.line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tNumber:
+		p.pos++
+		return &numExpr{val: t.val, line: t.line}, nil
+	case t.text == "(":
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.text == "mem":
+		p.pos++
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		addr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &memExpr{addr: addr, line: t.line}, p.expect("]")
+	case t.kind == tIdent:
+		p.pos++
+		if p.cur().text == "(" {
+			return p.callTail(t.text, t.line)
+		}
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &indexExpr{name: t.text, idx: idx, line: t.line}, p.expect("]")
+		}
+		return &varExpr{name: t.text, line: t.line}, nil
+	}
+	return nil, errf(t.line, "unexpected %s in expression", t)
+}
+
+func (p *parser) callTail(name string, line int) (*callExpr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	call := &callExpr{name: name, line: line}
+	for !p.accept(")") {
+		if len(call.args) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		call.args = append(call.args, a)
+	}
+	return call, nil
+}

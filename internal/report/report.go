@@ -1,0 +1,60 @@
+// Package report renders fixed-width text tables in the style of the
+// paper's result tables, for cmd/experiments and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders a titled fixed-width table. The first row of cells is
+// rendered under the headers; column widths adapt to content.
+func Table(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", w, c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", w, c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// Pct formats a delta percentage with sign, one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", v) }

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableLayout(t *testing.T) {
+	out := Table("Title", []string{"name", "pd", "delta"}, [][]string{
+		{"load1", "0.306", "-15.5%"},
+		{"longer-name", "1.000", "+154.8%"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("rule %q", lines[2])
+	}
+	// Columns align: every data line has the same width.
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("rows unaligned:\n%q\n%q", lines[3], lines[4])
+	}
+	if !strings.Contains(lines[4], "longer-name") || !strings.Contains(lines[4], "+154.8%") {
+		t.Fatalf("row content: %q", lines[4])
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	out := Table("", []string{"a"}, [][]string{{"x"}})
+	if strings.HasPrefix(out, "\n") {
+		t.Fatal("empty title produced a leading blank line")
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	// A row with fewer cells than headers must not panic.
+	out := Table("t", []string{"a", "b"}, [][]string{{"only"}})
+	if !strings.Contains(out, "only") {
+		t.Fatal("short row dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.5, 3) != "0.500" {
+		t.Fatalf("F = %q", F(0.5, 3))
+	}
+	if Pct(12.34) != "+12.3%" || Pct(-5) != "-5.0%" {
+		t.Fatalf("Pct = %q / %q", Pct(12.34), Pct(-5))
+	}
+}

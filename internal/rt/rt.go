@@ -1,0 +1,274 @@
+// Package rt is the real-time systems layer of the reproduction: it
+// drives a core.Machine the way a controlled plant drives a controller
+// — stochastic and periodic interrupt sources, deadline accounting and
+// interrupt-latency measurement.
+//
+// The paper's central RTS arguments (§1, §3.4, §4.1) are that worst-
+// case — not average — latency matters, that a stream dedicated to an
+// interrupt starts executing almost immediately because its context is
+// already resident, and that throughput partitioning lets hard-deadline
+// tasks keep guaranteed slots while background work absorbs the rest.
+// This package measures all three on the simulated machine.
+package rt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"disc/internal/core"
+	"disc/internal/isa"
+)
+
+// Samples is a collection of latency measurements in cycles.
+type Samples []uint64
+
+// Min returns the smallest sample (0 for an empty set).
+func (s Samples) Min() uint64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample — the worst case the paper cares
+// about ("it is of no use for the average performance to meet these
+// requirements").
+func (s Samples) Max() uint64 {
+	var m uint64
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average latency.
+func (s Samples) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, v := range s {
+		sum += v
+	}
+	return float64(sum) / float64(len(s))
+}
+
+// Percentile returns the p-quantile (0 < p <= 1) by nearest rank.
+func (s Samples) Percentile(p float64) uint64 {
+	if len(s) == 0 {
+		return 0
+	}
+	cp := make(Samples, len(s))
+	copy(cp, s)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(p*float64(len(cp))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// MeasureDispatchLatency raises interrupt `bit` on `stream` `events`
+// times, `gap` cycles apart, and measures the cycles from each raise
+// until the stream enters the handler level (the hardware definition
+// of interrupt latency: the next instruction of that IS is the
+// handler's). The handler must RETI before the next event; events that
+// find the stream still at the handler level are skipped and reported.
+func MeasureDispatchLatency(m *core.Machine, stream int, bit uint8, events, gap int) (Samples, int, error) {
+	if stream < 0 || stream >= m.Streams() {
+		return nil, 0, fmt.Errorf("rt: stream %d out of range", stream)
+	}
+	if bit == 0 || bit >= isa.NumIRBits {
+		return nil, 0, fmt.Errorf("rt: bit %d is not a vectored level", bit)
+	}
+	if gap < 1 {
+		return nil, 0, fmt.Errorf("rt: gap must be positive")
+	}
+	var samples Samples
+	skipped := 0
+	for e := 0; e < events; e++ {
+		if m.Interrupts(stream).Level() == bit || m.Interrupts(stream).Test(bit) {
+			skipped++
+			m.Run(gap)
+			continue
+		}
+		raise := m.Cycle()
+		m.RaiseIRQ(uint8(stream), bit)
+		deadline := raise + uint64(gap)
+		for m.Interrupts(stream).Level() != bit {
+			if m.Cycle() >= deadline {
+				return samples, skipped, fmt.Errorf("rt: dispatch exceeded gap of %d cycles", gap)
+			}
+			m.Step()
+		}
+		samples = append(samples, m.Cycle()-raise)
+		// Let the handler finish the remainder of the gap.
+		ran := int(m.Cycle() - raise)
+		if ran < gap {
+			m.Run(gap - ran)
+		}
+	}
+	return samples, skipped, nil
+}
+
+// ConventionalLatency estimates the interrupt latency of a
+// conventional single-stream microcontroller with the same geometry:
+// the pipeline drains (pipeLen−1 cycles), the context — regs registers
+// — is saved to memory at (1+memWait) cycles per store, and the vector
+// is fetched. DISC avoids the save entirely because every stream's
+// context is resident (§3.1); this closed form is the baseline for the
+// latency experiment (EXPERIMENTS.md E11).
+func ConventionalLatency(pipeLen, regs, memWait int) uint64 {
+	drain := pipeLen - 1
+	save := regs * (1 + memWait)
+	vector := pipeLen // refill to the handler's first completion
+	return uint64(drain + save + vector)
+}
+
+// PeriodicTask binds a hard-deadline task to a stream and IR bit. The
+// handler program must increment the 16-bit counter at AckAddr in
+// internal memory exactly once per activation, then RETI.
+type PeriodicTask struct {
+	Name     string
+	Stream   int
+	Bit      uint8
+	Period   uint64 // cycles between activations
+	Deadline uint64 // cycles allowed from activation to Ack
+	AckAddr  uint16
+}
+
+// TaskResult reports one task's deadline behaviour.
+type TaskResult struct {
+	Name        string
+	Activations uint64
+	Completions uint64
+	Misses      uint64 // responses later than the deadline (or lost)
+	MaxResponse uint64
+}
+
+// MissRate returns misses per activation.
+func (t TaskResult) MissRate() float64 {
+	if t.Activations == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Activations)
+}
+
+// RunDeadlines drives the machine for the given number of cycles,
+// activating every task on its period and accounting responses against
+// deadlines. An activation that has not acknowledged by the time the
+// next one is due counts as a miss and is not re-stacked.
+func RunDeadlines(m *core.Machine, tasks []PeriodicTask, cycles uint64) ([]TaskResult, error) {
+	type state struct {
+		waiting  bool
+		raisedAt uint64
+		expect   uint16
+		nextDue  uint64
+	}
+	sts := make([]state, len(tasks))
+	results := make([]TaskResult, len(tasks))
+	for i, tk := range tasks {
+		if tk.Stream < 0 || tk.Stream >= m.Streams() {
+			return nil, fmt.Errorf("rt: task %s: stream %d out of range", tk.Name, tk.Stream)
+		}
+		if tk.Period == 0 {
+			return nil, fmt.Errorf("rt: task %s: zero period", tk.Name)
+		}
+		results[i].Name = tk.Name
+		sts[i].nextDue = tk.Period
+	}
+	start := m.Cycle()
+	for t := uint64(0); t < cycles; t++ {
+		now := m.Cycle() - start
+		for i := range tasks {
+			tk, st, res := &tasks[i], &sts[i], &results[i]
+			// Completion check.
+			if st.waiting && m.Internal().Read(tk.AckAddr) == st.expect {
+				resp := now - st.raisedAt
+				if resp > res.MaxResponse {
+					res.MaxResponse = resp
+				}
+				res.Completions++
+				if resp > tk.Deadline {
+					res.Misses++
+				}
+				st.waiting = false
+			}
+			// Next activation.
+			if now >= st.nextDue {
+				st.nextDue += tk.Period
+				if st.waiting {
+					// Previous activation still outstanding: a miss.
+					res.Misses++
+					res.Activations++
+					continue
+				}
+				res.Activations++
+				st.waiting = true
+				st.raisedAt = now
+				st.expect = m.Internal().Read(tk.AckAddr) + 1
+				m.RaiseIRQ(uint8(tk.Stream), tk.Bit)
+			}
+		}
+		m.Step()
+	}
+	// Account activations that never completed.
+	for i := range sts {
+		if sts[i].waiting {
+			results[i].Misses++
+		}
+	}
+	return results, nil
+}
+
+// Histogram renders the samples as a compact text histogram with the
+// given number of equal-width buckets — worst-case-oriented latency
+// reporting for EXPERIMENTS.md and the CLI.
+func (s Samples) Histogram(buckets int) string {
+	if len(s) == 0 || buckets < 1 {
+		return "(no samples)\n"
+	}
+	lo, hi := s.Min(), s.Max()
+	span := hi - lo + 1
+	width := (span + uint64(buckets) - 1) / uint64(buckets)
+	if width == 0 {
+		width = 1
+	}
+	counts := make([]int, buckets)
+	for _, v := range s {
+		b := int((v - lo) / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		bLo := lo + uint64(i)*width
+		bHi := bLo + width - 1
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", c*40/max)
+		}
+		fmt.Fprintf(&b, "%4d-%-4d |%-40s %d\n", bLo, bHi, bar, c)
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+// Package sched implements the DISC hardware scheduler (§3.1, §3.4).
+//
+// In a conventional processor the control unit selects the next
+// instruction in sequential order; in DISC a hardware scheduler selects
+// which *stream* supplies the next instruction. Static partitioning is
+// expressed as a slot table — DISC1 allocates computational power "in
+// increments as low as 1/16 of the total" (§3.7), so the table has 16
+// slots by default, each naming the stream that owns that slot.
+//
+// The *dynamic* part (§3.4, Figure 3.3) is what happens when the slot
+// owner is not ready (inactive, bus-waiting, or in a branch shadow):
+// the slot is immediately reallocated to a ready stream, chosen fairly
+// in round-robin order, so "the computation power of the processor can
+// be allocated between the multiple virtual processors in any way and
+// can dynamically reallocate the throughput when the instruction stream
+// scheduled to run is not ready".
+package sched
+
+import (
+	"fmt"
+
+	"disc/internal/isa"
+)
+
+// Scheduler is the slot-table instruction scheduler.
+type Scheduler struct {
+	slots    []int
+	nstream  int
+	cursor   int
+	rr       int // round-robin pointer for donated slots
+	priority bool
+
+	// Statistics, indexed by stream.
+	OwnIssues     []uint64 // instructions issued in the stream's own slot
+	DonatedIssues []uint64 // instructions issued in a slot donated by another stream
+	IdleSlots     uint64   // slots in which no stream was ready
+}
+
+// NewEven builds a scheduler that shares the slot table equally among
+// nstream streams.
+func NewEven(nstream int) *Scheduler {
+	slots := make([]int, isa.SchedSlots)
+	for i := range slots {
+		slots[i] = i % nstream
+	}
+	s, err := NewTable(slots, nstream)
+	if err != nil {
+		panic(err) // cannot happen: table is well-formed by construction
+	}
+	return s
+}
+
+// MaxStreams is the scheduler's own stream limit. It is deliberately
+// wider than the DISC1 machine's isa.NumStreams: the stochastic model
+// uses the same scheduler to study the §5 question of the optimum
+// number of streams, which requires sweeping past the hardware's four.
+// core.Config enforces the machine limit separately.
+const MaxStreams = 16
+
+// NewTable builds a scheduler from an explicit slot table. Slot values
+// must name streams below nstream.
+func NewTable(slots []int, nstream int) (*Scheduler, error) {
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("sched: empty slot table")
+	}
+	if nstream < 1 || nstream > MaxStreams {
+		return nil, fmt.Errorf("sched: %d streams outside 1..%d", nstream, MaxStreams)
+	}
+	for i, s := range slots {
+		if s < 0 || s >= nstream {
+			return nil, fmt.Errorf("sched: slot %d names stream %d outside 0..%d", i, s, nstream-1)
+		}
+	}
+	cp := make([]int, len(slots))
+	copy(cp, slots)
+	return &Scheduler{
+		slots:         cp,
+		nstream:       nstream,
+		cursor:        len(cp) - 1, // first Next advances to slot 0
+		OwnIssues:     make([]uint64, nstream),
+		DonatedIssues: make([]uint64, nstream),
+	}, nil
+}
+
+// NewShares builds a slot table from per-stream shares using smooth
+// weighted round-robin, so a partition like T/2, T/6, T/6, T/6 (§3.4's
+// example) interleaves evenly instead of bursting. Shares are relative
+// weights; the table length is isa.SchedSlots.
+func NewShares(shares []int) (*Scheduler, error) {
+	if len(shares) == 0 || len(shares) > MaxStreams {
+		return nil, fmt.Errorf("sched: %d shares outside 1..%d", len(shares), MaxStreams)
+	}
+	total := 0
+	for i, w := range shares {
+		if w < 0 {
+			return nil, fmt.Errorf("sched: negative share for stream %d", i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("sched: all shares zero")
+	}
+	// Smooth WRR: each step, add every weight to its running credit and
+	// emit the stream with the most credit, debiting it by the total.
+	credit := make([]int, len(shares))
+	slots := make([]int, isa.SchedSlots)
+	for k := range slots {
+		best := -1
+		for i, w := range shares {
+			credit[i] += w
+			if best == -1 || credit[i] > credit[best] {
+				best = i
+			}
+		}
+		credit[best] -= total
+		slots[k] = best
+	}
+	return NewTable(slots, len(shares))
+}
+
+// Slots returns a copy of the slot table.
+func (s *Scheduler) Slots() []int {
+	cp := make([]int, len(s.slots))
+	copy(cp, s.slots)
+	return cp
+}
+
+// NumStreams returns the number of streams the table schedules.
+func (s *Scheduler) NumStreams() int { return s.nstream }
+
+// Share returns stream i's static fraction of the slot table.
+func (s *Scheduler) Share(i int) float64 {
+	n := 0
+	for _, v := range s.slots {
+		if v == i {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.slots))
+}
+
+// Next advances to the next slot and selects the stream to issue from.
+// ready reports whether a stream can accept an issue this cycle. The
+// returned owner is the slot's static owner (for accounting and
+// Figure 3.3 rendering); ok is false when no stream at all is ready,
+// which is an idle pipeline slot.
+func (s *Scheduler) Next(ready func(stream int) bool) (stream, owner int, ok bool) {
+	if s.priority {
+		return s.nextPriority(ready)
+	}
+	s.cursor = (s.cursor + 1) % len(s.slots)
+	owner = s.slots[s.cursor]
+	if ready(owner) {
+		s.OwnIssues[owner]++
+		return owner, owner, true
+	}
+	// Dynamic reallocation: donate the slot to the next ready stream in
+	// round-robin order so no ready stream starves.
+	for k := 0; k < s.nstream; k++ {
+		s.rr = (s.rr + 1) % s.nstream
+		if s.rr != owner && ready(s.rr) {
+			s.DonatedIssues[s.rr]++
+			return s.rr, owner, true
+		}
+	}
+	s.IdleSlots++
+	return 0, owner, false
+}
+
+// ResetStats clears the issue counters without moving the cursor.
+func (s *Scheduler) ResetStats() {
+	for i := range s.OwnIssues {
+		s.OwnIssues[i] = 0
+		s.DonatedIssues[i] = 0
+	}
+	s.IdleSlots = 0
+}
+
+// NewPriority builds a strict-priority scheduler: every slot belongs
+// to stream 0, and donation order prefers lower-numbered streams —
+// stream 0 preempts everyone whenever it is ready, stream 1 runs in
+// its gaps, and so on. This realises the "preemptive" end of §3.1's
+// "several versions of real time scheduling models" (the slot table is
+// the "fixed" end, and mixing them is General scheduling).
+func NewPriority(nstream int) (*Scheduler, error) {
+	slots := make([]int, isa.SchedSlots)
+	s, err := NewTable(slots, nstream)
+	if err != nil {
+		return nil, err
+	}
+	s.priority = true
+	return s, nil
+}
+
+// nextPriority is Next's selection rule under strict priority.
+func (s *Scheduler) nextPriority(ready func(int) bool) (int, int, bool) {
+	for i := 0; i < s.nstream; i++ {
+		if ready(i) {
+			if i == 0 {
+				s.OwnIssues[0]++
+			} else {
+				s.DonatedIssues[i]++
+			}
+			return i, 0, true
+		}
+	}
+	s.IdleSlots++
+	return 0, 0, false
+}

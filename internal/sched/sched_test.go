@@ -1,0 +1,238 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"disc/internal/isa"
+)
+
+func allReady(int) bool  { return true }
+func noneReady(int) bool { return false }
+
+func TestNewEvenSharesEqually(t *testing.T) {
+	s := NewEven(4)
+	for i := 0; i < 4; i++ {
+		if got := s.Share(i); got != 0.25 {
+			t.Fatalf("Share(%d) = %v, want 0.25", i, got)
+		}
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(nil, 2); err == nil {
+		t.Fatal("empty table accepted")
+	}
+	if _, err := NewTable([]int{0, 2}, 2); err == nil {
+		t.Fatal("out-of-range stream accepted")
+	}
+	if _, err := NewTable([]int{0}, 0); err == nil {
+		t.Fatal("zero streams accepted")
+	}
+	if _, err := NewTable([]int{0}, MaxStreams+1); err == nil {
+		t.Fatal("too many streams accepted")
+	}
+	if _, err := NewTable([]int{0, 5}, 6); err != nil {
+		t.Fatalf("model-scale table rejected: %v", err)
+	}
+}
+
+func TestStaticRotationAllReady(t *testing.T) {
+	s, err := NewTable([]int{0, 1, 0, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 2, 0, 1, 0, 2}
+	for i, w := range want {
+		got, owner, ok := s.Next(allReady)
+		if !ok || got != w || owner != w {
+			t.Fatalf("step %d: got stream %d owner %d ok %v, want %d", i, got, owner, ok, w)
+		}
+	}
+}
+
+// TestPartitionExample reproduces §3.4's static partition: T/2 to IS1
+// and T/6 to each of IS2..IS4 (expressed as shares 3,1,1,1 here).
+func TestPartitionExample(t *testing.T) {
+	s, err := NewShares([]int{3, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Share(0); got != 0.5 {
+		t.Fatalf("stream 0 share = %v, want 0.5", got)
+	}
+	for i := 1; i < 4; i++ {
+		got := s.Share(i)
+		if got < 0.124 || got > 0.188 { // 2 or 3 of 16 slots
+			t.Fatalf("stream %d share = %v, want ~1/6", i, got)
+		}
+	}
+	// Smoothness: stream 0 must never wait more than 2 slots for its turn.
+	gap := 0
+	for i := 0; i < 64; i++ {
+		st, _, _ := s.Next(allReady)
+		if st == 0 {
+			gap = 0
+		} else {
+			gap++
+			if gap > 2 {
+				t.Fatalf("stream 0 starved for %d slots at step %d", gap, i)
+			}
+		}
+	}
+}
+
+// TestDynamicReallocation verifies Figure 3.3: when the slot owner is
+// not ready its throughput flows to the ready streams, and when only
+// one stream is active it receives the whole machine.
+func TestDynamicReallocation(t *testing.T) {
+	s, err := NewShares([]int{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlyTwo := func(st int) bool { return st == 2 }
+	for i := 0; i < 32; i++ {
+		got, _, ok := s.Next(onlyTwo)
+		if !ok || got != 2 {
+			t.Fatalf("step %d: stream %d ok=%v, want all slots to go to 2", i, got, ok)
+		}
+	}
+	// Static share of stream 2 was 1/4, but it received T.
+	if s.OwnIssues[2]+s.DonatedIssues[2] != 32 {
+		t.Fatalf("stream 2 got %d+%d slots", s.OwnIssues[2], s.DonatedIssues[2])
+	}
+	if s.DonatedIssues[2] == 0 {
+		t.Fatal("no donated slots recorded")
+	}
+}
+
+func TestIdleWhenNoneReady(t *testing.T) {
+	s := NewEven(2)
+	for i := 0; i < 5; i++ {
+		if _, _, ok := s.Next(noneReady); ok {
+			t.Fatal("scheduler issued with no ready stream")
+		}
+	}
+	if s.IdleSlots != 5 {
+		t.Fatalf("IdleSlots = %d, want 5", s.IdleSlots)
+	}
+}
+
+// TestDonationFairness: two equally-ready donees must split the
+// donated slots of an always-unready owner roughly evenly.
+func TestDonationFairness(t *testing.T) {
+	s, err := NewTable([]int{0, 0, 0, 0}, 3) // stream 0 owns everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	notZero := func(st int) bool { return st != 0 }
+	counts := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		st, owner, ok := s.Next(notZero)
+		if !ok || owner != 0 {
+			t.Fatal("expected a donated issue")
+		}
+		counts[st]++
+	}
+	if counts[1] != 500 || counts[2] != 500 {
+		t.Fatalf("unfair donation split: %v", counts)
+	}
+}
+
+func TestNewSharesValidation(t *testing.T) {
+	if _, err := NewShares(nil); err == nil {
+		t.Fatal("empty shares accepted")
+	}
+	if _, err := NewShares([]int{0, 0}); err == nil {
+		t.Fatal("all-zero shares accepted")
+	}
+	if _, err := NewShares([]int{-1, 2}); err == nil {
+		t.Fatal("negative share accepted")
+	}
+	if _, err := NewShares(make([]int, MaxStreams+1)); err == nil {
+		t.Fatal("too many shares accepted")
+	}
+	if s, err := NewShares([]int{1, 1, 1, 1, 1}); err != nil || s.NumStreams() != 5 {
+		t.Fatalf("five shares rejected: %v", err)
+	}
+}
+
+// TestSlotConservationProperty: with all streams ready, issues per
+// stream exactly match the static slot counts over whole table sweeps.
+func TestSlotConservationProperty(t *testing.T) {
+	f := func(w0, w1, w2 uint8) bool {
+		shares := []int{int(w0%5) + 1, int(w1 % 5), int(w2 % 5)}
+		s, err := NewShares(shares)
+		if err != nil {
+			return true
+		}
+		const sweeps = 7
+		for i := 0; i < sweeps*isa.SchedSlots; i++ {
+			if _, _, ok := s.Next(allReady); !ok {
+				return false
+			}
+		}
+		for st := 0; st < 3; st++ {
+			want := uint64(0)
+			for _, v := range s.Slots() {
+				if v == st {
+					want++
+				}
+			}
+			if s.OwnIssues[st] != want*sweeps || s.DonatedIssues[st] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	s := NewEven(2)
+	s.Next(allReady)
+	s.Next(noneReady)
+	s.ResetStats()
+	if s.OwnIssues[0] != 0 || s.IdleSlots != 0 {
+		t.Fatal("ResetStats left counters")
+	}
+}
+
+func TestSlotsReturnsCopy(t *testing.T) {
+	s := NewEven(2)
+	sl := s.Slots()
+	sl[0] = 99
+	if s.Slots()[0] == 99 {
+		t.Fatal("Slots exposed internal state")
+	}
+}
+
+func TestPriorityScheduler(t *testing.T) {
+	s, err := NewPriority(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 0 wins every slot while ready.
+	for i := 0; i < 10; i++ {
+		st, _, ok := s.Next(allReady)
+		if !ok || st != 0 {
+			t.Fatalf("priority gave stream %d", st)
+		}
+	}
+	// With 0 unready, 1 wins; with 0 and 1 unready, 2 wins.
+	only := func(k int) func(int) bool { return func(i int) bool { return i >= k } }
+	if st, _, _ := s.Next(only(1)); st != 1 {
+		t.Fatalf("expected stream 1, got %d", st)
+	}
+	if st, _, _ := s.Next(only(2)); st != 2 {
+		t.Fatalf("expected stream 2, got %d", st)
+	}
+	if _, _, ok := s.Next(noneReady); ok {
+		t.Fatal("issued with none ready")
+	}
+	if s.IdleSlots != 1 {
+		t.Fatalf("IdleSlots = %d", s.IdleSlots)
+	}
+}

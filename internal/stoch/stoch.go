@@ -1,0 +1,322 @@
+// Package stoch reimplements the paper's stochastic evaluation model
+// (§4.1) — the engine behind Tables 4.2 and 4.3.
+//
+// The model simulates the DISC1 sequencer at the slot level: a pipe of
+// pipe_length positions, one instruction issued per cycle from the
+// stream selected by the hardware scheduler, with Poisson-driven
+// workload processes (package workload) supplying the instruction mix.
+// Faithfully to §4.1:
+//
+//   - when a jump instruction takes place, all instructions in the pipe
+//     belonging to the same IS are flushed (the paper notes this
+//     simplifying assumption makes single-IS DISC *worse* than a plain
+//     single-stream machine);
+//   - an external request with non-zero access time flushes the same
+//     IS's in-flight instructions and puts the IS into a wait state
+//     while the asynchronous bus runs the access;
+//   - if the bus is busy when the request is made, the requesting
+//     instruction itself is flushed and the access is re-requested
+//     after the IS is reactivated;
+//   - completion of the bus access reactivates *all* waiting ISs.
+//
+// Processor utilization PD is completed instructions per cycle. The
+// companion package baseline computes Ps, the standard single-stream
+// processor's utilization, and Delta compares the two exactly as the
+// paper defines: delta = (PD − Ps)/Ps × 100%.
+package stoch
+
+import (
+	"fmt"
+
+	"disc/internal/rng"
+	"disc/internal/sched"
+	"disc/internal/workload"
+)
+
+// DefaultPipeLen matches DISC1's four-stage pipeline.
+const DefaultPipeLen = 4
+
+// DefaultCycles is long enough for ±1% run-to-run repeatability on the
+// paper's parameter sets.
+const DefaultCycles = 200000
+
+// Config describes one stochastic simulation run.
+type Config struct {
+	PipeLen int             // pipeline stages; 0 selects DefaultPipeLen
+	Cycles  uint64          // simulated cycles; 0 selects DefaultCycles
+	Seed    uint64          // RNG seed (runs are reproducible)
+	Slots   []int           // scheduler slot table; nil = even split
+	Streams []workload.Load // one load per instruction stream
+	// Buses is the number of independent asynchronous bus channels.
+	// DISC1 has one (the default); more channels model the §5
+	// "implementation technology" question of whether the single data
+	// bus is the scaling limit (ablation E15).
+	Buses int
+}
+
+// StreamResult is the per-stream outcome.
+type StreamResult struct {
+	Executed   uint64 // instructions completed
+	Flushed    uint64 // instructions lost to jump/wait flushes
+	Jumps      uint64 // flow-changing instructions completed
+	Requests   uint64 // external requests issued to the bus
+	Rejects    uint64 // requests that found the bus busy
+	WaitCycles uint64 // cycles spent in the wait state
+	OffCycles  uint64 // cycles with no work (inactive gaps)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Cycles    uint64
+	Executed  uint64
+	Flushed   uint64
+	IdleSlots uint64 // cycles with no ready stream
+	BusBusy   uint64 // cycles the data bus was occupied
+	// LiveCycles excludes dead time: cycles in which every stream was
+	// in an inactive gap with nothing in the pipe and the bus quiet.
+	// The paper's Ps denominator contains only work-related cycles
+	// (executable + bus busy + jump drops), so PD is measured over
+	// live cycles for a symmetric comparison.
+	LiveCycles uint64
+	PerStream  []StreamResult
+}
+
+// PD returns processor utilization: completed instructions per cycle
+// while there was any work in the system (see LiveCycles).
+func (r Result) PD() float64 {
+	if r.LiveCycles == 0 {
+		return 0
+	}
+	return float64(r.Executed) / float64(r.LiveCycles)
+}
+
+// PDTotal is utilization over every simulated cycle, dead time
+// included.
+func (r Result) PDTotal() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Executed) / float64(r.Cycles)
+}
+
+// Delta compares DISC utilization to a standard processor's, §4.1:
+// delta = (PD − Ps)/Ps × 100%.
+func Delta(pd, ps float64) float64 {
+	if ps == 0 {
+		return 0
+	}
+	return (pd - ps) / ps * 100
+}
+
+// pipe slot of the model.
+type slot struct {
+	valid   bool
+	is      int
+	kind    workload.Kind
+	latency int // for requests
+}
+
+// isState is a stream's runtime state.
+type isState struct {
+	proc     *workload.Process
+	waiting  bool
+	retry    bool // re-issue a flushed request after reactivation
+	retryLat int
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Streams) == 0 {
+		return Result{}, fmt.Errorf("stoch: no streams configured")
+	}
+	pipeLen := cfg.PipeLen
+	if pipeLen == 0 {
+		pipeLen = DefaultPipeLen
+	}
+	if pipeLen < 2 {
+		return Result{}, fmt.Errorf("stoch: pipe length %d < 2", pipeLen)
+	}
+	cycles := cfg.Cycles
+	if cycles == 0 {
+		cycles = DefaultCycles
+	}
+	var sc *sched.Scheduler
+	var err error
+	if cfg.Slots != nil {
+		sc, err = sched.NewTable(cfg.Slots, len(cfg.Streams))
+	} else {
+		sc = sched.NewEven(len(cfg.Streams))
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	buses := cfg.Buses
+	if buses == 0 {
+		buses = 1
+	}
+	if buses < 1 || buses > 8 {
+		return Result{}, fmt.Errorf("stoch: %d buses outside 1..8", buses)
+	}
+	root := rng.New(cfg.Seed)
+	streams := make([]*isState, len(cfg.Streams))
+	for i, l := range cfg.Streams {
+		if err := l.Validate(); err != nil {
+			return Result{}, err
+		}
+		streams[i] = &isState{proc: workload.NewProcess(l, root.Fork())}
+	}
+
+	res := Result{PerStream: make([]StreamResult, len(streams))}
+	pipe := make([]slot, pipeLen)
+	busBusy := make([]int, buses)
+	freeBus := func() int {
+		for i, b := range busBusy {
+			if b == 0 {
+				return i
+			}
+		}
+		return -1
+	}
+
+	ready := func(i int) bool {
+		s := streams[i]
+		return !s.waiting && s.proc.Active()
+	}
+
+	for c := uint64(0); c < cycles; c++ {
+		res.Cycles++
+
+		// Live-cycle accounting: dead means every stream is in an off
+		// gap, nothing is in flight and the bus is quiet.
+		dead := true
+		for _, b := range busBusy {
+			if b > 0 {
+				dead = false
+				break
+			}
+		}
+		if dead {
+			for _, s := range streams {
+				if s.waiting || s.proc.Active() {
+					dead = false
+					break
+				}
+			}
+		}
+		if dead {
+			for i := range pipe {
+				if pipe[i].valid {
+					dead = false
+					break
+				}
+			}
+		}
+		if !dead {
+			res.LiveCycles++
+		}
+
+		// Bus advance; any completion reactivates all waiting ISs
+		// (§3.6.1); with multiple channels the busy count sums them.
+		completed := false
+		for i := range busBusy {
+			if busBusy[i] > 0 {
+				busBusy[i]--
+				res.BusBusy++
+				if busBusy[i] == 0 {
+					completed = true
+				}
+			}
+		}
+		if completed {
+			for _, s := range streams {
+				s.waiting = false
+			}
+		}
+
+		// Complete the instruction leaving the pipe.
+		done := pipe[pipeLen-1]
+		copy(pipe[1:], pipe[:pipeLen-1])
+		pipe[0] = slot{}
+		if done.valid {
+			m := &res.PerStream[done.is]
+			s := streams[done.is]
+			switch done.kind {
+			case workload.KindJump:
+				// The jump takes place: flush every same-IS
+				// instruction still in the pipe.
+				res.Executed++
+				m.Executed++
+				m.Jumps++
+				for i := range pipe {
+					if pipe[i].valid && pipe[i].is == done.is {
+						pipe[i] = slot{}
+						res.Flushed++
+						m.Flushed++
+					}
+				}
+			case workload.KindRequest:
+				if done.latency <= 0 {
+					// Zero-time access: nothing blocks.
+					res.Executed++
+					m.Executed++
+					break
+				}
+				if ch := freeBus(); ch < 0 {
+					// All channels busy: this instruction is flushed
+					// (it does not complete) and the access is
+					// re-requested after reactivation.
+					res.Flushed++
+					m.Flushed++
+					m.Rejects++
+					s.waiting = true
+					s.retry = true
+					s.retryLat = done.latency
+				} else {
+					res.Executed++
+					m.Executed++
+					m.Requests++
+					busBusy[ch] = done.latency
+					s.waiting = true
+				}
+				// Either way the IS's other in-flight work flushes.
+				for i := range pipe {
+					if pipe[i].valid && pipe[i].is == done.is {
+						pipe[i] = slot{}
+						res.Flushed++
+						m.Flushed++
+					}
+				}
+			default:
+				res.Executed++
+				m.Executed++
+			}
+		}
+
+		// Idle/off bookkeeping and issue.
+		for i, s := range streams {
+			if s.waiting {
+				res.PerStream[i].WaitCycles++
+			} else if !s.proc.Active() {
+				s.proc.TickIdle()
+				res.PerStream[i].OffCycles++
+			}
+		}
+		id, _, ok := sc.Next(ready)
+		if !ok {
+			res.IdleSlots++
+			continue
+		}
+		s := streams[id]
+		var kind workload.Kind
+		var lat int
+		if s.retry {
+			kind, lat = workload.KindRequest, s.retryLat
+			s.retry = false
+		} else {
+			kind, lat = s.proc.Issue()
+		}
+		pipe[0] = slot{valid: true, is: id, kind: kind, latency: lat}
+	}
+	return res, nil
+}

@@ -1,0 +1,272 @@
+package stoch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"disc/internal/workload"
+)
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("no streams accepted")
+	}
+	if _, err := Run(Config{PipeLen: 1, Streams: []workload.Load{workload.Simple(workload.Ld1)}}); err == nil {
+		t.Fatal("pipe length 1 accepted")
+	}
+	if _, err := Run(Config{Slots: []int{5}, Streams: []workload.Load{workload.Simple(workload.Ld1)}}); err == nil {
+		t.Fatal("bad slot table accepted")
+	}
+	if _, err := Run(Config{Streams: []workload.Load{{Name: "bad"}}}); err == nil {
+		t.Fatal("invalid load accepted")
+	}
+}
+
+// TestPureComputeSingleStream: no jumps, no requests, always active —
+// one stream keeps the pipe full and PD is exactly 1.
+func TestPureComputeSingleStream(t *testing.T) {
+	pure := workload.Simple(workload.Params{Name: "pure"})
+	res := run(t, Config{Cycles: 10000, Streams: []workload.Load{pure}})
+	// The first pipeLen-1 cycles have nothing completing.
+	want := 1 - float64(DefaultPipeLen)/10000
+	if res.PD() < want {
+		t.Fatalf("pure PD = %.4f", res.PD())
+	}
+	if res.Flushed != 0 || res.BusBusy != 0 {
+		t.Fatalf("pure run had flushes/bus: %+v", res)
+	}
+}
+
+// TestJumpFlushCostSingleStream: with only jumps (aljmp=1) a single IS
+// flushes the whole pipe behind every jump; throughput collapses to
+// one instruction per pipe length.
+func TestJumpFlushCostSingleStream(t *testing.T) {
+	jumpy := workload.Simple(workload.Params{Name: "jumpy", AlJmp: 1})
+	res := run(t, Config{Cycles: 40000, Streams: []workload.Load{jumpy}})
+	want := 1.0 / float64(DefaultPipeLen)
+	if math.Abs(res.PD()-want) > 0.02 {
+		t.Fatalf("all-jump single-IS PD = %.4f, want ~%.3f", res.PD(), want)
+	}
+}
+
+// TestInterleavingRemovesJumpCost is Figure 3.2's claim in the
+// stochastic model: with pipe-length many streams, a jump finds no
+// same-IS instructions behind it, so nothing flushes.
+func TestInterleavingRemovesJumpCost(t *testing.T) {
+	jumpy := workload.Simple(workload.Params{Name: "jumpy", AlJmp: 1})
+	streams := []workload.Load{jumpy, jumpy, jumpy, jumpy}
+	res := run(t, Config{Cycles: 40000, Streams: streams})
+	if res.PD() < 0.99 {
+		t.Fatalf("4-stream all-jump PD = %.4f, want ~1", res.PD())
+	}
+	if res.Flushed != 0 {
+		t.Fatalf("flushes with full interleave: %d", res.Flushed)
+	}
+}
+
+// TestWaitOverlap: one I/O-bound stream plus one compute stream — the
+// compute stream must soak up the waiter's cycles.
+func TestWaitOverlap(t *testing.T) {
+	io := workload.Simple(workload.Params{Name: "io", MeanReq: 5, Alpha: 0, MeanIO: 50})
+	cpu := workload.Simple(workload.Params{Name: "cpu"})
+	res := run(t, Config{Cycles: 50000, Streams: []workload.Load{io, cpu}})
+	if res.PD() < 0.95 {
+		t.Fatalf("PD = %.4f; compute stream did not fill the waits", res.PD())
+	}
+	if res.PerStream[0].WaitCycles == 0 {
+		t.Fatal("io stream never waited")
+	}
+	if res.PerStream[1].Executed < res.PerStream[0].Executed {
+		t.Fatal("compute stream did not dominate")
+	}
+}
+
+// TestBusContention: two I/O-heavy streams share one bus; rejections
+// must occur and be recorded.
+func TestBusContention(t *testing.T) {
+	io := workload.Simple(workload.Params{Name: "io", MeanReq: 3, Alpha: 1, TMem: 30})
+	res := run(t, Config{Cycles: 50000, Streams: []workload.Load{io, io, io}})
+	rejects := res.PerStream[0].Rejects + res.PerStream[1].Rejects + res.PerStream[2].Rejects
+	if rejects == 0 {
+		t.Fatal("no bus rejections under heavy contention")
+	}
+	// The bus is the bottleneck: it should be busy most of the time.
+	if float64(res.BusBusy)/float64(res.Cycles) < 0.8 {
+		t.Fatalf("bus busy only %.2f of cycles", float64(res.BusBusy)/float64(res.Cycles))
+	}
+}
+
+// TestPDBoundsProperty: utilization is always within [0, 1] and
+// executed+flushed never exceeds issued slots (= cycles).
+func TestPDBoundsProperty(t *testing.T) {
+	f := func(seed uint64, nStreams, jmp, req uint8) bool {
+		n := int(nStreams%4) + 1
+		p := workload.Params{
+			Name:    "fuzz",
+			MeanOn:  float64(seed%100) + 1,
+			MeanOff: float64(seed % 60),
+			MeanReq: float64(req % 20),
+			Alpha:   0.5,
+			TMem:    int(seed % 7),
+			MeanIO:  float64(seed % 25),
+			AlJmp:   float64(jmp%100) / 100,
+		}
+		streams := make([]workload.Load, n)
+		for i := range streams {
+			streams[i] = workload.Simple(p)
+		}
+		res, err := Run(Config{Cycles: 3000, Seed: seed, Streams: streams})
+		if err != nil {
+			return false
+		}
+		pd := res.PD()
+		if pd < 0 || pd > 1.0001 {
+			return false
+		}
+		return res.Executed+res.Flushed <= res.Cycles && res.LiveCycles <= res.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Cycles:  20000,
+		Seed:    77,
+		Streams: []workload.Load{workload.Simple(workload.Ld1), workload.Simple(workload.Ld4)},
+	}
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if a.Executed != b.Executed || a.Flushed != b.Flushed || a.BusBusy != b.BusBusy {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestPartitioningImprovesUtilization is the headline of Table 4.2:
+// for an I/O-bound load, PD grows monotonically with the number of
+// streams the load is partitioned into.
+func TestPartitioningImprovesUtilization(t *testing.T) {
+	l := workload.Simple(workload.Ld1)
+	prev := 0.0
+	for k := 1; k <= 4; k++ {
+		streams := make([]workload.Load, k)
+		for i := range streams {
+			streams[i] = l
+		}
+		res := run(t, Config{Cycles: 100000, Seed: 5, Streams: streams})
+		pd := res.PD()
+		if pd < prev-0.01 {
+			t.Fatalf("PD fell from %.3f to %.3f at k=%d", prev, pd, k)
+		}
+		prev = pd
+	}
+	if prev < 0.5 {
+		t.Fatalf("4-way PD = %.3f, expected substantial recovery", prev)
+	}
+}
+
+// TestSchedulerSequenceRespected: an explicit 3:1 partition biases
+// per-stream completion counts accordingly when both streams are
+// compute-bound.
+func TestSchedulerSequenceRespected(t *testing.T) {
+	cpu := workload.Simple(workload.Params{Name: "cpu"})
+	res := run(t, Config{
+		Cycles:  40000,
+		Streams: []workload.Load{cpu, cpu},
+		Slots:   []int{0, 0, 0, 1},
+	})
+	r0 := float64(res.PerStream[0].Executed)
+	r1 := float64(res.PerStream[1].Executed)
+	if math.Abs(r0/(r0+r1)-0.75) > 0.02 {
+		t.Fatalf("partition not respected: %f vs %f", r0, r1)
+	}
+}
+
+// TestDynamicReallocationInModel: with the same 3:1 table but stream 0
+// mostly inactive, stream 1 absorbs the donated slots (Figure 3.3).
+func TestDynamicReallocationInModel(t *testing.T) {
+	mostlyOff := workload.Simple(workload.Params{Name: "off", MeanOn: 5, MeanOff: 500})
+	cpu := workload.Simple(workload.Params{Name: "cpu"})
+	res := run(t, Config{
+		Cycles:  40000,
+		Streams: []workload.Load{mostlyOff, cpu},
+		Slots:   []int{0, 0, 0, 1},
+	})
+	share := float64(res.PerStream[1].Executed) / float64(res.Executed)
+	if share < 0.95 {
+		t.Fatalf("active stream got only %.2f of completions", share)
+	}
+	if res.PD() < 0.95 {
+		t.Fatalf("PD = %.3f; donated slots wasted", res.PD())
+	}
+}
+
+func TestDeltaFormula(t *testing.T) {
+	if got := Delta(0.6, 0.4); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("Delta(0.6,0.4) = %v", got)
+	}
+	if got := Delta(0.2, 0.4); math.Abs(got+50) > 1e-9 {
+		t.Fatalf("Delta(0.2,0.4) = %v", got)
+	}
+	if Delta(1, 0) != 0 {
+		t.Fatal("Delta with zero Ps should be 0")
+	}
+}
+
+// TestLiveCyclesExcludeDeadTime: a single bursty stream leaves dead
+// gaps; PD over live cycles must exceed PD over all cycles.
+func TestLiveCyclesExcludeDeadTime(t *testing.T) {
+	bursty := workload.Simple(workload.Params{Name: "b", MeanOn: 20, MeanOff: 200})
+	res := run(t, Config{Cycles: 50000, Streams: []workload.Load{bursty}})
+	if res.LiveCycles >= res.Cycles {
+		t.Fatal("no dead time detected for a low-duty load")
+	}
+	if res.PD() <= res.PDTotal() {
+		t.Fatalf("PD(live)=%.3f <= PD(total)=%.3f", res.PD(), res.PDTotal())
+	}
+}
+
+// TestDualBusRelievesContention (ablation E15): doubling the bus
+// channels on an I/O-saturated 4-stream mix raises utilization and
+// cuts rejections — evidence that DISC1's single asynchronous bus is
+// the scaling limit the §5 "implementation technology" remark points
+// at.
+func TestDualBusRelievesContention(t *testing.T) {
+	io := workload.Simple(workload.Params{Name: "io", MeanReq: 4, Alpha: 1, TMem: 12})
+	streams := []workload.Load{io, io, io, io}
+	one := run(t, Config{Cycles: 50000, Seed: 3, Streams: streams, Buses: 1})
+	two := run(t, Config{Cycles: 50000, Seed: 3, Streams: streams, Buses: 2})
+	if two.PD() < one.PD()*1.3 {
+		t.Fatalf("second bus bought too little: %.3f -> %.3f", one.PD(), two.PD())
+	}
+	rej := func(r Result) (n uint64) {
+		for _, s := range r.PerStream {
+			n += s.Rejects
+		}
+		return
+	}
+	if rej(two) >= rej(one) {
+		t.Fatalf("rejections did not fall: %d -> %d", rej(one), rej(two))
+	}
+}
+
+func TestBusesValidation(t *testing.T) {
+	l := workload.Simple(workload.Ld1)
+	if _, err := Run(Config{Streams: []workload.Load{l}, Buses: 9}); err == nil {
+		t.Fatal("9 buses accepted")
+	}
+	if _, err := Run(Config{Streams: []workload.Load{l}, Buses: -1}); err == nil {
+		t.Fatal("negative buses accepted")
+	}
+}

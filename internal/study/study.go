@@ -1,0 +1,423 @@
+// Package study implements the paper's §5 "future work" analyses:
+//
+//   - StreamSweep — "future work should be done to evaluate the optimum
+//     number of instruction streams for a given application": sweep the
+//     stochastic model past DISC1's four streams and locate the knee
+//     where marginal utilization gain collapses.
+//
+//   - StackDepth — "the depth and size of memory usage in the stack
+//     windows could be evaluated by stochastic means": a random-walk
+//     call/return/interrupt model of the stack-window live span,
+//     measuring spill/fill traffic against the physical file depth.
+//
+//   - LatencyUnderLoad — "appropriate measures of interrupt latency
+//     need to be defined and modeled": dispatch latency measured on the
+//     cycle-accurate machine while 0..3 other streams saturate it,
+//     under both even and prioritised partitions.
+package study
+
+import (
+	"fmt"
+
+	"disc/internal/asm"
+	"disc/internal/core"
+	"disc/internal/isa"
+	"disc/internal/rng"
+	"disc/internal/rt"
+	"disc/internal/stoch"
+	"disc/internal/workload"
+)
+
+// SweepPoint is one entry of a stream-count sweep.
+type SweepPoint struct {
+	Streams  int
+	PD       float64
+	Marginal float64 // PD gain over the previous point
+}
+
+// StreamSweep partitions load across 1..maxStreams instruction streams
+// and reports PD at each width. Knee is the smallest stream count
+// whose marginal gain drops below threshold (0 if none does).
+func StreamSweep(load workload.Load, maxStreams int, cycles, seed uint64, pipeLen int, threshold float64) ([]SweepPoint, int, error) {
+	if maxStreams < 1 {
+		return nil, 0, fmt.Errorf("study: maxStreams %d < 1", maxStreams)
+	}
+	// Average a few independent seeds per point so the knee detection
+	// sees the trend, not monte-carlo jitter.
+	const reps = 3
+	points := make([]SweepPoint, 0, maxStreams)
+	prev := 0.0
+	knee := 0
+	for k := 1; k <= maxStreams; k++ {
+		streams := make([]workload.Load, k)
+		for i := range streams {
+			streams[i] = load
+		}
+		pd := 0.0
+		for r := 0; r < reps; r++ {
+			res, err := stoch.Run(stoch.Config{
+				PipeLen: pipeLen,
+				Cycles:  cycles,
+				Seed:    seed + uint64(k*101+r),
+				Streams: streams,
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			pd += res.PD()
+		}
+		pd /= reps
+		p := SweepPoint{Streams: k, PD: pd, Marginal: pd - prev}
+		prev = pd
+		points = append(points, p)
+		if knee == 0 && k > 1 && p.Marginal < threshold {
+			knee = k
+		}
+	}
+	return points, knee, nil
+}
+
+// StackParams configures the stack-window depth study.
+type StackParams struct {
+	PCall      float64 // per-instruction probability of a procedure call
+	MeanLocals float64 // mean locals allocated per frame (Poisson)
+	PIRQ       float64 // per-instruction probability of an interrupt entry
+	MeanISR    float64 // mean handler length in instructions
+	MaxDepth   int     // deepest call nesting the program reaches
+	Guard      int     // overflow guard band (registers)
+	SpillBatch int     // registers spilled/filled per fault
+	MemWait    int     // cycles per spilled register (1 + wait states)
+	Instrs     uint64  // instructions to simulate
+	Seed       uint64
+}
+
+// DefaultStackParams models RTS-flavoured code: a call every ~20
+// instructions, small frames, occasional interrupts.
+func DefaultStackParams() StackParams {
+	return StackParams{
+		PCall:      0.05,
+		MeanLocals: 3,
+		MaxDepth:   14,
+		PIRQ:       0.002,
+		MeanISR:    25,
+		Guard:      isa.WindowSize,
+		SpillBatch: isa.WindowSize,
+		MemWait:    4,
+		Instrs:     200000,
+		Seed:       7,
+	}
+}
+
+// StackResult is the outcome for one physical window depth.
+type StackResult struct {
+	Depth      int
+	Spills     uint64  // overflow faults
+	Fills      uint64  // underflow faults
+	MaxLive    int     // deepest live span observed
+	TrafficPct float64 // spill/fill cycles per 100 instructions
+	FaultPer1k float64 // faults per 1000 instructions
+}
+
+// StackDepth runs the random-walk model for each candidate depth.
+// Frames are pushed by calls (return address + SR analogue + locals)
+// and interrupt entries, popped by returns; a live span exceeding
+// depth−guard costs a spill (batch registers at 1+memWait cycles
+// each), and a return into spilled territory costs a fill.
+func StackDepth(p StackParams, depths []int) ([]StackResult, error) {
+	if p.PCall < 0 || p.PCall > 1 || p.PIRQ < 0 || p.PIRQ > 1 {
+		return nil, fmt.Errorf("study: probabilities outside [0,1]")
+	}
+	if p.SpillBatch < 1 {
+		return nil, fmt.Errorf("study: SpillBatch must be positive")
+	}
+	if p.MaxDepth < 1 {
+		return nil, fmt.Errorf("study: MaxDepth must be positive")
+	}
+	out := make([]StackResult, 0, len(depths))
+	for _, d := range depths {
+		if d < 2*isa.WindowSize {
+			return nil, fmt.Errorf("study: depth %d below the minimum window file", d)
+		}
+		src := rng.New(p.Seed)
+		res := StackResult{Depth: d}
+
+		var frames []int  // live frame sizes (call and ISR frames)
+		var isrLeft []int // remaining instructions per nested handler
+		awp := isa.WindowSize - 1
+		bos := -1
+		var trafficCycles uint64
+
+		push := func(size int) {
+			frames = append(frames, size)
+			awp += size
+			if live := awp - bos; live > res.MaxLive {
+				res.MaxLive = live
+			}
+			for awp-bos > d-p.Guard {
+				res.Spills++
+				bos += p.SpillBatch
+				trafficCycles += uint64(p.SpillBatch * p.MemWait)
+			}
+		}
+		pop := func() {
+			if len(frames) == 0 {
+				return
+			}
+			size := frames[len(frames)-1]
+			frames = frames[:len(frames)-1]
+			awp -= size
+			for awp-bos < isa.WindowSize && bos > -1 {
+				res.Fills++
+				bos -= p.SpillBatch
+				if bos < -1 {
+					bos = -1
+				}
+				trafficCycles += uint64(p.SpillBatch * p.MemWait)
+			}
+		}
+
+		for i := uint64(0); i < p.Instrs; i++ {
+			// Nested handlers retire first.
+			if n := len(isrLeft); n > 0 {
+				isrLeft[n-1]--
+				if isrLeft[n-1] <= 0 {
+					isrLeft = isrLeft[:n-1]
+					pop() // RETI pops the entry frame
+				}
+			} else if len(frames) > 0 && src.Bool(p.PCall) {
+				// Balanced walk with a depth cap: real programs nest
+				// finitely, so returns win once the cap is reached.
+				if len(frames) >= p.MaxDepth || src.Bool(0.5) {
+					pop()
+				} else {
+					push(1 + src.Poisson(p.MeanLocals))
+				}
+			} else if src.Bool(p.PCall) {
+				push(1 + src.Poisson(p.MeanLocals))
+			}
+			if src.Bool(p.PIRQ) {
+				push(2) // hardware entry: return PC + SR
+				n := src.Poisson(p.MeanISR)
+				if n < 1 {
+					n = 1
+				}
+				isrLeft = append(isrLeft, n)
+			}
+		}
+		res.TrafficPct = 100 * float64(trafficCycles) / float64(p.Instrs)
+		res.FaultPer1k = 1000 * float64(res.Spills+res.Fills) / float64(p.Instrs)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// LoadLatency is one row of the latency-under-load experiment.
+type LoadLatency struct {
+	BusyStreams int
+	Shares      string
+	Min, Max    uint64
+	Mean        float64
+}
+
+// LatencyUnderLoad measures dispatch latency for a stream dedicated to
+// an interrupt while busyStreams other streams saturate the machine,
+// for each partition in shares (nil entries mean an even split). The
+// dedicated stream is always stream busyStreams (the last one).
+func LatencyUnderLoad(busy []int, events int, shareSets [][]int) ([]LoadLatency, error) {
+	var out []LoadLatency
+	for _, nBusy := range busy {
+		if nBusy < 0 || nBusy+1 > isa.NumStreams {
+			return nil, fmt.Errorf("study: %d busy streams leaves no room for the handler stream", nBusy)
+		}
+		sets := shareSets
+		if sets == nil {
+			sets = [][]int{nil}
+		}
+		for _, shares := range sets {
+			lat, err := measureLoaded(nBusy, events, shares)
+			if err != nil {
+				return nil, err
+			}
+			label := "even"
+			if shares != nil {
+				label = fmt.Sprint(shares)
+			}
+			out = append(out, LoadLatency{
+				BusyStreams: nBusy,
+				Shares:      label,
+				Min:         lat.Min(),
+				Max:         lat.Max(),
+				Mean:        lat.Mean(),
+			})
+		}
+	}
+	return out, nil
+}
+
+func measureLoaded(nBusy, events int, shares []int) (rt.Samples, error) {
+	nStreams := nBusy + 1
+	cfg := core.Config{Streams: nStreams, VectorBase: 0x200}
+	if shares != nil {
+		if len(shares) != nStreams {
+			return nil, fmt.Errorf("study: %d shares for %d streams", len(shares), nStreams)
+		}
+		cfg.Shares = shares
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src := `
+.org 0
+busy:
+    ADDI R0, 1
+    ADDI R1, 1
+    ADDI R2, 1
+    JMP  busy
+`
+	handlerVec := 0x200 + 8*(nStreams-1) + 3
+	src += fmt.Sprintf(".org %#x\n    RETI\n", handlerVec)
+	im, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, sec := range im.Sections {
+		if err := m.LoadProgram(sec.Base, sec.Words); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < nBusy; i++ {
+		if err := m.StartStream(i, 0); err != nil {
+			return nil, err
+		}
+	}
+	m.Run(32)
+	samples, _, err := rt.MeasureDispatchLatency(m, nStreams-1, 3, events, 120)
+	return samples, err
+}
+
+// FixedWindowResult compares the paper's variable-size stack window
+// against RISC-I-style fixed windows at the same physical depth — the
+// §2 claim: register windows have "disadvantageous worst case
+// replacement behavior", so "we will propose a variable sized
+// multi-window organization".
+type FixedWindowResult struct {
+	Depth           int
+	VariableTraffic float64 // spill/fill cycles per 100 instructions
+	FixedTraffic    float64
+	Ratio           float64 // fixed / variable (>1: variable wins)
+}
+
+// FixedVsVariable runs the same call/interrupt random walk under both
+// organizations. The fixed organization charges a full window of
+// isa.WindowSize registers per call regardless of the frame's actual
+// size (minus a two-register overlap for argument passing, as RISC-I
+// does); the variable organization charges exactly the frame.
+func FixedVsVariable(p StackParams, depths []int) ([]FixedWindowResult, error) {
+	varRes, err := StackDepth(p, depths)
+	if err != nil {
+		return nil, err
+	}
+	fixed := p
+	fixedRes, err := stackDepthFixed(fixed, depths)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FixedWindowResult, len(depths))
+	for i := range depths {
+		r := FixedWindowResult{
+			Depth:           depths[i],
+			VariableTraffic: varRes[i].TrafficPct,
+			FixedTraffic:    fixedRes[i].TrafficPct,
+		}
+		if r.VariableTraffic > 0 {
+			r.Ratio = r.FixedTraffic / r.VariableTraffic
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// stackDepthFixed is StackDepth with every frame rounded up to a full
+// fixed window (overlap of 2 for parameters), interrupt entries
+// included.
+func stackDepthFixed(p StackParams, depths []int) ([]StackResult, error) {
+	const overlap = 2
+	fixedFrame := isa.WindowSize - overlap // net registers consumed per call
+	q := p
+	// Reuse the random walk by replaying it with the fixed frame cost:
+	// the call/return/interrupt *sequence* must be identical, so we run
+	// the same process and substitute sizes.
+	out := make([]StackResult, 0, len(depths))
+	for _, d := range depths {
+		if d < 2*isa.WindowSize {
+			return nil, fmt.Errorf("study: depth %d below the minimum window file", d)
+		}
+		src := rng.New(q.Seed)
+		res := StackResult{Depth: d}
+		var frames []int
+		var isrLeft []int
+		awp := isa.WindowSize - 1
+		bos := -1
+		var trafficCycles uint64
+		push := func(requested int) {
+			_ = requested // fixed organization ignores the actual frame size
+			size := fixedFrame
+			frames = append(frames, size)
+			awp += size
+			if live := awp - bos; live > res.MaxLive {
+				res.MaxLive = live
+			}
+			for awp-bos > d-q.Guard {
+				res.Spills++
+				bos += q.SpillBatch
+				trafficCycles += uint64(q.SpillBatch * q.MemWait)
+			}
+		}
+		pop := func() {
+			if len(frames) == 0 {
+				return
+			}
+			size := frames[len(frames)-1]
+			frames = frames[:len(frames)-1]
+			awp -= size
+			for awp-bos < isa.WindowSize && bos > -1 {
+				res.Fills++
+				bos -= q.SpillBatch
+				if bos < -1 {
+					bos = -1
+				}
+				trafficCycles += uint64(q.SpillBatch * q.MemWait)
+			}
+		}
+		for i := uint64(0); i < q.Instrs; i++ {
+			if n := len(isrLeft); n > 0 {
+				isrLeft[n-1]--
+				if isrLeft[n-1] <= 0 {
+					isrLeft = isrLeft[:n-1]
+					pop()
+				}
+			} else if len(frames) > 0 && src.Bool(q.PCall) {
+				if len(frames) >= q.MaxDepth || src.Bool(0.5) {
+					pop()
+				} else {
+					push(1 + src.Poisson(q.MeanLocals))
+				}
+			} else if src.Bool(q.PCall) {
+				push(1 + src.Poisson(q.MeanLocals))
+			}
+			if src.Bool(q.PIRQ) {
+				push(2)
+				n := src.Poisson(q.MeanISR)
+				if n < 1 {
+					n = 1
+				}
+				isrLeft = append(isrLeft, n)
+			}
+		}
+		res.TrafficPct = 100 * float64(trafficCycles) / float64(q.Instrs)
+		res.FaultPer1k = 1000 * float64(res.Spills+res.Fills) / float64(q.Instrs)
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package study
+
+import (
+	"testing"
+
+	"disc/internal/isa"
+	"disc/internal/workload"
+)
+
+func TestStreamSweepShape(t *testing.T) {
+	points, knee, err := StreamSweep(workload.Simple(workload.Ld1), 8, 40000, 3, 4, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("%d points", len(points))
+	}
+	// PD must be non-decreasing (within monte-carlo jitter) and the
+	// marginal gain must shrink: the 8th stream buys far less than the
+	// 2nd (the bus is a single shared resource).
+	for i := 1; i < len(points); i++ {
+		if points[i].PD < points[i-1].PD-0.03 {
+			t.Fatalf("PD fell at k=%d: %.3f -> %.3f", i+1, points[i-1].PD, points[i].PD)
+		}
+	}
+	if points[1].Marginal <= points[7].Marginal {
+		t.Fatalf("no diminishing returns: m2=%.3f m8=%.3f", points[1].Marginal, points[7].Marginal)
+	}
+	if knee == 0 {
+		t.Fatal("no knee found for an I/O-bound load in 8 streams")
+	}
+	if knee <= 2 {
+		t.Fatalf("knee at %d: load1 should profit from at least 3 streams", knee)
+	}
+}
+
+func TestStreamSweepValidation(t *testing.T) {
+	if _, _, err := StreamSweep(workload.Simple(workload.Ld1), 0, 1000, 1, 4, 0.01); err == nil {
+		t.Fatal("maxStreams 0 accepted")
+	}
+}
+
+func TestStreamSweepBeyondMachineWidth(t *testing.T) {
+	// The model must go past DISC1's 4 streams (that is the point of
+	// the §5 question).
+	points, _, err := StreamSweep(workload.Simple(workload.Ld1), 12, 20000, 9, 4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[11].Streams != 12 {
+		t.Fatal("sweep did not reach 12 streams")
+	}
+}
+
+func TestStackDepthShape(t *testing.T) {
+	p := DefaultStackParams()
+	p.Instrs = 100000
+	depths := []int{16, 32, 64, 128}
+	rows, err := StackDepth(p, depths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Deeper files spill less; traffic must be monotone non-increasing
+	// and essentially zero by 128 registers for RTS-sized frames.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TrafficPct > rows[i-1].TrafficPct+0.01 {
+			t.Fatalf("traffic rose with depth: %+v", rows)
+		}
+	}
+	if rows[0].Spills == 0 {
+		t.Fatal("16-register file never spilled under RTS load")
+	}
+	if rows[3].TrafficPct > rows[0].TrafficPct/2 {
+		t.Fatalf("128-deep file saves too little: %+v", rows)
+	}
+}
+
+func TestStackDepthValidation(t *testing.T) {
+	p := DefaultStackParams()
+	if _, err := StackDepth(p, []int{8}); err == nil {
+		t.Fatal("depth below minimum accepted")
+	}
+	p.PCall = 2
+	if _, err := StackDepth(p, []int{32}); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	p = DefaultStackParams()
+	p.SpillBatch = 0
+	if _, err := StackDepth(p, []int{32}); err == nil {
+		t.Fatal("zero spill batch accepted")
+	}
+}
+
+func TestStackDepthDeterminism(t *testing.T) {
+	p := DefaultStackParams()
+	p.Instrs = 30000
+	a, err := StackDepth(p, []int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StackDepth(p, []int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("non-deterministic: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestLatencyUnderLoad(t *testing.T) {
+	rows, err := LatencyUnderLoad([]int{0, 1, 3}, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// An idle machine dispatches fastest; even fully loaded, the
+	// dedicated stream must stay far under the conventional baseline.
+	if rows[0].Max > 6 {
+		t.Fatalf("idle-machine worst case %d cycles", rows[0].Max)
+	}
+	if rows[2].Max >= 67 {
+		t.Fatalf("loaded worst case %d not under conventional 67", rows[2].Max)
+	}
+	if rows[2].Mean < rows[0].Mean {
+		t.Fatalf("load did not increase latency: %+v", rows)
+	}
+}
+
+func TestLatencyUnderLoadShares(t *testing.T) {
+	// A generous share for the handler stream must not make latency
+	// worse than an even split.
+	rows, err := LatencyUnderLoad([]int{3}, 30, [][]int{nil, {1, 1, 1, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1].Max > rows[0].Max {
+		t.Fatalf("prioritised partition slower than even: %+v", rows)
+	}
+}
+
+func TestLatencyUnderLoadValidation(t *testing.T) {
+	if _, err := LatencyUnderLoad([]int{isa.NumStreams}, 5, nil); err == nil {
+		t.Fatal("busy count leaving no handler stream accepted")
+	}
+	if _, err := LatencyUnderLoad([]int{1}, 5, [][]int{{1, 2, 3}}); err == nil {
+		t.Fatal("mismatched shares accepted")
+	}
+}
+
+// TestFixedVsVariableWindows checks the §2 claim that motivated the
+// stack window: with RTS-sized frames (mean ~4 words), fixed full-size
+// windows waste registers and spill more at every realistic depth.
+func TestFixedVsVariableWindows(t *testing.T) {
+	p := DefaultStackParams()
+	p.Instrs = 100000
+	rows, err := FixedVsVariable(p, []int{32, 48, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.FixedTraffic <= r.VariableTraffic {
+			t.Fatalf("depth %d: fixed windows (%0.2f) did not cost more than variable (%0.2f)",
+				r.Depth, r.FixedTraffic, r.VariableTraffic)
+		}
+		if r.Ratio < 1.3 {
+			t.Fatalf("depth %d: advantage ratio only %.2f", r.Depth, r.Ratio)
+		}
+	}
+}
+
+func TestFixedVsVariableValidation(t *testing.T) {
+	p := DefaultStackParams()
+	if _, err := FixedVsVariable(p, []int{8}); err == nil {
+		t.Fatal("tiny depth accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Package tables regenerates the paper's evaluation tables (4.1, 4.2a,
+// 4.2b, 4.3a, 4.3b) from the stochastic model, the workload definitions
+// and the standard-processor baseline.
+//
+// The absolute numbers differ from the 1991 paper (whose numeric cells
+// did not survive OCR and whose exact parameters are reconstructed —
+// DESIGN.md §4), but each table preserves the published *shape*:
+// utilization grows with the degree of partitioning, delta is dramatic
+// when the standard processor is poor, and nearly nothing is gained on
+// an internal-memory DSP load that is already near peak.
+package tables
+
+import (
+	"fmt"
+
+	"disc/internal/baseline"
+	"disc/internal/stoch"
+	"disc/internal/workload"
+)
+
+// Opts controls simulation effort; zero values select defaults.
+type Opts struct {
+	Cycles  uint64
+	Seed    uint64
+	PipeLen int
+}
+
+func (o Opts) fill() Opts {
+	if o.Cycles == 0 {
+		o.Cycles = stoch.DefaultCycles
+	}
+	if o.PipeLen == 0 {
+		o.PipeLen = stoch.DefaultPipeLen
+	}
+	if o.Seed == 0 {
+		o.Seed = 1991
+	}
+	return o
+}
+
+// MaxStreams is the column count of Table 4.2 (DISC1 supports 4).
+const MaxStreams = 4
+
+// Table41Row is one row of the parameter table.
+type Table41Row struct {
+	Param  string
+	Values []string // one per load column
+}
+
+// Table41Columns names the load columns in paper order.
+var Table41Columns = []string{"Ld1", "Ld1:2", "Ld1:3", "Ld1:4", "Ld2", "Ld3", "Ld4"}
+
+// Table41 renders the (reconstructed) parameter sets. Combined loads
+// alternate their constituents' phases, so their cells show both.
+func Table41() []Table41Row {
+	loads := []workload.Load{
+		workload.Simple(workload.Ld1),
+		workload.Combine("load1:2", workload.Simple(workload.Ld1), workload.Simple(workload.Ld2)),
+		workload.Combine("load1:3", workload.Simple(workload.Ld1), workload.Simple(workload.Ld3)),
+		workload.Combine("load1:4", workload.Simple(workload.Ld1), workload.Simple(workload.Ld4)),
+		workload.Simple(workload.Ld2),
+		workload.Simple(workload.Ld3),
+		workload.Simple(workload.Ld4),
+	}
+	get := func(f func(workload.Params) string) []string {
+		out := make([]string, len(loads))
+		for i, l := range loads {
+			if len(l.Phases) == 1 {
+				out[i] = f(l.Phases[0])
+			} else {
+				out[i] = f(l.Phases[0]) + "/" + f(l.Phases[1])
+			}
+		}
+		return out
+	}
+	fnum := func(v float64) string {
+		if v <= 0 {
+			return "-"
+		}
+		return trim(fmt.Sprintf("%g", v))
+	}
+	return []Table41Row{
+		{"meanon", get(func(p workload.Params) string {
+			if p.MeanOn <= 0 {
+				return "always"
+			}
+			return fnum(p.MeanOn)
+		})},
+		{"meanoff", get(func(p workload.Params) string { return fnum(p.MeanOff) })},
+		{"mean_req", get(func(p workload.Params) string { return fnum(p.MeanReq) })},
+		{"alpha", get(func(p workload.Params) string { return trim(fmt.Sprintf("%.2f", p.Alpha)) })},
+		{"tmem", get(func(p workload.Params) string { return fmt.Sprintf("%d", p.TMem) })},
+		{"mean_io", get(func(p workload.Params) string { return fnum(p.MeanIO) })},
+		{"aljmp", get(func(p workload.Params) string { return trim(fmt.Sprintf("%.2f", p.AlJmp)) })},
+	}
+}
+
+func trim(s string) string { return s }
+
+// Table42Row is one load's sweep across 1..MaxStreams instruction
+// streams: PD per degree of partitioning, the baseline Ps and Delta.
+type Table42Row struct {
+	Load  string
+	PD    [MaxStreams]float64
+	Delta [MaxStreams]float64
+	Ps    float64
+}
+
+// Table42 reproduces Tables 4.2a (PD) and 4.2b (Delta): each of the
+// four loads is partitioned into 1..4 instruction streams.
+func Table42(o Opts) ([]Table42Row, error) {
+	o = o.fill()
+	var rows []Table42Row
+	for li, p := range workload.Base() {
+		l := workload.Simple(p)
+		base, err := baseline.Run(l, o.PipeLen, o.Cycles, o.Seed+uint64(li))
+		if err != nil {
+			return nil, err
+		}
+		row := Table42Row{Load: p.Name, Ps: base.Ps()}
+		for k := 1; k <= MaxStreams; k++ {
+			streams := make([]workload.Load, k)
+			for i := range streams {
+				streams[i] = l
+			}
+			res, err := stoch.Run(stoch.Config{
+				PipeLen: o.PipeLen,
+				Cycles:  o.Cycles,
+				Seed:    o.Seed + uint64(li*17+k),
+				Streams: streams,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.PD[k-1] = res.PD()
+			row.Delta[k-1] = stoch.Delta(res.PD(), row.Ps)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table43Configs names the four columns of Table 4.3.
+var Table43Configs = []string{"Combined", "Separated", "Three ISs", "Four ISs"}
+
+// Table43Row is one load pair's results across the four organizations.
+type Table43Row struct {
+	Pair  string
+	PD    [4]float64
+	Delta [4]float64
+	Ps    float64
+}
+
+// Table43 reproduces Tables 4.3a/4.3b: load 1 together with each other
+// load, first combined into a single IS, then one IS per load, then
+// with load 1 split in two, and finally with both loads split.
+func Table43(o Opts) ([]Table43Row, error) {
+	o = o.fill()
+	l1 := workload.Simple(workload.Ld1)
+	partners := []workload.Params{workload.Ld2, workload.Ld3, workload.Ld4}
+	var rows []Table43Row
+	for pi, p := range partners {
+		lx := workload.Simple(p)
+		comb := workload.Combine("1:"+p.Name, l1, lx)
+		base, err := baseline.Run(comb, o.PipeLen, o.Cycles, o.Seed+100+uint64(pi))
+		if err != nil {
+			return nil, err
+		}
+		row := Table43Row{Pair: "1:" + trimLoad(p.Name), Ps: base.Ps()}
+		configs := [][]workload.Load{
+			{comb},
+			{l1, lx},
+			{l1, l1, lx},
+			{l1, l1, lx, lx},
+		}
+		for ci, streams := range configs {
+			res, err := stoch.Run(stoch.Config{
+				PipeLen: o.PipeLen,
+				Cycles:  o.Cycles,
+				Seed:    o.Seed + uint64(200+pi*7+ci),
+				Streams: streams,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.PD[ci] = res.PD()
+			row.Delta[ci] = stoch.Delta(res.PD(), row.Ps)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// trimLoad shortens "load4" to "4" for the pair labels.
+func trimLoad(name string) string {
+	if len(name) > 4 && name[:4] == "load" {
+		return name[4:]
+	}
+	return name
+}

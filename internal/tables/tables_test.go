@@ -1,0 +1,118 @@
+package tables
+
+import (
+	"testing"
+)
+
+// Short runs keep the test suite fast while still exposing the shapes
+// the assertions check; the benchmarks and cmd/experiments use the
+// full default cycle counts.
+var testOpts = Opts{Cycles: 60000, Seed: 1991}
+
+func TestTable41Shape(t *testing.T) {
+	rows := Table41()
+	if len(rows) != 7 {
+		t.Fatalf("%d parameter rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Values) != len(Table41Columns) {
+			t.Fatalf("row %s has %d values, want %d", r.Param, len(r.Values), len(Table41Columns))
+		}
+		for _, v := range r.Values {
+			if v == "" {
+				t.Fatalf("row %s has an empty cell", r.Param)
+			}
+		}
+	}
+	// Combined loads must show both constituents.
+	if rows[0].Values[1] == rows[0].Values[0] {
+		t.Fatalf("combined column identical to simple: %q", rows[0].Values[1])
+	}
+}
+
+func TestTable42Shapes(t *testing.T) {
+	rows, err := Table42(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		// §4.2: "as the degree of partitioning increases, so does the
+		// utilization" (small monte-carlo jitter tolerated).
+		for k := 1; k < MaxStreams; k++ {
+			if r.PD[k] < r.PD[k-1]-0.03 {
+				t.Errorf("%s: PD fell from %.3f (k=%d) to %.3f (k=%d)",
+					r.Load, r.PD[k-1], k, r.PD[k], k+1)
+			}
+		}
+		for k := 0; k < MaxStreams; k++ {
+			if r.PD[k] < 0 || r.PD[k] > 1.0001 {
+				t.Errorf("%s: PD[%d] = %v out of range", r.Load, k, r.PD[k])
+			}
+		}
+	}
+	// load1 (I/O bound, always active): dramatic improvement by k=4.
+	if rows[0].Delta[3] < 20 {
+		t.Errorf("load1 delta at k=4 = %.1f, want strongly positive", rows[0].Delta[3])
+	}
+	// load3 (DSP, already near peak): single-stream PD high, gains modest.
+	if rows[2].PD[0] < 0.8 {
+		t.Errorf("load3 single-IS PD = %.3f, want high", rows[2].PD[0])
+	}
+	if rows[2].Delta[3] > 25 {
+		t.Errorf("load3 delta at k=4 = %.1f, want modest", rows[2].Delta[3])
+	}
+	// Single-IS DISC is *not better* than the standard machine (the
+	// paper's conservative flush assumption).
+	for _, r := range rows {
+		if r.Delta[0] > 5 {
+			t.Errorf("%s: single-IS delta = %.1f, expected <= ~0", r.Load, r.Delta[0])
+		}
+	}
+}
+
+func TestTable43Shapes(t *testing.T) {
+	rows, err := Table43(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		// Separating the combined load into two ISs must beat the
+		// single-IS combination (§4.2: "dramatic as long as at least
+		// two ISs are enabled").
+		if r.PD[1] <= r.PD[0] {
+			t.Errorf("%s: separated PD %.3f <= combined PD %.3f", r.Pair, r.PD[1], r.PD[0])
+		}
+		if r.Delta[1] <= r.Delta[0] {
+			t.Errorf("%s: delta did not improve with separation", r.Pair)
+		}
+	}
+}
+
+func TestTablesDeterministic(t *testing.T) {
+	a, err := Table42(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table42(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestOptsDefaults(t *testing.T) {
+	o := Opts{}.fill()
+	if o.Cycles == 0 || o.PipeLen == 0 || o.Seed == 0 {
+		t.Fatalf("fill left zero values: %+v", o)
+	}
+}

@@ -1,0 +1,156 @@
+// Package trace records pipeline occupancy from a running machine and
+// renders the paper's pipeline diagrams: Figure 3.1 (an interleaved
+// pipeline), Figure 3.2 (interleave during a jump — no other
+// instruction of the jumping stream is in the pipe) and Figure 3.3
+// (dynamic reallocation of throughput between streams over time).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"disc/internal/core"
+	"disc/internal/isa"
+)
+
+// CycleRecord is one cycle's pipeline snapshot.
+type CycleRecord struct {
+	Cycle  uint64
+	Stages [isa.PipeDepth]core.SlotView
+}
+
+// Recorder accumulates per-cycle snapshots.
+type Recorder struct {
+	Records []CycleRecord
+}
+
+// Record steps the machine n cycles, snapshotting after each step.
+func Record(m *core.Machine, n int) *Recorder {
+	r := &Recorder{Records: make([]CycleRecord, 0, n)}
+	for i := 0; i < n; i++ {
+		m.Step()
+		r.Records = append(r.Records, CycleRecord{Cycle: m.Cycle(), Stages: m.PipeView()})
+	}
+	return r
+}
+
+// label renders a pipeline slot in the paper's "a1" style: a letter
+// derived from the instruction address and the 1-based stream number —
+// "a1 indicates instruction a running on instruction stream 1".
+func label(v core.SlotView) string {
+	if !v.Valid {
+		return "--"
+	}
+	if v.IntEntry {
+		return fmt.Sprintf("I%d", v.Stream+1)
+	}
+	return fmt.Sprintf("%c%d", 'a'+rune(v.PC%26), v.Stream+1)
+}
+
+// RenderPipeline draws stage rows against cycle columns, newest cycles
+// to the right — the layout of Figures 3.1 and 3.2.
+func (r *Recorder) RenderPipeline() string {
+	var b strings.Builder
+	b.WriteString("cycle")
+	for _, rec := range r.Records {
+		fmt.Fprintf(&b, " %4d", rec.Cycle)
+	}
+	b.WriteByte('\n')
+	for stage := 0; stage < isa.PipeDepth; stage++ {
+		fmt.Fprintf(&b, "%5s", core.StageNames[stage])
+		for _, rec := range r.Records {
+			fmt.Fprintf(&b, " %4s", label(rec.Stages[stage]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// StreamsSeen lists the streams that appear anywhere in the recording.
+func (r *Recorder) StreamsSeen() []int {
+	seen := map[int]bool{}
+	for _, rec := range r.Records {
+		for _, st := range rec.Stages {
+			if st.Valid {
+				seen[st.Stream] = true
+			}
+		}
+	}
+	out := []int{}
+	for i := 0; i < isa.NumStreams; i++ {
+		if seen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OnlyStreamInPipe verifies the Figure 3.2 property for a window of
+// the recording: whenever stream s occupies a stage, no *other* stage
+// holds stream s at the same cycle (at most one in-flight instruction).
+func (r *Recorder) OnlyStreamInPipe(s int, from, to int) bool {
+	for i := from; i < to && i < len(r.Records); i++ {
+		n := 0
+		for _, st := range r.Records[i].Stages {
+			if st.Valid && st.Stream == s {
+				n++
+			}
+		}
+		if n > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ThroughputSeries measures each stream's share of retired
+// instructions over successive intervals — the data behind Figure 3.3.
+// It steps the machine intervals×intervalLen cycles.
+func ThroughputSeries(m *core.Machine, intervals, intervalLen int) [][]float64 {
+	out := make([][]float64, intervals)
+	prev := make([]uint64, m.Streams())
+	for i := range prev {
+		prev[i] = m.Retired(i)
+	}
+	for iv := 0; iv < intervals; iv++ {
+		m.Run(intervalLen)
+		row := make([]float64, m.Streams())
+		for s := 0; s < m.Streams(); s++ {
+			now := m.Retired(s)
+			row[s] = float64(now-prev[s]) / float64(intervalLen)
+			prev[s] = now
+		}
+		out[iv] = row
+	}
+	return out
+}
+
+// RenderThroughput draws the Figure 3.3 diagram: one row per stream,
+// one column per interval, each cell a 0..9 digit giving that stream's
+// tenth of the machine's throughput in the interval ('.' = idle).
+func RenderThroughput(series [][]float64) string {
+	if len(series) == 0 {
+		return ""
+	}
+	nStreams := len(series[0])
+	var b strings.Builder
+	for s := 0; s < nStreams; s++ {
+		fmt.Fprintf(&b, "IS%d |", s+1)
+		for _, row := range series {
+			v := row[s]
+			switch {
+			case v <= 0.001:
+				b.WriteString(" .")
+			case v >= 0.95:
+				b.WriteString(" T") // the whole machine
+			default:
+				fmt.Fprintf(&b, " %d", int(v*10))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("    +")
+	b.WriteString(strings.Repeat("--", len(series)))
+	fmt.Fprintf(&b, "> time (%d intervals)\n", len(series))
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"disc/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Name: "a", Alpha: -0.1},
+		{Name: "b", Alpha: 1.1},
+		{Name: "c", AlJmp: 2},
+		{Name: "d", TMem: -1},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("%s accepted", p.Name)
+		}
+	}
+	for _, p := range Base() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("base load rejected: %v", err)
+		}
+	}
+	if (Load{Name: "empty"}).Validate() == nil {
+		t.Error("empty load accepted")
+	}
+	for _, l := range Combined() {
+		if err := l.Validate(); err != nil {
+			t.Errorf("combined load rejected: %v", err)
+		}
+	}
+}
+
+func TestAlwaysActiveLoadNeverIdles(t *testing.T) {
+	p := NewProcess(Simple(Ld1), rng.New(1))
+	for i := 0; i < 10000; i++ {
+		if !p.Active() {
+			t.Fatal("always-active load went inactive")
+		}
+		p.Issue()
+	}
+}
+
+func TestOnOffDutyCycle(t *testing.T) {
+	// Ld2 has meanon == meanoff == 50: over a long run, roughly half
+	// the time steps should be active.
+	p := NewProcess(Simple(Ld2), rng.New(7))
+	active, total := 0, 200000
+	for i := 0; i < total; i++ {
+		if p.Active() {
+			active++
+			p.Issue()
+		} else {
+			p.TickIdle()
+		}
+	}
+	duty := float64(active) / float64(total)
+	if math.Abs(duty-0.5) > 0.05 {
+		t.Fatalf("duty cycle = %.3f, want ~0.5", duty)
+	}
+}
+
+func TestJumpFraction(t *testing.T) {
+	p := NewProcess(Simple(Ld3), rng.New(3))
+	jumps, n := 0, 100000
+	for i := 0; i < n; i++ {
+		kind, _ := p.Issue()
+		if kind == KindJump {
+			jumps++
+		}
+	}
+	frac := float64(jumps) / float64(n)
+	if math.Abs(frac-Ld3.AlJmp) > 0.01 {
+		t.Fatalf("jump fraction = %.4f, want ~%.2f", frac, Ld3.AlJmp)
+	}
+}
+
+func TestRequestSpacingAndMix(t *testing.T) {
+	p := NewProcess(Simple(Ld1), rng.New(11))
+	reqs, mem, n := 0, 0, 200000
+	var totalLat int
+	for i := 0; i < n; i++ {
+		kind, lat := p.Issue()
+		if kind == KindRequest {
+			reqs++
+			if lat == Ld1.TMem {
+				mem++
+			} else {
+				totalLat += lat
+			}
+		}
+	}
+	spacing := float64(n) / float64(reqs)
+	if math.Abs(spacing-Ld1.MeanReq) > 1 {
+		t.Fatalf("request spacing = %.2f, want ~%.0f", spacing, Ld1.MeanReq)
+	}
+	memFrac := float64(mem) / float64(reqs)
+	if math.Abs(memFrac-Ld1.Alpha) > 0.05 {
+		t.Fatalf("memory fraction = %.3f, want ~%.2f", memFrac, Ld1.Alpha)
+	}
+	ioCount := reqs - mem
+	if ioCount > 0 {
+		meanIO := float64(totalLat) / float64(ioCount)
+		if math.Abs(meanIO-Ld1.MeanIO) > 2 {
+			t.Fatalf("mean io = %.2f, want ~%.0f", meanIO, Ld1.MeanIO)
+		}
+	}
+}
+
+func TestNoRequestsWhenMeanReqZero(t *testing.T) {
+	p := NewProcess(Simple(Ld3), rng.New(5))
+	for i := 0; i < 50000; i++ {
+		if kind, _ := p.Issue(); kind == KindRequest {
+			t.Fatal("internal-only load issued an external request")
+		}
+	}
+}
+
+// TestCombinedAlternates: a composite of an always-active and a bursty
+// load must exhibit phases of both behaviours — in particular it must
+// sometimes idle (Ld4 gaps) and must issue external requests at Ld1's
+// spacing during Ld1 phases.
+func TestCombinedAlternates(t *testing.T) {
+	l := Combine("1:4", Simple(Ld1), Simple(Ld4))
+	p := NewProcess(l, rng.New(13))
+	idle, steps := 0, 300000
+	reqs := 0
+	for i := 0; i < steps; i++ {
+		if p.Active() {
+			if kind, _ := p.Issue(); kind == KindRequest {
+				reqs++
+			}
+		} else {
+			p.TickIdle()
+			idle++
+		}
+	}
+	if idle == 0 {
+		t.Fatal("composite never idled despite Ld4 phases")
+	}
+	if idle > steps/2 {
+		t.Fatalf("composite idle %d of %d steps; Ld1 phases missing", idle, steps)
+	}
+	if reqs == 0 {
+		t.Fatal("composite issued no external requests")
+	}
+}
+
+func TestCombineName(t *testing.T) {
+	l := Combine("xy", Simple(Ld1), Simple(Ld2))
+	if l.Name != "xy" || len(l.Phases) != 2 {
+		t.Fatalf("combine wrong: %+v", l)
+	}
+}
+
+func TestProcessDeterminism(t *testing.T) {
+	a := NewProcess(Simple(Ld4), rng.New(42))
+	b := NewProcess(Simple(Ld4), rng.New(42))
+	for i := 0; i < 10000; i++ {
+		if a.Active() != b.Active() {
+			t.Fatal("activity diverged")
+		}
+		if a.Active() {
+			ka, la := a.Issue()
+			kb, lb := b.Issue()
+			if ka != kb || la != lb {
+				t.Fatal("issue sequence diverged")
+			}
+		} else {
+			a.TickIdle()
+			b.TickIdle()
+		}
+	}
+}

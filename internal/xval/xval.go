@@ -1,0 +1,178 @@
+// Package xval cross-validates the two independent implementations of
+// DISC in this repository: the §4.1 stochastic sequencer model and the
+// cycle-accurate machine. It generates real DISC1 programs whose
+// instruction statistics match a workload parameter set — the same
+// aljmp jump fraction, the same external-request spacing, the same
+// memory/I-O latency mix — runs them on the machine, and compares the
+// measured utilization against the model's PD for the same parameters.
+//
+// The two implementations are not expected to coincide exactly. The
+// §4.1 model is deliberately conservative (the paper itself notes its
+// simplifying flush assumption "makes DISC performance worse"), in
+// three ways the machine does not share:
+//
+//   - jumps flush every same-stream instruction in the pipe (up to
+//     pipe−1 slots); the machine's fetch shadow costs 2 slots that
+//     other ready streams absorb;
+//   - a request that finds the bus busy is flushed at pipe *exit* and
+//     must traverse the whole pipe again after reactivation, leaving
+//     pipe-length dead cycles between bus transactions under
+//     contention; the machine re-fetches and re-posts from EX;
+//   - the flushed work around every wait costs issue slots the model
+//     never recovers.
+//
+// The machine therefore reads consistently *higher*, by ~0.1 PD at one
+// stream and up to ~0.3 under four-way bus contention. What must hold
+// — and what the tests check — is that the model is a sound lower
+// bound, that both improve monotonically with partitioning, and that
+// the relative gains agree in direction and rough magnitude. The
+// paper's published numbers come from the model, so its tables are,
+// per this cross-validation, *understating* DISC.
+package xval
+
+import (
+	"fmt"
+	"strings"
+
+	"disc/internal/asm"
+	"disc/internal/bus"
+	"disc/internal/core"
+	"disc/internal/isa"
+	"disc/internal/rng"
+	"disc/internal/stoch"
+	"disc/internal/workload"
+)
+
+// Result compares one configuration.
+type Result struct {
+	Streams   int
+	MachinePD float64
+	ModelPD   float64
+}
+
+// Gap returns machine PD minus model PD.
+func (r Result) Gap() float64 { return r.MachinePD - r.ModelPD }
+
+// Sweep runs the comparison for each stream count in ks.
+func Sweep(p workload.Params, ks []int, cycles uint64, seed uint64) ([]Result, error) {
+	if p.MeanOff > 0 || p.MeanOn > 0 {
+		return nil, fmt.Errorf("xval: only always-active loads are program-generatable")
+	}
+	var out []Result
+	for _, k := range ks {
+		if k < 1 || k > isa.NumStreams {
+			return nil, fmt.Errorf("xval: %d streams outside the machine's 1..%d", k, isa.NumStreams)
+		}
+		mpd, err := runMachine(p, k, cycles, seed)
+		if err != nil {
+			return nil, err
+		}
+		streams := make([]workload.Load, k)
+		for i := range streams {
+			streams[i] = workload.Simple(p)
+		}
+		res, err := stoch.Run(stoch.Config{Cycles: cycles, Seed: seed + uint64(k), Streams: streams})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Result{Streams: k, MachinePD: mpd, ModelPD: res.PD()})
+	}
+	return out, nil
+}
+
+// runMachine generates one program per stream and measures utilization.
+func runMachine(p workload.Params, k int, cycles uint64, seed uint64) (float64, error) {
+	m := core.MustNew(core.Config{Streams: k})
+	// External memory with tmem waits, plus a bank of I/O devices whose
+	// wait states approximate the Poisson(mean_io) distribution: the
+	// generator picks a device per request with a sampled latency.
+	if p.TMem > 0 || p.MeanIO > 0 {
+		if err := m.Bus().Attach(isa.ExternalBase, 64, bus.NewRAM("mem", 64, p.TMem)); err != nil {
+			return 0, err
+		}
+	}
+	src := rng.New(seed ^ 0xABCD)
+	ioWaits := []int{}
+	if p.MeanIO > 0 {
+		for i := 0; i < 8; i++ {
+			w := src.Poisson(p.MeanIO)
+			if w < 1 {
+				w = 1
+			}
+			ioWaits = append(ioWaits, w)
+			dev := bus.NewGPIO(fmt.Sprintf("io%d", i), w)
+			if err := m.Bus().Attach(isa.IOBase+uint16(i)*8, 8, dev); err != nil {
+				return 0, err
+			}
+		}
+	}
+	for s := 0; s < k; s++ {
+		base := uint16(s) * 0x1000
+		text := generate(p, src.Fork(), base, ioWaits)
+		im, err := asm.Assemble(text)
+		if err != nil {
+			return 0, fmt.Errorf("xval: generated program does not assemble: %w", err)
+		}
+		for _, sec := range im.Sections {
+			if err := m.LoadProgram(sec.Base, sec.Words); err != nil {
+				return 0, err
+			}
+		}
+		if err := m.StartStream(s, base); err != nil {
+			return 0, err
+		}
+	}
+	m.Run(int(cycles))
+	return m.Stats().Utilization(), nil
+}
+
+// generate emits a long straight-line program at base whose
+// per-instruction statistics match p, closed into a loop. Jumps are
+// realised as taken branches to the next address (control transfer
+// cost without changing the instruction mix); external requests
+// alternate between memory and an I/O device per alpha.
+func generate(p workload.Params, src *rng.Source, base uint16, ioWaits []int) string {
+	const bodyLen = 2000
+	var b strings.Builder
+	fmt.Fprintf(&b, ".org %d\n", base)
+	fmt.Fprintf(&b, "xv_%04x:\n", base)
+	// R7 holds the external memory base, R6 scratch.
+	fmt.Fprintf(&b, "    LI R7, %d\n", isa.ExternalBase)
+	toReq := -1
+	if p.MeanReq > 0 {
+		toReq = sample(src, p.MeanReq)
+	}
+	for i := 0; i < bodyLen; i++ {
+		if toReq == 0 {
+			if src.Bool(p.Alpha) || len(ioWaits) == 0 {
+				fmt.Fprintf(&b, "    LD R6, [R7+%d]\n", src.Intn(32))
+			} else {
+				d := src.Intn(len(ioWaits))
+				fmt.Fprintf(&b, "    LI R5, %d\n", int(isa.IOBase)+d*8)
+				fmt.Fprintf(&b, "    LD R6, [R5+%d]\n", src.Intn(8))
+			}
+			toReq = sample(src, p.MeanReq)
+			continue
+		}
+		if toReq > 0 {
+			toReq--
+		}
+		if src.Bool(p.AlJmp) {
+			// A taken control transfer to the fall-through address.
+			lbl := fmt.Sprintf("xvj_%04x_%d", base, i)
+			fmt.Fprintf(&b, "    JMP %s\n%s:\n", lbl, lbl)
+			continue
+		}
+		fmt.Fprintf(&b, "    ADDI R%d, 1\n", src.Intn(4))
+	}
+	fmt.Fprintf(&b, "    JMP xv_%04x\n", base)
+	return b.String()
+}
+
+func sample(src *rng.Source, mean float64) int {
+	v := src.Poisson(mean)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

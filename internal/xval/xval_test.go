@@ -1,0 +1,112 @@
+package xval
+
+import (
+	"testing"
+
+	"disc/internal/workload"
+)
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(workload.Ld2, []int{1}, 1000, 1); err == nil {
+		t.Fatal("bursty load accepted (cannot be program-generated)")
+	}
+	if _, err := Sweep(workload.Ld1, []int{0}, 1000, 1); err == nil {
+		t.Fatal("0 streams accepted")
+	}
+	if _, err := Sweep(workload.Ld1, []int{5}, 1000, 1); err == nil {
+		t.Fatal("5 streams accepted")
+	}
+}
+
+// TestMachineMatchesModelPureCompute: with no jumps and no I/O the two
+// implementations must both sit at PD ~ 1.
+func TestMachineMatchesModelPureCompute(t *testing.T) {
+	p := workload.Params{Name: "pure"}
+	res, err := Sweep(p, []int{1, 4}, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.MachinePD < 0.99 || r.ModelPD < 0.99 {
+			t.Fatalf("pure compute: %+v", r)
+		}
+	}
+}
+
+// TestMachineMatchesModelShape is the cross-validation proper: for the
+// paper's load 1 statistics, the machine and the model must agree on
+// utilization within a bounded gap at every partitioning, and both
+// must improve monotonically with streams.
+func TestMachineMatchesModelShape(t *testing.T) {
+	res, err := Sweep(workload.Ld1, []int{1, 2, 3, 4}, 60000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.MachinePD <= 0 || r.MachinePD > 1 {
+			t.Fatalf("machine PD out of range: %+v", r)
+		}
+		// The model is a conservative lower bound (see the package
+		// doc); the machine must never fall below it by more than
+		// noise, and the conservatism is bounded.
+		if gap := r.Gap(); gap < -0.03 || gap > 0.35 {
+			t.Fatalf("k=%d: machine %.3f vs model %.3f (gap %.3f)", r.Streams, r.MachinePD, r.ModelPD, gap)
+		}
+		if i > 0 {
+			if r.MachinePD < res[i-1].MachinePD-0.02 {
+				t.Fatalf("machine PD fell with partitioning: %+v -> %+v", res[i-1], r)
+			}
+			if r.ModelPD < res[i-1].ModelPD-0.02 {
+				t.Fatalf("model PD fell with partitioning: %+v -> %+v", res[i-1], r)
+			}
+		}
+	}
+	// Same winner by a similar margin: 4-way over 1-way improvement
+	// must agree in direction and rough magnitude.
+	mImp := res[3].MachinePD / res[0].MachinePD
+	sImp := res[3].ModelPD / res[0].ModelPD
+	if mImp < 1.2 || sImp < 1.2 {
+		t.Fatalf("partitioning gain too small: machine %.2fx model %.2fx", mImp, sImp)
+	}
+	if mImp/sImp > 1.6 || sImp/mImp > 1.6 {
+		t.Fatalf("gain magnitudes diverge: machine %.2fx model %.2fx", mImp, sImp)
+	}
+	// The model must stay a lower bound at every k.
+	for _, r := range res {
+		if r.ModelPD > r.MachinePD+0.03 {
+			t.Fatalf("model not conservative at k=%d: %+v", r.Streams, r)
+		}
+	}
+}
+
+// TestBranchOnlyAgreement: an all-branch load exposes the documented
+// difference (shadow vs conservative flush) — the machine must be no
+// slower than the model on a single stream and both must reach ~1 with
+// four streams.
+func TestBranchOnlyAgreement(t *testing.T) {
+	p := workload.Params{Name: "jumps", AlJmp: 0.5}
+	res, err := Sweep(p, []int{1, 4}, 30000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].MachinePD < res[0].ModelPD-0.02 {
+		t.Fatalf("machine slower than the conservative model: %+v", res[0])
+	}
+	if res[1].MachinePD < 0.9 || res[1].ModelPD < 0.9 {
+		t.Fatalf("interleaving did not absorb branches: %+v", res[1])
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	a, err := Sweep(workload.Ld1, []int{2}, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(workload.Ld1, []int{2}, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("non-deterministic: %+v vs %+v", a[0], b[0])
+	}
+}

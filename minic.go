@@ -1,0 +1,31 @@
+package disc
+
+import "disc/internal/minic"
+
+// MinicOptions tunes the minic compiler (see internal/minic for the
+// language: a C-like subset over 16-bit words compiled onto the stack
+// window).
+type MinicOptions = minic.Options
+
+// MinicProgram is a compiled minic program: DISC1 assembly plus the
+// internal-memory addresses of the globals.
+type MinicProgram = minic.Program
+
+// CompileMinic compiles minic source to DISC1 assembly.
+func CompileMinic(source string, opts MinicOptions) (*MinicProgram, error) {
+	return minic.Compile(source, opts)
+}
+
+// BuildMinic compiles, assembles and loads a minic program onto a new
+// single-stream machine, started at the program entry.
+func BuildMinic(source string, opts MinicOptions) (*Machine, *MinicProgram, error) {
+	prog, err := minic.Compile(source, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := Build(Config{Streams: 1}, prog.Asm, map[int]string{0: "mc__start"})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, prog, nil
+}

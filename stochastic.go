@@ -1,0 +1,71 @@
+package disc
+
+import (
+	"disc/internal/baseline"
+	"disc/internal/stoch"
+	"disc/internal/tables"
+	"disc/internal/workload"
+)
+
+// LoadParams is one stochastic workload parameter set (a Table 4.1
+// column): Poisson means for activity bursts, idle gaps, external
+// request spacing and I/O times, plus alpha, tmem and aljmp.
+type LoadParams = workload.Params
+
+// Load is a possibly composite workload assigned to one instruction
+// stream.
+type Load = workload.Load
+
+// The paper's reconstructed program loads (Table 4.1; DESIGN.md §4).
+var (
+	Load1 = workload.Ld1 // typical RTS, always active
+	Load2 = workload.Ld2 // typical RTS, alternately active/inactive
+	Load3 = workload.Ld3 // DSP program, internal memory only
+	Load4 = workload.Ld4 // interrupt-driven, active only in bursts
+)
+
+// SimpleLoad wraps a parameter set as a single-phase Load.
+func SimpleLoad(p LoadParams) Load { return workload.Simple(p) }
+
+// CombineLoads statistically combines two loads into one instruction
+// stream, alternating whole activity bursts of each (the paper's
+// "load 1:4" construction).
+func CombineLoads(name string, a, b Load) Load { return workload.Combine(name, a, b) }
+
+// StochConfig configures a run of the §4.1 stochastic model.
+type StochConfig = stoch.Config
+
+// StochResult is the outcome; Result.PD() is processor utilization.
+type StochResult = stoch.Result
+
+// Simulate runs the DISC stochastic model.
+func Simulate(cfg StochConfig) (StochResult, error) { return stoch.Run(cfg) }
+
+// BaselineResult summarises a standard single-stream processor run;
+// Ps() is the paper's baseline utilization.
+type BaselineResult = baseline.Result
+
+// SimulateBaseline runs the standard-processor model on a load.
+func SimulateBaseline(l Load, pipeLen int, cycles, seed uint64) (BaselineResult, error) {
+	return baseline.Run(l, pipeLen, cycles, seed)
+}
+
+// Delta is the paper's comparison metric: (PD − Ps)/Ps × 100%.
+func Delta(pd, ps float64) float64 { return stoch.Delta(pd, ps) }
+
+// Table options and generators for the paper's evaluation tables.
+type (
+	// TableOpts controls simulation effort for the table generators.
+	TableOpts = tables.Opts
+	// Table42Row is one load's PD/Delta sweep over 1..4 streams.
+	Table42Row = tables.Table42Row
+	// Table43Row is one load pair's PD/Delta over the four
+	// organizations of Table 4.3.
+	Table43Row = tables.Table43Row
+)
+
+// Table42 regenerates Tables 4.2a (PD) and 4.2b (Delta).
+func Table42(o TableOpts) ([]Table42Row, error) { return tables.Table42(o) }
+
+// Table43 regenerates Tables 4.3a (PD) and 4.3b (Delta).
+func Table43(o TableOpts) ([]Table43Row, error) { return tables.Table43(o) }

@@ -1,0 +1,22 @@
+package disc
+
+import "disc/internal/trace"
+
+// TraceRecorder holds per-cycle pipeline snapshots; RenderPipeline
+// draws them in the paper's Figure 3.1/3.2 layout.
+type TraceRecorder = trace.Recorder
+
+// RecordTrace steps the machine n cycles, snapshotting the pipeline
+// after each step.
+func RecordTrace(m *Machine, n int) *TraceRecorder { return trace.Record(m, n) }
+
+// ThroughputSeries measures each stream's share of retired
+// instructions over successive intervals — the Figure 3.3 data. It
+// advances the machine intervals×intervalLen cycles.
+func ThroughputSeries(m *Machine, intervals, intervalLen int) [][]float64 {
+	return trace.ThroughputSeries(m, intervals, intervalLen)
+}
+
+// RenderThroughput draws a ThroughputSeries as the paper's Figure 3.3
+// diagram (one row per stream, one digit per interval).
+func RenderThroughput(series [][]float64) string { return trace.RenderThroughput(series) }
