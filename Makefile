@@ -1,0 +1,23 @@
+# Single documented quality gate; CI and pre-commit both run `make check`.
+GO ?= go
+
+.PHONY: check build vet test race lint-examples
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Convenience: re-lint the shipped assembly library and every example
+# program (same checks `make test` already runs, but in isolation).
+lint-examples:
+	$(GO) test -run 'TestLibraryLintsClean|TestExamplesLintClean' -v ./internal/asmlib/ .

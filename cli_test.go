@@ -1,6 +1,7 @@
 package disc_test
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -21,6 +22,25 @@ func goRun(t *testing.T, args ...string) string {
 		t.Fatalf("go run %v: %v\n%s", args, err, out)
 	}
 	return string(out)
+}
+
+// goRunStatus is goRun for commands whose exit status is part of the
+// contract (disclint): a non-zero exit is returned, not fatal.
+func goRunStatus(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return string(out), ee.ExitCode()
+		}
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out), 0
 }
 
 const cliProgram = `
@@ -65,6 +85,52 @@ func TestCLIDiscsimSourceAndHex(t *testing.T) {
 	out = goRun(t, "./cmd/discsim", "-streams", "1", "-start", "0=0", "-dump", "40:41", hexPath)
 	if !strings.Contains(out, "0040: 0014") {
 		t.Fatalf("hex path failed:\n%s", out)
+	}
+}
+
+// awpLeakProgram nets one NOP+ per loop iteration: the §3.5 depth
+// imbalance disclint exists to catch.
+const awpLeakProgram = `
+main:
+    LDI  R0, 8
+loop:
+    NOP+
+    SUBI R0, 1
+    BNE  loop
+    HALT
+`
+
+func TestCLIDisclint(t *testing.T) {
+	clean := writeTemp(t, "clean.s", cliProgram)
+	out, code := goRunStatus(t, "./cmd/disclint", clean)
+	if code != 0 {
+		t.Fatalf("clean program flagged (exit %d):\n%s", code, out)
+	}
+
+	bad := writeTemp(t, "leak.s", awpLeakProgram)
+	out, code = goRunStatus(t, "./cmd/disclint", bad)
+	if code != 1 {
+		t.Fatalf("buggy program: exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "loop") || !strings.Contains(out, "depth imbalance") {
+		t.Fatalf("finding does not name the offending label:\n%s", out)
+	}
+	if !strings.Contains(out, "leak.s:5:") {
+		t.Fatalf("finding does not carry the source line:\n%s", out)
+	}
+
+	// The same analyzer gates the other tools behind -lint.
+	out, code = goRunStatus(t, "./cmd/discasm", "-lint", bad)
+	if code == 0 {
+		t.Fatalf("discasm -lint accepted the AWP leak:\n%s", out)
+	}
+	out, code = goRunStatus(t, "./cmd/discsim", "-lint", "-streams", "1", "-start", "0=main", "-cycles", "100", bad)
+	if code == 0 {
+		t.Fatalf("discsim -lint accepted the AWP leak:\n%s", out)
+	}
+	out, code = goRunStatus(t, "./cmd/discsim", "-lint", "-streams", "1", "-start", "0=main", "-dump", "40:41", clean)
+	if code != 0 || !strings.Contains(out, "0040: 0014") {
+		t.Fatalf("discsim -lint broke the clean program (exit %d):\n%s", code, out)
 	}
 }
 

@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	discasm [-o image.hex] [-l] program.s
+//	discasm [-o image.hex] [-l] [-lint] program.s
 //
 // The hex image format is line based: "@xxxx" sets the load address
 // (hex, program words), and every following line is one 24-bit
 // instruction word in hex. cmd/discsim loads the same format.
+//
+// -lint gates assembly through the internal/analysis pipeline (vector
+// base 0x0200): programs with error-severity findings are refused.
+// cmd/disclint reports the full finding list with positions.
 package main
 
 import (
@@ -16,22 +20,28 @@ import (
 	"os"
 	"strings"
 
+	"disc/internal/analysis"
 	"disc/internal/asm"
 )
 
 func main() {
 	out := flag.String("o", "", "write hex image to this file (default: stdout)")
 	listing := flag.Bool("l", false, "print a disassembly listing instead of the image")
+	lint := flag.Bool("lint", false, "refuse programs with error-severity analysis findings")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: discasm [-o image.hex] [-l] program.s")
+		fmt.Fprintln(os.Stderr, "usage: discasm [-o image.hex] [-l] [-lint] program.s")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	im, err := asm.Assemble(string(src))
+	var hooks []asm.Hook
+	if *lint {
+		hooks = append(hooks, analysis.Gate(analysis.Options{VectorBase: 0x0200}))
+	}
+	im, err := asm.AssembleWith(string(src), hooks...)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,146 @@
+// Command disclint statically analyzes assembled DISC1 programs: it
+// rebuilds the control-flow graph and runs the internal/analysis pass
+// pipeline — decode legality, reachability, §3.5 stack-window depth
+// dataflow, use-before-def and §3.6.3 interrupt-vector checks.
+//
+// Usage:
+//
+//	disclint [flags] program.s|program.hex
+//
+//	-entry list   comma list of labels/addresses analyzed as strict
+//	              stream entries (default: "main" when that label exists;
+//	              other labels are analyzed leniently)
+//	-vb addr      interrupt vector base (default 0x0200, as discsim)
+//	-streams n    streams sizing the vector table (default 4)
+//	-novec        skip the interrupt-vector pass
+//	-depth n      physical window depth for the spill advisory
+//	              (0: the machine default, negative: off)
+//	-q            print only error-severity findings
+//
+// Findings print one per line as
+//
+//	file:line: severity: [pass] message (at addr label)
+//
+// and the exit status is 1 when any error-severity finding is present,
+// so the tool slots into build scripts ahead of discsim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"disc/internal/analysis"
+	"disc/internal/asm"
+)
+
+func main() {
+	entries := flag.String("entry", "", "labels/addresses treated as strict stream entries")
+	vb := flag.Uint("vb", 0x0200, "interrupt vector base")
+	streams := flag.Int("streams", 4, "streams sizing the vector table")
+	novec := flag.Bool("novec", false, "skip the interrupt-vector pass")
+	depth := flag.Int("depth", 0, "physical window depth for the spill advisory (0: default, <0: off)")
+	quiet := flag.Bool("q", false, "print only error-severity findings")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: disclint [flags] program.s|program.hex")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	im, err := load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disclint:", err)
+		os.Exit(1)
+	}
+
+	opts := analysis.Options{
+		VectorBase:  uint16(*vb),
+		Streams:     *streams,
+		NoVectors:   *novec,
+		WindowDepth: *depth,
+	}
+	if *entries == "" {
+		// Convention: a program with a "main" label means it to be a
+		// stream entry; analyze it strictly.
+		if _, ok := im.Labels["main"]; ok {
+			opts.EntryLabels = []string{"main"}
+		}
+	} else {
+		for _, e := range strings.Split(*entries, ",") {
+			e = strings.TrimSpace(e)
+			if e == "" {
+				continue
+			}
+			if addr, ok := parseAddr(e); ok {
+				opts.Entries = append(opts.Entries, addr)
+			} else {
+				opts.EntryLabels = append(opts.EntryLabels, e)
+			}
+		}
+	}
+
+	r := analysis.Analyze(im, opts)
+	errs, warns := 0, 0
+	for _, f := range r.Findings {
+		switch f.Severity {
+		case analysis.Error:
+			errs++
+		case analysis.Warning:
+			warns++
+		}
+		if *quiet && f.Severity != analysis.Error {
+			continue
+		}
+		fmt.Println(render(path, f))
+	}
+	if len(r.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "disclint: %d finding(s): %d error(s), %d warning(s)\n",
+			len(r.Findings), errs, warns)
+	}
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+// render formats one finding as file:line: severity: [pass] msg (at
+// addr label); hex images carry no line/label metadata and degrade to
+// the bare file and address.
+func render(path string, f analysis.Finding) string {
+	pos := path
+	if f.Line > 0 {
+		pos += ":" + strconv.Itoa(f.Line)
+	}
+	loc := fmt.Sprintf("%04x", f.Addr)
+	if f.Label != "" {
+		loc += " " + f.Label
+	}
+	return fmt.Sprintf("%s: %s: [%s] %s (at %s)", pos, f.Severity, f.Pass, f.Msg, loc)
+}
+
+// load assembles .s sources or parses .hex images, as discsim does.
+func load(path string) (*asm.Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".hex") {
+		return asm.DecodeHex(string(data))
+	}
+	return asm.Assemble(string(data))
+}
+
+// parseAddr accepts 0x-hex or decimal program addresses.
+func parseAddr(s string) (uint16, bool) {
+	base := 10
+	if strings.HasPrefix(s, "0x") {
+		base, s = 16, s[2:]
+	}
+	v, err := strconv.ParseUint(s, base, 16)
+	if err != nil {
+		return 0, false
+	}
+	return uint16(v), true
+}

@@ -17,6 +17,8 @@
 //	-watch addr       stop when the internal-memory address is written
 //	-vcd file         with -trace: write the trace as a VCD waveform
 //	-profile n        list the n hottest instructions after the run
+//	-lint             refuse programs with error-severity findings from
+//	                  the internal/analysis static checks
 //
 // A standard peripheral board is always attached: timer @0xF000 (IRQ
 // stream 0 bit 4), UART @0xF010, GPIO @0xF020, ADC @0xF030 (IRQ stream
@@ -30,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 
+	"disc/internal/analysis"
 	"disc/internal/asm"
 	"disc/internal/bus"
 	"disc/internal/core"
@@ -50,6 +53,7 @@ func main() {
 	vcd := flag.String("vcd", "", "with -trace: also write the trace as a VCD waveform to this file")
 	profileN := flag.Int("profile", 0, "after the run, list the n hottest instructions")
 	watch := flag.String("watch", "", "stop when this internal-memory address is written")
+	lint := flag.Bool("lint", false, "refuse programs with error-severity analysis findings")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: discsim [flags] program.s|program.hex")
@@ -57,7 +61,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	im, err := loadImage(flag.Arg(0))
+	var hooks []asm.Hook
+	if *lint {
+		hooks = append(hooks, analysis.Gate(analysis.Options{
+			VectorBase: uint16(*vb),
+			Streams:    *streams,
+		}))
+	}
+	im, err := loadImage(flag.Arg(0), hooks...)
 	if err != nil {
 		fatal(err)
 	}
@@ -193,16 +204,26 @@ func main() {
 	}
 }
 
-// loadImage assembles .s sources or parses .hex images.
-func loadImage(path string) (*asm.Image, error) {
+// loadImage assembles .s sources or parses .hex images, running any
+// load gates (e.g. -lint) over the result either way.
+func loadImage(path string, hooks ...asm.Hook) (*asm.Image, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	if strings.HasSuffix(path, ".hex") {
-		return asm.DecodeHex(string(data))
+		im, err := asm.DecodeHex(string(data))
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range hooks {
+			if err := h(im); err != nil {
+				return nil, err
+			}
+		}
+		return im, nil
 	}
-	return asm.Assemble(string(data))
+	return asm.AssembleWith(string(data), hooks...)
 }
 
 // resolve turns a label or numeric literal into a program address.

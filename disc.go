@@ -3,6 +3,7 @@ package disc
 import (
 	"fmt"
 
+	"disc/internal/analysis"
 	"disc/internal/asm"
 	"disc/internal/bus"
 	"disc/internal/core"
@@ -41,6 +42,32 @@ func NewMachine(cfg Config) (*Machine, error) { return core.New(cfg) }
 // Assemble translates DISC1 assembly source (see internal/asm for the
 // syntax) into a loadable image.
 func Assemble(source string) (*Image, error) { return asm.Assemble(source) }
+
+// Static analysis (internal/analysis) re-exports: a CFG/dataflow
+// checker for assembled programs — decode legality, reachability,
+// §3.5 stack-window depth balance, use-before-def, interrupt-vector
+// sanity. cmd/disclint is the command-line front end.
+type (
+	// AnalysisOptions selects what AnalyzeImage checks and how strictly.
+	AnalysisOptions = analysis.Options
+	// Finding is one structured diagnostic: pass, severity and the
+	// address/label/line position of the offending word.
+	Finding = analysis.Finding
+	// AnalysisReport is a sorted finding list with severity accessors.
+	AnalysisReport = analysis.Report
+)
+
+// AnalyzeImage runs the full static-analysis pipeline over an image.
+func AnalyzeImage(im *Image, opts AnalysisOptions) *AnalysisReport {
+	return analysis.Analyze(im, opts)
+}
+
+// AssembleChecked assembles source and refuses it when the analyzer
+// reports any error-severity finding — the load-time gate discasm and
+// discsim expose as -lint.
+func AssembleChecked(source string, opts AnalysisOptions) (*Image, error) {
+	return asm.AssembleWith(source, analysis.Gate(opts))
+}
 
 // Disassemble renders machine words as assembly, one line per word.
 func Disassemble(words []Word, base uint16) []string { return asm.Disassemble(words, base) }

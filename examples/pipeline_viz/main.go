@@ -36,7 +36,7 @@ b: ADDI R0, 1
    ADDI R3, 1
    ADDI R4, 1
    JMP b
-.org 0x200
+.org 0x280
 c: ADDI R0, 1
    ADDI R1, 1
    ADDI R2, 1

@@ -1,0 +1,369 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"disc/internal/asm"
+	"disc/internal/interrupt"
+	"disc/internal/isa"
+)
+
+// instr is one assembled word annotated for analysis: the CFG's nodes
+// are individual instructions (granularity one), which keeps joins,
+// branch shadows and LI's two-word expansion exact with no block
+// splitting bookkeeping.
+type instr struct {
+	addr uint16
+	word isa.Word
+	data bool // emitted by .word/.space
+	in   isa.Instruction
+	bad  error // decode failure
+}
+
+// entryKind ranks how much the analyzer knows about machine state at
+// an analysis entry point; higher kinds carry stricter initial state.
+type entryKind uint8
+
+const (
+	entryNone   entryKind = iota
+	entryLabel            // unreferenced label: lenient root
+	entryCall             // CALL target: fresh frame, R0 = return PC
+	entryVector           // interrupt vector slot: R0=saved SR, R1=return PC
+	entryStream           // explicit stream start: nothing defined
+)
+
+type analyzer struct {
+	im   *asm.Image
+	opts Options
+
+	code     map[uint16]*instr
+	addrs    []uint16 // sorted
+	entries  map[uint16]entryKind
+	reach    map[uint16]bool
+	findings []Finding
+}
+
+func newAnalyzer(im *asm.Image, opts Options) *analyzer {
+	a := &analyzer{
+		im:      im,
+		opts:    opts,
+		code:    map[uint16]*instr{},
+		entries: map[uint16]entryKind{},
+		reach:   map[uint16]bool{},
+	}
+	for _, sec := range im.Sections {
+		for i, w := range sec.Words {
+			addr := sec.Base + uint16(i)
+			if _, dup := a.code[addr]; dup {
+				continue // overlap reported separately
+			}
+			ins := &instr{addr: addr, word: w, data: im.Data[addr]}
+			ins.in, ins.bad = isa.Decode(w)
+			a.code[addr] = ins
+			a.addrs = append(a.addrs, addr)
+		}
+	}
+	sort.Slice(a.addrs, func(i, j int) bool { return a.addrs[i] < a.addrs[j] })
+	return a
+}
+
+func (a *analyzer) streams() int {
+	if a.opts.Streams <= 0 {
+		return isa.NumStreams
+	}
+	return a.opts.Streams
+}
+
+// checkOverlap reports sections whose address ranges collide — the
+// loader would silently let the later one win.
+func (a *analyzer) checkOverlap() {
+	type span struct{ lo, hi uint32 } // [lo,hi), 32-bit to survive wrap
+	var spans []span
+	for _, sec := range a.im.Sections {
+		s := span{uint32(sec.Base), uint32(sec.Base) + uint32(len(sec.Words))}
+		for _, o := range spans {
+			if s.lo < o.hi && o.lo < s.hi {
+				a.findingf(PassCFG, Error, sec.Base,
+					"section %04x..%04x overlaps section %04x..%04x",
+					s.lo, s.hi-1, o.lo, o.hi-1)
+				break
+			}
+		}
+		spans = append(spans, s)
+	}
+}
+
+// checkDecode flags words that cannot execute: non-data words are the
+// program's instructions and must decode; data words are checked later
+// only if control can reach them.
+func (a *analyzer) checkDecode() {
+	for _, addr := range a.addrs {
+		ins := a.code[addr]
+		if ins.data || ins.bad == nil {
+			continue
+		}
+		a.decodeFinding(ins)
+	}
+}
+
+// decodeFinding reports why one word cannot execute, naming the
+// reserved register field when that is the cause.
+func (a *analyzer) decodeFinding(ins *instr) {
+	if r, bad := isa.ReservedRegField(ins.word); bad {
+		a.findingf(PassDecode, Error, ins.addr,
+			"reserved register field %d in %s encoding %#06x (§3.7: register 15 is illegal)",
+			uint8(r), ins.in.Op, uint32(ins.word))
+		return
+	}
+	a.findingf(PassDecode, Error, ins.addr, "illegal encoding %#06x: %v", uint32(ins.word), ins.bad)
+}
+
+// succs returns the static successor addresses of an instruction and
+// whether the instruction also transfers to a call target (which is
+// analyzed as its own entry, not followed inline).
+func (a *analyzer) succs(ins *instr) []uint16 {
+	if ins.bad != nil {
+		return nil // cannot execute past an illegal instruction
+	}
+	switch ins.in.Flow() {
+	case isa.FlowJump:
+		if t, ok := ins.in.StaticTarget(ins.addr); ok {
+			return []uint16{t}
+		}
+		return nil
+	case isa.FlowCond:
+		t, _ := ins.in.StaticTarget(ins.addr)
+		return []uint16{t, ins.addr + 1}
+	case isa.FlowCall:
+		t, _ := ins.in.StaticTarget(ins.addr)
+		return []uint16{t, ins.addr + 1}
+	case isa.FlowCallIndirect:
+		return []uint16{ins.addr + 1}
+	case isa.FlowIndirect, isa.FlowReturn, isa.FlowHalt:
+		return nil
+	}
+	return []uint16{ins.addr + 1}
+}
+
+// vectorSlots yields the assembled interrupt-vector slot addresses
+// (bits 7..1 of each stream; bit 0 is background and never vectors).
+func (a *analyzer) vectorSlots(visit func(addr uint16, stream int, bit uint8)) {
+	if a.opts.NoVectors {
+		return
+	}
+	for s := 0; s < a.streams(); s++ {
+		for bit := uint8(1); bit < isa.NumIRBits; bit++ {
+			addr := interrupt.Vector(a.opts.VectorBase, uint8(s), bit)
+			if _, ok := a.code[addr]; ok {
+				visit(addr, s, bit)
+			}
+		}
+	}
+}
+
+// findEntries resolves the analysis roots: explicit stream entries,
+// assembled vector slots, every CALL target, and finally any label
+// that no other root reaches (a routine or stream body whose caller
+// the image does not show). Reachability is grown incrementally so a
+// label inside already-covered code does not become a separate root —
+// that is what keeps loop-header labels from seeding bogus
+// depth-conflict reports.
+func (a *analyzer) findEntries() {
+	add := func(addr uint16, k entryKind) {
+		if k > a.entries[addr] {
+			a.entries[addr] = k
+		}
+	}
+	for _, e := range a.opts.Entries {
+		if _, ok := a.code[e]; !ok {
+			a.findingf(PassCFG, Error, e, "entry %04x: no assembled code at this address", e)
+			continue
+		}
+		add(e, entryStream)
+	}
+	for _, name := range a.opts.EntryLabels {
+		addr, ok := a.im.Labels[name]
+		if !ok {
+			// No position: the finding is about the options, not any
+			// assembled word.
+			a.findings = append(a.findings, Finding{
+				Pass: PassCFG, Severity: Error,
+				Msg: fmt.Sprintf("entry label %q is not defined", name),
+			})
+			continue
+		}
+		if _, ok := a.code[addr]; !ok {
+			a.findingf(PassCFG, Error, addr, "entry label %q: no assembled code at %04x", name, addr)
+			continue
+		}
+		add(addr, entryStream)
+	}
+	explicit := len(a.entries) > 0
+	a.vectorSlots(func(addr uint16, stream int, bit uint8) {
+		add(addr, entryVector)
+		a.checkVectorSlot(addr, stream, bit)
+	})
+	// A label-less image (hex round-trips strip all symbols) would
+	// otherwise have no roots at all and every finding would drown in
+	// "unreachable code": treat each section base as a lenient root.
+	if !explicit && !a.hasCodeLabels() {
+		for _, sec := range a.im.Sections {
+			if _, ok := a.code[sec.Base]; ok {
+				add(sec.Base, entryLabel)
+			}
+		}
+	}
+	for _, addr := range a.addrs {
+		ins := a.code[addr]
+		if ins.data || ins.bad != nil {
+			continue
+		}
+		if ins.in.Flow() == isa.FlowCall {
+			if t, ok := ins.in.StaticTarget(addr); ok {
+				if _, assembled := a.code[t]; assembled {
+					add(t, entryCall)
+				}
+			}
+		}
+	}
+	for addr := range a.entries {
+		a.grow(addr)
+	}
+	// Labels nothing reaches become lenient roots, in address order for
+	// deterministic output.
+	var labels []uint16
+	for _, addr := range a.im.Labels {
+		labels = append(labels, addr)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	for _, addr := range labels {
+		if _, ok := a.code[addr]; !ok {
+			continue // .equ-like or data-only label handled elsewhere
+		}
+		if !a.reach[addr] {
+			add(addr, entryLabel)
+			a.grow(addr)
+		}
+	}
+}
+
+// hasCodeLabels reports whether any label names an assembled address.
+func (a *analyzer) hasCodeLabels() bool {
+	for _, addr := range a.im.Labels {
+		if _, ok := a.code[addr]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// grow extends the reachable set with everything transitively reachable
+// from addr.
+func (a *analyzer) grow(addr uint16) {
+	work := []uint16{addr}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		if a.reach[cur] {
+			continue
+		}
+		ins, ok := a.code[cur]
+		if !ok {
+			continue
+		}
+		a.reach[cur] = true
+		work = append(work, a.succs(ins)...)
+	}
+}
+
+// checkVectorSlot validates one assembled interrupt-vector slot: the
+// hardware redirects the stream's next fetch straight at it (§3.6.3),
+// so it must hold an executable instruction, not table data or a
+// leftover encoding.
+func (a *analyzer) checkVectorSlot(addr uint16, stream int, bit uint8) {
+	ins := a.code[addr]
+	switch {
+	case ins.data:
+		a.findingf(PassVector, Error, addr,
+			"interrupt vector slot (stream %d, bit %d) holds .word data, not code", stream, bit)
+	case ins.bad != nil:
+		a.findingf(PassVector, Error, addr,
+			"interrupt vector slot (stream %d, bit %d) does not decode: %v", stream, bit, ins.bad)
+	}
+}
+
+// checkFlowEdges validates every reachable instruction's control-flow
+// edges: static branch targets must land on assembled words, and
+// fallthrough must not run off the end of the image into the NOP sled
+// of uninitialised program memory.
+func (a *analyzer) checkFlowEdges() {
+	for _, addr := range a.addrs {
+		ins := a.code[addr]
+		if !a.reach[addr] || ins.bad != nil {
+			continue
+		}
+		if ins.data {
+			a.findingf(PassReach, Warning, addr,
+				".word data is reachable as code (executes as %s)", ins.in)
+		}
+		if t, ok := ins.in.StaticTarget(addr); ok {
+			if _, assembled := a.code[t]; !assembled {
+				a.findingf(PassCFG, Error, addr,
+					"%s targets %04x, outside the assembled image", ins.in.Op, t)
+			}
+		}
+		fallsThrough := false
+		switch ins.in.Flow() {
+		case isa.FlowFall, isa.FlowCond, isa.FlowCall, isa.FlowCallIndirect:
+			fallsThrough = true
+		}
+		if fallsThrough {
+			if _, assembled := a.code[addr+1]; !assembled {
+				a.findingf(PassCFG, Warning, addr,
+					"control falls off the assembled image after %s", ins.in.Op)
+			}
+		}
+	}
+}
+
+// checkDecodeReachableData reports reachable data words that cannot
+// even decode — they would raise illegal-instruction at run time.
+// (Reachable data that does decode already got the reach warning.)
+func (a *analyzer) checkDecodeReachableData() {
+	for _, addr := range a.addrs {
+		ins := a.code[addr]
+		if ins.data && a.reach[addr] && ins.bad != nil {
+			a.decodeFinding(ins)
+		}
+	}
+}
+
+// checkUnreachable reports maximal runs of code words no entry reaches.
+func (a *analyzer) checkUnreachable() {
+	a.checkDecodeReachableData()
+	runStart, runLen := uint16(0), 0
+	flush := func() {
+		if runLen > 0 {
+			a.findingf(PassReach, Warning, runStart, "unreachable code (%d words)", runLen)
+			runLen = 0
+		}
+	}
+	prev := uint16(0)
+	for _, addr := range a.addrs {
+		ins := a.code[addr]
+		dead := !ins.data && !a.reach[addr]
+		if dead {
+			if runLen > 0 && addr == prev+1 {
+				runLen++
+			} else {
+				flush()
+				runStart, runLen = addr, 1
+			}
+			prev = addr
+		} else {
+			flush()
+		}
+	}
+	flush()
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"testing"
+
+	"disc/internal/asm"
+	"disc/internal/isa"
+	"disc/internal/rng"
+)
+
+// randomImage builds an arbitrary assembled image: a handful of
+// sections full of random 24-bit words (most decode into wild but
+// legal instructions, some are illegal), random data marks, random
+// labels and occasional metadata gaps — everything a hostile or
+// corrupted toolchain could hand the analyzer.
+func randomImage(src *rng.Source) *asm.Image {
+	im := &asm.Image{
+		Symbols:     map[string]uint16{},
+		Labels:      map[string]uint16{},
+		SourceLines: map[uint16]int{},
+		Data:        map[uint16]bool{},
+	}
+	nsec := 1 + src.Intn(4)
+	for s := 0; s < nsec; s++ {
+		base := uint16(src.Intn(1 << 16))
+		words := make([]isa.Word, 1+src.Intn(64))
+		for i := range words {
+			words[i] = isa.Word(src.Uint64()) & isa.MaxWord
+			addr := base + uint16(i)
+			if src.Bool(0.1) {
+				im.Data[addr] = true
+			}
+			if src.Bool(0.3) {
+				im.SourceLines[addr] = 1 + src.Intn(500)
+			}
+		}
+		im.Sections = append(im.Sections, asm.Section{Base: base, Words: words})
+		if src.Bool(0.7) {
+			name := string(rune('a' + s))
+			lab := base + uint16(src.Intn(len(words)))
+			im.Labels[name] = lab
+			im.Symbols[name] = lab
+		}
+	}
+	if src.Bool(0.2) {
+		// Strip metadata entirely, as hex-loaded images have none.
+		im.Labels, im.SourceLines, im.Data = nil, nil, nil
+	}
+	return im
+}
+
+func randomOptions(src *rng.Source) Options {
+	opts := Options{
+		VectorBase:  uint16(src.Intn(1 << 16)),
+		Streams:     src.Intn(isa.NumStreams + 1),
+		NoVectors:   src.Bool(0.2),
+		WindowDepth: src.Intn(128) - 16,
+	}
+	for n := src.Intn(3); n > 0; n-- {
+		opts.Entries = append(opts.Entries, uint16(src.Intn(1<<16)))
+	}
+	if src.Bool(0.3) {
+		opts.EntryLabels = append(opts.EntryLabels, "a", "nosuch")
+	}
+	return opts
+}
+
+// TestRandomImagesNeverPanic is the analyzer's robustness contract,
+// mirroring the simulator's (internal/core): Analyze must terminate
+// without panicking on arbitrary images and arbitrary options, and
+// its report must be internally consistent.
+func TestRandomImagesNeverPanic(t *testing.T) {
+	src := rng.New(0xD15C)
+	for trial := 0; trial < 200; trial++ {
+		im := randomImage(src)
+		opts := randomOptions(src)
+		r := Analyze(im, opts)
+		errs := 0
+		for _, f := range r.Findings {
+			if f.Pass == "" || f.Msg == "" {
+				t.Fatalf("trial %d: blank finding %+v", trial, f)
+			}
+			if f.Severity == Error {
+				errs++
+			}
+		}
+		if errs != r.ErrorCount() {
+			t.Fatalf("trial %d: ErrorCount %d, counted %d", trial, r.ErrorCount(), errs)
+		}
+	}
+}
+
+// FuzzAnalyze feeds arbitrary bytes through the assembler-free path:
+// the raw words become a single section, with the fuzzer also steering
+// the vector base and data marks. Analyze must never panic.
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00}, uint16(0), uint16(0x200))
+	f.Add([]byte{0x04, 0x12, 0xF0, 0xFF, 0xFF, 0xFF}, uint16(0xFFFE), uint16(0))
+	f.Fuzz(func(t *testing.T, raw []byte, base, vb uint16) {
+		if len(raw) > 3*4096 {
+			raw = raw[:3*4096]
+		}
+		var words []isa.Word
+		for i := 0; i+2 < len(raw); i += 3 {
+			w := isa.Word(raw[i])<<16 | isa.Word(raw[i+1])<<8 | isa.Word(raw[i+2])
+			words = append(words, w&isa.MaxWord)
+		}
+		if len(words) == 0 {
+			return
+		}
+		im := &asm.Image{
+			Sections: []asm.Section{{Base: base, Words: words}},
+			Labels:   map[string]uint16{"f": base},
+			Data:     map[uint16]bool{base + uint16(len(words)/2): true},
+		}
+		Analyze(im, Options{VectorBase: vb, Entries: []uint16{base}})
+	})
+}

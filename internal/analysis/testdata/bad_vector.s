@@ -1,0 +1,9 @@
+; Fixture: interrupt vector slot pointing at no reachable code. With
+; the default vector base 0x0200, address 0x0203 is stream 0's bit-3
+; slot (§3.6.3: VB + 8*stream + bit); its JMP targets an address the
+; image never assembles, so a dispatch lands in uninitialised memory.
+main:
+    HALT
+.org 0x0203
+vec03:
+    JMP  0x0500

@@ -1,0 +1,13 @@
+; Fixture: a well-formed program — balanced frames, initialised
+; locals, all control flow inside the image. Must produce no findings.
+main:
+    LDI  G0, 9
+    CALL square
+    STM  G2, [0x40]
+    HALT
+
+square:
+    NOP+
+    MUL  R0, G0, G0
+    MOV  G2, R0
+    RET  1

@@ -1,0 +1,12 @@
+; Fixture: AWP depth-imbalanced loop (§3.5).
+; The loop body allocates one window register per iteration (NOP+)
+; and never releases it, so the back edge reaches `loop` at depth 1
+; while the fall-in edge arrives at depth 0 — the AWP marches away
+; every iteration until the window spills.
+main:
+    LDI  R0, 8
+loop:
+    NOP+
+    SUBI R0, 1
+    BNE  loop
+    HALT

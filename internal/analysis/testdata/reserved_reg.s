@@ -1,0 +1,8 @@
+; Fixture: reserved register-15 encoding reachable as code. The
+; assembler refuses to encode R15, so the word is smuggled in as data
+; that control flow then runs into: 0x0412F0 is ADD R1, R2, <reg 15>.
+main:
+    LDI  R0, 1
+    JMP  trap
+trap:
+    .word 0x0412F0

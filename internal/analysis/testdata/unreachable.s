@@ -1,0 +1,9 @@
+; Fixture: unreachable block. The two words after the JMP carry no
+; label and no control edge reaches them.
+main:
+    LDI  R0, 1
+    JMP  done
+    ADDI R0, 1
+    SUBI R0, 1
+done:
+    HALT

@@ -1,0 +1,8 @@
+; Fixture: use-before-def of a window local. A freshly started stream
+; has no defined locals; ADDI is a read-modify-write of R1, so the
+; very first instruction samples a register nothing ever set.
+main:
+    ADDI R1, 1
+    CMPI R1, 0
+    BNE  main
+    HALT

@@ -1,0 +1,150 @@
+package analysis
+
+import "disc/internal/isa"
+
+// Use-before-def pass. A forward must-be-defined dataflow over the
+// window locals R0..R7, the H multiply special and the SR condition
+// flags — the per-stream state a freshly started stream has not
+// initialised (the simulator zeroes it, real silicon would not, and
+// either way branching on flags nothing set is a logic bug).
+//
+// How much is "defined" at a root depends on how the root is entered:
+//
+//   - explicit stream entries (Options.Entries/EntryLabels): nothing —
+//     SSTART gives the stream a PC and nothing else;
+//   - vector slots: the hardware entry sequence pushed the old SR into
+//     R0 and the return PC into R1 (§3.6.3); R2..R7 alias the
+//     interrupted frame and reading them samples garbage; the flags
+//     are the interrupted context's — branching on them is a bug;
+//   - CALL targets: R0 holds the return PC and R1..R7 window into the
+//     caller's frame, the documented argument-passing convention
+//     (internal/asmlib), so everything is treated as defined;
+//   - unreferenced labels: the caller is outside the image; everything
+//     is treated as defined to avoid convicting code on missing
+//     evidence.
+//
+// Globals and ZR are always defined (shared/constant). Merging is set
+// intersection: a register is defined at a join only if every path
+// defines it.
+
+// Definedness bit positions: 0..7 window locals, then H and flags.
+const (
+	defH     = 1 << 8
+	defFlags = 1 << 9
+	defAll   = 1<<10 - 1
+)
+
+func entryMask(k entryKind) uint16 {
+	switch k {
+	case entryStream:
+		return 0
+	case entryVector:
+		return 1<<isa.R0 | 1<<isa.R1
+	default: // entryCall, entryLabel
+		return defAll
+	}
+}
+
+func (a *analyzer) useDefPass() {
+	in := map[uint16]uint16{}
+	var work []uint16
+
+	merge := func(addr uint16, mask uint16) {
+		old, ok := in[addr]
+		if !ok {
+			in[addr] = mask
+			work = append(work, addr)
+			return
+		}
+		if next := old & mask; next != old {
+			in[addr] = next
+			work = append(work, addr)
+		}
+	}
+	for addr, k := range a.entries {
+		merge(addr, entryMask(k))
+	}
+
+	reported := map[uint32]bool{}
+	report := func(addr uint16, bit uint16, format string, args ...any) {
+		key := uint32(addr)<<10 | uint32(bit)
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		a.findingf(PassUseDef, Warning, addr, format, args...)
+	}
+
+	for len(work) > 0 {
+		addr := work[len(work)-1]
+		work = work[:len(work)-1]
+		ins, ok := a.code[addr]
+		if !ok || ins.bad != nil {
+			continue
+		}
+		inst := ins.in
+		state := in[addr]
+
+		// Reads first: operands are sampled before results land.
+		for _, r := range inst.RegReads() {
+			switch {
+			case r.IsWindow():
+				if state&(1<<r) == 0 {
+					report(addr, uint16(r), "%s reads %s before any write on a path from a stream entry (use-before-def)", inst.Op, r)
+				}
+			case r == isa.H:
+				if state&defH == 0 {
+					report(addr, 8, "%s reads H before any MUL on this path", inst.Op)
+				}
+			}
+			// SR as a data operand is a context save, not a flags use.
+		}
+		if inst.ReadsH() && state&defH == 0 {
+			report(addr, 8, "MFS reads H before any MUL on this path")
+		}
+		if inst.ReadsFlags() && state&defFlags == 0 {
+			report(addr, 9, "B%s tests condition flags never set on a path from a stream entry", inst.Cond)
+		}
+
+		// Writes and clobbers.
+		out := state
+		for _, r := range inst.RegWrites() {
+			switch {
+			case r.IsWindow():
+				out |= 1 << r
+			case r == isa.H:
+				out |= defH
+			case r == isa.SR:
+				out |= defFlags
+			}
+		}
+		if inst.WritesH() {
+			out |= defH
+		}
+		if inst.SetsFlags() {
+			out |= defFlags
+		}
+		if inst.Op == isa.OpMTS && inst.Spec == isa.SpecAWP {
+			// The window was relocated; locals now alias arbitrary
+			// physical registers.
+			out &^= 1<<isa.WindowSize - 1
+		}
+		flow := inst.Flow()
+		if flow == isa.FlowCall || flow == isa.FlowCallIndirect {
+			// Balanced callee: locals survive (§3.5 protocol), but the
+			// callee's ALU work redefines flags and may redefine H.
+			out |= defFlags | defH
+		}
+
+		for _, s := range a.succs(ins) {
+			if flow == isa.FlowCall {
+				if t, _ := inst.StaticTarget(addr); s == t && s != addr+1 {
+					continue // callee analyzed from its own root
+				}
+			}
+			if _, assembled := a.code[s]; assembled {
+				merge(s, out)
+			}
+		}
+	}
+}

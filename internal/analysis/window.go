@@ -1,0 +1,151 @@
+package analysis
+
+import "disc/internal/isa"
+
+// Stack-window depth pass (§3.5). Every entry point starts a frame at
+// relative depth 0 and a worklist propagates the depth through the
+// instruction-level CFG:
+//
+//   - the SW adjust carried by any instruction moves depth by ±1;
+//   - CALL/CALR edges assume a balanced callee (the callee's RET pops
+//     exactly what the CALL pushed plus the callee's own frame), so
+//     the fallthrough edge sees only the call's own SW adjust — the
+//     callee body is analyzed separately from its entryCall root;
+//   - a join reached at two different known depths is the §3.5 bug
+//     this pass exists for: a loop whose body nets +1 marches the AWP
+//     away every iteration until the window spills or wraps;
+//   - RET n must execute at depth n (the convention documented in
+//     internal/asmlib: n allocations since entry), or it returns
+//     through a garbage cell; RETI must execute at depth 0 relative
+//     to its vector entry, where the hardware-pushed SR/PC pair sits;
+//   - depth below 0 claws into the caller's frame;
+//   - MTS AWP relocates the window wholesale, after which the depth is
+//     unknown and the path is exempted rather than guessed at.
+//
+// Depths sit in a flat lattice: unset < known(d) < conflict.
+
+type depthState struct {
+	set      bool
+	known    bool // false once an MTS AWP or a reported conflict is crossed
+	depth    int
+	reported bool // a conflict at this join has already been reported
+}
+
+func (a *analyzer) windowDepthPass() {
+	states := map[uint16]*depthState{}
+	var work []uint16
+	push := func(addr uint16) { work = append(work, addr) }
+
+	// merge folds an incoming edge depth into the state at addr and
+	// reports the first conflicting pair of known depths per join.
+	merge := func(addr uint16, depth int, known bool) {
+		st := states[addr]
+		if st == nil {
+			st = &depthState{}
+			states[addr] = st
+		}
+		switch {
+		case !st.set:
+			st.set, st.known, st.depth = true, known, depth
+			push(addr)
+		case !st.known:
+			// Already top: nothing more to learn.
+		case !known:
+			st.known = false
+			push(addr)
+		case st.depth != depth:
+			if !st.reported {
+				st.reported = true
+				a.findingf(PassWindow, Error, addr,
+					"stack-window depth imbalance at join: depth %d vs %d from another path (§3.5)",
+					st.depth, depth)
+			}
+			st.known = false
+			push(addr)
+		}
+	}
+
+	for addr := range a.entries {
+		merge(addr, 0, true)
+	}
+
+	budget := a.windowBudget()
+	overflowed := map[uint16]bool{}
+	underflowed := map[uint16]bool{}
+
+	for len(work) > 0 {
+		addr := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := states[addr]
+		ins, ok := a.code[addr]
+		if !ok || ins.bad != nil {
+			continue
+		}
+		in := ins.in
+		depth, known := st.depth, st.known
+
+		// Frame-discipline checks at returns, before their pops: the
+		// pops cross back into the caller and are not underflow.
+		if known {
+			switch in.Op {
+			case isa.OpRET:
+				if int(in.Imm) != depth {
+					a.findingf(PassWindow, Error, addr,
+						"RET %d at window depth %d: frame imbalance, the return cell is not where RET will look (§3.5)",
+						in.Imm, depth)
+				}
+				continue
+			case isa.OpRETI:
+				if depth != 0 {
+					a.findingf(PassWindow, Error, addr,
+						"RETI at window depth %d: the hardware-pushed SR/PC pair is buried (§3.6.3)", depth)
+				}
+				continue
+			}
+		} else if in.Op == isa.OpRET || in.Op == isa.OpRETI {
+			continue
+		}
+
+		delta, deltaKnown := in.AWPDelta()
+		if in.Flow() == isa.FlowCall || in.Flow() == isa.FlowCallIndirect {
+			// Balanced-callee assumption: only the call's SW survives.
+			delta = 0
+			switch in.SW {
+			case isa.SWInc:
+				delta = 1
+			case isa.SWDec:
+				delta = -1
+			}
+		}
+		next, nextKnown := depth+delta, known && deltaKnown
+
+		if nextKnown && next < 0 {
+			if !underflowed[addr] {
+				underflowed[addr] = true
+				a.findingf(PassWindow, Error, addr,
+					"stack-window underflow: depth %d steps below the entry frame (§3.5)", next)
+			}
+			continue // don't cascade one report down the whole path
+		}
+		// Advise only at the crossing, not on every instruction that
+		// then runs at excess depth.
+		if nextKnown && budget >= 0 && next > budget && depth <= budget && !overflowed[addr] {
+			overflowed[addr] = true
+			a.findingf(PassWindow, Info, addr,
+				"window depth %d exceeds the physical budget of %d: a §3.5 spill handler is required", next, budget)
+		}
+
+		for _, s := range a.succs(ins) {
+			if in.Flow() == isa.FlowCall {
+				// The call target is its own entryCall root at depth 0;
+				// only the fallthrough continues this frame.
+				if t, _ := in.StaticTarget(addr); s == t && s != addr+1 {
+					continue
+				}
+			}
+			if _, assembled := a.code[s]; assembled {
+				merge(s, next, nextKnown)
+			}
+		}
+	}
+}

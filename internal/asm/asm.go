@@ -41,6 +41,16 @@ type Section struct {
 type Image struct {
 	Sections []Section
 	Symbols  map[string]uint16
+
+	// Labels holds only the code labels (Symbols additionally contains
+	// .equ constants), so tools can tell addresses from plain values.
+	Labels map[string]uint16
+	// SourceLines maps each assembled word's address to the 1-based
+	// line of the (macro-expanded) source that produced it.
+	SourceLines map[uint16]int
+	// Data marks addresses emitted by .word/.space directives — payload
+	// words that are not meant to be executed.
+	Data map[uint16]bool
 }
 
 // Size returns the total number of assembled words.
@@ -56,6 +66,18 @@ func (im *Image) Size() int {
 func (im *Image) Symbol(name string) (uint16, bool) {
 	v, ok := im.Symbols[name]
 	return v, ok
+}
+
+// NearestLabel returns the closest code label at or before addr, with
+// the word offset from it — the "crc16+3" form diagnostics want.
+func (im *Image) NearestLabel(addr uint16) (name string, off uint16, ok bool) {
+	best := uint16(0)
+	for n, a := range im.Labels {
+		if a <= addr && (!ok || a > best || (a == best && n < name)) {
+			name, best, ok = n, a, true
+		}
+	}
+	return name, addr - best, ok
 }
 
 // Error is an assembly diagnostic tied to a source line.
@@ -84,19 +106,40 @@ type statement struct {
 // Assemble runs the macro preprocessor and both passes over src.
 // When macros are used, diagnostics refer to the expanded text.
 func Assemble(src string) (*Image, error) {
+	return AssembleWith(src)
+}
+
+// Hook post-processes a freshly assembled image; a non-nil error
+// rejects the image. Static analyzers gate loads through this.
+type Hook func(*Image) error
+
+// AssembleWith assembles src and then runs each hook in order over the
+// image, so callers can bolt on load-time checking (e.g. the
+// internal/analysis linter) without the assembler importing it.
+func AssembleWith(src string, hooks ...Hook) (*Image, error) {
 	expanded, _, err := expandMacros(src)
 	if err != nil {
 		return nil, err
 	}
-	a := &assembler{symbols: map[string]uint16{}}
+	a := &assembler{symbols: map[string]uint16{}, labels: map[string]uint16{}}
 	if err := a.pass1(expanded); err != nil {
 		return nil, err
 	}
-	return a.pass2()
+	im, err := a.pass2()
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range hooks {
+		if err := h(im); err != nil {
+			return nil, err
+		}
+	}
+	return im, nil
 }
 
 type assembler struct {
 	symbols map[string]uint16
+	labels  map[string]uint16
 	stmts   []statement
 }
 
@@ -118,6 +161,7 @@ func (a *assembler) pass1(src string) error {
 				return errf(line, "duplicate symbol %q", name)
 			}
 			a.symbols[name] = uint16(loc)
+			a.labels[name] = uint16(loc)
 			text = text[i+1:]
 		}
 		if text == "" {
@@ -197,14 +241,20 @@ func (a *assembler) number(args []string, line int, what string) (int64, error) 
 
 // pass2 encodes every statement.
 func (a *assembler) pass2() (*Image, error) {
-	im := &Image{Symbols: a.symbols}
+	im := &Image{
+		Symbols:     a.symbols,
+		Labels:      a.labels,
+		SourceLines: map[uint16]int{},
+		Data:        map[uint16]bool{},
+	}
 	var cur *Section
-	emit := func(addr uint16, w isa.Word) {
+	emit := func(addr uint16, w isa.Word, line int) {
 		if cur == nil || int(addr) != int(cur.Base)+len(cur.Words) {
 			im.Sections = append(im.Sections, Section{Base: addr})
 			cur = &im.Sections[len(im.Sections)-1]
 		}
 		cur.Words = append(cur.Words, w)
+		im.SourceLines[addr] = line
 	}
 	for _, st := range a.stmts {
 		switch {
@@ -218,14 +268,15 @@ func (a *assembler) pass2() (*Image, error) {
 			if v < 0 || v > int64(isa.MaxWord) {
 				return nil, errf(st.line, ".word value %d outside 24 bits", v)
 			}
-			emit(st.addr, isa.Word(v))
+			emit(st.addr, isa.Word(v), st.line)
+			im.Data[st.addr] = true
 		default:
 			words, err := a.encodeStmt(st)
 			if err != nil {
 				return nil, err
 			}
 			for i, w := range words {
-				emit(st.addr+uint16(i), w)
+				emit(st.addr+uint16(i), w, st.line)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -392,5 +393,65 @@ func TestImageSymbolLookup(t *testing.T) {
 	}
 	if im.Size() != 1 {
 		t.Fatalf("Size = %d", im.Size())
+	}
+}
+
+func TestImageSourceMetadata(t *testing.T) {
+	im := mustAssemble(t, `
+.equ K, 7
+start:
+    LDI  R0, K
+    LI   R1, 0x1234    ; two words, one source line
+.org 0x100
+data: .word 1, 2
+more: .space 2
+tail: NOP
+`)
+	// Labels excludes .equ constants; Symbols keeps both.
+	if _, ok := im.Labels["K"]; ok {
+		t.Fatal(".equ constant leaked into Labels")
+	}
+	for _, want := range []string{"start", "data", "more", "tail"} {
+		if _, ok := im.Labels[want]; !ok {
+			t.Fatalf("label %q missing from Labels", want)
+		}
+	}
+	// Source lines: LDI at line 4; both LI words at line 5.
+	if im.SourceLines[0] != 4 || im.SourceLines[1] != 5 || im.SourceLines[2] != 5 {
+		t.Fatalf("SourceLines = %v", im.SourceLines)
+	}
+	// Data marks .word and .space payloads, not instructions.
+	for a := uint16(0x100); a < 0x104; a++ {
+		if !im.Data[a] {
+			t.Fatalf("address %#x not marked as data", a)
+		}
+	}
+	if im.Data[0] || im.Data[0x104] {
+		t.Fatal("instruction word marked as data")
+	}
+}
+
+func TestNearestLabel(t *testing.T) {
+	im := mustAssemble(t, "a: NOP\n NOP\nb: NOP\n NOP\n")
+	if n, off, ok := im.NearestLabel(1); !ok || n != "a" || off != 1 {
+		t.Fatalf("NearestLabel(1) = %q+%d %v", n, off, ok)
+	}
+	if n, off, ok := im.NearestLabel(3); !ok || n != "b" || off != 1 {
+		t.Fatalf("NearestLabel(3) = %q+%d %v", n, off, ok)
+	}
+	if _, _, ok := (&Image{}).NearestLabel(0); ok {
+		t.Fatal("NearestLabel on empty image")
+	}
+}
+
+func TestAssembleWithHook(t *testing.T) {
+	calls := 0
+	im, err := AssembleWith("NOP\n", func(im *Image) error { calls++; return nil })
+	if err != nil || im == nil || calls != 1 {
+		t.Fatalf("hook not run: %v %v %d", im, err, calls)
+	}
+	wantErr := fmt.Errorf("rejected")
+	if _, err := AssembleWith("NOP\n", func(*Image) error { return wantErr }); err != wantErr {
+		t.Fatalf("hook rejection not propagated: %v", err)
 	}
 }

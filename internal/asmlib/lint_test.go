@@ -1,0 +1,42 @@
+package asmlib
+
+import (
+	"testing"
+
+	"disc/internal/analysis"
+	"disc/internal/asm"
+)
+
+// TestLibraryLintsClean is the shipped-library regression gate: every
+// routine must assemble and come through the static analyzer with no
+// findings at all. The library is a position-independent fragment
+// meant to be concatenated into programs, so the vector pass is off
+// (callers place their own tables) and no strict entries are named
+// (every routine is entered by CALL with arguments in globals).
+func TestLibraryLintsClean(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"div16", Div16},
+		{"sqrt16", Sqrt16},
+		{"memcpy", Memcpy},
+		{"crc16", CRC16},
+		{"fixmul", FixMul},
+		{"pid", PIDEquates(0x60) + FixMul + PID},
+		{"all", PIDEquates(0x60) + All()},
+		{"executive", ExecEquates(0x50) + Executive},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			im, err := asm.Assemble(tc.src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			r := analysis.Analyze(im, analysis.Options{NoVectors: true})
+			for _, f := range r.Findings {
+				t.Errorf("lint: %s", f)
+			}
+		})
+	}
+}

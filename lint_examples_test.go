@@ -1,0 +1,112 @@
+package disc_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"disc/internal/analysis"
+	"disc/internal/asm"
+)
+
+// stringConsts parses one Go source file and returns its top-level
+// string constants, resolving same-file concatenations like
+// `single = common + "..."` so each value is the full program text.
+func stringConsts(t *testing.T, path string) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	consts := map[string]string{}
+	var eval func(e ast.Expr) (string, bool)
+	eval = func(e ast.Expr) (string, bool) {
+		switch v := e.(type) {
+		case *ast.BasicLit:
+			if v.Kind == token.STRING {
+				s, err := strconv.Unquote(v.Value)
+				return s, err == nil
+			}
+		case *ast.Ident:
+			s, ok := consts[v.Name]
+			return s, ok
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD {
+				l, okL := eval(v.X)
+				r, okR := eval(v.Y)
+				return l + r, okL && okR
+			}
+		case *ast.ParenExpr:
+			return eval(v.X)
+		}
+		return "", false
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				if s, ok := eval(vs.Values[i]); ok {
+					consts[name.Name] = s
+				}
+			}
+		}
+	}
+	return consts
+}
+
+// TestExamplesLintClean runs the static analyzer over every assembly
+// program embedded in examples/*/main.go. Constants that do not
+// assemble are skipped (some examples embed minic source or partial
+// fragments); everything that assembles must produce no error-severity
+// findings, and complete programs (a "main" label) must be entirely
+// clean.
+func TestExamplesLintClean(t *testing.T) {
+	files, err := filepath.Glob("examples/*/main.go")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no examples found: %v", err)
+	}
+	linted := 0
+	for _, path := range files {
+		for name, src := range stringConsts(t, path) {
+			if !strings.Contains(src, "\n") {
+				continue // not a program text
+			}
+			im, err := asm.Assemble(src)
+			if err != nil {
+				continue // minic source or a fragment of another language
+			}
+			linted++
+			tag := filepath.Base(filepath.Dir(path)) + "/" + name
+			opts := analysis.Options{VectorBase: 0x200}
+			if _, hasMain := im.Labels["main"]; hasMain {
+				opts.EntryLabels = []string{"main"}
+			}
+			r := analysis.Analyze(im, opts)
+			for _, f := range r.Findings {
+				if f.Severity == analysis.Error {
+					t.Errorf("%s: %s", tag, f)
+				} else {
+					t.Logf("%s: %s", tag, f)
+				}
+			}
+		}
+	}
+	if linted < 4 {
+		t.Fatalf("only %d embedded programs linted; extraction broke", linted)
+	}
+}
