@@ -1,7 +1,7 @@
 # Single documented quality gate; CI and pre-commit both run `make check`.
 GO ?= go
 
-.PHONY: check build vet test race lint-examples
+.PHONY: check build vet test race lint-examples bench
 
 check: build vet test race
 
@@ -16,6 +16,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Benchmark the parallel sweep engine (serial vs 8 workers) and record
+# the measurement — including host CPU count — in BENCH_parallel.json.
+bench:
+	$(GO) test -bench 'BenchmarkSweep_' -benchtime 2x -run '^$$' .
+	BENCH_JSON=$(CURDIR)/BENCH_parallel.json $(GO) test -run TestBenchParallelJSON -v .
 
 # Convenience: re-lint the shipped assembly library and every example
 # program (same checks `make test` already runs, but in isolation).

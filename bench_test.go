@@ -7,6 +7,11 @@
 package disc_test
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
 	"fmt"
 	"testing"
 
@@ -402,7 +407,10 @@ func BenchmarkFutureWork_StreamSweep(b *testing.B) {
 	var knee int
 	var pd8 float64
 	for i := 0; i < b.N; i++ {
-		points, k, err := study.StreamSweep(workload.Simple(workload.Ld1), 8, benchCycles, 3, 4, 0.02)
+		points, k, err := study.StreamSweep(study.SweepConfig{
+			Load: workload.Simple(workload.Ld1), MaxStreams: 8,
+			Cycles: benchCycles, Seed: 3, PipeLen: 4, Threshold: 0.02,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -499,4 +507,95 @@ func main() { f = fib(20); }`
 			b.Fatal("wrong fib(20)")
 		}
 	}
+}
+
+// ---- parallel sweep engine ----
+
+// benchSweepAll runs the full replicated Table 4.2 + 4.3 sweep at a
+// given worker count — the workload `make bench` times serial vs
+// parallel.
+func benchSweepAll(par int) error {
+	opts := tables.Opts{Cycles: benchCycles, Seed: 1991, Reps: 3, Par: par}
+	if _, err := tables.Table42(opts); err != nil {
+		return err
+	}
+	_, err := tables.Table43(opts)
+	return err
+}
+
+// BenchmarkSweep_Serial times the replicated table sweep on one worker.
+func BenchmarkSweep_Serial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := benchSweepAll(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep_Par8 times the same sweep fanned across 8 workers.
+func BenchmarkSweep_Par8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := benchSweepAll(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBenchParallelJSON regenerates BENCH_parallel.json when invoked
+// via `make bench` (BENCH_JSON names the output file). It times one
+// serial and one 8-worker pass over the replicated table sweep and
+// records the measured speedup together with the host's CPU count —
+// on a single-core runner the speedup is honestly ~1x; the engine's
+// scaling needs real cores, not goroutines.
+func TestBenchParallelJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("set BENCH_JSON=<path> to write the benchmark record")
+	}
+	time1 := func(par int) time.Duration {
+		start := time.Now()
+		if err := benchSweepAll(par); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Warm-up pass so neither timing pays one-time costs.
+	if err := benchSweepAll(1); err != nil {
+		t.Fatal(err)
+	}
+	serial := time1(1)
+	par8 := time1(8)
+	rec := struct {
+		Benchmark string  `json:"benchmark"`
+		SerialNs  int64   `json:"serial_ns"`
+		Par8Ns    int64   `json:"par8_ns"`
+		Speedup   float64 `json:"speedup_8_workers"`
+		HostCPUs  int     `json:"host_cpus"`
+		Cycles    int     `json:"cycles"`
+		Reps      int     `json:"reps"`
+		Runs      int     `json:"runs"`
+		Note      string  `json:"note"`
+	}{
+		Benchmark: "tables 4.2+4.3 replicated sweep (internal/parallel)",
+		SerialNs:  serial.Nanoseconds(),
+		Par8Ns:    par8.Nanoseconds(),
+		Speedup:   float64(serial.Nanoseconds()) / float64(par8.Nanoseconds()),
+		HostCPUs:  runtime.NumCPU(),
+		Cycles:    benchCycles,
+		Reps:      3,
+		// 4 loads + 3 pairs, each with a baseline and 4 stream
+		// organizations, 3 replications apiece.
+		Runs: 7 * (tables.MaxStreams + 1) * 3,
+		Note: "speedup scales with host_cpus: the runs are independent " +
+			"and embarrassingly parallel, so expect near-linear gains up " +
+			"to min(8, cores); a 1-CPU host shows ~1x by construction",
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serial %v, par8 %v, speedup %.2fx on %d CPU(s)", serial, par8, rec.Speedup, rec.HostCPUs)
 }

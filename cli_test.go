@@ -158,6 +158,49 @@ func TestCLIExperimentsSingle(t *testing.T) {
 	}
 }
 
+// TestCLIExperimentsUnknownOnly: -only with a name outside the
+// experiment registry must fail loudly and list the valid names, not
+// silently print nothing.
+func TestCLIExperimentsUnknownOnly(t *testing.T) {
+	out, code := goRunStatus(t, "./cmd/experiments", "-only", "nope")
+	if code == 0 {
+		t.Fatalf("unknown -only accepted:\n%s", out)
+	}
+	if !strings.Contains(out, `unknown experiment "nope"`) || !strings.Contains(out, "valid names") {
+		t.Fatalf("missing usage error:\n%s", out)
+	}
+	for _, name := range []string{"4.2", "streams", "xval"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("valid-name listing missing %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestCLIExperimentsParDeterministic proves the headline determinism
+// contract end to end: the emitted tables are byte-identical whether
+// the sweep runs on one worker or eight.
+func TestCLIExperimentsParDeterministic(t *testing.T) {
+	args := []string{"./cmd/experiments", "-only", "4.2", "-cycles", "6000", "-reps", "2"}
+	serial := goRun(t, append(args, "-par", "1")...)
+	wide := goRun(t, append(args, "-par", "8")...)
+	if serial != wide {
+		t.Fatalf("output depends on worker count:\n--- par=1 ---\n%s\n--- par=8 ---\n%s", serial, wide)
+	}
+	if !strings.Contains(serial, "±") || !strings.Contains(serial, "2 replications") {
+		t.Fatalf("replicated table missing CI annotation:\n%s", serial)
+	}
+}
+
+// TestCLIStochsimReps: replicated mode reports mean ±95% CI.
+func TestCLIStochsimReps(t *testing.T) {
+	out := goRun(t, "./cmd/stochsim", "-streams", "load1,load1", "-cycles", "10000", "-reps", "3")
+	for _, want := range []string{"±", "n=3", "3 replications", "paired"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("replicated stochsim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCLIMinicc(t *testing.T) {
 	src := writeTemp(t, "p.mc", `
 var answer;

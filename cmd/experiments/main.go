@@ -3,9 +3,15 @@
 // DESIGN.md §3. Output is plain text in the paper's table style; the
 // recorded results live in EXPERIMENTS.md.
 //
+// Stochastic tables are replicated (-reps) and fanned across worker
+// goroutines (-par) by the internal/parallel sweep engine; every run
+// draws an rng.Child seed from its run index, so the output is
+// byte-identical for every -par value. A progress/ETA line is drawn on
+// stderr when it is a terminal (force with -progress).
+//
 // Usage:
 //
-//	experiments [-cycles n] [-seed n] [-only 4.2|3.3|latency|...]
+//	experiments [-cycles n] [-seed n] [-reps n] [-par n] [-only 4.2|3.3|latency|...]
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"disc/internal/bus"
 	"disc/internal/core"
 	"disc/internal/isa"
+	"disc/internal/parallel"
 	"disc/internal/report"
 	"disc/internal/rt"
 	"disc/internal/stoch"
@@ -31,67 +38,89 @@ import (
 )
 
 var (
-	cycles = flag.Uint64("cycles", stoch.DefaultCycles, "simulated cycles per stochastic run")
-	seed   = flag.Uint64("seed", 1991, "RNG seed")
-	only   = flag.String("only", "", "run a single experiment: 4.1 4.2 4.3 3.1 3.2 3.3 3.4 latency degradation deadlines")
+	cycles   = flag.Uint64("cycles", stoch.DefaultCycles, "simulated cycles per stochastic run")
+	seed     = flag.Uint64("seed", 1991, "RNG seed")
+	reps     = flag.Int("reps", 5, "independent replications per stochastic table cell (mean ± 95% CI)")
+	par      = flag.Int("par", 0, "sweep worker goroutines; 0 = GOMAXPROCS (results never depend on -par)")
+	progress = flag.Bool("progress", false, "force the progress/ETA line even when stderr is not a terminal")
+	only     = flag.String("only", "", "run a single experiment (see -help for the list)")
 )
 
-func main() {
-	flag.Parse()
-	opts := tables.Opts{Cycles: *cycles, Seed: *seed}
-	all := *only == ""
-	want := func(name string) bool { return all || *only == name }
+// experiments is the dispatch table, in report order. The names are
+// the contract of -only.
+var experiments = []struct {
+	name string
+	run  func()
+}{
+	{"4.1", table41},
+	{"4.2", func() { table42(tableOpts("Table 4.2")) }},
+	{"4.3", func() { table43(tableOpts("Table 4.3")) }},
+	{"3.1", figure31},
+	{"3.2", figure32},
+	{"3.3", figure33},
+	{"3.4", figure34},
+	{"latency", extraLatency},
+	{"degradation", extraDegradation},
+	{"deadlines", extraDeadlines},
+	{"streams", extraStreamSweep},
+	{"stackdepth", extraStackDepth},
+	{"latencyload", extraLatencyUnderLoad},
+	{"softswitch", extraSoftSwitch},
+	{"xval", extraXval},
+	{"fixedwin", extraFixedWindows},
+	{"polling", extraPolling},
+}
 
-	if want("4.1") {
-		table41()
+func experimentNames() []string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
 	}
-	if want("4.2") {
-		table42(opts)
+	return names
+}
+
+// meter returns a progress callback for long sweeps, or nil when
+// stderr is not a terminal (progress lines carry wall-clock state and
+// must never leak into deterministic output).
+func meter(label string) func(done, total int) {
+	if !*progress {
+		st, err := os.Stderr.Stat()
+		if err != nil || st.Mode()&os.ModeCharDevice == 0 {
+			return nil
+		}
 	}
-	if want("4.3") {
-		table43(opts)
+	return parallel.NewMeter(os.Stderr, label)
+}
+
+func tableOpts(label string) tables.Opts {
+	return tables.Opts{
+		Cycles: *cycles, Seed: *seed,
+		Reps: *reps, Par: *par,
+		Progress: meter(label),
 	}
-	if want("3.1") {
-		figure31()
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: experiments [flags]\nexperiments (-only): %s\n\n",
+			strings.Join(experimentNames(), " "))
+		flag.PrintDefaults()
 	}
-	if want("3.2") {
-		figure32()
+	flag.Parse()
+	if *only != "" {
+		for _, e := range experiments {
+			if e.name == *only {
+				e.run()
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\nvalid names: %s\n",
+			*only, strings.Join(experimentNames(), " "))
+		os.Exit(2)
 	}
-	if want("3.3") {
-		figure33()
-	}
-	if want("3.4") {
-		figure34()
-	}
-	if want("latency") {
-		extraLatency()
-	}
-	if want("degradation") {
-		extraDegradation()
-	}
-	if want("deadlines") {
-		extraDeadlines()
-	}
-	if want("streams") {
-		extraStreamSweep()
-	}
-	if want("stackdepth") {
-		extraStackDepth()
-	}
-	if want("latencyload") {
-		extraLatencyUnderLoad()
-	}
-	if want("softswitch") {
-		extraSoftSwitch()
-	}
-	if want("xval") {
-		extraXval()
-	}
-	if want("fixedwin") {
-		extraFixedWindows()
-	}
-	if want("polling") {
-		extraPolling()
+	for _, e := range experiments {
+		e.run()
 	}
 }
 
@@ -323,17 +352,21 @@ func extraStreamSweep() {
 	fmt.Println("Future work (§5) - optimum number of instruction streams:")
 	fmt.Println("load 1 partitioned across 1..8 ISs; the knee is where the")
 	fmt.Println("marginal gain collapses (the shared bus saturates).")
-	points, knee, err := study.StreamSweep(workload.Simple(workload.Ld1), 8, *cycles, *seed, 4, 0.02)
+	points, knee, err := study.StreamSweep(study.SweepConfig{
+		Load: workload.Simple(workload.Ld1), MaxStreams: 8,
+		Cycles: *cycles, Seed: *seed, PipeLen: 4, Threshold: 0.02,
+		Reps: *reps, Par: *par, Progress: meter("stream sweep"),
+	})
 	if err != nil {
 		fatal(err)
 	}
 	rows := [][]string{}
 	for _, p := range points {
 		rows = append(rows, []string{
-			fmt.Sprint(p.Streams), report.F(p.PD, 3), report.F(p.Marginal, 3),
+			fmt.Sprint(p.Streams), report.F(p.PD, 3), report.F(p.CI, 3), report.F(p.Marginal, 3),
 		})
 	}
-	fmt.Println(report.Table("", []string{"streams", "PD", "marginal gain"}, rows))
+	fmt.Println(report.Table("", []string{"streams", "PD", "±95% CI", "marginal gain"}, rows))
 	fmt.Printf("knee (marginal < 0.02): %d streams\n\n", knee)
 }
 
@@ -392,6 +425,14 @@ func table41() {
 		append([]string{"param"}, tables.Table41Columns...), out))
 }
 
+// repNote annotates replicated tables so readers know what ± means.
+func repNote(title string, n int) string {
+	if n < 2 {
+		return title
+	}
+	return fmt.Sprintf("%s (mean ±95%% CI, %d replications)", title, n)
+}
+
 func table42(opts tables.Opts) {
 	rows, err := tables.Table42(opts)
 	if err != nil {
@@ -403,14 +444,14 @@ func table42(opts tables.Opts) {
 		ra := []string{r.Load}
 		rb := []string{r.Load}
 		for k := 0; k < tables.MaxStreams; k++ {
-			ra = append(ra, report.F(r.PD[k], 3))
-			rb = append(rb, report.Pct(r.Delta[k]))
+			ra = append(ra, r.PDStat[k].FCI(3))
+			rb = append(rb, r.DeltaStat[k].PctCI())
 		}
 		a = append(a, ra)
 		b = append(b, rb)
 	}
-	fmt.Println(report.Table("Table 4.2a - Processor Utilization PD (by degree of partitioning)", hdr, a))
-	fmt.Println(report.Table("Table 4.2b - Delta vs standard processor", hdr, b))
+	fmt.Println(report.Table(repNote("Table 4.2a - Processor Utilization PD (by degree of partitioning)", opts.Reps), hdr, a))
+	fmt.Println(report.Table(repNote("Table 4.2b - Delta vs standard processor", opts.Reps), hdr, b))
 }
 
 func table43(opts tables.Opts) {
@@ -424,14 +465,14 @@ func table43(opts tables.Opts) {
 		ra := []string{r.Pair}
 		rb := []string{r.Pair}
 		for c := 0; c < 4; c++ {
-			ra = append(ra, report.F(r.PD[c], 3))
-			rb = append(rb, report.Pct(r.Delta[c]))
+			ra = append(ra, r.PDStat[c].FCI(3))
+			rb = append(rb, r.DeltaStat[c].PctCI())
 		}
 		a = append(a, ra)
 		b = append(b, rb)
 	}
-	fmt.Println(report.Table("Table 4.3a - Processor Utilization PD (load 1 with load X)", hdr, a))
-	fmt.Println(report.Table("Table 4.3b - Delta vs standard processor", hdr, b))
+	fmt.Println(report.Table(repNote("Table 4.3a - Processor Utilization PD (load 1 with load X)", opts.Reps), hdr, a))
+	fmt.Println(report.Table(repNote("Table 4.3b - Delta vs standard processor", opts.Reps), hdr, b))
 }
 
 const fourLoops = `

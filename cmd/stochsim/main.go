@@ -1,7 +1,10 @@
 // Command stochsim runs the paper's §4.1 stochastic evaluation model
 // directly: assign a workload to each instruction stream, simulate the
 // DISC1 sequencer, and print PD, the standard-processor baseline Ps
-// and Delta.
+// and Delta. With -reps > 1 every figure is replicated across
+// independently seeded runs (fanned over -par workers) and printed as
+// mean ±95% confidence interval; the numbers are identical for any
+// -par value.
 //
 // Usage:
 //
@@ -10,7 +13,9 @@
 //	-streams spec   comma list of per-IS loads: load1..load4, or
 //	                pairs like load1:4 (combined); default "load1,load1"
 //	-cycles n       simulated cycles (default 200000)
-//	-seed n         RNG seed (default 1991)
+//	-seed n         root RNG seed (default 1991)
+//	-reps n         independent replications (default 1)
+//	-par n          worker goroutines, 0 = GOMAXPROCS (default 0)
 //	-pipe n         pipeline length (default 4)
 //	-slots spec     scheduler slot table, e.g. "0,0,0,1" (default even)
 //	-baseline name  load used for the Ps baseline (default: first stream)
@@ -24,6 +29,9 @@ import (
 	"strings"
 
 	"disc/internal/baseline"
+	"disc/internal/parallel"
+	"disc/internal/report"
+	"disc/internal/rng"
 	"disc/internal/stoch"
 	"disc/internal/workload"
 )
@@ -34,6 +42,11 @@ var byName = map[string]workload.Params{
 	"load3": workload.Ld3,
 	"load4": workload.Ld4,
 }
+
+// baselineIndexBase offsets baseline replication indices in the child
+// seed derivation so they never collide with the model replications
+// (which use indices 0..reps-1).
+const baselineIndexBase = 1 << 20
 
 // parseLoad accepts "load2" or combined forms like "load1:4".
 func parseLoad(s string) (workload.Load, error) {
@@ -54,7 +67,9 @@ func parseLoad(s string) (workload.Load, error) {
 func main() {
 	streams := flag.String("streams", "load1,load1", "per-stream loads")
 	cycles := flag.Uint64("cycles", stoch.DefaultCycles, "simulated cycles")
-	seed := flag.Uint64("seed", 1991, "RNG seed")
+	seed := flag.Uint64("seed", 1991, "root RNG seed")
+	reps := flag.Int("reps", 1, "independent replications")
+	par := flag.Int("par", 0, "worker goroutines (0 = GOMAXPROCS)")
 	pipe := flag.Int("pipe", stoch.DefaultPipeLen, "pipeline length")
 	slots := flag.String("slots", "", "scheduler slot table, e.g. 0,0,0,1")
 	baseName := flag.String("baseline", "", "load for the Ps baseline (default: first stream)")
@@ -78,17 +93,27 @@ func main() {
 			cfg.Slots = append(cfg.Slots, v)
 		}
 	}
-	res, err := stoch.Run(cfg)
-	if err != nil {
-		fatal(err)
+	if *reps < 1 {
+		*reps = 1
 	}
 
 	baseLoad := loads[0]
 	if *baseName != "" {
+		var err error
 		baseLoad, err = parseLoad(*baseName)
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	if *reps > 1 {
+		replicated(cfg, baseLoad, *reps, *par, *streams)
+		return
+	}
+
+	res, err := stoch.Run(cfg)
+	if err != nil {
+		fatal(err)
 	}
 	base, err := baseline.Run(baseLoad, *pipe, *cycles, *seed)
 	if err != nil {
@@ -106,6 +131,39 @@ func main() {
 		fmt.Printf("  IS%d: exec %d flush %d jumps %d reqs %d rejects %d wait %d off %d\n",
 			i, s.Executed, s.Flushed, s.Jumps, s.Requests, s.Rejects, s.WaitCycles, s.OffCycles)
 	}
+}
+
+// replicated runs reps independent model+baseline pairs, each with its
+// own child seed, and reports mean ±95% CI for PD, Ps and the paired
+// per-replication Delta.
+func replicated(cfg stoch.Config, baseLoad workload.Load, reps, par int, streams string) {
+	results, err := stoch.RunReps(cfg, reps, par)
+	if err != nil {
+		fatal(err)
+	}
+	pss, err := parallel.Map(par, reps, func(r int) (float64, error) {
+		b, err := baseline.Run(baseLoad, cfg.PipeLen, cfg.Cycles,
+			rng.Child(cfg.Seed, baselineIndexBase+uint64(r)))
+		if err != nil {
+			return 0, err
+		}
+		return b.Ps(), nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	pds := stoch.PDs(results)
+	deltas := make([]float64, reps)
+	for r := range deltas {
+		deltas[r] = stoch.Delta(pds[r], pss[r])
+	}
+	pd, ps, dl := report.Summarize(pds), report.Summarize(pss), report.Summarize(deltas)
+
+	fmt.Printf("streams     %s\n", streams)
+	fmt.Printf("cycles      %d x %d replications\n", cfg.Cycles, reps)
+	fmt.Printf("PD          %s (95%% CI, n=%d)\n", pd.FCI(4), reps)
+	fmt.Printf("Ps(%s)  %s (95%% CI, n=%d)\n", baseLoad.Name, ps.FCI(4), reps)
+	fmt.Printf("Delta       %+.1f%% ±%.1f (95%% CI, n=%d, paired)\n", dl.Mean, dl.CI, reps)
 }
 
 func fatal(err error) {

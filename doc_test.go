@@ -1,0 +1,55 @@
+package disc_test
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs pins the documentation contract of the evaluation
+// pipeline: every package in the model→tables chain must carry a
+// package comment that names the paper section it reproduces and
+// states its determinism contract (the property the parallel sweep
+// engine depends on). `go vet` checks comment placement; this checks
+// the content stays put.
+func TestPackageDocs(t *testing.T) {
+	pkgs := []string{
+		"internal/stoch",
+		"internal/study",
+		"internal/tables",
+		"internal/workload",
+		"internal/parallel",
+	}
+	for _, rel := range pkgs {
+		rel := rel
+		t.Run(filepath.Base(rel), func(t *testing.T) {
+			fset := token.NewFileSet()
+			parsed, err := parser.ParseDir(fset, rel, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc string
+			for name, pkg := range parsed {
+				if strings.HasSuffix(name, "_test") {
+					continue
+				}
+				for _, f := range pkg.Files {
+					if f.Doc != nil {
+						doc += f.Doc.Text()
+					}
+				}
+			}
+			if doc == "" {
+				t.Fatalf("package %s has no package comment", rel)
+			}
+			if !strings.Contains(doc, "§") {
+				t.Errorf("package %s doc does not cite a paper section (§):\n%s", rel, doc)
+			}
+			if !strings.Contains(strings.ToLower(doc), "determinis") {
+				t.Errorf("package %s doc does not state its determinism contract:\n%s", rel, doc)
+			}
+		})
+	}
+}

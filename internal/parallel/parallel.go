@@ -1,0 +1,137 @@
+// Package parallel is the worker-pool sweep engine behind the paper's
+// evaluation pipeline (§4): every cell of Tables 4.2/4.3, every point
+// of the §5 study sweeps and every cross-validation run is an
+// independent stochastic simulation, and this package fans them out
+// across GOMAXPROCS workers.
+//
+// Determinism contract: Map and MapProgress return results that are
+// byte-for-byte independent of the worker count and of run scheduling.
+// The job function receives only its run index; callers derive each
+// run's RNG seed from that index with rng.Child (SplitMix64 child
+// seeds from the root seed — never a shared generator), so run i
+// computes the same value whether it executes first on one worker or
+// last on sixteen. Results are delivered in index order, and on
+// failure the error of the lowest-indexed failing job is returned —
+// also a par-independent choice, because which jobs fail is a property
+// of the jobs, not of the schedule. Panics inside a job are recovered
+// and reported as that job's error, so one bad run cannot deadlock or
+// kill a sweep.
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Map runs n independent jobs across min(par, n) worker goroutines and
+// returns their results in job-index order. par <= 0 selects
+// runtime.GOMAXPROCS(0). The first error (by lowest job index) aborts
+// dispatch of not-yet-started jobs and is returned; jobs already
+// running are allowed to finish. A panicking job contributes an error
+// rather than crashing the process.
+func Map[T any](par, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapProgress(par, n, fn, nil)
+}
+
+// MapProgress is Map with a completion callback: progress(done, n) is
+// invoked after each job finishes, serially (never concurrently), with
+// done strictly increasing. A nil progress is ignored.
+func MapProgress[T any](par, n int, fn func(i int) (T, error), progress func(done, total int)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	results := make([]T, n)
+	var (
+		next   atomic.Int64 // next job index to dispatch
+		failed atomic.Bool  // stop dispatching once any job errs
+
+		mu       sync.Mutex // guards firstErr/firstIdx/done, serializes progress
+		firstErr error
+		firstIdx = -1
+		done     int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				out, err := call(fn, i)
+				mu.Lock()
+				if err != nil {
+					if firstIdx < 0 || i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					failed.Store(true)
+				} else {
+					results[i] = out
+				}
+				done++
+				if progress != nil {
+					progress(done, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// call invokes fn(i), converting a panic into an error so the pool
+// neither deadlocks (the worker keeps draining) nor tears down the
+// whole process for one bad run.
+func call[T any](fn func(int) (T, error), i int) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parallel: job %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// NewMeter returns a progress callback (for MapProgress) that renders
+// a single in-place "label done/total (pct%) eta 12s" line to w,
+// throttled to one repaint per 100ms plus a final repaint, and ends
+// the line when the last job completes. The rendering carries
+// wall-clock state, so meters belong on a terminal's stderr — never in
+// output that must be deterministic.
+func NewMeter(w io.Writer, label string) func(done, total int) {
+	start := time.Now()
+	var last time.Time
+	return func(done, total int) {
+		now := time.Now()
+		if done < total && now.Sub(last) < 100*time.Millisecond {
+			return
+		}
+		last = now
+		if done >= total {
+			fmt.Fprintf(w, "\r%s %d/%d done in %-16s\n", label, done, total,
+				time.Since(start).Round(time.Millisecond))
+			return
+		}
+		eta := "?"
+		if done > 0 {
+			left := time.Duration(float64(now.Sub(start)) / float64(done) * float64(total-done))
+			eta = left.Round(time.Second).String()
+		}
+		fmt.Fprintf(w, "\r%s %d/%d (%d%%) eta %-8s", label, done, total, 100*done/total, eta)
+	}
+}

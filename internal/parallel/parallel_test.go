@@ -1,0 +1,159 @@
+package parallel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"disc/internal/rng"
+)
+
+// TestMapDeterministicAcrossWorkerCounts is the engine's contract: the
+// same jobs, seeded per index with rng.Child, produce identical result
+// slices at every worker count.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	job := func(i int) (uint64, error) {
+		src := rng.NewChild(1991, uint64(i))
+		var sum uint64
+		for k := 0; k < 1000; k++ {
+			sum += src.Uint64()
+		}
+		return sum, nil
+	}
+	const n = 64
+	ref, err := Map(1, n, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 3, 8, 16, 0} {
+		got, err := Map(par, n, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("par=%d: job %d = %d, serial run said %d", par, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	out, err := Map(8, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("result %d out of order: %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty map: %v, %v", out, err)
+	}
+}
+
+// TestMapErrorPropagation: a failing run must surface its error, stop
+// dispatch, and not deadlock — at any worker count. Run under -race
+// this also proves the pool's accounting is data-race free.
+func TestMapErrorPropagation(t *testing.T) {
+	for _, par := range []int{1, 4, 16} {
+		_, err := Map(par, 200, func(i int) (int, error) {
+			if i%7 == 3 { // lowest failing index is 3
+				return 0, fmt.Errorf("boom at %d", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("par=%d: error swallowed", par)
+		}
+		if err.Error() != "boom at 3" {
+			t.Fatalf("par=%d: got %q, want the lowest-indexed failure", par, err)
+		}
+	}
+}
+
+// TestMapPanicRecovered: a panicking run becomes that job's error; the
+// pool drains cleanly instead of crashing or hanging.
+func TestMapPanicRecovered(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Map(8, 100, func(i int) (int, error) {
+			if i == 5 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "job 5 panicked: kaboom") {
+			t.Errorf("panic not converted to error: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pool deadlocked on a panicking job")
+	}
+}
+
+// TestMapMixedFailures stresses the pool with interleaved panics and
+// errors across many goroutines (the -race satellite scenario).
+func TestMapMixedFailures(t *testing.T) {
+	_, err := Map(16, 500, func(i int) (int, error) {
+		switch {
+		case i%11 == 9:
+			panic(i)
+		case i%13 == 7:
+			return 0, fmt.Errorf("err %d", i)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("mixed failures swallowed")
+	}
+	// Lowest failing index overall is 7 (13k+7) vs 9 (11k+9).
+	if !strings.Contains(err.Error(), "err 7") {
+		t.Fatalf("got %v, want the deterministic lowest-indexed failure", err)
+	}
+}
+
+func TestMapProgressSerialAndMonotonic(t *testing.T) {
+	var seen []int
+	_, err := MapProgress(8, 50, func(i int) (int, error) { return i, nil },
+		func(done, total int) {
+			if total != 50 {
+				t.Errorf("total = %d", total)
+			}
+			seen = append(seen, done) // safe: progress is serialized
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 50 {
+		t.Fatalf("%d progress calls, want 50", len(seen))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress not strictly increasing: %v", seen)
+		}
+	}
+}
+
+func TestMeterRendersFinalLine(t *testing.T) {
+	var b strings.Builder
+	m := NewMeter(&b, "sweep")
+	m(1, 2)
+	m(2, 2)
+	out := b.String()
+	if !strings.Contains(out, "sweep 1/2") || !strings.Contains(out, "sweep 2/2 done in") {
+		t.Fatalf("meter output malformed: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("meter did not end the line: %q", out)
+	}
+}

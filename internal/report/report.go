@@ -1,9 +1,12 @@
 // Package report renders fixed-width text tables in the style of the
-// paper's result tables, for cmd/experiments and EXPERIMENTS.md.
+// paper's result tables, for cmd/experiments and EXPERIMENTS.md, and
+// summarizes replicated stochastic runs as mean ± 95% confidence
+// interval (Student-t for small replication counts).
 package report
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -58,3 +61,74 @@ func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
 
 // Pct formats a delta percentage with sign, one decimal.
 func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", v) }
+
+// Stat summarizes replicated measurements of one quantity.
+type Stat struct {
+	N    int
+	Mean float64
+	SD   float64 // sample standard deviation (n−1 denominator)
+	CI   float64 // half-width of the 95% confidence interval of the mean
+}
+
+// tTable holds two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; beyond 30 the normal 1.960 is close enough.
+var tTable = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit returns the 95% two-sided critical value for df degrees of
+// freedom.
+func tCrit(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tTable) {
+		return tTable[df-1]
+	}
+	return 1.960
+}
+
+// Summarize computes mean, sample standard deviation and the 95%
+// confidence half-width of a set of replicated measurements. With
+// fewer than two samples SD and CI are zero (a single run carries no
+// dispersion information).
+func Summarize(xs []float64) Stat {
+	s := Stat{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	for _, x := range xs {
+		s.Mean += x
+	}
+	s.Mean /= float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.SD = math.Sqrt(ss / float64(s.N-1))
+	s.CI = tCrit(s.N-1) * s.SD / math.Sqrt(float64(s.N))
+	return s
+}
+
+// FCI formats a replicated value as "mean ±ci" at the given precision,
+// or just the mean when there is no dispersion information.
+func (s Stat) FCI(prec int) string {
+	if s.N < 2 {
+		return F(s.Mean, prec)
+	}
+	return F(s.Mean, prec) + " ±" + F(s.CI, prec)
+}
+
+// PctCI formats a replicated percentage as "+x.x% ±y.y".
+func (s Stat) PctCI() string {
+	if s.N < 2 {
+		return Pct(s.Mean)
+	}
+	return Pct(s.Mean) + " ±" + F(s.CI, 1)
+}

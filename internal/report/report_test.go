@@ -55,3 +55,52 @@ func TestFormatters(t *testing.T) {
 		t.Fatalf("Pct = %q / %q", Pct(12.34), Pct(-5))
 	}
 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.CI != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	s = Summarize([]float64{0.5})
+	if s.N != 1 || s.Mean != 0.5 || s.SD != 0 || s.CI != 0 {
+		t.Fatalf("single-sample summary: %+v", s)
+	}
+	// Known case: {1,2,3,4,5}: mean 3, SD sqrt(2.5), t(4)=2.776.
+	s = Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.SD < 1.581 || s.SD > 1.582 {
+		t.Fatalf("SD = %v", s.SD)
+	}
+	wantCI := 2.776 * s.SD / 2.2360679774997896
+	if diff := s.CI - wantCI; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("CI = %v, want %v", s.CI, wantCI)
+	}
+}
+
+func TestSummarizeLargeNUsesNormal(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2) // mean .5, SD ~.5025
+	}
+	s := Summarize(xs)
+	want := 1.960 * s.SD / 10
+	if diff := s.CI - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("CI = %v, want normal approximation %v", s.CI, want)
+	}
+}
+
+func TestStatFormatting(t *testing.T) {
+	s := Stat{N: 5, Mean: 0.5471, CI: 0.0123}
+	if s.FCI(3) != "0.547 ±0.012" {
+		t.Fatalf("FCI = %q", s.FCI(3))
+	}
+	if (Stat{N: 1, Mean: 0.5}).FCI(3) != "0.500" {
+		t.Fatal("single-run FCI should omit the ± term")
+	}
+	p := Stat{N: 5, Mean: 50.64, CI: 2.31}
+	if p.PctCI() != "+50.6% ±2.3" {
+		t.Fatalf("PctCI = %q", p.PctCI())
+	}
+}

@@ -164,3 +164,28 @@ func (s *Source) Shuffle(n int, swap func(i, j int)) {
 func (s *Source) Fork() *Source {
 	return New(s.Uint64() ^ 0xD1B54A32D192ED03)
 }
+
+// Child derives the seed of run index from a root seed, SplitMix64
+// style: the root is advanced by (index+1) steps of the golden-ratio
+// Weyl sequence and the result is passed through the SplitMix64
+// finalizer. Unlike Fork, Child is a pure function of (root, index):
+// replication r of an experiment gets the same seed no matter how many
+// worker goroutines the sweep engine uses or in which order the runs
+// execute — the determinism contract of internal/parallel rests on it.
+// Distinct indices under one root yield decorrelated, never-shared
+// generator states.
+func Child(root, index uint64) uint64 {
+	z := root + (index+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// NewChild returns New(Child(root, index)): the ready-to-use generator
+// for one run of a replicated experiment.
+func NewChild(root, index uint64) *Source {
+	return New(Child(root, index))
+}

@@ -1,0 +1,67 @@
+package stoch
+
+import (
+	"testing"
+
+	"disc/internal/workload"
+)
+
+// TestRunRepsParIndependent: the replicated results must not depend on
+// the worker count — the determinism guarantee the parallel sweep
+// engine rests on.
+func TestRunRepsParIndependent(t *testing.T) {
+	cfg := Config{
+		Cycles:  20000,
+		Seed:    1991,
+		Streams: []workload.Load{workload.Simple(workload.Ld1), workload.Simple(workload.Ld1)},
+	}
+	serial, err := RunReps(cfg, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := RunReps(cfg, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 6 || len(wide) != 6 {
+		t.Fatalf("replication counts: %d vs %d", len(serial), len(wide))
+	}
+	for r := range serial {
+		if serial[r].Executed != wide[r].Executed || serial[r].PD() != wide[r].PD() {
+			t.Fatalf("rep %d differs between par=1 and par=8: %+v vs %+v",
+				r, serial[r], wide[r])
+		}
+	}
+}
+
+// TestRunRepsIndependentSeeds: replications must actually differ (a
+// shared or repeated seed would collapse the confidence interval).
+func TestRunRepsIndependentSeeds(t *testing.T) {
+	cfg := Config{
+		Cycles:  20000,
+		Seed:    7,
+		Streams: []workload.Load{workload.Simple(workload.Ld1)},
+	}
+	rs, err := RunReps(cfg, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[uint64]bool{}
+	for _, r := range rs {
+		distinct[r.Executed] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all %d replications identical — seeds not split", len(rs))
+	}
+	pds := PDs(rs)
+	if len(pds) != 5 {
+		t.Fatalf("PDs length %d", len(pds))
+	}
+}
+
+// TestRunRepsPropagatesError: an invalid config must fail, not hang.
+func TestRunRepsPropagatesError(t *testing.T) {
+	if _, err := RunReps(Config{}, 4, 4); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

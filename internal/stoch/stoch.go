@@ -23,11 +23,17 @@
 // companion package baseline computes Ps, the standard single-stream
 // processor's utilization, and Delta compares the two exactly as the
 // paper defines: delta = (PD − Ps)/Ps × 100%.
+//
+// Determinism contract: Run is a pure function of its Config — a fixed
+// Seed reproduces the identical Result on every platform, and RunReps
+// derives one rng.Child seed per replication index so its output is
+// byte-identical no matter how many workers execute the replications.
 package stoch
 
 import (
 	"fmt"
 
+	"disc/internal/parallel"
 	"disc/internal/rng"
 	"disc/internal/sched"
 	"disc/internal/workload"
@@ -106,6 +112,32 @@ func Delta(pd, ps float64) float64 {
 		return 0
 	}
 	return (pd - ps) / ps * 100
+}
+
+// RunReps executes reps independent replications of cfg across par
+// worker goroutines (par <= 0 selects GOMAXPROCS) and returns the
+// per-replication results in replication order. Replication r runs
+// with seed rng.Child(cfg.Seed, r) — a private SplitMix64-derived seed,
+// never a shared generator — so the slice is identical for any par.
+func RunReps(cfg Config, reps, par int) ([]Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	return parallel.Map(par, reps, func(r int) (Result, error) {
+		c := cfg
+		c.Seed = rng.Child(cfg.Seed, uint64(r))
+		return Run(c)
+	})
+}
+
+// PDs extracts the PD of each replicated result, ready for
+// report.Summarize.
+func PDs(rs []Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.PD()
+	}
+	return out
 }
 
 // pipe slot of the model.

@@ -1,4 +1,5 @@
-// Package study implements the paper's §5 "future work" analyses:
+// Package study implements the paper's §5 "future work" analyses on
+// top of the §4.1 stochastic model:
 //
 //   - StreamSweep — "future work should be done to evaluate the optimum
 //     number of instruction streams for a given application": sweep the
@@ -14,6 +15,12 @@
 //     need to be defined and modeled": dispatch latency measured on the
 //     cycle-accurate machine while 0..3 other streams saturate it,
 //     under both even and prioritised partitions.
+//
+// Determinism contract: every study is a pure function of its
+// parameters. Replicated sweeps draw one rng.Child seed per run index
+// and fan out through internal/parallel, so results are byte-identical
+// for any worker count; the random-walk and machine studies derive all
+// state from explicit seeds.
 package study
 
 import (
@@ -22,6 +29,8 @@ import (
 	"disc/internal/asm"
 	"disc/internal/core"
 	"disc/internal/isa"
+	"disc/internal/parallel"
+	"disc/internal/report"
 	"disc/internal/rng"
 	"disc/internal/rt"
 	"disc/internal/stoch"
@@ -31,46 +40,73 @@ import (
 // SweepPoint is one entry of a stream-count sweep.
 type SweepPoint struct {
 	Streams  int
-	PD       float64
+	PD       float64 // mean over the sweep's replications
+	CI       float64 // 95% confidence half-width of PD
 	Marginal float64 // PD gain over the previous point
 }
 
-// StreamSweep partitions load across 1..maxStreams instruction streams
-// and reports PD at each width. Knee is the smallest stream count
-// whose marginal gain drops below threshold (0 if none does).
-func StreamSweep(load workload.Load, maxStreams int, cycles, seed uint64, pipeLen int, threshold float64) ([]SweepPoint, int, error) {
-	if maxStreams < 1 {
-		return nil, 0, fmt.Errorf("study: maxStreams %d < 1", maxStreams)
+// SweepConfig parameterizes StreamSweep.
+type SweepConfig struct {
+	Load       workload.Load
+	MaxStreams int
+	Cycles     uint64
+	Seed       uint64
+	PipeLen    int
+	// Threshold is the marginal-PD gain below which the knee is
+	// declared.
+	Threshold float64
+	// Reps is the number of independent replications per point (each
+	// with its own rng.Child seed); 0 selects 3 — enough for the knee
+	// detection to see the trend, not monte-carlo jitter.
+	Reps int
+	// Par is the sweep worker count; 0 selects GOMAXPROCS. Results do
+	// not depend on Par.
+	Par int
+	// Progress, when non-nil, is called serially as runs complete.
+	Progress func(done, total int)
+}
+
+// StreamSweep partitions the load across 1..MaxStreams instruction
+// streams and reports PD at each width. Knee is the smallest stream
+// count whose marginal gain drops below Threshold (0 if none does).
+func StreamSweep(cfg SweepConfig) ([]SweepPoint, int, error) {
+	if cfg.MaxStreams < 1 {
+		return nil, 0, fmt.Errorf("study: maxStreams %d < 1", cfg.MaxStreams)
 	}
-	// Average a few independent seeds per point so the knee detection
-	// sees the trend, not monte-carlo jitter.
-	const reps = 3
-	points := make([]SweepPoint, 0, maxStreams)
-	prev := 0.0
-	knee := 0
-	for k := 1; k <= maxStreams; k++ {
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 3
+	}
+	total := cfg.MaxStreams * reps
+	vals, err := parallel.MapProgress(cfg.Par, total, func(j int) (float64, error) {
+		k := j/reps + 1
 		streams := make([]workload.Load, k)
 		for i := range streams {
-			streams[i] = load
+			streams[i] = cfg.Load
 		}
-		pd := 0.0
-		for r := 0; r < reps; r++ {
-			res, err := stoch.Run(stoch.Config{
-				PipeLen: pipeLen,
-				Cycles:  cycles,
-				Seed:    seed + uint64(k*101+r),
-				Streams: streams,
-			})
-			if err != nil {
-				return nil, 0, err
-			}
-			pd += res.PD()
+		res, err := stoch.Run(stoch.Config{
+			PipeLen: cfg.PipeLen,
+			Cycles:  cfg.Cycles,
+			Seed:    rng.Child(cfg.Seed, uint64(j)),
+			Streams: streams,
+		})
+		if err != nil {
+			return 0, err
 		}
-		pd /= reps
-		p := SweepPoint{Streams: k, PD: pd, Marginal: pd - prev}
-		prev = pd
+		return res.PD(), nil
+	}, cfg.Progress)
+	if err != nil {
+		return nil, 0, err
+	}
+	points := make([]SweepPoint, 0, cfg.MaxStreams)
+	prev := 0.0
+	knee := 0
+	for k := 1; k <= cfg.MaxStreams; k++ {
+		st := report.Summarize(vals[(k-1)*reps : k*reps])
+		p := SweepPoint{Streams: k, PD: st.Mean, CI: st.CI, Marginal: st.Mean - prev}
+		prev = st.Mean
 		points = append(points, p)
-		if knee == 0 && k > 1 && p.Marginal < threshold {
+		if knee == 0 && k > 1 && p.Marginal < cfg.Threshold {
 			knee = k
 		}
 	}
@@ -89,6 +125,19 @@ type StackParams struct {
 	MemWait    int     // cycles per spilled register (1 + wait states)
 	Instrs     uint64  // instructions to simulate
 	Seed       uint64
+}
+
+func (p StackParams) validate() error {
+	if p.PCall < 0 || p.PCall > 1 || p.PIRQ < 0 || p.PIRQ > 1 {
+		return fmt.Errorf("study: probabilities outside [0,1]")
+	}
+	if p.SpillBatch < 1 {
+		return fmt.Errorf("study: SpillBatch must be positive")
+	}
+	if p.MaxDepth < 1 {
+		return fmt.Errorf("study: MaxDepth must be positive")
+	}
+	return nil
 }
 
 // DefaultStackParams models RTS-flavoured code: a call every ~20
@@ -118,97 +167,107 @@ type StackResult struct {
 	FaultPer1k float64 // faults per 1000 instructions
 }
 
+// stackWalk runs the call/return/interrupt random walk for one window
+// depth. frameSize maps a requested frame to the registers actually
+// consumed: identity for the paper's variable-size windows, a constant
+// full window for the RISC-I-style fixed organization. Every depth
+// re-seeds its own generator from p.Seed, so the walk *sequence* is
+// identical across depths and organizations — only the costs differ.
+func stackWalk(p StackParams, d int, frameSize func(requested int) int) StackResult {
+	src := rng.New(p.Seed)
+	res := StackResult{Depth: d}
+
+	var frames []int  // live frame sizes (call and ISR frames)
+	var isrLeft []int // remaining instructions per nested handler
+	awp := isa.WindowSize - 1
+	bos := -1
+	var trafficCycles uint64
+
+	push := func(requested int) {
+		size := frameSize(requested)
+		frames = append(frames, size)
+		awp += size
+		if live := awp - bos; live > res.MaxLive {
+			res.MaxLive = live
+		}
+		for awp-bos > d-p.Guard {
+			res.Spills++
+			bos += p.SpillBatch
+			trafficCycles += uint64(p.SpillBatch * p.MemWait)
+		}
+	}
+	pop := func() {
+		if len(frames) == 0 {
+			return
+		}
+		size := frames[len(frames)-1]
+		frames = frames[:len(frames)-1]
+		awp -= size
+		for awp-bos < isa.WindowSize && bos > -1 {
+			res.Fills++
+			bos -= p.SpillBatch
+			if bos < -1 {
+				bos = -1
+			}
+			trafficCycles += uint64(p.SpillBatch * p.MemWait)
+		}
+	}
+
+	for i := uint64(0); i < p.Instrs; i++ {
+		// Nested handlers retire first.
+		if n := len(isrLeft); n > 0 {
+			isrLeft[n-1]--
+			if isrLeft[n-1] <= 0 {
+				isrLeft = isrLeft[:n-1]
+				pop() // RETI pops the entry frame
+			}
+		} else if len(frames) > 0 && src.Bool(p.PCall) {
+			// Balanced walk with a depth cap: real programs nest
+			// finitely, so returns win once the cap is reached.
+			if len(frames) >= p.MaxDepth || src.Bool(0.5) {
+				pop()
+			} else {
+				push(1 + src.Poisson(p.MeanLocals))
+			}
+		} else if src.Bool(p.PCall) {
+			push(1 + src.Poisson(p.MeanLocals))
+		}
+		if src.Bool(p.PIRQ) {
+			push(2) // hardware entry: return PC + SR
+			n := src.Poisson(p.MeanISR)
+			if n < 1 {
+				n = 1
+			}
+			isrLeft = append(isrLeft, n)
+		}
+	}
+	res.TrafficPct = 100 * float64(trafficCycles) / float64(p.Instrs)
+	res.FaultPer1k = 1000 * float64(res.Spills+res.Fills) / float64(p.Instrs)
+	return res
+}
+
+// stackDepths fans the walk across the candidate depths (each depth is
+// an independent simulation, so the fan-out cannot change results).
+func stackDepths(p StackParams, depths []int, frameSize func(int) int) ([]StackResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return parallel.Map(0, len(depths), func(i int) (StackResult, error) {
+		d := depths[i]
+		if d < 2*isa.WindowSize {
+			return StackResult{}, fmt.Errorf("study: depth %d below the minimum window file", d)
+		}
+		return stackWalk(p, d, frameSize), nil
+	})
+}
+
 // StackDepth runs the random-walk model for each candidate depth.
 // Frames are pushed by calls (return address + SR analogue + locals)
 // and interrupt entries, popped by returns; a live span exceeding
 // depth−guard costs a spill (batch registers at 1+memWait cycles
 // each), and a return into spilled territory costs a fill.
 func StackDepth(p StackParams, depths []int) ([]StackResult, error) {
-	if p.PCall < 0 || p.PCall > 1 || p.PIRQ < 0 || p.PIRQ > 1 {
-		return nil, fmt.Errorf("study: probabilities outside [0,1]")
-	}
-	if p.SpillBatch < 1 {
-		return nil, fmt.Errorf("study: SpillBatch must be positive")
-	}
-	if p.MaxDepth < 1 {
-		return nil, fmt.Errorf("study: MaxDepth must be positive")
-	}
-	out := make([]StackResult, 0, len(depths))
-	for _, d := range depths {
-		if d < 2*isa.WindowSize {
-			return nil, fmt.Errorf("study: depth %d below the minimum window file", d)
-		}
-		src := rng.New(p.Seed)
-		res := StackResult{Depth: d}
-
-		var frames []int  // live frame sizes (call and ISR frames)
-		var isrLeft []int // remaining instructions per nested handler
-		awp := isa.WindowSize - 1
-		bos := -1
-		var trafficCycles uint64
-
-		push := func(size int) {
-			frames = append(frames, size)
-			awp += size
-			if live := awp - bos; live > res.MaxLive {
-				res.MaxLive = live
-			}
-			for awp-bos > d-p.Guard {
-				res.Spills++
-				bos += p.SpillBatch
-				trafficCycles += uint64(p.SpillBatch * p.MemWait)
-			}
-		}
-		pop := func() {
-			if len(frames) == 0 {
-				return
-			}
-			size := frames[len(frames)-1]
-			frames = frames[:len(frames)-1]
-			awp -= size
-			for awp-bos < isa.WindowSize && bos > -1 {
-				res.Fills++
-				bos -= p.SpillBatch
-				if bos < -1 {
-					bos = -1
-				}
-				trafficCycles += uint64(p.SpillBatch * p.MemWait)
-			}
-		}
-
-		for i := uint64(0); i < p.Instrs; i++ {
-			// Nested handlers retire first.
-			if n := len(isrLeft); n > 0 {
-				isrLeft[n-1]--
-				if isrLeft[n-1] <= 0 {
-					isrLeft = isrLeft[:n-1]
-					pop() // RETI pops the entry frame
-				}
-			} else if len(frames) > 0 && src.Bool(p.PCall) {
-				// Balanced walk with a depth cap: real programs nest
-				// finitely, so returns win once the cap is reached.
-				if len(frames) >= p.MaxDepth || src.Bool(0.5) {
-					pop()
-				} else {
-					push(1 + src.Poisson(p.MeanLocals))
-				}
-			} else if src.Bool(p.PCall) {
-				push(1 + src.Poisson(p.MeanLocals))
-			}
-			if src.Bool(p.PIRQ) {
-				push(2) // hardware entry: return PC + SR
-				n := src.Poisson(p.MeanISR)
-				if n < 1 {
-					n = 1
-				}
-				isrLeft = append(isrLeft, n)
-			}
-		}
-		res.TrafficPct = 100 * float64(trafficCycles) / float64(p.Instrs)
-		res.FaultPer1k = 1000 * float64(res.Spills+res.Fills) / float64(p.Instrs)
-		out = append(out, res)
-	}
-	return out, nil
+	return stackDepths(p, depths, func(requested int) int { return requested })
 }
 
 // LoadLatency is one row of the latency-under-load experiment.
@@ -222,9 +281,15 @@ type LoadLatency struct {
 // LatencyUnderLoad measures dispatch latency for a stream dedicated to
 // an interrupt while busyStreams other streams saturate the machine,
 // for each partition in shares (nil entries mean an even split). The
-// dedicated stream is always stream busyStreams (the last one).
+// dedicated stream is always stream busyStreams (the last one). Each
+// (busy, partition) combination builds its own machine, so the rows
+// are measured in parallel without affecting each other.
 func LatencyUnderLoad(busy []int, events int, shareSets [][]int) ([]LoadLatency, error) {
-	var out []LoadLatency
+	type combo struct {
+		nBusy  int
+		shares []int
+	}
+	var combos []combo
 	for _, nBusy := range busy {
 		if nBusy < 0 || nBusy+1 > isa.NumStreams {
 			return nil, fmt.Errorf("study: %d busy streams leaves no room for the handler stream", nBusy)
@@ -234,24 +299,27 @@ func LatencyUnderLoad(busy []int, events int, shareSets [][]int) ([]LoadLatency,
 			sets = [][]int{nil}
 		}
 		for _, shares := range sets {
-			lat, err := measureLoaded(nBusy, events, shares)
-			if err != nil {
-				return nil, err
-			}
-			label := "even"
-			if shares != nil {
-				label = fmt.Sprint(shares)
-			}
-			out = append(out, LoadLatency{
-				BusyStreams: nBusy,
-				Shares:      label,
-				Min:         lat.Min(),
-				Max:         lat.Max(),
-				Mean:        lat.Mean(),
-			})
+			combos = append(combos, combo{nBusy, shares})
 		}
 	}
-	return out, nil
+	return parallel.Map(0, len(combos), func(i int) (LoadLatency, error) {
+		c := combos[i]
+		lat, err := measureLoaded(c.nBusy, events, c.shares)
+		if err != nil {
+			return LoadLatency{}, err
+		}
+		label := "even"
+		if c.shares != nil {
+			label = fmt.Sprint(c.shares)
+		}
+		return LoadLatency{
+			BusyStreams: c.nBusy,
+			Shares:      label,
+			Min:         lat.Min(),
+			Max:         lat.Max(),
+			Mean:        lat.Mean(),
+		}, nil
+	})
 }
 
 func measureLoaded(nBusy, events int, shares []int) (rt.Samples, error) {
@@ -318,8 +386,9 @@ func FixedVsVariable(p StackParams, depths []int) ([]FixedWindowResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	fixed := p
-	fixedRes, err := stackDepthFixed(fixed, depths)
+	const overlap = 2
+	fixedFrame := isa.WindowSize - overlap // net registers consumed per call
+	fixedRes, err := stackDepths(p, depths, func(int) int { return fixedFrame })
 	if err != nil {
 		return nil, err
 	}
@@ -334,90 +403,6 @@ func FixedVsVariable(p StackParams, depths []int) ([]FixedWindowResult, error) {
 			r.Ratio = r.FixedTraffic / r.VariableTraffic
 		}
 		out[i] = r
-	}
-	return out, nil
-}
-
-// stackDepthFixed is StackDepth with every frame rounded up to a full
-// fixed window (overlap of 2 for parameters), interrupt entries
-// included.
-func stackDepthFixed(p StackParams, depths []int) ([]StackResult, error) {
-	const overlap = 2
-	fixedFrame := isa.WindowSize - overlap // net registers consumed per call
-	q := p
-	// Reuse the random walk by replaying it with the fixed frame cost:
-	// the call/return/interrupt *sequence* must be identical, so we run
-	// the same process and substitute sizes.
-	out := make([]StackResult, 0, len(depths))
-	for _, d := range depths {
-		if d < 2*isa.WindowSize {
-			return nil, fmt.Errorf("study: depth %d below the minimum window file", d)
-		}
-		src := rng.New(q.Seed)
-		res := StackResult{Depth: d}
-		var frames []int
-		var isrLeft []int
-		awp := isa.WindowSize - 1
-		bos := -1
-		var trafficCycles uint64
-		push := func(requested int) {
-			_ = requested // fixed organization ignores the actual frame size
-			size := fixedFrame
-			frames = append(frames, size)
-			awp += size
-			if live := awp - bos; live > res.MaxLive {
-				res.MaxLive = live
-			}
-			for awp-bos > d-q.Guard {
-				res.Spills++
-				bos += q.SpillBatch
-				trafficCycles += uint64(q.SpillBatch * q.MemWait)
-			}
-		}
-		pop := func() {
-			if len(frames) == 0 {
-				return
-			}
-			size := frames[len(frames)-1]
-			frames = frames[:len(frames)-1]
-			awp -= size
-			for awp-bos < isa.WindowSize && bos > -1 {
-				res.Fills++
-				bos -= q.SpillBatch
-				if bos < -1 {
-					bos = -1
-				}
-				trafficCycles += uint64(q.SpillBatch * q.MemWait)
-			}
-		}
-		for i := uint64(0); i < q.Instrs; i++ {
-			if n := len(isrLeft); n > 0 {
-				isrLeft[n-1]--
-				if isrLeft[n-1] <= 0 {
-					isrLeft = isrLeft[:n-1]
-					pop()
-				}
-			} else if len(frames) > 0 && src.Bool(q.PCall) {
-				if len(frames) >= q.MaxDepth || src.Bool(0.5) {
-					pop()
-				} else {
-					push(1 + src.Poisson(q.MeanLocals))
-				}
-			} else if src.Bool(q.PCall) {
-				push(1 + src.Poisson(q.MeanLocals))
-			}
-			if src.Bool(q.PIRQ) {
-				push(2)
-				n := src.Poisson(q.MeanISR)
-				if n < 1 {
-					n = 1
-				}
-				isrLeft = append(isrLeft, n)
-			}
-		}
-		res.TrafficPct = 100 * float64(trafficCycles) / float64(q.Instrs)
-		res.FaultPer1k = 1000 * float64(res.Spills+res.Fills) / float64(q.Instrs)
-		out = append(out, res)
 	}
 	return out, nil
 }

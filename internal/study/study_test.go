@@ -8,7 +8,10 @@ import (
 )
 
 func TestStreamSweepShape(t *testing.T) {
-	points, knee, err := StreamSweep(workload.Simple(workload.Ld1), 8, 40000, 3, 4, 0.02)
+	points, knee, err := StreamSweep(SweepConfig{
+		Load: workload.Simple(workload.Ld1), MaxStreams: 8,
+		Cycles: 40000, Seed: 3, PipeLen: 4, Threshold: 0.02,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +38,9 @@ func TestStreamSweepShape(t *testing.T) {
 }
 
 func TestStreamSweepValidation(t *testing.T) {
-	if _, _, err := StreamSweep(workload.Simple(workload.Ld1), 0, 1000, 1, 4, 0.01); err == nil {
+	cfg := SweepConfig{Load: workload.Simple(workload.Ld1), MaxStreams: 0,
+		Cycles: 1000, Seed: 1, PipeLen: 4, Threshold: 0.01}
+	if _, _, err := StreamSweep(cfg); err == nil {
 		t.Fatal("maxStreams 0 accepted")
 	}
 }
@@ -43,12 +48,52 @@ func TestStreamSweepValidation(t *testing.T) {
 func TestStreamSweepBeyondMachineWidth(t *testing.T) {
 	// The model must go past DISC1's 4 streams (that is the point of
 	// the §5 question).
-	points, _, err := StreamSweep(workload.Simple(workload.Ld1), 12, 20000, 9, 4, 0.01)
+	points, _, err := StreamSweep(SweepConfig{
+		Load: workload.Simple(workload.Ld1), MaxStreams: 12,
+		Cycles: 20000, Seed: 9, PipeLen: 4, Threshold: 0.01,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if points[11].Streams != 12 {
 		t.Fatal("sweep did not reach 12 streams")
+	}
+}
+
+// TestStreamSweepParIndependent: sweep results (replications averaged
+// in) must not depend on the worker count.
+func TestStreamSweepParIndependent(t *testing.T) {
+	base := SweepConfig{
+		Load: workload.Simple(workload.Ld1), MaxStreams: 6,
+		Cycles: 15000, Seed: 11, PipeLen: 4, Threshold: 0.02, Reps: 3,
+	}
+	serialCfg, wideCfg := base, base
+	serialCfg.Par, wideCfg.Par = 1, 8
+	a, ka, err := StreamSweep(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, kb, err := StreamSweep(wideCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("knee differs: %d vs %d", ka, kb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs between par=1 and par=8: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Replications must yield a usable confidence interval somewhere.
+	anyCI := false
+	for _, p := range a {
+		if p.CI > 0 {
+			anyCI = true
+		}
+	}
+	if !anyCI {
+		t.Fatal("no sweep point shows replication dispersion")
 	}
 }
 

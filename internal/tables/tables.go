@@ -1,6 +1,6 @@
 // Package tables regenerates the paper's evaluation tables (4.1, 4.2a,
 // 4.2b, 4.3a, 4.3b) from the stochastic model, the workload definitions
-// and the standard-processor baseline.
+// and the standard-processor baseline (§4.2).
 //
 // The absolute numbers differ from the 1991 paper (whose numeric cells
 // did not survive OCR and whose exact parameters are reconstructed —
@@ -8,12 +8,23 @@
 // utilization grows with the degree of partitioning, delta is dramatic
 // when the standard processor is poor, and nearly nothing is gained on
 // an internal-memory DSP load that is already near peak.
+//
+// Every cell is Opts.Reps independent stochastic replications fanned
+// across Opts.Par workers by internal/parallel and reported as a mean
+// with a 95% confidence half-width. Determinism contract: each run's
+// seed is an rng.Child of Opts.Seed keyed by a stable run index, so
+// the tables are byte-identical for every worker count — `-par 1` and
+// `-par 8` produce the same output, and a fixed Opts always reproduces
+// the same tables.
 package tables
 
 import (
 	"fmt"
 
 	"disc/internal/baseline"
+	"disc/internal/parallel"
+	"disc/internal/report"
+	"disc/internal/rng"
 	"disc/internal/stoch"
 	"disc/internal/workload"
 )
@@ -23,6 +34,15 @@ type Opts struct {
 	Cycles  uint64
 	Seed    uint64
 	PipeLen int
+	// Reps is the number of independent replications behind every table
+	// cell (each with its own rng.Child seed); 0 selects 1.
+	Reps int
+	// Par is the worker-goroutine count of the sweep engine; 0 selects
+	// GOMAXPROCS. Results never depend on Par.
+	Par int
+	// Progress, when non-nil, is invoked serially as runs complete
+	// (see parallel.MapProgress); use parallel.NewMeter for an ETA line.
+	Progress func(done, total int)
 }
 
 func (o Opts) fill() Opts {
@@ -35,8 +55,15 @@ func (o Opts) fill() Opts {
 	if o.Seed == 0 {
 		o.Seed = 1991
 	}
+	if o.Reps < 1 {
+		o.Reps = 1
+	}
 	return o
 }
+
+// table43IndexBase offsets Table 4.3's run indices so its child seeds
+// never collide with Table 4.2's under the same root seed.
+const table43IndexBase = 1 << 20
 
 // MaxStreams is the column count of Table 4.2 (DISC1 supports 4).
 const MaxStreams = 4
@@ -99,43 +126,87 @@ func trim(s string) string { return s }
 
 // Table42Row is one load's sweep across 1..MaxStreams instruction
 // streams: PD per degree of partitioning, the baseline Ps and Delta.
+// PD, Delta and Ps are means over Opts.Reps replications; the matching
+// Stat fields carry the full mean/SD/CI summary (CI is zero at Reps 1).
 type Table42Row struct {
 	Load  string
 	PD    [MaxStreams]float64
 	Delta [MaxStreams]float64
 	Ps    float64
+
+	PDStat    [MaxStreams]report.Stat
+	DeltaStat [MaxStreams]report.Stat
+	PsStat    report.Stat
 }
 
 // Table42 reproduces Tables 4.2a (PD) and 4.2b (Delta): each of the
-// four loads is partitioned into 1..4 instruction streams.
+// four loads is partitioned into 1..4 instruction streams, every cell
+// replicated Opts.Reps times across Opts.Par workers.
 func Table42(o Opts) ([]Table42Row, error) {
 	o = o.fill()
-	var rows []Table42Row
-	for li, p := range workload.Base() {
-		l := workload.Simple(p)
-		base, err := baseline.Run(l, o.PipeLen, o.Cycles, o.Seed+uint64(li))
-		if err != nil {
-			return nil, err
-		}
-		row := Table42Row{Load: p.Name, Ps: base.Ps()}
-		for k := 1; k <= MaxStreams; k++ {
-			streams := make([]workload.Load, k)
-			for i := range streams {
-				streams[i] = l
-			}
-			res, err := stoch.Run(stoch.Config{
-				PipeLen: o.PipeLen,
-				Cycles:  o.Cycles,
-				Seed:    o.Seed + uint64(li*17+k),
-				Streams: streams,
-			})
+	loads := workload.Base()
+	// One job per (load, config, replication); config 0 is the
+	// standard-processor baseline, configs 1..MaxStreams the k-stream
+	// DISC runs. The flat index doubles as the seed-derivation key.
+	const nCfg = MaxStreams + 1
+	perLoad := nCfg * o.Reps
+	total := len(loads) * perLoad
+	vals, err := parallel.MapProgress(o.Par, total, func(j int) (float64, error) {
+		li := j / perLoad
+		cfg := (j % perLoad) / o.Reps
+		l := workload.Simple(loads[li])
+		seed := rng.Child(o.Seed, uint64(j))
+		if cfg == 0 {
+			res, err := baseline.Run(l, o.PipeLen, o.Cycles, seed)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row.PD[k-1] = res.PD()
-			row.Delta[k-1] = stoch.Delta(res.PD(), row.Ps)
+			return res.Ps(), nil
 		}
-		rows = append(rows, row)
+		streams := make([]workload.Load, cfg)
+		for i := range streams {
+			streams[i] = l
+		}
+		res, err := stoch.Run(stoch.Config{
+			PipeLen: o.PipeLen,
+			Cycles:  o.Cycles,
+			Seed:    seed,
+			Streams: streams,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.PD(), nil
+	}, o.Progress)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Table42Row, len(loads))
+	for li, p := range loads {
+		cell := func(cfg int) []float64 {
+			base := li*perLoad + cfg*o.Reps
+			return vals[base : base+o.Reps]
+		}
+		row := Table42Row{Load: p.Name}
+		ps := cell(0)
+		row.PsStat = report.Summarize(ps)
+		row.Ps = row.PsStat.Mean
+		for k := 1; k <= MaxStreams; k++ {
+			pd := cell(k)
+			row.PDStat[k-1] = report.Summarize(pd)
+			row.PD[k-1] = row.PDStat[k-1].Mean
+			// Delta is computed per replication, pairing PD rep r with
+			// baseline rep r, so its CI reflects run-to-run scatter of
+			// the comparison the paper actually reports.
+			deltas := make([]float64, o.Reps)
+			for r := range deltas {
+				deltas[r] = stoch.Delta(pd[r], ps[r])
+			}
+			row.DeltaStat[k-1] = report.Summarize(deltas)
+			row.Delta[k-1] = row.DeltaStat[k-1].Mean
+		}
+		rows[li] = row
 	}
 	return rows, nil
 }
@@ -143,50 +214,90 @@ func Table42(o Opts) ([]Table42Row, error) {
 // Table43Configs names the four columns of Table 4.3.
 var Table43Configs = []string{"Combined", "Separated", "Three ISs", "Four ISs"}
 
-// Table43Row is one load pair's results across the four organizations.
+// Table43Row is one load pair's results across the four organizations;
+// means plus replication summaries, as in Table42Row.
 type Table43Row struct {
 	Pair  string
 	PD    [4]float64
 	Delta [4]float64
 	Ps    float64
+
+	PDStat    [4]report.Stat
+	DeltaStat [4]report.Stat
+	PsStat    report.Stat
 }
 
 // Table43 reproduces Tables 4.3a/4.3b: load 1 together with each other
 // load, first combined into a single IS, then one IS per load, then
-// with load 1 split in two, and finally with both loads split.
+// with load 1 split in two, and finally with both loads split — every
+// cell replicated Opts.Reps times across Opts.Par workers.
 func Table43(o Opts) ([]Table43Row, error) {
 	o = o.fill()
 	l1 := workload.Simple(workload.Ld1)
 	partners := []workload.Params{workload.Ld2, workload.Ld3, workload.Ld4}
-	var rows []Table43Row
-	for pi, p := range partners {
-		lx := workload.Simple(p)
-		comb := workload.Combine("1:"+p.Name, l1, lx)
-		base, err := baseline.Run(comb, o.PipeLen, o.Cycles, o.Seed+100+uint64(pi))
-		if err != nil {
-			return nil, err
-		}
-		row := Table43Row{Pair: "1:" + trimLoad(p.Name), Ps: base.Ps()}
-		configs := [][]workload.Load{
+	// Per pair: the combined load, then the four stream organizations.
+	streamsFor := func(pi, cfg int) (workload.Load, [][]workload.Load) {
+		lx := workload.Simple(partners[pi])
+		comb := workload.Combine("1:"+partners[pi].Name, l1, lx)
+		return comb, [][]workload.Load{
 			{comb},
 			{l1, lx},
 			{l1, l1, lx},
 			{l1, l1, lx, lx},
 		}
-		for ci, streams := range configs {
-			res, err := stoch.Run(stoch.Config{
-				PipeLen: o.PipeLen,
-				Cycles:  o.Cycles,
-				Seed:    o.Seed + uint64(200+pi*7+ci),
-				Streams: streams,
-			})
+	}
+	const nCfg = 5 // baseline + 4 organizations
+	perPair := nCfg * o.Reps
+	total := len(partners) * perPair
+	vals, err := parallel.MapProgress(o.Par, total, func(j int) (float64, error) {
+		pi := j / perPair
+		cfg := (j % perPair) / o.Reps
+		comb, configs := streamsFor(pi, cfg)
+		seed := rng.Child(o.Seed, table43IndexBase+uint64(j))
+		if cfg == 0 {
+			res, err := baseline.Run(comb, o.PipeLen, o.Cycles, seed)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row.PD[ci] = res.PD()
-			row.Delta[ci] = stoch.Delta(res.PD(), row.Ps)
+			return res.Ps(), nil
 		}
-		rows = append(rows, row)
+		res, err := stoch.Run(stoch.Config{
+			PipeLen: o.PipeLen,
+			Cycles:  o.Cycles,
+			Seed:    seed,
+			Streams: configs[cfg-1],
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.PD(), nil
+	}, o.Progress)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Table43Row, len(partners))
+	for pi, p := range partners {
+		cell := func(cfg int) []float64 {
+			base := pi*perPair + cfg*o.Reps
+			return vals[base : base+o.Reps]
+		}
+		row := Table43Row{Pair: "1:" + trimLoad(p.Name)}
+		ps := cell(0)
+		row.PsStat = report.Summarize(ps)
+		row.Ps = row.PsStat.Mean
+		for ci := 0; ci < 4; ci++ {
+			pd := cell(ci + 1)
+			row.PDStat[ci] = report.Summarize(pd)
+			row.PD[ci] = row.PDStat[ci].Mean
+			deltas := make([]float64, o.Reps)
+			for r := range deltas {
+				deltas[r] = stoch.Delta(pd[r], ps[r])
+			}
+			row.DeltaStat[ci] = report.Summarize(deltas)
+			row.Delta[ci] = row.DeltaStat[ci].Mean
+		}
+		rows[pi] = row
 	}
 	return rows, nil
 }

@@ -112,7 +112,97 @@ func TestTablesDeterministic(t *testing.T) {
 
 func TestOptsDefaults(t *testing.T) {
 	o := Opts{}.fill()
-	if o.Cycles == 0 || o.PipeLen == 0 || o.Seed == 0 {
+	if o.Cycles == 0 || o.PipeLen == 0 || o.Seed == 0 || o.Reps == 0 {
 		t.Fatalf("fill left zero values: %+v", o)
+	}
+}
+
+// TestTablesParIndependent is the tentpole determinism guarantee at
+// the table level: one worker and eight workers must produce identical
+// rows, replications included.
+func TestTablesParIndependent(t *testing.T) {
+	small := Opts{Cycles: 20000, Seed: 1991, Reps: 3}
+	serialOpts, wideOpts := small, small
+	serialOpts.Par, wideOpts.Par = 1, 8
+
+	a42, err := Table42(serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b42, err := Table42(wideOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a42 {
+		if a42[i] != b42[i] {
+			t.Fatalf("Table 4.2 row %d differs between par=1 and par=8:\n%+v\n%+v",
+				i, a42[i], b42[i])
+		}
+	}
+
+	a43, err := Table43(serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b43, err := Table43(wideOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a43 {
+		if a43[i] != b43[i] {
+			t.Fatalf("Table 4.3 row %d differs between par=1 and par=8:\n%+v\n%+v",
+				i, a43[i], b43[i])
+		}
+	}
+}
+
+// TestTablesReplicationStats: with several replications every cell
+// must carry a non-degenerate confidence interval, and the mean fields
+// must agree with the stat summaries.
+func TestTablesReplicationStats(t *testing.T) {
+	rows, err := Table42(Opts{Cycles: 20000, Seed: 3, Reps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.PsStat.N != 4 {
+			t.Fatalf("%s: baseline replicated %d times, want 4", r.Load, r.PsStat.N)
+		}
+		for k := 0; k < MaxStreams; k++ {
+			if r.PDStat[k].Mean != r.PD[k] || r.DeltaStat[k].Mean != r.Delta[k] {
+				t.Fatalf("%s: mean fields diverge from stats", r.Load)
+			}
+			if r.PDStat[k].CI < 0 {
+				t.Fatalf("%s: negative CI", r.Load)
+			}
+		}
+	}
+	// Stochastic runs with distinct child seeds cannot all coincide:
+	// at least one cell must show real dispersion.
+	anyCI := false
+	for _, r := range rows {
+		for k := 0; k < MaxStreams; k++ {
+			if r.PDStat[k].CI > 0 {
+				anyCI = true
+			}
+		}
+	}
+	if !anyCI {
+		t.Fatal("every replication identical — seed splitting broken")
+	}
+}
+
+// TestTablesProgress: the progress callback must count every run
+// exactly once.
+func TestTablesProgress(t *testing.T) {
+	var calls, lastTotal int
+	_, err := Table42(Opts{Cycles: 5000, Seed: 1, Reps: 2, Par: 4,
+		Progress: func(done, total int) { calls++; lastTotal = total }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * (MaxStreams + 1) * 2 // loads × (baseline+4 configs) × reps
+	if calls != want || lastTotal != want {
+		t.Fatalf("progress saw %d/%d runs, want %d", calls, lastTotal, want)
 	}
 }

@@ -18,6 +18,12 @@
 // Combined loads such as Ld 1:4 are "a statistical combination of loads
 // 1 and 4 into a single IS", modelled by alternating whole activity
 // bursts of each constituent.
+//
+// Determinism contract: a Process draws only from the rng.Source it
+// was constructed with and holds no global state, so a simulation that
+// gives every stream its own forked (or rng.Child-derived) source is a
+// pure function of its seeds — the property the parallel sweep engine
+// relies on.
 package workload
 
 import (

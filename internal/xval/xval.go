@@ -28,6 +28,11 @@
 // the relative gains agree in direction and rough magnitude. The
 // paper's published numbers come from the model, so its tables are,
 // per this cross-validation, *understating* DISC.
+//
+// Determinism contract: both sides of each comparison are seeded
+// purely from the call's seed and stream count, so Sweep fans its
+// configurations across internal/parallel workers without changing a
+// single digit of any result.
 package xval
 
 import (
@@ -38,6 +43,7 @@ import (
 	"disc/internal/bus"
 	"disc/internal/core"
 	"disc/internal/isa"
+	"disc/internal/parallel"
 	"disc/internal/rng"
 	"disc/internal/stoch"
 	"disc/internal/workload"
@@ -53,31 +59,34 @@ type Result struct {
 // Gap returns machine PD minus model PD.
 func (r Result) Gap() float64 { return r.MachinePD - r.ModelPD }
 
-// Sweep runs the comparison for each stream count in ks.
+// Sweep runs the comparison for each stream count in ks, fanning the
+// independent configurations across GOMAXPROCS workers.
 func Sweep(p workload.Params, ks []int, cycles uint64, seed uint64) ([]Result, error) {
 	if p.MeanOff > 0 || p.MeanOn > 0 {
 		return nil, fmt.Errorf("xval: only always-active loads are program-generatable")
 	}
-	var out []Result
+	// Validate up front so rejection never depends on scheduling.
 	for _, k := range ks {
 		if k < 1 || k > isa.NumStreams {
 			return nil, fmt.Errorf("xval: %d streams outside the machine's 1..%d", k, isa.NumStreams)
 		}
+	}
+	return parallel.Map(0, len(ks), func(i int) (Result, error) {
+		k := ks[i]
 		mpd, err := runMachine(p, k, cycles, seed)
 		if err != nil {
-			return nil, err
+			return Result{}, err
 		}
 		streams := make([]workload.Load, k)
-		for i := range streams {
-			streams[i] = workload.Simple(p)
+		for si := range streams {
+			streams[si] = workload.Simple(p)
 		}
 		res, err := stoch.Run(stoch.Config{Cycles: cycles, Seed: seed + uint64(k), Streams: streams})
 		if err != nil {
-			return nil, err
+			return Result{}, err
 		}
-		out = append(out, Result{Streams: k, MachinePD: mpd, ModelPD: res.PD()})
-	}
-	return out, nil
+		return Result{Streams: k, MachinePD: mpd, ModelPD: res.PD()}, nil
+	})
 }
 
 // runMachine generates one program per stream and measures utilization.
