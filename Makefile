@@ -1,9 +1,9 @@
 # Single documented quality gate; CI and pre-commit both run `make check`.
 GO ?= go
 
-.PHONY: check build vet test race lint-examples bench
+.PHONY: check build vet test race chaos lint-examples bench
 
-check: build vet test race
+check: build vet test race chaos
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ race:
 bench:
 	$(GO) test -bench 'BenchmarkSweep_' -benchtime 2x -run '^$$' .
 	BENCH_JSON=$(CURDIR)/BENCH_parallel.json $(GO) test -run TestBenchParallelJSON -v .
+
+# Robustness gate: replay the chaos fuzz corpus and the deterministic
+# fault-injection tests under the race detector. `race` already covers
+# these packages; this target re-runs just the fault surface in
+# isolation so a chaos regression is named by the gate that caught it.
+chaos:
+	$(GO) test -race -run 'TestChaos|Fuzz' ./internal/fault/ ./internal/bus/
 
 # Convenience: re-lint the shipped assembly library and every example
 # program (same checks `make test` already runs, but in isolation).

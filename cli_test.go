@@ -134,6 +134,46 @@ func TestCLIDisclint(t *testing.T) {
 	}
 }
 
+// TestCLIDiscsimMaxCycles: a looping program must exit with a non-zero
+// status instead of hanging CI, and a wedged one must be diagnosed.
+func TestCLIDiscsimMaxCycles(t *testing.T) {
+	hang := writeTemp(t, "hang.s", `
+main:
+    ADDI R0, 1
+    JMP  main
+`)
+	out, code := goRunStatus(t, "./cmd/discsim", "-streams", "1", "-start", "0=main",
+		"-max-cycles", "3000", hang)
+	if code == 0 {
+		t.Fatalf("runaway program exited 0:\n%s", out)
+	}
+	if !strings.Contains(out, "cycle limit") {
+		t.Fatalf("missing cycle-limit diagnosis:\n%s", out)
+	}
+
+	wedge := writeTemp(t, "wedge.s", `
+main:
+    WAITI 2
+    HALT
+`)
+	out, code = goRunStatus(t, "./cmd/discsim", "-streams", "1", "-start", "0=main",
+		"-stall-window", "400", wedge)
+	if code == 0 {
+		t.Fatalf("wedged program exited 0:\n%s", out)
+	}
+	if !strings.Contains(out, "deadlock") || !strings.Contains(out, "IS0 waiting on IR bit 2") {
+		t.Fatalf("missing deadlock diagnosis:\n%s", out)
+	}
+
+	// A clean program still exits 0 under both guards.
+	clean := writeTemp(t, "clean.s", cliProgram)
+	out, code = goRunStatus(t, "./cmd/discsim", "-streams", "1", "-start", "0=main",
+		"-max-cycles", "3000", "-stall-window", "400", "-dump", "40:41", clean)
+	if code != 0 || !strings.Contains(out, "0040: 0014") {
+		t.Fatalf("guards broke the clean program (exit %d):\n%s", code, out)
+	}
+}
+
 func TestCLIStochsim(t *testing.T) {
 	out := goRun(t, "./cmd/stochsim", "-streams", "load1,load1", "-cycles", "20000")
 	for _, want := range []string{"PD", "Ps(load1)", "Delta"} {

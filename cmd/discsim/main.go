@@ -7,7 +7,18 @@
 //
 //	-streams n        number of instruction streams (default 4)
 //	-start spec       comma list of stream=label-or-addr, e.g. "0=main,1=0x100"
-//	-cycles n         run for n cycles (default: run until idle, max 1e6)
+//	-cycles n         run for exactly n cycles (default: run until idle)
+//	-max-cycles n     hard cycle budget for until-idle runs; a program
+//	                  still running when it expires is an error, exit
+//	                  status 3 (default 2e6, 0 = unlimited)
+//	-stall-window n   deadlock watchdog: diagnose a run as wedged after
+//	                  n progress-free cycles (default 50000, 0 = off)
+//	-bus-timeout n    ABI bounded-wait budget in cycles; an access still
+//	                  incomplete after n cycles completes as a bus fault
+//	                  (default 0 = wait forever, the paper's protocol)
+//	-trap-busfault    raise IR bit 5 on the issuing stream when its
+//	                  external access fails, instead of silently
+//	                  completing with 0xFFFF
 //	-shares spec      scheduler partition weights, e.g. "3,1,1,1"
 //	-vb addr          interrupt vector base (default 0x0200)
 //	-extram waits     attach external RAM at 0x0400 with given wait states (default 4)
@@ -21,8 +32,8 @@
 //	                  the internal/analysis static checks
 //
 // A standard peripheral board is always attached: timer @0xF000 (IRQ
-// stream 0 bit 4), UART @0xF010, GPIO @0xF020, ADC @0xF030 (IRQ stream
-// 0 bit 5), stepper @0xF040.
+// stream 0 bit 4), UART @0xF010, GPIO @0xF020, ADC @0xF030 (no IRQ
+// wired; bit 5 is reserved for -trap-busfault), stepper @0xF040.
 package main
 
 import (
@@ -43,7 +54,11 @@ import (
 func main() {
 	streams := flag.Int("streams", 4, "number of instruction streams")
 	start := flag.String("start", "0=0", "stream=label-or-address list")
-	cycles := flag.Int("cycles", 0, "cycles to run (0: until idle, capped at 1e6)")
+	cycles := flag.Int("cycles", 0, "cycles to run (0: until idle, bounded by -max-cycles)")
+	maxCycles := flag.Int("max-cycles", 2_000_000, "hard cycle budget for until-idle runs (0: unlimited)")
+	stallWindow := flag.Uint64("stall-window", 50_000, "deadlock watchdog window in progress-free cycles (0: off)")
+	busTimeout := flag.Int("bus-timeout", 0, "ABI bounded-wait budget in cycles (0: wait forever)")
+	trapBusFault := flag.Bool("trap-busfault", false, "raise IR bit 5 on the issuing stream when an external access fails")
 	shares := flag.String("shares", "", "scheduler partition weights, e.g. 3,1,1,1")
 	vb := flag.Uint("vb", 0x0200, "interrupt vector base")
 	extram := flag.Int("extram", 4, "external RAM wait states")
@@ -73,7 +88,7 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := core.Config{Streams: *streams, VectorBase: uint16(*vb)}
+	cfg := core.Config{Streams: *streams, VectorBase: uint16(*vb), TrapBusFaults: *trapBusFault}
 	if *shares != "" {
 		for _, f := range strings.Split(*shares, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(f))
@@ -87,6 +102,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	m.Bus().SetTimeout(*busTimeout)
 	attachBoard(m, *extram)
 	for _, sec := range im.Sections {
 		if err := m.LoadProgram(sec.Base, sec.Words); err != nil {
@@ -114,6 +130,7 @@ func main() {
 	if *profileN > 0 {
 		m.EnableProfile()
 	}
+	runFailed := false
 	if *traceN > 0 {
 		rec := trace.Record(m, *traceN)
 		fmt.Print(rec.RenderPipeline())
@@ -163,11 +180,11 @@ func main() {
 		}
 	} else if *cycles > 0 {
 		m.Run(*cycles)
-	} else {
-		ran, idle := m.RunUntilIdle(1_000_000)
-		if !idle {
-			fmt.Fprintf(os.Stderr, "discsim: not idle after %d cycles; stopping\n", ran)
-		}
+	} else if _, err := m.RunGuarded(*maxCycles, *stallWindow); err != nil {
+		// Print the diagnosis now but the statistics too: a wedged
+		// run's numbers are exactly what the user needs to see.
+		fmt.Fprintln(os.Stderr, "discsim:", err)
+		runFailed = true
 	}
 
 	st := m.Stats()
@@ -176,6 +193,10 @@ func main() {
 	fmt.Printf("idle slots  %d\n", st.IdleCycles)
 	fmt.Printf("flushed     %d\n", st.Flushed)
 	fmt.Printf("bus waits   %d (retries %d)\n", st.BusWaits, st.BusRetries)
+	if st.BusFaults > 0 {
+		fmt.Printf("bus faults  %d (timeouts %d, device faults %d)\n",
+			st.BusFaults, st.BusTimeouts, st.BusDeviceFaults)
+	}
 	fmt.Printf("dispatches  %d\n", st.Dispatches)
 	for i, ss := range st.PerStream {
 		fmt.Printf("  IS%d: issued %d retired %d flushed %d buswaits %d irq %d\n",
@@ -201,6 +222,9 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+	if runFailed {
+		os.Exit(3)
 	}
 }
 

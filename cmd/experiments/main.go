@@ -69,6 +69,7 @@ var experiments = []struct {
 	{"xval", extraXval},
 	{"fixedwin", extraFixedWindows},
 	{"polling", extraPolling},
+	{"isolation", extraIsolation},
 }
 
 func experimentNames() []string {
@@ -750,6 +751,26 @@ sl:  SUBI R4, 1
 		})
 	}
 	fmt.Println(report.Table("", []string{"task", "activations", "completions", "misses", "max response"}, rows))
+}
+
+// extraIsolation reproduces the §4 isolation claim under injected
+// faults: stream 0's external device goes hard-dead mid-run while
+// streams 1..3 compute; the victims' throughput share must not drop.
+func extraIsolation() {
+	fmt.Println("Extension E24 - real-time isolation under faults: IS0 hammers an")
+	fmt.Println("external device that goes hard-dead for 10k cycles (ABI bounded-wait")
+	fmt.Println("timeouts convert the hangs into bus faults); IS1..IS3 run compute")
+	fmt.Println("loops. Victim shares must not drop - they inherit IS0's dead slots.")
+	res, err := study.FaultIsolation(study.FaultIsolationConfig{
+		Seed: *seed, Reps: *reps, Par: *par,
+		Progress: meter("isolation"),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Render())
+	fmt.Printf("IS0 bus faults per faulted run: %s (timeouts on the dead window)\n\n",
+		res.BusFaults.FCI(1))
 }
 
 func fatal(err error) {

@@ -7,6 +7,8 @@ import (
 	"disc/internal/asm"
 	"disc/internal/bus"
 	"disc/internal/core"
+	"disc/internal/fault"
+	"disc/internal/interrupt"
 	"disc/internal/isa"
 	"disc/internal/rt"
 )
@@ -124,6 +126,72 @@ var (
 	NewGPIO     = bus.NewGPIO
 	NewWatchdog = bus.NewWatchdog
 )
+
+// ABI error taxonomy (internal/bus): a failed external access completes
+// with a *BusError whose Cause is one of the sentinel errors below.
+// Check with errors.Is / errors.As.
+type BusError = bus.BusError
+
+var (
+	// ErrUnmapped: no device answers the address.
+	ErrUnmapped = bus.ErrUnmapped
+	// ErrTimeout: the access exceeded the Bus.SetTimeout budget.
+	ErrTimeout = bus.ErrTimeout
+	// ErrDeviceFault: the device refused the offset (e.g. out of range).
+	ErrDeviceFault = bus.ErrDeviceFault
+)
+
+// BusFaultIRQ is the IR bit raised on the issuing stream when an
+// external access fails and Config.TrapBusFaults is set.
+const BusFaultIRQ = interrupt.BusFault
+
+// Liveness diagnoses returned by Machine.RunGuarded (internal/core).
+type (
+	// DeadlockError: every stream is waiting and nothing progressed
+	// for the watchdog window; it names each stream's blocker.
+	DeadlockError = core.DeadlockError
+	// CycleLimitError: the run exceeded its hard cycle budget.
+	CycleLimitError = core.CycleLimitError
+	// StreamDiag is one stream's state inside a DeadlockError.
+	StreamDiag = core.StreamDiag
+)
+
+// Deterministic fault injection (internal/fault) re-exports.
+type (
+	// FaultConfig shapes the per-device fault model; the zero value is
+	// a transparent proxy.
+	FaultConfig = fault.DeviceConfig
+	// FaultWindow is a half-open [From, To) cycle interval.
+	FaultWindow = fault.Window
+	// FaultyDevice wraps a bus device with seeded fault injection.
+	FaultyDevice = fault.Device
+	// FaultStats counts what the wrapper actually injected.
+	FaultStats = fault.DeviceStats
+	// StormConfig shapes an interrupt-storm injector.
+	StormConfig = fault.StormConfig
+	// Storm raises interrupt bursts at seeded random intervals.
+	Storm = fault.Storm
+	// StreamStall freezes one stream for a fixed period.
+	StreamStall = fault.StreamStall
+	// Injector perturbs a machine from outside, once per cycle.
+	Injector = fault.Injector
+)
+
+// WrapFaulty wraps a device for fault injection; NewStorm builds an
+// interrupt-storm injector.
+var (
+	WrapFaulty = fault.Wrap
+	NewStorm   = fault.NewStorm
+)
+
+// RunInjected steps the machine for n cycles under the injectors.
+func RunInjected(m *Machine, n int, inj ...Injector) { fault.Run(m, n, inj...) }
+
+// RunGuardedInjected is RunInjected with the liveness watchdog armed:
+// it stops on clean idle, a diagnosed deadlock or the cycle budget.
+func RunGuardedInjected(m *Machine, maxCycles int, stallWindow uint64, inj ...Injector) (int, error) {
+	return fault.RunGuarded(m, maxCycles, stallWindow, inj...)
+}
 
 // Real-time measurement helpers (package rt).
 type (

@@ -1,0 +1,135 @@
+// Resilient I/O: the bounded-wait ABI protocol end to end. A sampling
+// loop reads an external sensor whose device goes hard-dead for a
+// window of 2000 cycles mid-run. Without a timeout the stream would
+// hang on the handshake forever; with one, each stuck access completes
+// as a structured bus fault after 24 cycles, the machine raises IR
+// bit 5 on the issuing stream (Config.TrapBusFaults), and the
+// stream's own handler serves a capped exponential backoff before the
+// main loop retries the load. When the device comes back, the loop
+// finishes with every sample accounted for.
+//
+// The host self-checks: all samples collected, faults actually
+// trapped, the backoff actually capped, and the machine's bus-fault
+// statistics consistent with the handler's count.
+//
+//	go run ./examples/resilient
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disc"
+)
+
+// Internal-memory mailbox between the host and the program.
+const program = `
+.equ DEV,    0x400     ; external sensor (behind the fault wrapper)
+.equ RESULT, 0x80      ; last good sample
+.equ GOOD,   0x81      ; successful reads
+.equ FAULTS, 0x82      ; bus-fault traps served
+.equ DELAY,  0x84      ; current backoff, in spin iterations
+.equ MAXDEL, 64        ; backoff cap
+
+    .org 0x000
+main:
+    LDI  R0, 1
+    STM  R0, [DELAY]   ; backoff starts small
+    LI   R1, DEV
+    LDI  G0, 40        ; samples to collect
+next:
+    LD   R2, [R1+0]    ; read the sensor: may time out as a bus fault
+    CMPI R2, -1
+    BEQ  next          ; 0xFFFF = open bus: handler served the backoff,
+                       ; retry the access
+    STM  R2, [RESULT]
+    LDM  R3, [GOOD]
+    ADDI R3, 1
+    STM  R3, [GOOD]
+    LDI  R3, 1
+    STM  R3, [DELAY]   ; success resets the backoff
+    SUBI G0, 1
+    BNE  next
+    HALT
+
+; Stream 0 bus-fault vector: VB 0x200 + 8*stream + bit 5.
+    .org 0x205
+    JMP  busfault
+
+; The handler runs at IR level 5 on the issuing stream. It counts the
+; fault, serves the current backoff delay, then doubles it up to the
+; cap - so a long outage backs off to MAXDEL-cycle retries instead of
+; hammering the dead device at full rate. (The body lives past 0x220
+; so it cannot be mistaken for other streams' vector slots.)
+    .org 0x240
+busfault:
+    LDM  R0, [FAULTS]
+    ADDI R0, 1
+    STM  R0, [FAULTS]
+    LDM  R2, [DELAY]
+spin:
+    SUBI R2, 1
+    BNE  spin
+    LDM  R2, [DELAY]
+    ADD  R2, R2, R2    ; exponential growth...
+    CMPI R2, MAXDEL
+    BLE  capped        ; ...with a cap
+    LDI  R2, MAXDEL
+capped:
+    STM  R2, [DELAY]
+    RETI
+`
+
+func main() {
+	m, err := disc.Build(disc.Config{
+		Streams:       1,
+		VectorBase:    0x200,
+		TrapBusFaults: true, // failed accesses raise IR bit 5
+	}, program, map[int]string{0: "main"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Bus().SetTimeout(24) // bounded-wait budget per access
+
+	// The sensor: a small RAM whose address window goes dead from cycle
+	// 200 to 2200 - during the outage every access wedges until the ABI
+	// timeout abandons it.
+	sensor := disc.NewRAM("sensor", 16, 3)
+	sensor.Poke(0, 0x0A5A)
+	dev := disc.WrapFaulty(sensor, disc.FaultConfig{
+		Seed: 1991,
+		Dead: []disc.FaultWindow{{From: 200, To: 2200}},
+	})
+	if err := m.Bus().Attach(disc.ExternalBase, 16, dev); err != nil {
+		log.Fatal(err)
+	}
+
+	cycles, err := m.RunGuarded(200_000, 10_000)
+	if err != nil {
+		log.Fatalf("run did not complete cleanly: %v", err)
+	}
+
+	good := m.Internal().Read(0x81)
+	faults := m.Internal().Read(0x82)
+	last := m.Internal().Read(0x80)
+	st := m.Stats()
+
+	fmt.Printf("collected   %d/40 samples (last value %#04x) in %d cycles\n", good, last, cycles)
+	fmt.Printf("bus faults  %d trapped by the handler; machine counted %d (timeouts %d)\n",
+		faults, st.BusFaults, st.BusTimeouts)
+	fmt.Printf("dead hits   %d accesses landed in the dead window\n", dev.Stats.DeadHits)
+
+	switch {
+	case good != 40:
+		log.Fatalf("lost samples: %d/40", good)
+	case last != 0x0A5A:
+		log.Fatalf("wrong sample value %#04x", last)
+	case faults == 0:
+		log.Fatal("device outage never trapped: the fault window missed the run")
+	case uint64(faults) != st.BusFaults:
+		log.Fatalf("handler count %d disagrees with machine count %d", faults, st.BusFaults)
+	case dev.Stats.DeadHits == 0:
+		log.Fatal("fault wrapper never saw the dead window")
+	}
+	fmt.Println("OK: every sample survived the outage via timeout + backoff retry")
+}

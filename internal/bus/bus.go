@@ -34,7 +34,7 @@ type Request struct {
 type Completion struct {
 	Req  Request
 	Data uint16 // load result (undefined for stores)
-	Err  error  // non-nil for accesses to unmapped addresses
+	Err  error  // non-nil *BusError for failed accesses (see error.go)
 }
 
 // Device is a peripheral or external memory reachable over the data
@@ -68,16 +68,35 @@ type Bus struct {
 	busy      bool
 	current   Request
 	remaining int
+	elapsed   int // cycles the in-flight access has consumed
+	timeout   int // bounded-wait budget; 0 = wait forever
 
 	// statistics
-	BusyCycles  uint64 // cycles the bus spent occupied
-	Accesses    uint64 // completed accesses
-	Rejections  uint64 // requests that found the bus busy
-	ErrAccesses uint64 // accesses to unmapped addresses
+	BusyCycles   uint64 // cycles the bus spent occupied
+	Accesses     uint64 // completed accesses
+	Rejections   uint64 // requests that found the bus busy
+	ErrAccesses  uint64 // accesses to unmapped addresses
+	Timeouts     uint64 // accesses abandoned by the bounded-wait budget
+	DeviceFaults uint64 // accesses the device itself refused
 }
 
 // New returns an empty bus; attach devices before use.
 func New() *Bus { return &Bus{} }
+
+// SetTimeout installs the bounded-wait budget: an access still
+// incomplete after n bus cycles is abandoned and completes with
+// ErrTimeout instead of occupying the bus (and wedging its stream)
+// forever. Zero restores the paper's unbounded protocol. The budget is
+// configuration, not state — Reset preserves it.
+func (b *Bus) SetTimeout(n int) {
+	if n < 0 {
+		n = 0
+	}
+	b.timeout = n
+}
+
+// Timeout returns the bounded-wait budget (0 = unbounded).
+func (b *Bus) Timeout() int { return b.timeout }
 
 // Attach maps dev at [base, base+size). Overlapping ranges are
 // rejected so the address decode stays unambiguous.
@@ -123,6 +142,7 @@ func (b *Bus) Start(r Request) bool {
 	}
 	b.busy = true
 	b.current = r
+	b.elapsed = 0
 	if dev, off, ok := b.lookup(r.Addr); ok {
 		c := dev.AccessCycles(off, r.Write)
 		if c < 1 {
@@ -136,15 +156,27 @@ func (b *Bus) Start(r Request) bool {
 }
 
 // Tick advances the in-flight access by one bus cycle. When the access
-// completes it is performed against the device and reported; otherwise
-// Tick returns ok=false.
+// completes it is performed against the device and reported; an access
+// exceeding the bounded-wait budget is abandoned with ErrTimeout
+// instead. Otherwise Tick returns ok=false.
 func (b *Bus) Tick() (Completion, bool) {
 	if !b.busy {
 		return Completion{}, false
 	}
 	b.BusyCycles++
+	b.elapsed++
 	b.remaining--
 	if b.remaining > 0 {
+		if b.timeout > 0 && b.elapsed >= b.timeout {
+			// Bounded wait exceeded: abandon the handshake. The device
+			// never saw the access complete, so a store is lost and a
+			// load returns the 0xFFFF open-bus value.
+			b.busy = false
+			b.Accesses++
+			b.Timeouts++
+			return Completion{Req: b.current, Data: 0xFFFF,
+				Err: &BusError{Cause: ErrTimeout, Req: b.current, Elapsed: b.elapsed}}, true
+		}
 		return Completion{}, false
 	}
 	b.busy = false
@@ -153,7 +185,11 @@ func (b *Bus) Tick() (Completion, bool) {
 	dev, off, ok := b.lookup(r.Addr)
 	if !ok {
 		b.ErrAccesses++
-		return Completion{Req: r, Data: 0xFFFF, Err: fmt.Errorf("bus: access to unmapped address %#04x", r.Addr)}, true
+		return Completion{Req: r, Data: 0xFFFF, Err: &BusError{Cause: ErrUnmapped, Req: r, Elapsed: b.elapsed}}, true
+	}
+	if f, isF := dev.(Faulter); isF && f.AccessFault(off, r.Write) {
+		b.DeviceFaults++
+		return Completion{Req: r, Data: 0xFFFF, Err: &BusError{Cause: ErrDeviceFault, Req: r, Elapsed: b.elapsed}}, true
 	}
 	if r.Write {
 		dev.Write(off, r.Data)
@@ -180,9 +216,11 @@ func (b *Bus) Devices() []Device {
 	return out
 }
 
-// Reset aborts any in-flight access and clears statistics.
+// Reset aborts any in-flight access and clears statistics. The
+// bounded-wait budget is configuration and survives.
 func (b *Bus) Reset() {
 	b.busy = false
-	b.remaining = 0
+	b.remaining, b.elapsed = 0, 0
 	b.BusyCycles, b.Accesses, b.Rejections, b.ErrAccesses = 0, 0, 0, 0
+	b.Timeouts, b.DeviceFaults = 0, 0
 }

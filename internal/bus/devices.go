@@ -23,13 +23,40 @@ func NewRAM(name string, size int, waits int) *RAM {
 
 func (r *RAM) Name() string                      { return r.name }
 func (r *RAM) AccessCycles(_ uint16, _ bool) int { return r.waits }
-func (r *RAM) Read(off uint16) uint16            { return r.words[int(off)%len(r.words)] }
-func (r *RAM) Write(off uint16, v uint16)        { r.words[int(off)%len(r.words)] = v }
-func (r *RAM) Poke(off uint16, v uint16)         { r.Write(off, v) }
-func (r *RAM) Peek(off uint16) uint16            { return r.Read(off) }
-func (r *RAM) SetWaits(w int)                    { r.waits = w }
 
-var _ Device = (*RAM)(nil)
+// AccessFault refuses offsets past the end of the array. A RAM mapped
+// over a window larger than its size used to alias (offset % size),
+// which silently turned address bugs into wrong data; now the access
+// completes as ErrDeviceFault instead.
+func (r *RAM) AccessFault(off uint16, _ bool) bool { return int(off) >= len(r.words) }
+
+// Read returns the word at off, or the 0xFFFF open-bus value out of
+// range. In-range accesses are the only ones the bus performs (it
+// consults AccessFault first); the guard here keeps direct Peek/Poke
+// harness calls safe too.
+func (r *RAM) Read(off uint16) uint16 {
+	if int(off) >= len(r.words) {
+		return 0xFFFF
+	}
+	return r.words[off]
+}
+
+// Write stores v at off; out-of-range stores are dropped.
+func (r *RAM) Write(off uint16, v uint16) {
+	if int(off) >= len(r.words) {
+		return
+	}
+	r.words[off] = v
+}
+
+func (r *RAM) Poke(off uint16, v uint16) { r.Write(off, v) }
+func (r *RAM) Peek(off uint16) uint16    { return r.Read(off) }
+func (r *RAM) SetWaits(w int)            { r.waits = w }
+
+var (
+	_ Device  = (*RAM)(nil)
+	_ Faulter = (*RAM)(nil)
+)
 
 // Timer register offsets.
 const (

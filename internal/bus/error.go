@@ -1,0 +1,53 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The bus error taxonomy. Every failed access completes with a
+// *BusError whose Cause is one of these sentinels, so callers can
+// classify with errors.Is without parsing message text:
+//
+//   - ErrUnmapped: the address decoder found no device. The access
+//     faults after one bus cycle (there is nothing to wait for).
+//   - ErrTimeout: the access exceeded the ABI's bounded-wait budget
+//     (SetTimeout). The device-side effect did NOT happen — the ABI
+//     abandons the handshake, so a timed-out store is lost and a
+//     timed-out load returns the 0xFFFF open-bus value.
+//   - ErrDeviceFault: the device itself refused the access (a Faulter
+//     reporting an out-of-range offset, a flaky peripheral, an injected
+//     fault). The access ran to its full wait-state count first, like a
+//     real device driving the error line at the end of the handshake.
+var (
+	ErrUnmapped    = errors.New("unmapped address")
+	ErrTimeout     = errors.New("access timeout")
+	ErrDeviceFault = errors.New("device fault")
+)
+
+// BusError is the structured completion error of a failed external
+// access. It wraps one of the sentinel causes above and carries enough
+// of the request for a handler (or a deadlock diagnosis) to say which
+// stream faulted, where, and how long the ABI waited.
+type BusError struct {
+	Cause   error   // ErrUnmapped, ErrTimeout or ErrDeviceFault
+	Req     Request // the access that failed
+	Elapsed int     // bus cycles the access had consumed when it failed
+}
+
+// Error renders "bus: LD IS2 @0xf000: access timeout after 64 cycles".
+func (e *BusError) Error() string {
+	return fmt.Sprintf("bus: %s: %v after %d cycles", e.Req, e.Cause, e.Elapsed)
+}
+
+// Unwrap exposes the sentinel cause to errors.Is.
+func (e *BusError) Unwrap() error { return e.Cause }
+
+// Faulter is implemented by devices that can refuse an access. The bus
+// consults it when the access's wait states have elapsed; a true return
+// completes the access as ErrDeviceFault and the device's Read/Write is
+// NOT performed. RAM uses this for out-of-range offsets; the fault
+// injector uses it for transient failures.
+type Faulter interface {
+	AccessFault(offset uint16, write bool) bool
+}

@@ -56,6 +56,12 @@ type Config struct {
 	// model): stream 0 always wins when ready, stream 1 runs in its
 	// gaps, and so on. Takes precedence over Slots and Shares.
 	Priority bool
+	// TrapBusFaults raises interrupt.BusFault on the issuing stream
+	// when its external access completes with an error, so a handler
+	// can observe LastBusError and retry. Off (the default) preserves
+	// the silent policy: the load destination gets the 0xFFFF open-bus
+	// value and execution continues.
+	TrapBusFaults bool
 }
 
 // StreamState describes why a stream is or is not fetchable.
@@ -92,6 +98,13 @@ type stream struct {
 	state   StreamState
 	waitBit uint8 // IRQWait: the bit WAITI blocks on
 
+	// stallUntil freezes the stream (no issue) until this machine
+	// cycle — the fault injector's stuck-stream mechanism.
+	stallUntil uint64
+	// lastBusErr records the stream's most recent failed external
+	// access, for handlers and deadlock diagnoses.
+	lastBusErr *bus.BusError
+
 	// branchShadow counts unresolved control transfers in the pipe;
 	// while non-zero the stream does not fetch.
 	branchShadow int
@@ -109,6 +122,7 @@ type stream struct {
 	busRetries uint64
 	dispatches uint64
 	stackFault uint64
+	busFaults  uint64
 }
 
 // sr composes the architectural SR value: flags plus the current
@@ -260,6 +274,30 @@ func (m *Machine) RaiseIRQ(streamID, bit uint8) {
 	m.streams[streamID].intr.Request(bit)
 }
 
+// StallStream freezes stream i for the next n cycles: it cannot issue
+// instructions until the period elapses, modelling a stuck stream (a
+// hung co-processor handshake, an injected hardware fault). In-flight
+// instructions and pending bus accesses are unaffected. Out-of-range
+// streams are ignored.
+func (m *Machine) StallStream(i int, n uint64) {
+	if i < 0 || i >= len(m.streams) {
+		return
+	}
+	until := m.cycle + n
+	if until > m.streams[i].stallUntil {
+		m.streams[i].stallUntil = until
+	}
+}
+
+// LastBusError returns stream i's most recent failed external access,
+// or nil if every access so far succeeded.
+func (m *Machine) LastBusError(i int) *bus.BusError {
+	if i < 0 || i >= len(m.streams) {
+		return nil
+	}
+	return m.streams[i].lastBusErr
+}
+
 // StreamActive reports whether stream i has any unmasked IR bit.
 func (m *Machine) StreamActive(i int) bool { return m.streams[i].intr.Active() }
 
@@ -320,6 +358,8 @@ func (m *Machine) Reset() {
 		s.vb = m.cfg.VectorBase
 		s.state = StateRun
 		s.waitBit = 0
+		s.stallUntil = 0
+		s.lastBusErr = nil
 		s.branchShadow = 0
 		s.entryInFlight = false
 	}

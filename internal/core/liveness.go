@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file adds machine-level liveness detection: a watchdog that
+// distinguishes a cleanly finished program (every stream halted, pipe
+// drained, bus quiet) from a wedged one (streams still waiting on
+// something that will never arrive), and a hard cycle limit that turns
+// a runaway program into an error instead of a hang.
+//
+// Progress is observed, not inferred: a cycle makes progress when an
+// instruction issues, the bus is moving an access, a stream's pending
+// interrupt word changes, or a stall period is still counting down.
+// When none of those happen for a full window the machine can never
+// recover on its own — nothing internal will change state — so the
+// watchdog converts the situation into a DeadlockError naming each
+// blocked stream and what it is waiting for.
+
+// StreamDiag is one stream's state in a deadlock diagnosis.
+type StreamDiag struct {
+	Stream  int
+	State   StreamState
+	Active  bool   // has an unmasked IR bit
+	PC      uint16 // fetch PC at diagnosis time
+	WaitBit uint8  // IRQWait only: the bit WAITI blocks on
+	Stalled bool   // frozen by StallStream / the fault injector
+}
+
+func (d StreamDiag) String() string {
+	switch {
+	case d.Stalled:
+		return fmt.Sprintf("IS%d stalled at pc=%#04x (injected)", d.Stream, d.PC)
+	case d.State == StateIRQWait:
+		return fmt.Sprintf("IS%d waiting on IR bit %d at pc=%#04x", d.Stream, d.WaitBit, d.PC)
+	case d.State == StateBusWait:
+		return fmt.Sprintf("IS%d waiting on the bus at pc=%#04x", d.Stream, d.PC)
+	case !d.Active:
+		return fmt.Sprintf("IS%d halted", d.Stream)
+	}
+	return fmt.Sprintf("IS%d runnable at pc=%#04x", d.Stream, d.PC)
+}
+
+// DeadlockError reports that no stream made progress for Window cycles
+// while at least one stream was still waiting for something.
+type DeadlockError struct {
+	Cycle   uint64       // machine cycle at diagnosis
+	Window  uint64       // progress-free cycles observed
+	Streams []StreamDiag // every stream, in order
+}
+
+func (e *DeadlockError) Error() string {
+	var blocked []string
+	for _, d := range e.Streams {
+		if d.Stalled || d.State != StateRun || !d.Active {
+			blocked = append(blocked, d.String())
+		}
+	}
+	return fmt.Sprintf("deadlock at cycle %d: no progress for %d cycles; %s",
+		e.Cycle, e.Window, strings.Join(blocked, "; "))
+}
+
+// CycleLimitError reports that the hard cycle budget ran out with the
+// machine still making progress — a runaway program, not a deadlock.
+type CycleLimitError struct {
+	Limit int
+}
+
+func (e *CycleLimitError) Error() string {
+	return fmt.Sprintf("cycle limit: still running after %d cycles", e.Limit)
+}
+
+// Diagnose snapshots every stream's schedulability for error reports.
+func (m *Machine) Diagnose() []StreamDiag {
+	out := make([]StreamDiag, len(m.streams))
+	for i, s := range m.streams {
+		out[i] = StreamDiag{
+			Stream:  i,
+			State:   s.state,
+			Active:  s.intr.Active(),
+			PC:      s.pc,
+			WaitBit: s.waitBit,
+			Stalled: s.stallUntil > m.cycle,
+		}
+	}
+	return out
+}
+
+// wedged reports whether the machine is idle in the bad sense: nothing
+// can issue, but some stream is still waiting for an event (WAITI with
+// no signaller, a bus access that never completes, an injected stall).
+// A machine where every stream simply halted is finished, not wedged.
+func (m *Machine) wedged() bool {
+	if !m.Idle() {
+		return false
+	}
+	for _, s := range m.streams {
+		if s.state != StateRun {
+			return true
+		}
+		if s.intr.Active() && s.stallUntil > m.cycle {
+			return true
+		}
+	}
+	return false
+}
+
+// Guard steps a machine while watching for progress. Build one with
+// NewGuard, then call Step until done or an error; the fault injector
+// and RunGuarded share this loop so diagnosis logic exists once.
+type Guard struct {
+	m       *Machine
+	window  uint64 // progress-free cycles that trigger the deadlock verdict
+	barren  uint64 // progress-free cycles seen so far
+	issued  uint64 // last observed issue counter
+	irWords uint64 // last observed IR-word fingerprint
+}
+
+// NewGuard wraps m with a stall watchdog. A window of 0 disables the
+// watchdog (only explicit cycle limits apply then).
+func (m *Machine) NewGuard(window uint64) *Guard {
+	return &Guard{m: m, window: window, issued: m.stats.Issued, irWords: m.irFingerprint()}
+}
+
+// irFingerprint folds every stream's pending-interrupt word into one
+// value; a change means an external event arrived and the machine may
+// be able to move again.
+func (m *Machine) irFingerprint() uint64 {
+	var f uint64
+	for i, s := range m.streams {
+		f |= uint64(s.intr.IR()) << (8 * uint(i))
+	}
+	return f
+}
+
+// Step advances one cycle. done=true means the machine went cleanly
+// idle; a non-nil error is a *DeadlockError. Exactly one of the three
+// outcomes (running, done, error) holds after each call.
+func (g *Guard) Step() (done bool, err error) {
+	m := g.m
+	m.Step()
+
+	progress := false
+	if m.stats.Issued != g.issued {
+		g.issued = m.stats.Issued
+		progress = true
+	}
+	if m.bus.Busy() {
+		progress = true
+	}
+	if f := m.irFingerprint(); f != g.irWords {
+		g.irWords = f
+		progress = true
+	}
+	for _, s := range m.streams {
+		// A counting-down stall is not a deadlock yet: the stream will
+		// thaw by itself when the period elapses.
+		if s.stallUntil > m.cycle {
+			progress = true
+			break
+		}
+	}
+	if progress {
+		g.barren = 0
+		return false, nil
+	}
+	g.barren++
+
+	if m.Idle() && !m.wedged() {
+		return true, nil
+	}
+	if g.window > 0 && g.barren >= g.window {
+		return false, &DeadlockError{Cycle: m.cycle, Window: g.barren, Streams: m.Diagnose()}
+	}
+	return false, nil
+}
+
+// RunGuarded steps until the machine goes cleanly idle, a deadlock is
+// diagnosed, or maxCycles elapse. maxCycles 0 means unlimited;
+// stallWindow 0 disables the deadlock watchdog. It returns the cycles
+// executed and a nil error, a *DeadlockError, or a *CycleLimitError.
+func (m *Machine) RunGuarded(maxCycles int, stallWindow uint64) (int, error) {
+	g := m.NewGuard(stallWindow)
+	for n := 0; maxCycles == 0 || n < maxCycles; n++ {
+		done, err := g.Step()
+		if err != nil {
+			return n + 1, err
+		}
+		if done {
+			return n + 1, nil
+		}
+	}
+	return maxCycles, &CycleLimitError{Limit: maxCycles}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"disc/internal/bus"
+	"disc/internal/isa"
+)
+
+func TestRunGuardedCleanHalt(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	load(t, m, `
+    LDI R0, 5
+    ST  R0, [0x10]
+    HALT
+`)
+	m.StartStream(0, 0)
+	n, err := m.RunGuarded(1000, 50)
+	if err != nil {
+		t.Fatalf("clean program diagnosed as %v after %d cycles", err, n)
+	}
+	if got := m.Internal().Read(0x10); got != 5 {
+		t.Fatalf("program did not run: [0x10]=%d", got)
+	}
+}
+
+func TestRunGuardedDiagnosesWaitDeadlock(t *testing.T) {
+	// Stream 0 joins on IR bit 2 and nothing will ever signal it.
+	m := MustNew(Config{Streams: 2})
+	load(t, m, `
+    WAITI 2
+    HALT
+`)
+	load(t, m, `
+    .org 0x40
+    HALT
+`)
+	m.StartStream(0, 0)
+	m.StartStream(1, 0x40)
+	_, err := m.RunGuarded(10_000, 100)
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	msg := dl.Error()
+	if !strings.Contains(msg, "IS0 waiting on IR bit 2") {
+		t.Fatalf("diagnosis does not name the blocked stream and bit: %q", msg)
+	}
+	var d0 StreamDiag
+	for _, d := range dl.Streams {
+		if d.Stream == 0 {
+			d0 = d
+		}
+	}
+	if d0.State != StateIRQWait || d0.WaitBit != 2 {
+		t.Fatalf("stream 0 diag %+v", d0)
+	}
+}
+
+func TestRunGuardedCycleLimit(t *testing.T) {
+	// An infinite loop keeps issuing, so the watchdog sees progress;
+	// only the hard cycle budget stops it.
+	m := MustNew(Config{Streams: 1})
+	load(t, m, `
+loop:
+    ADDI R0, 1
+    JMP loop
+`)
+	m.StartStream(0, 0)
+	n, err := m.RunGuarded(2000, 100)
+	var cl *CycleLimitError
+	if !errors.As(err, &cl) {
+		t.Fatalf("err = %v, want CycleLimitError", err)
+	}
+	if n != 2000 || cl.Limit != 2000 {
+		t.Fatalf("n=%d limit=%d", n, cl.Limit)
+	}
+}
+
+func TestRunGuardedUnlimitedCycles(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	load(t, m, `HALT`)
+	m.StartStream(0, 0)
+	if _, err := m.RunGuarded(0, 50); err != nil {
+		t.Fatalf("maxCycles=0 should mean unlimited, got %v", err)
+	}
+}
+
+func TestStallStreamFreezesIssue(t *testing.T) {
+	m := MustNew(Config{Streams: 2})
+	load(t, m, `
+loop0:
+    ADDI R0, 1
+    JMP loop0
+`)
+	load(t, m, `
+    .org 0x40
+loop1:
+    ADDI R0, 1
+    JMP loop1
+`)
+	m.StartStream(0, 0)
+	m.StartStream(1, 0x40)
+	m.Run(100)
+	before0, before1 := m.Retired(0), m.Retired(1)
+	m.StallStream(0, 200)
+	m.Run(200)
+	// Stream 0 may retire what was already in flight but must not
+	// issue anything new; stream 1 keeps running.
+	if got := m.Retired(0); got > before0+uint64(isa.PipeDepth) {
+		t.Fatalf("stalled stream retired %d new instructions", got-before0)
+	}
+	if got := m.Retired(1); got <= before1 {
+		t.Fatal("healthy stream froze with its neighbour")
+	}
+	// The stall expires and the stream resumes by itself.
+	during := m.Retired(0)
+	m.Run(200)
+	if got := m.Retired(0); got <= during {
+		t.Fatal("stream did not thaw after the stall period")
+	}
+}
+
+func TestStallCountsAsProgressNotDeadlock(t *testing.T) {
+	// A lone stalled stream must not be misdiagnosed while the stall is
+	// still counting down, and the run finishes after it thaws.
+	m := MustNew(Config{Streams: 1})
+	load(t, m, `
+    LDI R0, 1
+    ST  R0, [0x11]
+    HALT
+`)
+	m.StartStream(0, 0)
+	m.StallStream(0, 500)
+	if _, err := m.RunGuarded(5000, 100); err != nil {
+		t.Fatalf("self-recovering stall diagnosed as %v", err)
+	}
+	if m.Internal().Read(0x11) != 1 {
+		t.Fatal("program did not complete after the stall")
+	}
+}
+
+func TestTrapBusFaultsVectorsIssuer(t *testing.T) {
+	// With TrapBusFaults, a load from unmapped space raises bit 5 on
+	// the issuing stream; the handler records the fact and halts.
+	m := MustNew(Config{Streams: 1, VectorBase: 0x100, TrapBusFaults: true})
+	load(t, m, `
+    LI   R1, 0x7000
+    LD   R2, [R1+0]    ; unmapped -> BusFault trap
+    HALT
+; vector base 0x100, stream 0, bit 5 -> 0x105
+    .org 0x105
+    JMP  handler
+handler:
+    LDI  R3, 0xAA
+    ST   R3, [0x12]
+    RETI
+`)
+	m.StartStream(0, 0)
+	if _, err := m.RunGuarded(2000, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Internal().Read(0x12); got != 0xAA {
+		t.Fatalf("handler did not run: [0x12]=%#x", got)
+	}
+	be := m.LastBusError(0)
+	if be == nil || !errors.Is(be, bus.ErrUnmapped) {
+		t.Fatalf("LastBusError = %v", be)
+	}
+	st := m.Stats()
+	if st.BusFaults != 1 || st.PerStream[0].BusFaults != 1 {
+		t.Fatalf("fault counters: %+v", st)
+	}
+}
+
+func TestUntrappedBusFaultKeepsSeedBehaviour(t *testing.T) {
+	// Default config: the faulting load completes with 0xFFFF and the
+	// stream continues — the pre-taxonomy policy, preserved.
+	m := MustNew(Config{Streams: 1})
+	load(t, m, `
+    LI  R1, 0x7000
+    LD  R2, [R1+0]
+    ST  R2, [0x13]
+    HALT
+`)
+	m.StartStream(0, 0)
+	if _, err := m.RunGuarded(2000, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Internal().Read(0x13); got != 0xFFFF {
+		t.Fatalf("[0x13]=%#x, want open-bus 0xFFFF", got)
+	}
+	if m.LastBusError(0) == nil {
+		t.Fatal("LastBusError not recorded without the trap")
+	}
+}
+
+func TestBusTimeoutClassifiedInStats(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	m.Bus().SetTimeout(8)
+	if err := m.Bus().Attach(isa.ExternalBase, 16, bus.NewRAM("dead", 16, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	load(t, m, `
+    LI  R1, 0x400
+    LD  R2, [R1+0]
+    HALT
+`)
+	m.StartStream(0, 0)
+	if _, err := m.RunGuarded(2000, 100); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.BusTimeouts != 1 || st.BusFaults != 1 {
+		t.Fatalf("timeouts=%d faults=%d", st.BusTimeouts, st.BusFaults)
+	}
+	if be := m.LastBusError(0); be == nil || !errors.Is(be, bus.ErrTimeout) {
+		t.Fatalf("LastBusError = %v", be)
+	}
+}

@@ -11,25 +11,28 @@ type StreamStats struct {
 	BusRetries uint64 // requests that found the bus busy
 	Dispatches uint64 // vectored interrupt entries
 	StackFault uint64 // stack-window overflow/underflow events
+	BusFaults  uint64 // failed external accesses issued by this stream
 }
 
 // Stats summarises a machine run. Utilization — the paper's PD — is
 // retired instructions over elapsed cycles.
 type Stats struct {
-	Cycles        uint64
-	Issued        uint64
-	Retired       uint64
-	Flushed       uint64
-	IdleCycles    uint64 // cycles in which no stream could issue
-	BusWaits      uint64
-	BusRetries    uint64
-	Dispatches    uint64
-	StackFaults   uint64
-	DoubleFaults  uint64
-	IllegalInstr  uint64
-	UndefinedTAS  uint64
-	BusFaults     uint64 // accesses to unmapped bus addresses
-	SStartIgnored uint64
+	Cycles          uint64
+	Issued          uint64
+	Retired         uint64
+	Flushed         uint64
+	IdleCycles      uint64 // cycles in which no stream could issue
+	BusWaits        uint64
+	BusRetries      uint64
+	Dispatches      uint64
+	StackFaults     uint64
+	DoubleFaults    uint64
+	IllegalInstr    uint64
+	UndefinedTAS    uint64
+	BusFaults       uint64 // failed external accesses (all causes)
+	BusTimeouts     uint64 // of which: bounded-wait budget exceeded
+	BusDeviceFaults uint64 // of which: the device refused the access
+	SStartIgnored   uint64
 
 	PerStream []StreamStats
 }
@@ -60,6 +63,7 @@ func (m *Machine) Stats() Stats {
 			BusRetries: s.busRetries,
 			Dispatches: s.dispatches,
 			StackFault: s.stackFault,
+			BusFaults:  s.busFaults,
 		}
 	}
 	return out
@@ -73,7 +77,7 @@ func (m *Machine) ResetStats() {
 	m.stats = Stats{PerStream: make([]StreamStats, len(m.streams))}
 	for _, s := range m.streams {
 		s.issued, s.retired, s.flushed = 0, 0, 0
-		s.busWaits, s.busRetries, s.dispatches, s.stackFault = 0, 0, 0, 0
+		s.busWaits, s.busRetries, s.dispatches, s.stackFault, s.busFaults = 0, 0, 0, 0, 0
 	}
 	m.sch.ResetStats()
 }

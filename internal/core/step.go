@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"disc/internal/bus"
 	"disc/internal/interrupt"
 	"disc/internal/isa"
@@ -86,6 +88,9 @@ func (m *Machine) RunUntilIdle(max int) (int, bool) {
 func (m *Machine) ready(id int) bool {
 	s := m.streams[id]
 	if s.branchShadow > 0 {
+		return false
+	}
+	if s.stallUntil > m.cycle {
 		return false
 	}
 	switch s.state {
@@ -185,13 +190,34 @@ func (m *Machine) flushYounger(id int) {
 // completeBus applies a finished ABI access: load data is written
 // straight into the destination register ("without affecting the
 // running instruction streams") and all waiting streams reactivate.
+// A failed access is classified against the bus error taxonomy; when
+// the machine traps bus faults the issuing stream is vectored to its
+// BusFault handler, otherwise the stream just sees the 0xFFFF value.
 func (m *Machine) completeBus(c bus.Completion) {
+	issuer := c.Req.Stream
+	known := issuer >= 0 && issuer < len(m.streams)
 	if c.Err != nil {
 		m.stats.BusFaults++
+		var be *bus.BusError
+		if errors.As(c.Err, &be) {
+			switch {
+			case errors.Is(be, bus.ErrTimeout):
+				m.stats.BusTimeouts++
+			case errors.Is(be, bus.ErrDeviceFault):
+				m.stats.BusDeviceFaults++
+			}
+			if known {
+				s := m.streams[issuer]
+				s.lastBusErr = be
+				s.busFaults++
+				if m.cfg.TrapBusFaults {
+					s.intr.Request(interrupt.BusFault)
+				}
+			}
+		}
 	}
-	if !c.Req.Write {
-		s := m.streams[c.Req.Stream]
-		m.writeReg(s, isa.Reg(c.Req.Dest), c.Data)
+	if !c.Req.Write && known {
+		m.writeReg(m.streams[issuer], isa.Reg(c.Req.Dest), c.Data)
 	}
 	for _, s := range m.streams {
 		if s.state == StateBusWait {

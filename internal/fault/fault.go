@@ -1,0 +1,184 @@
+// Package fault is the deterministic fault-injection layer of the DISC
+// reproduction. It perturbs a simulated machine the way real hardware
+// misbehaves — slow devices, flipped bits, stuck-busy peripherals, dead
+// address windows, interrupt storms, wedged streams — while keeping the
+// repository's reproducibility contract: every injected fault is drawn
+// from a seeded rng.Source consulted only at machine-deterministic
+// points (bus access starts, access completions, machine cycles), so a
+// run with the same seed and fault configuration replays byte-identically
+// regardless of host, wall clock or worker count.
+//
+// Two layers are provided. Wrap decorates any bus.Device with a fault
+// model (extra wait states, transient read bit-flips, refused accesses,
+// stuck-busy periods, hard-dead windows); the machine-level injectors in
+// inject.go (Storm, StreamStall) perturb the machine itself. Both are
+// exercised by the resilience study in internal/study and the chaos fuzz
+// tests in this package.
+package fault
+
+import (
+	"fmt"
+
+	"disc/internal/bus"
+	"disc/internal/rng"
+)
+
+// Wedged is the AccessCycles value a dead or stuck device reports: far
+// beyond any real access time, so the access never completes on its
+// own. With a bounded-wait budget (bus.SetTimeout) the access ends in
+// ErrTimeout; without one it occupies the bus until machine reset —
+// exactly the failure mode the timeout protocol exists to contain.
+const Wedged = 1 << 30
+
+// Window is a half-open cycle interval [From, To).
+type Window struct {
+	From, To uint64
+}
+
+func (w Window) contains(cycle uint64) bool { return cycle >= w.From && cycle < w.To }
+
+// DeviceConfig selects the fault model of one wrapped device. The zero
+// value injects nothing: a zero-config wrapper is a transparent proxy.
+type DeviceConfig struct {
+	// Seed feeds the wrapper's private generator. Two wrappers with
+	// the same seed and config misbehave identically.
+	Seed uint64
+	// ExtraWaitProb is the per-access probability of stretching the
+	// access by 1..ExtraWaitMax additional wait states (a congested or
+	// slow-to-decode device).
+	ExtraWaitProb float64
+	ExtraWaitMax  int
+	// BitFlipProb is the per-read probability of flipping one uniformly
+	// chosen bit of the returned data (a transient single-event upset).
+	BitFlipProb float64
+	// FaultProb is the per-access probability of the device refusing
+	// the completed handshake (bus.ErrDeviceFault).
+	FaultProb float64
+	// StuckBusyProb is the per-access probability of the device going
+	// stuck-busy for StuckBusyLen cycles: the triggering access and any
+	// access started during the period report Wedged access times.
+	StuckBusyProb float64
+	StuckBusyLen  uint64
+	// Dead lists cycle windows in which the device is hard-dead: every
+	// access started inside one reports a Wedged access time. Windows
+	// are measured in the wrapper's own cycle count, which advances
+	// once per machine cycle via bus.TickDevices.
+	Dead []Window
+}
+
+// DeviceStats counts what a wrapper actually injected.
+type DeviceStats struct {
+	Accesses   uint64 // accesses started against the device
+	ExtraWaits uint64 // accesses stretched by extra wait states
+	BitFlips   uint64 // reads with a flipped bit
+	Faults     uint64 // accesses refused at completion
+	StuckBusy  uint64 // stuck-busy periods triggered
+	DeadHits   uint64 // accesses started while dead or stuck
+}
+
+// Device wraps an inner bus.Device with the fault model of a
+// DeviceConfig. It implements bus.Device, bus.Ticker (keeping its own
+// cycle count and forwarding ticks) and bus.Faulter (transient refusals
+// plus whatever the inner device itself refuses).
+type Device struct {
+	inner bus.Device
+	cfg   DeviceConfig
+	src   *rng.Source
+
+	cycle      uint64 // machine cycles observed via Tick
+	stuckUntil uint64 // stuck-busy period end, in wrapper cycles
+
+	Stats DeviceStats
+}
+
+// Wrap decorates inner with cfg's fault model.
+func Wrap(inner bus.Device, cfg DeviceConfig) *Device {
+	if cfg.ExtraWaitMax < 1 {
+		cfg.ExtraWaitMax = 1
+	}
+	return &Device{inner: inner, cfg: cfg, src: rng.New(cfg.Seed)}
+}
+
+// Inner returns the wrapped device.
+func (d *Device) Inner() bus.Device { return d.inner }
+
+// Name tags the inner device so bus maps and error messages show the
+// fault layer is present.
+func (d *Device) Name() string { return fmt.Sprintf("faulty(%s)", d.inner.Name()) }
+
+// Tick advances the wrapper's cycle count and the inner device's clock.
+// The bus calls this once per machine cycle, which is what lets Dead
+// windows and stuck-busy periods be expressed in machine cycles.
+func (d *Device) Tick() {
+	d.cycle++
+	if t, ok := d.inner.(bus.Ticker); ok {
+		t.Tick()
+	}
+}
+
+// dead reports whether the device currently answers no access.
+func (d *Device) dead() bool {
+	if d.cycle < d.stuckUntil {
+		return true
+	}
+	for _, w := range d.cfg.Dead {
+		if w.contains(d.cycle) {
+			return true
+		}
+	}
+	return false
+}
+
+// AccessCycles implements the bus handshake timing, possibly perturbed:
+// a dead or stuck device reports Wedged; otherwise the access may
+// trigger a stuck-busy period or be stretched by extra wait states.
+func (d *Device) AccessCycles(off uint16, write bool) int {
+	d.Stats.Accesses++
+	if d.dead() {
+		d.Stats.DeadHits++
+		return Wedged
+	}
+	if d.cfg.StuckBusyProb > 0 && d.src.Bool(d.cfg.StuckBusyProb) {
+		d.Stats.StuckBusy++
+		d.stuckUntil = d.cycle + d.cfg.StuckBusyLen
+		return Wedged
+	}
+	c := d.inner.AccessCycles(off, write)
+	if d.cfg.ExtraWaitProb > 0 && d.src.Bool(d.cfg.ExtraWaitProb) {
+		d.Stats.ExtraWaits++
+		c += 1 + d.src.Intn(d.cfg.ExtraWaitMax)
+	}
+	return c
+}
+
+// AccessFault refuses a completed access with FaultProb, and always
+// honours a refusal by the inner device itself.
+func (d *Device) AccessFault(off uint16, write bool) bool {
+	if f, ok := d.inner.(bus.Faulter); ok && f.AccessFault(off, write) {
+		return true
+	}
+	if d.cfg.FaultProb > 0 && d.src.Bool(d.cfg.FaultProb) {
+		d.Stats.Faults++
+		return true
+	}
+	return false
+}
+
+// Read forwards to the inner device, possibly flipping one bit.
+func (d *Device) Read(off uint16) uint16 {
+	v := d.inner.Read(off)
+	if d.cfg.BitFlipProb > 0 && d.src.Bool(d.cfg.BitFlipProb) {
+		d.Stats.BitFlips++
+		v ^= 1 << uint(d.src.Intn(16))
+	}
+	return v
+}
+
+// Write forwards to the inner device.
+func (d *Device) Write(off uint16, v uint16) { d.inner.Write(off, v) }
+
+var (
+	_ bus.Device  = (*Device)(nil)
+	_ bus.Ticker  = (*Device)(nil)
+	_ bus.Faulter = (*Device)(nil)
+)

@@ -30,6 +30,13 @@ const Background = 0
 // source.
 const StackFault = 6
 
+// BusFault is the IR bit the machine raises on the issuing stream when
+// its external access fails (unmapped address, bounded-wait timeout or
+// device fault) and the machine was configured to trap bus faults.
+// Below StackFault — a wedged stack is worse news than a flaky device —
+// but above every ordinary device source.
+const BusFault = 5
+
 // Unit is one stream's interrupt register pair plus its current
 // execution level.
 type Unit struct {

@@ -1,0 +1,71 @@
+package study
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFaultIsolationVictimsSustainShare(t *testing.T) {
+	// The acceptance criterion: with stream 0's device dead for 10k
+	// cycles, streams 1..3 sustain at least their fault-free share.
+	res, err := FaultIsolation(FaultIsolationConfig{Seed: 1991, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows[1:] {
+		if row.Faulted.Mean < row.Baseline.Mean {
+			t.Errorf("victim IS%d lost throughput under faults: %.4f -> %.4f",
+				row.Stream, row.Baseline.Mean, row.Faulted.Mean)
+		}
+		if row.Role != "victim" {
+			t.Errorf("IS%d role = %q", row.Stream, row.Role)
+		}
+	}
+	// The faulty stream itself must actually have been hurt, or the
+	// fault schedule never landed.
+	if r0 := res.Rows[0]; r0.Faulted.Mean >= r0.Baseline.Mean {
+		t.Errorf("faulty stream unaffected: %.4f -> %.4f", r0.Baseline.Mean, r0.Faulted.Mean)
+	}
+	if res.BusFaults.Mean == 0 {
+		t.Error("no bus faults recorded on the faulty stream")
+	}
+}
+
+func TestFaultIsolationParIndependence(t *testing.T) {
+	// Same seed and schedule, different worker counts: the rendered
+	// table must be byte-identical — the -par determinism contract.
+	cfg := FaultIsolationConfig{Seed: 7, Reps: 4, Cycles: 8_000, DeadFrom: 1_000, DeadFor: 4_000}
+	c1 := cfg
+	c1.Par = 1
+	r1, err := FaultIsolation(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8 := cfg
+	c8.Par = 8
+	r8, err := FaultIsolation(c8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1, t8 := r1.Render(), r8.Render(); t1 != t8 {
+		t.Fatalf("table differs between par=1 and par=8:\n%s\n%s", t1, t8)
+	}
+}
+
+func TestFaultIsolationDeterminism(t *testing.T) {
+	cfg := FaultIsolationConfig{Seed: 3, Reps: 2, Cycles: 6_000}
+	a, err := FaultIsolation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultIsolation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := fmt.Sprintf("%+v", a.Rows), fmt.Sprintf("%+v", b.Rows); fa != fb {
+		t.Fatalf("study not deterministic:\n%s\n%s", fa, fb)
+	}
+}
