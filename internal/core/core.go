@@ -62,6 +62,18 @@ type Config struct {
 	// the silent policy: the load destination gets the 0xFFFF open-bus
 	// value and execution continues.
 	TrapBusFaults bool
+	// Reference selects the slow reference pipeline: readiness is
+	// recomputed for every stream every cycle and every issue decodes
+	// its word live through isa.Decode instead of the predecode cache.
+	// It exists as the oracle for the differential equivalence tests
+	// (the optimized path must match it byte for byte) and as the
+	// honest "before" in the throughput benchmarks.
+	Reference bool
+	// CheckReadiness cross-checks the incrementally maintained ready
+	// mask against a full recompute at the top of every cycle and
+	// panics on divergence. Debug aid for the fast path; ignored when
+	// Reference is set.
+	CheckReadiness bool
 }
 
 // StreamState describes why a stream is or is not fetchable.
@@ -114,6 +126,16 @@ type stream struct {
 	// dispatcher from injecting the same entry twice.
 	entryInFlight bool
 
+	// Cached interrupt-dispatch decision. Dispatch() is a pure function
+	// of the interrupt unit's state, and every mutation of that state
+	// bumps the unit's version counter, so the fetch stage only
+	// recomputes the decision when dispVer falls behind — the common
+	// issue asks "did anything change?" instead of re-deriving the
+	// highest pending level every time.
+	dispVer uint32
+	dispBit uint8
+	dispOK  bool
+
 	// stats
 	issued     uint64
 	retired    uint64
@@ -140,16 +162,18 @@ const (
 	kindIntEntry
 )
 
-// slot is one pipeline stage's content.
+// slot is one pipeline stage's content. Field order and widths keep it
+// at 24 bytes — the pipe is copied on every flush and written on every
+// issue, so its footprint is hot-loop cost, not just memory.
 type slot struct {
-	valid  bool
-	stream int
-	pc     uint16
 	instr  isa.Instruction
+	valid  bool
+	stream uint8
 	kind   slotKind
-	bit    uint8  // interrupt bit for kindIntEntry
+	bit    uint8 // interrupt bit for kindIntEntry
+	shadow bool  // this slot holds an unresolved control transfer
+	pc     uint16
 	retPC  uint16 // return address for kindIntEntry
-	shadow bool   // this slot holds an unresolved control transfer
 }
 
 // Machine is a configured DISC1 processor.
@@ -161,12 +185,27 @@ type Machine struct {
 	sch     *sched.Scheduler
 	globals [isa.NumGlobals]uint16
 	streams []*stream
-	pipe    [isa.PipeDepth]slot // pipe[0]=IF ... pipe[3]=WR
-	cycle   uint64
-	seq     uint64
-	halted  bool // RunUntilIdle latch
-	dbg     *debugState
-	profile map[uint32]uint64 // per-(stream,pc) retirement counts
+	// pipe is a ring: stage k lives at pipe[(pipeBase+k) % PipeDepth],
+	// so the per-cycle "shift" is one index decrement instead of three
+	// slot copies. Use stage() to address it.
+	pipe     [isa.PipeDepth]slot
+	pipeBase uint8
+	cycle    uint64
+	seq      uint64
+	halted   bool // RunUntilIdle latch
+	dbg      *debugState
+	profile  map[uint32]uint64 // per-(stream,pc) retirement counts
+
+	// ready is the incrementally maintained scheduler input: bit i is
+	// set exactly when streamReady(i) holds. Streams flip their bit on
+	// state transitions (refreshReady) instead of Step recomputing all
+	// streams every cycle; two cheap per-cycle sweeps cover the inputs
+	// that change without a machine-side hook (stall timers expiring
+	// with the clock, interrupt units mutated through raw handles).
+	ready     sched.ReadyMask
+	stallMask uint32                 // streams with a live stall timer
+	intrVer   [isa.NumStreams]uint32 // last swept interrupt.Unit versions
+	statsBase uint64                 // cycle count at the last ResetStats
 
 	stats Stats
 }
@@ -213,10 +252,17 @@ func New(cfg Config) (*Machine, error) {
 			return nil, err
 		}
 		st := &stream{win: w, intr: interrupt.New(), vb: cfg.VectorBase}
+		st.dispVer = st.intr.Version() - 1 // force the first issue to compute
 		m.streams = append(m.streams, st)
 	}
 	m.stats.PerStream = make([]StreamStats, cfg.Streams)
 	return m, nil
+}
+
+// stage returns pipeline stage k (0=IF ... PipeDepth-1=WR). PipeDepth
+// is a power of two, so the ring wrap is a mask.
+func (m *Machine) stage(k int) *slot {
+	return &m.pipe[(int(m.pipeBase)+k)&(isa.PipeDepth-1)]
 }
 
 // MustNew is New for configurations known to be valid.
@@ -261,6 +307,7 @@ func (m *Machine) StartStream(i int, pc uint16) error {
 	s.pc = pc
 	s.state = StateRun
 	s.intr.Request(interrupt.Background)
+	m.refreshReady(i)
 	return nil
 }
 
@@ -272,6 +319,7 @@ func (m *Machine) RaiseIRQ(streamID, bit uint8) {
 		return
 	}
 	m.streams[streamID].intr.Request(bit)
+	m.refreshReady(int(streamID))
 }
 
 // StallStream freezes stream i for the next n cycles: it cannot issue
@@ -287,6 +335,10 @@ func (m *Machine) StallStream(i int, n uint64) {
 	if until > m.streams[i].stallUntil {
 		m.streams[i].stallUntil = until
 	}
+	if m.streams[i].stallUntil > m.cycle {
+		m.stallMask |= 1 << uint(i)
+	}
+	m.refreshReady(i)
 }
 
 // LastBusError returns stream i's most recent failed external access,
@@ -362,11 +414,19 @@ func (m *Machine) Reset() {
 		s.lastBusErr = nil
 		s.branchShadow = 0
 		s.entryInFlight = false
+		s.dispVer = s.intr.Version() - 1 // invalidate the dispatch cache
 	}
 	m.pipe = [isa.PipeDepth]slot{}
+	m.pipeBase = 0
 	m.globals = [isa.NumGlobals]uint16{}
 	m.bus.Reset()
 	m.cycle, m.seq = 0, 0
+	m.statsBase = 0
 	m.dbg = nil
+	m.ready, m.stallMask = 0, 0
+	for i := range m.streams {
+		m.intrVer[i] = m.streams[i].intr.Version()
+		m.refreshReady(i)
+	}
 	m.ResetStats()
 }

@@ -641,11 +641,16 @@ b:  ADDI R0, 1
 // the machine.
 func TestIllegalInstruction(t *testing.T) {
 	m := MustNew(Config{Streams: 1})
+	// The trailing NOPs keep the post-HALT prefetches inside the loaded
+	// image: fetches past the image end are themselves illegal words
+	// (the wild-PC rule) and would muddy the count under test here.
 	load(t, m, `
     .word 0xFC0000    ; undefined opcode
     LDI R0, 5
     STM R0, [0]
     HALT
+    NOP
+    NOP
 `)
 	m.StartStream(0, 0)
 	if _, idle := m.RunUntilIdle(100); !idle {

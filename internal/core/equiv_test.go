@@ -1,0 +1,229 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"disc/internal/bus"
+	"disc/internal/isa"
+	"disc/internal/rng"
+)
+
+// This file is the differential proof behind the hot-loop overhaul: the
+// optimized pipeline (predecoded fetch, incremental ready mask, gated
+// device ticks) must be *byte-identical* to the retained reference
+// pipeline (live decode, per-cycle readiness recompute, unconditional
+// ticks) on every observable — architectural state, statistics, cycle
+// count — at every cycle, not just at the end. The fast machine also
+// runs with CheckReadiness, so any divergence between the incremental
+// mask and a fresh recompute panics with the offending cycle.
+
+// archSnap is everything architecturally observable about a machine.
+type archSnap struct {
+	Cycle   uint64
+	Stats   Stats
+	Globals [isa.NumGlobals]uint16
+	Streams []streamSnap
+}
+
+type streamSnap struct {
+	PC       uint16
+	Flags    uint8
+	H        uint16
+	State    StreamState
+	WaitBit  uint8
+	Shadow   int
+	AWP, BOS int
+	Window   [isa.WindowSize]uint16
+	IR, MR   uint8
+	Level    uint8
+}
+
+func snap(m *Machine) archSnap {
+	s := archSnap{Cycle: m.cycle, Stats: m.Stats(), Globals: m.globals}
+	for _, st := range m.streams {
+		s.Streams = append(s.Streams, streamSnap{
+			PC: st.pc, Flags: st.flags, H: st.h,
+			State: st.state, WaitBit: st.waitBit, Shadow: st.branchShadow,
+			AWP: st.win.AWP(), BOS: st.win.BOS(), Window: st.win.Window(),
+			IR: st.intr.IR(), MR: st.intr.MR(), Level: st.intr.Level(),
+		})
+	}
+	return s
+}
+
+// pair builds two identically configured machines, one optimized (with
+// CheckReadiness armed) and one on the reference path, and hands both
+// to setup for identical loading/attachment.
+func pair(t *testing.T, cfg Config, setup func(m *Machine)) (fast, ref *Machine) {
+	t.Helper()
+	fcfg := cfg
+	fcfg.Reference = false
+	fcfg.CheckReadiness = true
+	rcfg := cfg
+	rcfg.Reference = true
+	fast, ref = MustNew(fcfg), MustNew(rcfg)
+	setup(fast)
+	setup(ref)
+	return fast, ref
+}
+
+// lockstep steps both machines n cycles, calling drive (which must
+// apply identical external stimulus to both) before each step, and
+// compares full snapshots every cycle.
+func lockstep(t *testing.T, fast, ref *Machine, n int, drive func(cycle int, m *Machine)) {
+	t.Helper()
+	for c := 0; c < n; c++ {
+		if drive != nil {
+			drive(c, fast)
+			drive(c, ref)
+		}
+		fast.Step()
+		ref.Step()
+		fs, rs := snap(fast), snap(ref)
+		if !reflect.DeepEqual(fs, rs) {
+			t.Fatalf("cycle %d: optimized and reference pipelines diverged\nfast: %+v\nref:  %+v", c, fs, rs)
+		}
+	}
+	fm, rm := fast.Internal().Snapshot(), ref.Internal().Snapshot()
+	if !reflect.DeepEqual(fm, rm) {
+		t.Fatal("internal data memory diverged between pipelines")
+	}
+}
+
+// TestEquivDeterministicKernel: the multi-stream kernel mix — branches,
+// internal loads/stores, inter-stream SIGNAL/WAITI — stays identical.
+func TestEquivDeterministicKernel(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		LDI  R0, 0
+		LDI  R1, 37
+	loop:
+		ADDI R0, 1
+		ST   R0, [0x20]
+		LD   R2, [0x20]
+		SUB  R2, R2, R0
+		BNE  loop
+		JMP  loop
+	`
+	fast, ref := pair(t, Config{Streams: 4}, func(m *Machine) {
+		load(t, m, src)
+		for i := 0; i < 4; i++ {
+			if err := m.StartStream(i, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	lockstep(t, fast, ref, 3000, nil)
+}
+
+// TestEquivRandomChaos: the heavyweight case — random instruction soup
+// over all stream counts, with an external RAM region, asynchronous
+// interrupt traffic and injected stalls, compared cycle by cycle.
+func TestEquivRandomChaos(t *testing.T) {
+	src := rng.New(0xD1FF)
+	for trial := 0; trial < 10; trial++ {
+		streams := 1 + src.Intn(isa.NumStreams)
+		img := make([]isa.Word, 512)
+		for i := range img {
+			img[i] = isa.Word(src.Uint64()) & isa.MaxWord
+		}
+		starts := make([]uint16, streams)
+		for i := range starts {
+			starts[i] = uint16(src.Intn(512))
+		}
+		vb := uint16(src.Intn(1 << 16))
+		fast, ref := pair(t, Config{Streams: streams, VectorBase: vb}, func(m *Machine) {
+			if err := m.Bus().Attach(isa.ExternalBase, 64, bus.NewRAM("ext", 64, 3)); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadProgram(0, img); err != nil {
+				t.Fatal(err)
+			}
+			for i, pc := range starts {
+				m.StartStream(i, pc)
+			}
+		})
+		// Pre-sample the stimulus so both machines see the same events.
+		type event struct {
+			irqStream, irqBit int
+			stall             int
+		}
+		events := map[int]event{}
+		for c := 0; c < 1500; c++ {
+			if src.Bool(0.01) {
+				events[c] = event{irqStream: src.Intn(streams), irqBit: src.Intn(8), stall: -1}
+			} else if src.Bool(0.002) {
+				events[c] = event{irqStream: src.Intn(streams), stall: 1 + src.Intn(20)}
+			}
+		}
+		lockstep(t, fast, ref, 1500, func(c int, m *Machine) {
+			ev, ok := events[c]
+			if !ok {
+				return
+			}
+			if ev.stall >= 0 {
+				m.StallStream(ev.irqStream, uint64(ev.stall))
+			} else {
+				m.RaiseIRQ(uint8(ev.irqStream), uint8(ev.irqBit))
+			}
+		})
+	}
+}
+
+// TestEquivWildPC is the regression test for the wild-PC rule: a jump
+// at or past the end of the loaded image must read as an illegal word
+// (counted through the existing IllegalInstr path), not silently
+// execute the empty-memory NOPs beyond the program — and the optimized
+// and reference pipelines must account for it identically.
+func TestEquivWildPC(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		LDI  R0, 1
+		JMP  past
+		NOP
+		NOP
+	past:
+	`
+	fast, ref := pair(t, Config{Streams: 1}, func(m *Machine) {
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	lockstep(t, fast, ref, 200, nil)
+	st := fast.Stats()
+	if st.IllegalInstr == 0 {
+		t.Fatal("jump past the loaded image did not raise IllegalInstr")
+	}
+	if st.IllegalInstr != ref.Stats().IllegalInstr {
+		t.Fatalf("IllegalInstr differs: fast %d, ref %d", st.IllegalInstr, ref.Stats().IllegalInstr)
+	}
+}
+
+// TestEquivResetAndRestart: Reset must leave both pipelines in the same
+// (re-runnable) state — the ready mask, ring pipe base and statistics
+// base all re-seed correctly.
+func TestEquivResetAndRestart(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		ADDI R0, 1
+		JMP  main
+	`
+	fast, ref := pair(t, Config{Streams: 2}, func(m *Machine) {
+		load(t, m, src)
+		m.StartStream(0, 0)
+		m.StartStream(1, 0)
+	})
+	lockstep(t, fast, ref, 500, nil)
+	fast.Reset()
+	ref.Reset()
+	for _, m := range []*Machine{fast, ref} {
+		m.StartStream(0, 0)
+		m.StartStream(1, 0)
+	}
+	lockstep(t, fast, ref, 500, nil)
+}

@@ -10,7 +10,7 @@ import (
 // instructions reach EX strictly in program order, so executing
 // atomically here models a machine with a perfect bypass network.
 func (m *Machine) execute(sl *slot) {
-	id := sl.stream
+	id := int(sl.stream)
 	s := m.streams[id]
 
 	if sl.kind == kindIntEntry {
@@ -279,7 +279,7 @@ func (m *Machine) execute(sl *slot) {
 // cycle; anything at or above isa.ExternalBase goes through the ABI
 // with the full §3.6.1 wait-state protocol.
 func (m *Machine) access(sl *slot, s *stream, ea uint16, write bool, data uint16, dest isa.Reg) {
-	id := sl.stream
+	id := int(sl.stream)
 	if m.imem.Contains(ea) {
 		if write {
 			m.imem.Write(ea, data)
@@ -343,7 +343,7 @@ func (m *Machine) readSpecial(sl *slot, s *stream) uint16 {
 // writeSpecial implements MTS. Writing PC is a computed jump and was
 // treated as a control transfer at issue.
 func (m *Machine) writeSpecial(sl *slot, s *stream, v uint16) {
-	id := sl.stream
+	id := int(sl.stream)
 	switch sl.instr.Spec {
 	case isa.SpecPC:
 		s.pc = v

@@ -309,3 +309,59 @@ h:  LDM  R3, [0x51]
 		t.Fatalf("per-stream accounting broken")
 	}
 }
+
+// FuzzStepEquiv feeds arbitrary byte soup — packed into 24-bit
+// instruction words — through the optimized and reference pipelines in
+// lockstep and requires bit-identical architectural state every cycle.
+// This is the open-ended version of TestEquivRandomChaos: the fuzzer
+// owns the program image, the stream count, the start PCs and the
+// interrupt traffic, and the incremental ready mask additionally
+// self-checks against a fresh recompute (CheckReadiness) on the fast
+// side.
+func FuzzStepEquiv(f *testing.F) {
+	f.Add(uint64(1), uint8(1), []byte{0, 0, 0, 1, 2, 3})
+	f.Add(uint64(0xD15C), uint8(4), []byte("\x00\x01\x02\x03\x04\x05\x06\x07\x08"))
+	f.Add(uint64(7), uint8(2), []byte{0xFF, 0xFF, 0xFF, 0x12, 0x34, 0x56})
+	f.Fuzz(func(t *testing.T, seed uint64, nstreams uint8, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		streams := 1 + int(nstreams)%isa.NumStreams
+		n := len(data) / 3
+		if n > 512 {
+			n = 512
+		}
+		img := make([]isa.Word, n)
+		for i := range img {
+			img[i] = (isa.Word(data[3*i])<<16 | isa.Word(data[3*i+1])<<8 | isa.Word(data[3*i+2])) & isa.MaxWord
+		}
+		src := rng.New(seed)
+		starts := make([]uint16, streams)
+		for i := range starts {
+			starts[i] = uint16(src.Intn(n))
+		}
+		vb := uint16(src.Intn(1 << 16))
+		fast, ref := pair(t, Config{Streams: streams, VectorBase: vb}, func(m *Machine) {
+			if err := m.Bus().Attach(isa.ExternalBase, 32, bus.NewRAM("ext", 32, 2)); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadProgram(0, img); err != nil {
+				t.Fatal(err)
+			}
+			for i, pc := range starts {
+				m.StartStream(i, pc)
+			}
+		})
+		irqAt := map[int][2]uint8{}
+		for c := 0; c < 400; c++ {
+			if src.Bool(0.02) {
+				irqAt[c] = [2]uint8{uint8(src.Intn(streams)), uint8(src.Intn(8))}
+			}
+		}
+		lockstep(t, fast, ref, 400, func(c int, m *Machine) {
+			if ev, ok := irqAt[c]; ok {
+				m.RaiseIRQ(ev[0], ev[1])
+			}
+		})
+	})
+}

@@ -2,10 +2,13 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"disc/internal/bus"
 	"disc/internal/interrupt"
 	"disc/internal/isa"
+	"disc/internal/mem"
+	"disc/internal/sched"
 	"disc/internal/stackwin"
 )
 
@@ -18,50 +21,165 @@ import (
 //     and its semantics execute atomically,
 //  4. the scheduler picks a ready stream and the IF slot is filled,
 //     injecting a vectored interrupt entry when one is pending (§3.6.3).
+//
+// This is the simulator's only hot loop: every table in EXPERIMENTS.md
+// is tens of millions of calls to it. The fast path therefore avoids
+// recomputing anything a state transition could have maintained — the
+// ready mask is updated by the streams as they change state, device
+// ticks and bus advance are skipped when provably idle, and issue reads
+// the predecoded program store. Config.Reference selects the original
+// recompute-everything pipeline, kept as the equivalence oracle.
 func (m *Machine) Step() {
+	if m.cfg.Reference {
+		m.stepReference()
+		return
+	}
 	m.cycle++
-	m.stats.Cycles++
 
-	m.bus.TickDevices()
-	if c, ok := m.bus.Tick(); ok {
-		m.completeBus(c)
+	if m.bus.NeedsTick() {
+		m.bus.TickDevices()
+	}
+	if m.bus.Busy() {
+		if c, ok := m.bus.Tick(); ok {
+			m.completeBus(c)
+		}
+	}
+
+	// Two sweeps repair the ready bits no machine-side hook covers:
+	// stall timers expire by the clock advancing, and interrupt units
+	// can be mutated through raw *interrupt.Unit handles (devices,
+	// tests, the rt harness) without the machine seeing a call.
+	if m.stallMask != 0 {
+		m.sweepStalls()
+	}
+	for i, s := range m.streams {
+		if v := s.intr.Version(); v != m.intrVer[i] {
+			m.intrVer[i] = v
+			m.refreshReady(i)
+		}
+	}
+	if m.cfg.CheckReadiness {
+		m.verifyReadyMask()
 	}
 
 	// Latch begin-of-cycle readiness: in hardware the instruction fetch
 	// is concurrent with EX, so the fetch decision cannot observe this
 	// cycle's execute results. A branch resolving at EX therefore costs
 	// its full shadow (Figure 3.2), not one cycle less.
-	var readyMask [isa.NumStreams]bool
-	for i := range m.streams {
-		readyMask[i] = m.ready(i)
-	}
+	latched := m.ready
 
 	// Retire WR.
-	if wr := m.pipe[isa.PipeDepth-1]; wr.valid {
+	if wr := m.stage(isa.PipeDepth - 1); wr.valid {
 		m.streams[wr.stream].retired++
 		m.stats.Retired++
-		m.profileRetire(wr.stream, wr.pc)
+		if m.profile != nil {
+			m.profileRetire(int(wr.stream), wr.pc)
+		}
 	}
-	// Shift.
-	for i := isa.PipeDepth - 1; i > 0; i-- {
-		m.pipe[i] = m.pipe[i-1]
-	}
-	m.pipe[0] = slot{}
+	// Shift: rotating the ring base moves every slot down one stage;
+	// the just-retired WR slot becomes the new (empty) IF.
+	m.pipeBase = (m.pipeBase + isa.PipeDepth - 1) & (isa.PipeDepth - 1)
+	*m.stage(0) = slot{}
 
 	// Execute the slot that just arrived at EX (stage index 2 of 4).
-	ex := &m.pipe[isa.PipeDepth-2]
+	ex := m.stage(isa.PipeDepth - 2)
 	if ex.valid {
+		// Execute is the one place a stream can go ready → not-ready
+		// mid-cycle (wait-state entry, WAITI, HALT), and it can only do
+		// that to itself — cross-stream effects (SIGNAL, SSTART) only
+		// raise bits, which never unready a stream, and land in other
+		// streams' version counters for next cycle's sweep. Refreshing
+		// just the executing stream, and only when one of its readiness
+		// inputs (state, shadow depth, interrupt state) actually moved,
+		// keeps the live check below exact; stallUntil is excluded
+		// because execute never stalls — StallStream refreshes itself.
+		exs := m.streams[ex.stream]
+		preState, preShadow, preVer := exs.state, exs.branchShadow, exs.intr.Version()
 		m.execute(ex)
+		if exs.state != preState || exs.branchShadow != preShadow || exs.intr.Version() != preVer {
+			m.refreshReady(int(ex.stream))
+		}
 	}
 
 	// Issue using the latched decision. If this cycle's execute pushed
 	// the chosen stream into a wait state (or rewound it), the slot is
 	// lost — hardware would have fetched and immediately flushed.
-	id, _, ok := m.sch.Next(func(i int) bool { return readyMask[i] })
-	if ok && m.ready(id) {
+	id, _, ok := m.sch.Next(latched)
+	if ok && m.ready.Test(id) {
 		m.issue(id)
 	} else {
 		m.stats.IdleCycles++
+	}
+}
+
+// stepReference is the original pipeline: full readiness recompute and
+// live decode every cycle. The differential tests run it against the
+// fast path and demand byte-identical results.
+func (m *Machine) stepReference() {
+	m.cycle++
+
+	m.bus.TickDevices()
+	if c, ok := m.bus.Tick(); ok {
+		m.completeBus(c)
+	}
+
+	var latched sched.ReadyMask
+	for i := range m.streams {
+		latched.SetTo(i, m.streamReady(i))
+	}
+
+	if wr := m.stage(isa.PipeDepth - 1); wr.valid {
+		m.streams[wr.stream].retired++
+		m.stats.Retired++
+		if m.profile != nil {
+			m.profileRetire(int(wr.stream), wr.pc)
+		}
+	}
+	m.pipeBase = (m.pipeBase + isa.PipeDepth - 1) & (isa.PipeDepth - 1)
+	*m.stage(0) = slot{}
+
+	ex := m.stage(isa.PipeDepth - 2)
+	if ex.valid {
+		m.execute(ex)
+	}
+
+	id, _, ok := m.sch.Next(latched)
+	if ok && m.streamReady(id) {
+		m.issue(id)
+	} else {
+		m.stats.IdleCycles++
+	}
+}
+
+// refreshReady recomputes stream i's ready bit. Every state transition
+// that can change readiness calls this; Step's sweeps cover the rest.
+func (m *Machine) refreshReady(i int) {
+	m.ready.SetTo(i, m.streamReady(i))
+}
+
+// sweepStalls clears expired stall timers. Guarded by stallMask != 0 in
+// Step so runs without fault injection never pay for it.
+func (m *Machine) sweepStalls() {
+	for i, s := range m.streams {
+		if m.stallMask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if s.stallUntil <= m.cycle {
+			m.stallMask &^= 1 << uint(i)
+			m.refreshReady(i)
+		}
+	}
+}
+
+// verifyReadyMask is the retained recompute path behind a debug check
+// (Config.CheckReadiness): it proves the incremental mask equals a full
+// per-stream recomputation at the top of the cycle.
+func (m *Machine) verifyReadyMask() {
+	for i := range m.streams {
+		if m.ready.Test(i) != m.streamReady(i) {
+			panic(fmt.Sprintf("core: ready mask diverged at cycle %d: stream %d mask=%v recompute=%v",
+				m.cycle, i, m.ready.Test(i), m.streamReady(i)))
+		}
 	}
 }
 
@@ -84,8 +202,11 @@ func (m *Machine) RunUntilIdle(max int) (int, bool) {
 	return max, false
 }
 
-// ready reports whether stream id can supply an instruction this cycle.
-func (m *Machine) ready(id int) bool {
+// streamReady reports whether stream id can supply an instruction this
+// cycle. The fast path calls it only on state transitions (and mirrors
+// the answer into the ready mask); the reference path calls it for
+// every stream every cycle.
+func (m *Machine) streamReady(id int) bool {
 	s := m.streams[id]
 	if s.branchShadow > 0 {
 		return false
@@ -124,42 +245,80 @@ func (m *Machine) issue(id int) {
 	// entry micro-op flows down the pipe and performs the context push
 	// at EX, in order with the stream's older instructions.
 	if !resumeJoin {
-		if bit, ok := s.intr.Dispatch(); ok && !s.entryInFlight {
+		if v := s.intr.Version(); v != s.dispVer {
+			s.dispBit, s.dispOK = s.intr.Dispatch()
+			s.dispVer = v
+		}
+		if bit, ok := s.dispBit, s.dispOK; ok && !s.entryInFlight {
 			retPC := s.pc
 			s.pc = interrupt.Vector(s.vb, uint8(id), bit)
 			s.state = StateRun
 			s.entryInFlight = true
 			s.dispatches++
 			m.stats.Dispatches++
-			m.pipe[0] = slot{valid: true, stream: id, pc: s.pc, kind: kindIntEntry, bit: bit, retPC: retPC}
+			*m.stage(0) = slot{valid: true, stream: uint8(id), pc: s.pc, kind: kindIntEntry, bit: bit, retPC: retPC}
 			s.issued++
 			m.stats.Issued++
+			m.refreshReady(id)
 			return
 		}
 	}
 	if s.state == StateIRQWait {
-		// Re-execute the WAITI; its bit is now pending.
+		// Re-execute the WAITI; its bit is now pending. Leaving IRQWait
+		// changes what readiness means for the stream (Active() instead
+		// of the wait-bit test), so its mask bit must be recomputed.
 		s.state = StateRun
+		m.refreshReady(id)
 	}
 
 	pc := s.pc
-	m.checkBreak(id, pc)
-	word := m.prog.Fetch(pc)
-	in, err := isa.Decode(word)
-	if err != nil {
+	if m.dbg != nil {
+		m.checkBreak(id, pc)
+	}
+	var in isa.Instruction
+	var illegal, shadow bool
+	if m.cfg.Reference {
+		// Reference decode: fetch the raw word and decode it live. The
+		// wild-PC rule (a fetch at or past the loaded image is illegal)
+		// is applied here too, so both paths agree bit for bit.
+		in, illegal = m.decodeLive(pc)
+		shadow = !illegal && in.IsControlTransfer()
+	} else {
+		var meta uint8
+		in, meta = m.prog.Decoded(pc)
+		illegal = meta&mem.MetaIllegal != 0
+		shadow = meta&mem.MetaShadow != 0
+	}
+	if illegal {
 		// Illegal instruction: counted, executed as NOP.
 		m.stats.IllegalInstr++
-		in = isa.Instruction{Op: isa.OpNOP}
 	}
 	s.pc = pc + 1
-	sl := slot{valid: true, stream: id, pc: pc, instr: in, kind: kindInstr}
-	if in.Op.IsBranch() || (in.Op == isa.OpMTS && in.Spec == isa.SpecPC) {
-		sl.shadow = true
+	*m.stage(0) = slot{valid: true, stream: uint8(id), pc: pc, instr: in, kind: kindInstr, shadow: shadow}
+	if shadow {
+		// An unresolved control transfer blocks fetch — no need to run
+		// the full readiness predicate to know the bit goes low.
 		s.branchShadow++
+		m.ready.Clear(id)
 	}
-	m.pipe[0] = sl
+	// A plain issue only advances the PC, which readiness never depends
+	// on, so the mask bit is left exactly as it was.
 	s.issued++
 	m.stats.Issued++
+}
+
+// decodeLive is the reference path's fetch: the 24-bit word straight
+// through isa.Decode, with the same wild-PC rule Program.Decoded
+// applies. It is the oracle the predecode cache is checked against.
+func (m *Machine) decodeLive(pc uint16) (in isa.Instruction, illegal bool) {
+	if uint32(pc) >= m.prog.Limit() {
+		return isa.Instruction{Op: isa.OpNOP}, true
+	}
+	in, err := isa.Decode(m.prog.Fetch(pc))
+	if err != nil {
+		return isa.Instruction{Op: isa.OpNOP}, true
+	}
+	return in, false
 }
 
 // flushYounger invalidates the in-flight instructions of stream id in
@@ -171,8 +330,8 @@ func (m *Machine) issue(id int) {
 // still-pending IR bit re-dispatches with a correct return address.
 func (m *Machine) flushYounger(id int) {
 	for i := 0; i < isa.PipeDepth-2; i++ {
-		sl := &m.pipe[i]
-		if sl.valid && sl.stream == id {
+		sl := m.stage(i)
+		if sl.valid && int(sl.stream) == id {
 			if sl.shadow {
 				m.streams[id].branchShadow--
 			}
@@ -219,9 +378,10 @@ func (m *Machine) completeBus(c bus.Completion) {
 	if !c.Req.Write && known {
 		m.writeReg(m.streams[issuer], isa.Reg(c.Req.Dest), c.Data)
 	}
-	for _, s := range m.streams {
+	for i, s := range m.streams {
 		if s.state == StateBusWait {
 			s.state = StateRun
+			m.refreshReady(i)
 		}
 	}
 }

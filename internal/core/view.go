@@ -19,11 +19,12 @@ type SlotView struct {
 // PipeView snapshots the pipeline, index 0 = IF through 3 = WR.
 func (m *Machine) PipeView() [isa.PipeDepth]SlotView {
 	var out [isa.PipeDepth]SlotView
-	for i, sl := range m.pipe {
+	for i := 0; i < isa.PipeDepth; i++ {
+		sl := *m.stage(i)
 		if !sl.valid {
 			continue
 		}
-		v := SlotView{Valid: true, Stream: sl.stream, PC: sl.pc}
+		v := SlotView{Valid: true, Stream: int(sl.stream), PC: sl.pc}
 		if sl.kind == kindIntEntry {
 			v.IntEntry = true
 			v.Text = "INT" + string(rune('0'+sl.bit))

@@ -17,6 +17,7 @@ package interrupt
 
 import (
 	"fmt"
+	"math/bits"
 
 	"disc/internal/isa"
 )
@@ -43,13 +44,24 @@ type Unit struct {
 	ir    uint8
 	mr    uint8
 	level uint8 // 0 = background, 1..7 = servicing that vectored level
+	ver   uint32
 }
 
 // New returns a Unit with all requests clear and all levels unmasked.
 func New() *Unit { return &Unit{mr: 0xFF} }
 
+// Version returns a counter that advances on every mutation of the
+// unit (requests, clears, mask writes, level changes). The machine's
+// event-driven scheduler uses it as a cheap change detector: a
+// stream's readiness is recomputed only when its interrupt state
+// actually moved, instead of polling IR/MR/level every cycle — and
+// because every mutation path bumps the counter, even code that holds
+// a raw *Unit (tests, the rt measurement harness, external device
+// glue) cannot leave the scheduler with a stale view.
+func (u *Unit) Version() uint32 { return u.ver }
+
 // Reset restores power-on state (ir=0: stream halted; mr=0xFF).
-func (u *Unit) Reset() { u.ir, u.mr, u.level = 0, 0xFF, 0 }
+func (u *Unit) Reset() { u.ir, u.mr, u.level = 0, 0xFF, 0; u.ver++ }
 
 // IR returns the interrupt request register.
 func (u *Unit) IR() uint8 { return u.ir }
@@ -59,16 +71,16 @@ func (u *Unit) MR() uint8 { return u.mr }
 
 // SetIR overwrites the request register (MTS IR; also used at reset by
 // the loader to start stream 0 at the background level).
-func (u *Unit) SetIR(v uint8) { u.ir = v }
+func (u *Unit) SetIR(v uint8) { u.ir = v; u.ver++ }
 
 // SetMR overwrites the mask register (SETMR / MTS MR).
-func (u *Unit) SetMR(v uint8) { u.mr = v }
+func (u *Unit) SetMR(v uint8) { u.mr = v; u.ver++ }
 
 // Level returns the level the stream is currently executing at.
 func (u *Unit) Level() uint8 { return u.level }
 
 // SetLevel restores a saved level (the SR write-back in RETI).
-func (u *Unit) SetLevel(l uint8) { u.level = l & 0x7 }
+func (u *Unit) SetLevel(l uint8) { u.level = l & 0x7; u.ver++ }
 
 // Request sets request bit n. It reports whether the stream was
 // inactive before — the caller uses this to wake a halted stream.
@@ -78,6 +90,7 @@ func (u *Unit) Request(n uint8) (wasInactive bool, err error) {
 	}
 	wasInactive = !u.Active()
 	u.ir |= 1 << n
+	u.ver++
 	return wasInactive, nil
 }
 
@@ -87,6 +100,7 @@ func (u *Unit) Clear(n uint8) error {
 		return fmt.Errorf("interrupt: clear bit %d out of range", n)
 	}
 	u.ir &^= 1 << n
+	u.ver++
 	return nil
 }
 
@@ -100,18 +114,15 @@ func (u *Unit) Active() bool { return u.Pending() != 0 }
 // Test reports whether request bit n is set (masked or not).
 func (u *Unit) Test(n uint8) bool { return u.ir&(1<<n) != 0 }
 
-// Highest returns the highest-priority unmasked pending bit.
+// Highest returns the highest-priority unmasked pending bit. The
+// machine's dispatcher asks this on every issue, so it is a single
+// leading-bit count rather than a loop over the 8 IR bits.
 func (u *Unit) Highest() (bit uint8, ok bool) {
 	p := u.Pending()
 	if p == 0 {
 		return 0, false
 	}
-	for b := int8(isa.NumIRBits - 1); b >= 0; b-- {
-		if p&(1<<uint8(b)) != 0 {
-			return uint8(b), true
-		}
-	}
-	return 0, false
+	return uint8(bits.Len8(p)) - 1, true
 }
 
 // Dispatch reports whether a vectored interrupt should be taken now:
@@ -132,6 +143,7 @@ func (u *Unit) Dispatch() (bit uint8, ok bool) {
 func (u *Unit) Enter(bit uint8) (prev uint8) {
 	prev = u.level
 	u.level = bit & 0x7
+	u.ver++
 	return prev
 }
 
@@ -143,6 +155,7 @@ func (u *Unit) Exit(savedLevel uint8) {
 		u.ir &^= 1 << u.level
 	}
 	u.level = savedLevel & 0x7
+	u.ver++
 }
 
 // Vector returns the program-memory address of the handler for the

@@ -346,6 +346,16 @@ func (o Op) IsBranch() bool {
 	return false
 }
 
+// IsControlTransfer reports whether the decoded instruction can
+// redirect control flow — a branch opcode, or a computed jump spelled
+// as MTS PC. These are exactly the instructions that put their stream
+// into a branch shadow at issue (Figure 3.2), so the predecoder and
+// the pipeline must agree on this predicate; keeping it here makes it
+// single-sourced.
+func (in Instruction) IsControlTransfer() bool {
+	return in.Op.IsBranch() || (in.Op == OpMTS && in.Spec == SpecPC)
+}
+
 // IsMemory reports whether the opcode accesses data memory and may
 // therefore engage the asynchronous bus interface (§3.6.1).
 func (o Op) IsMemory() bool {

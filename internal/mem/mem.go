@@ -19,16 +19,58 @@ import (
 // word-addressed PC).
 const ProgramSize = 1 << 16
 
+// Meta bits attached to each predecoded instruction. They answer the
+// two questions the issue stage would otherwise re-derive every cycle:
+// "did this word decode?" and "does it open a branch shadow?".
+const (
+	// MetaIllegal marks a word that failed isa.Decode (or a fetch past
+	// the loaded image — see Decoded). The cached instruction is a NOP;
+	// the machine counts IllegalInstr and executes it as such.
+	MetaIllegal uint8 = 1 << iota
+	// MetaShadow marks a control transfer (isa.Instruction.
+	// IsControlTransfer): issuing it puts the stream in a branch shadow.
+	MetaShadow
+)
+
 // Program is the instruction store fetched over the 24-bit program bus.
 // It is written at load time and read-only to executing streams, which
 // is what permits a same-cycle instruction fetch and data access.
+//
+// Because the store is immutable while streams execute (the Harvard
+// property — there is no instruction that writes program memory),
+// Program also keeps a predecoded shadow of every word: Load and Set
+// run each word through isa.Decode once and cache the result, so the
+// core's issue stage reads a ready-made isa.Instruction instead of
+// decoding 24-bit fields tens of millions of times per run. isa.Decode
+// remains the single source of truth; the cache is generated through
+// it and can never disagree with it.
 type Program struct {
 	words [ProgramSize]isa.Word
+	code  [ProgramSize]isa.Instruction
+	meta  [ProgramSize]uint8
 	limit uint32 // highest loaded address + 1, for diagnostics
 }
 
 // NewProgram returns an empty program memory filled with NOP (word 0).
+// The zero isa.Instruction is exactly Decode(0) — a plain NOP — so the
+// predecode cache starts consistent without touching 64 K entries.
 func NewProgram() *Program { return &Program{} }
+
+// predecode refreshes the cached decode of the word at pc.
+func (p *Program) predecode(pc uint16) {
+	in, err := isa.Decode(p.words[pc])
+	if err != nil {
+		p.code[pc] = isa.Instruction{Op: isa.OpNOP}
+		p.meta[pc] = MetaIllegal
+		return
+	}
+	p.code[pc] = in
+	var m uint8
+	if in.IsControlTransfer() {
+		m |= MetaShadow
+	}
+	p.meta[pc] = m
+}
 
 // Load copies an assembled image into program memory starting at base.
 func (p *Program) Load(base uint16, image []isa.Word) error {
@@ -36,6 +78,9 @@ func (p *Program) Load(base uint16, image []isa.Word) error {
 		return fmt.Errorf("mem: image of %d words at %#04x overflows program memory", len(image), base)
 	}
 	copy(p.words[base:], image)
+	for i := range image {
+		p.predecode(base + uint16(i))
+	}
 	if end := uint32(base) + uint32(len(image)); end > p.limit {
 		p.limit = end
 	}
@@ -46,9 +91,23 @@ func (p *Program) Load(base uint16, image []isa.Word) error {
 // the 16-bit PC does, so Fetch is total.
 func (p *Program) Fetch(pc uint16) isa.Word { return p.words[pc] }
 
+// Decoded returns the predecoded instruction at pc and its meta bits.
+// A wild PC — at or past the loaded image — reads as an illegal word:
+// the returned NOP carries MetaIllegal so the machine raises the
+// existing illegal-instruction condition instead of silently executing
+// the empty-memory NOPs it would find there. (Fetch keeps the raw
+// total-function view for the monitor and disassembler.)
+func (p *Program) Decoded(pc uint16) (isa.Instruction, uint8) {
+	if uint32(pc) >= p.limit {
+		return isa.Instruction{Op: isa.OpNOP}, MetaIllegal
+	}
+	return p.code[pc], p.meta[pc]
+}
+
 // Set writes a single instruction word (used by tests and the monitor).
 func (p *Program) Set(pc uint16, w isa.Word) {
 	p.words[pc] = w
+	p.predecode(pc)
 	if uint32(pc)+1 > p.limit {
 		p.limit = uint32(pc) + 1
 	}

@@ -48,6 +48,69 @@ func TestProgramSet(t *testing.T) {
 	}
 }
 
+// TestProgramPredecodeAgreesWithDecode: property — for any 24-bit word
+// written anywhere in the image, the predecoded view is exactly what a
+// live isa.Decode of the same word would produce: same instruction (or
+// NOP with MetaIllegal when Decode rejects it), and MetaShadow iff the
+// instruction is a control transfer. This is the contract that lets the
+// core's issue stage trust the cache instead of decoding per fetch.
+func TestProgramPredecodeAgreesWithDecode(t *testing.T) {
+	f := func(addr uint16, raw uint32) bool {
+		w := isa.Word(raw) & isa.MaxWord
+		p := NewProgram()
+		p.Set(addr, w)
+		in, meta := p.Decoded(addr)
+		live, err := isa.Decode(w)
+		if err != nil {
+			return meta&MetaIllegal != 0 && in.Op == isa.OpNOP
+		}
+		if in != live || meta&MetaIllegal != 0 {
+			return false
+		}
+		return (meta&MetaShadow != 0) == live.IsControlTransfer()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgramSetRedecodes: overwriting a word refreshes its cached
+// decode — the cache can never go stale relative to the raw words.
+func TestProgramSetRedecodes(t *testing.T) {
+	p := NewProgram()
+	p.Set(7, 0xFFFFFF) // no such opcode: illegal
+	if _, meta := p.Decoded(7); meta&MetaIllegal == 0 {
+		t.Fatal("undecodable word not marked MetaIllegal")
+	}
+	p.Set(7, 0) // NOP
+	if in, meta := p.Decoded(7); meta != 0 || in.Op != isa.OpNOP {
+		t.Fatalf("re-Set word kept stale predecode: meta=%#x op=%v", meta, in.Op)
+	}
+}
+
+// TestProgramDecodedWildPC: a fetch at or past the loaded image reads
+// as an illegal word, while Fetch keeps its total raw view. This is the
+// hardware rule that makes a wild PC trip the illegal-instruction
+// condition instead of sliding through 64 K of empty-memory NOPs.
+func TestProgramDecodedWildPC(t *testing.T) {
+	p := NewProgram()
+	if err := p.Load(0x100, []isa.Word{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, meta := p.Decoded(0x102); meta&MetaIllegal != 0 {
+		t.Fatal("last loaded word marked illegal")
+	}
+	for _, pc := range []uint16{0x103, 0x1000, 0xFFFF} {
+		in, meta := p.Decoded(pc)
+		if meta&MetaIllegal == 0 || in.Op != isa.OpNOP {
+			t.Fatalf("Decoded(%#x) outside image = (%v, %#x), want illegal NOP", pc, in.Op, meta)
+		}
+	}
+	if p.Fetch(0xFFFF) != 0 {
+		t.Fatal("Fetch lost its total raw view")
+	}
+}
+
 func TestInternalReadWrite(t *testing.T) {
 	m := NewInternal()
 	m.Write(0, 0x1234)

@@ -1,0 +1,57 @@
+// Package prof wires Go's runtime profilers into the command-line
+// tools: a -cpuprofile/-memprofile pair that discsim and experiments
+// expose so the simulator hot loop can be profiled on real workloads
+// (`go tool pprof` on the output). It exists because both commands
+// exit through os.Exit, which skips defers — Start returns an
+// idempotent stop function the commands call from every exit path,
+// including their fatal helpers.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges a
+// heap profile at memPath (if non-empty). The returned stop flushes
+// both; it is idempotent, so callers can invoke it on every exit path
+// without coordination. A nil error and a non-nil stop are always
+// returned together — with both paths empty, stop is a no-op.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

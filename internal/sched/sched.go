@@ -18,9 +18,37 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
 
 	"disc/internal/isa"
 )
+
+// ReadyMask is the hardware-flavoured form of the scheduler's ready
+// input: bit i is set exactly when stream i can accept an issue this
+// cycle. The core maintains one incrementally (streams flip their bit
+// on state transitions) and hands it to Next by value, so the per-cycle
+// scheduling decision is a handful of bit operations with no function
+// calls and no allocation. MaxStreams ≤ 16 keeps the whole machine
+// state in the low half of a uint32.
+type ReadyMask uint32
+
+// Set marks stream i ready.
+func (m *ReadyMask) Set(i int) { *m |= 1 << uint(i) }
+
+// Clear marks stream i not ready.
+func (m *ReadyMask) Clear(i int) { *m &^= 1 << uint(i) }
+
+// Test reports whether stream i is ready.
+func (m ReadyMask) Test(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// SetTo sets or clears stream i's bit in one call.
+func (m *ReadyMask) SetTo(i int, ready bool) {
+	if ready {
+		*m |= 1 << uint(i)
+	} else {
+		*m &^= 1 << uint(i)
+	}
+}
 
 // Scheduler is the slot-table instruction scheduler.
 type Scheduler struct {
@@ -140,28 +168,46 @@ func (s *Scheduler) Share(i int) float64 {
 }
 
 // Next advances to the next slot and selects the stream to issue from.
-// ready reports whether a stream can accept an issue this cycle. The
-// returned owner is the slot's static owner (for accounting and
+// ready holds one bit per stream that can accept an issue this cycle.
+// The returned owner is the slot's static owner (for accounting and
 // Figure 3.3 rendering); ok is false when no stream at all is ready,
 // which is an idle pipeline slot.
-func (s *Scheduler) Next(ready func(stream int) bool) (stream, owner int, ok bool) {
+func (s *Scheduler) Next(ready ReadyMask) (stream, owner int, ok bool) {
+	n := uint(s.nstream)
+	r := uint32(ready) & (1<<n - 1)
 	if s.priority {
-		return s.nextPriority(ready)
+		return s.nextPriority(r)
 	}
-	s.cursor = (s.cursor + 1) % len(s.slots)
+	s.cursor++
+	if s.cursor == len(s.slots) {
+		s.cursor = 0
+	}
 	owner = s.slots[s.cursor]
-	if ready(owner) {
+	if r&(1<<uint(owner)) != 0 {
 		s.OwnIssues[owner]++
 		return owner, owner, true
 	}
 	// Dynamic reallocation: donate the slot to the next ready stream in
-	// round-robin order so no ready stream starves.
-	for k := 0; k < s.nstream; k++ {
-		s.rr = (s.rr + 1) % s.nstream
-		if s.rr != owner && ready(s.rr) {
-			s.DonatedIssues[s.rr]++
-			return s.rr, owner, true
+	// round-robin order so no ready stream starves. Rotating the mask so
+	// the scan starts at rr+1 turns the old per-stream probe loop into a
+	// single trailing-zero count; the round-robin pointer lands on the
+	// picked stream, exactly as the loop left it.
+	if m := r &^ (1 << uint(owner)); m != 0 {
+		// rr and the rotation offset are both < n, so the two wraps are
+		// conditional subtracts, not divisions — this path runs on every
+		// donated slot and n is not a compile-time constant.
+		start := uint(s.rr) + 1
+		if start >= n {
+			start -= n
 		}
+		rot := (m>>start | m<<(n-start)) & (1<<n - 1)
+		pick := start + uint(bits.TrailingZeros32(rot))
+		if pick >= n {
+			pick -= n
+		}
+		s.rr = int(pick)
+		s.DonatedIssues[pick]++
+		return int(pick), owner, true
 	}
 	s.IdleSlots++
 	return 0, owner, false
@@ -192,18 +238,18 @@ func NewPriority(nstream int) (*Scheduler, error) {
 	return s, nil
 }
 
-// nextPriority is Next's selection rule under strict priority.
-func (s *Scheduler) nextPriority(ready func(int) bool) (int, int, bool) {
-	for i := 0; i < s.nstream; i++ {
-		if ready(i) {
-			if i == 0 {
-				s.OwnIssues[0]++
-			} else {
-				s.DonatedIssues[i]++
-			}
-			return i, 0, true
-		}
+// nextPriority is Next's selection rule under strict priority: the
+// lowest ready stream number wins, which is the lowest set bit.
+func (s *Scheduler) nextPriority(r uint32) (int, int, bool) {
+	if r == 0 {
+		s.IdleSlots++
+		return 0, 0, false
 	}
-	s.IdleSlots++
-	return 0, 0, false
+	i := bits.TrailingZeros32(r)
+	if i == 0 {
+		s.OwnIssues[0]++
+	} else {
+		s.DonatedIssues[i]++
+	}
+	return i, 0, true
 }

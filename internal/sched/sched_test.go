@@ -7,8 +7,22 @@ import (
 	"disc/internal/isa"
 )
 
-func allReady(int) bool  { return true }
-func noneReady(int) bool { return false }
+// allReady / noneReady are the mask constants the old closure-based
+// tests used; masks wider than the stream count are fine — Next trims
+// to its own nstream.
+const (
+	allReady  ReadyMask = 1<<MaxStreams - 1
+	noneReady ReadyMask = 0
+)
+
+// maskOf builds a ReadyMask from a predicate over MaxStreams streams.
+func maskOf(pred func(int) bool) ReadyMask {
+	var m ReadyMask
+	for i := 0; i < MaxStreams; i++ {
+		m.SetTo(i, pred(i))
+	}
+	return m
+}
 
 func TestNewEvenSharesEqually(t *testing.T) {
 	s := NewEven(4)
@@ -90,7 +104,7 @@ func TestDynamicReallocation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	onlyTwo := func(st int) bool { return st == 2 }
+	onlyTwo := maskOf(func(st int) bool { return st == 2 })
 	for i := 0; i < 32; i++ {
 		got, _, ok := s.Next(onlyTwo)
 		if !ok || got != 2 {
@@ -125,7 +139,7 @@ func TestDonationFairness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	notZero := func(st int) bool { return st != 0 }
+	notZero := maskOf(func(st int) bool { return st != 0 })
 	counts := map[int]int{}
 	for i := 0; i < 1000; i++ {
 		st, owner, ok := s.Next(notZero)
@@ -222,7 +236,7 @@ func TestPriorityScheduler(t *testing.T) {
 		}
 	}
 	// With 0 unready, 1 wins; with 0 and 1 unready, 2 wins.
-	only := func(k int) func(int) bool { return func(i int) bool { return i >= k } }
+	only := func(k int) ReadyMask { return maskOf(func(i int) bool { return i >= k }) }
 	if st, _, _ := s.Next(only(1)); st != 1 {
 		t.Fatalf("expected stream 1, got %d", st)
 	}

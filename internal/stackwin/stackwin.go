@@ -59,6 +59,7 @@ func (e Event) String() string {
 type File struct {
 	regs  []uint16
 	depth int
+	mask  int // depth-1 when depth is a power of two, else 0
 	guard int // overflow fires when live span exceeds depth-guard
 
 	awp int // virtual position of R0
@@ -76,6 +77,9 @@ func New(depth int) (*File, error) {
 		regs:  make([]uint16, depth),
 		depth: depth,
 		guard: isa.WindowSize,
+	}
+	if depth&(depth-1) == 0 {
+		f.mask = depth - 1
 	}
 	f.Reset()
 	return f, nil
@@ -121,8 +125,15 @@ func (f *File) SetAWP(v int) Event {
 // memory, or from a fill handler restoring them.
 func (f *File) SetBOS(v int) { f.bos = v }
 
-// phys maps a virtual position onto the circular physical file.
+// phys maps a virtual position onto the circular physical file. Every
+// register read and write funnels through here, so the power-of-two
+// case (the default depth, and every depth the experiments use) takes
+// a mask instead of the integer divide — v & mask is the correct
+// non-negative residue even for negative v in two's complement.
 func (f *File) phys(v int) int {
+	if f.mask != 0 {
+		return v & f.mask
+	}
 	m := v % f.depth
 	if m < 0 {
 		m += f.depth

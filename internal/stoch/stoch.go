@@ -211,9 +211,16 @@ func Run(cfg Config) (Result, error) {
 		return -1
 	}
 
-	ready := func(i int) bool {
-		s := streams[i]
-		return !s.waiting && s.proc.Active()
+	// readyMask rebuilds the scheduler's ready bits for this cycle. The
+	// stochastic model mutates waiting/Active freely within a cycle, so
+	// unlike the core machine it recomputes eagerly — still just a few
+	// field reads per stream, with no closure on the Next call.
+	readyMask := func() sched.ReadyMask {
+		var m sched.ReadyMask
+		for i, s := range streams {
+			m.SetTo(i, !s.waiting && s.proc.Active())
+		}
+		return m
 	}
 
 	for c := uint64(0); c < cycles; c++ {
@@ -334,7 +341,7 @@ func Run(cfg Config) (Result, error) {
 				res.PerStream[i].OffCycles++
 			}
 		}
-		id, _, ok := sc.Next(ready)
+		id, _, ok := sc.Next(readyMask())
 		if !ok {
 			res.IdleSlots++
 			continue

@@ -91,13 +91,34 @@ func Sweep(p workload.Params, ks []int, cycles uint64, seed uint64) ([]Result, e
 
 // runMachine generates one program per stream and measures utilization.
 func runMachine(p workload.Params, k int, cycles uint64, seed uint64) (float64, error) {
-	m := core.MustNew(core.Config{Streams: k})
+	m, err := NewLoadMachine(p, k, seed, core.Config{})
+	if err != nil {
+		return 0, err
+	}
+	m.Run(int(cycles))
+	return m.Stats().Utilization(), nil
+}
+
+// NewLoadMachine builds a ready-to-run machine driving k streams with
+// generated programs whose instruction statistics match workload p —
+// the same construction the cross-validation sweep uses. cfg supplies
+// any extra machine configuration (Reference, CheckReadiness, window
+// depth...); its Streams field is overridden with k. The result is
+// deterministic in (p, k, seed), which is what lets the throughput
+// benchmarks and the differential equivalence tests drive the optimized
+// and reference pipelines with bit-identical inputs.
+func NewLoadMachine(p workload.Params, k int, seed uint64, cfg core.Config) (*core.Machine, error) {
+	cfg.Streams = k
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
 	// External memory with tmem waits, plus a bank of I/O devices whose
 	// wait states approximate the Poisson(mean_io) distribution: the
 	// generator picks a device per request with a sampled latency.
 	if p.TMem > 0 || p.MeanIO > 0 {
 		if err := m.Bus().Attach(isa.ExternalBase, 64, bus.NewRAM("mem", 64, p.TMem)); err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
 	src := rng.New(seed ^ 0xABCD)
@@ -111,7 +132,7 @@ func runMachine(p workload.Params, k int, cycles uint64, seed uint64) (float64, 
 			ioWaits = append(ioWaits, w)
 			dev := bus.NewGPIO(fmt.Sprintf("io%d", i), w)
 			if err := m.Bus().Attach(isa.IOBase+uint16(i)*8, 8, dev); err != nil {
-				return 0, err
+				return nil, err
 			}
 		}
 	}
@@ -120,19 +141,18 @@ func runMachine(p workload.Params, k int, cycles uint64, seed uint64) (float64, 
 		text := generate(p, src.Fork(), base, ioWaits)
 		im, err := asm.Assemble(text)
 		if err != nil {
-			return 0, fmt.Errorf("xval: generated program does not assemble: %w", err)
+			return nil, fmt.Errorf("xval: generated program does not assemble: %w", err)
 		}
 		for _, sec := range im.Sections {
 			if err := m.LoadProgram(sec.Base, sec.Words); err != nil {
-				return 0, err
+				return nil, err
 			}
 		}
 		if err := m.StartStream(s, base); err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
-	m.Run(int(cycles))
-	return m.Stats().Utilization(), nil
+	return m, nil
 }
 
 // generate emits a long straight-line program at base whose
