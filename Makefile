@@ -1,9 +1,9 @@
 # Single documented quality gate; CI and pre-commit both run `make check`.
 GO ?= go
 
-.PHONY: check build vet test race chaos lint-examples bench bench-core equiv
+.PHONY: check build vet test race chaos lint-examples bench bench-core equiv obs-bench
 
-check: build vet test race chaos equiv
+check: build vet test race chaos equiv obs-bench
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,15 @@ equiv:
 # isolation so a chaos regression is named by the gate that caught it.
 chaos:
 	$(GO) test -race -run 'TestChaos|Fuzz' ./internal/fault/ ./internal/bus/
+
+# Observability overhead gate: with no recorder attached the hot loop
+# must allocate nothing per Step (and nothing with one attached either)
+# and hold BENCH_core.json's optimized-over-reference speedup within
+# 2%, re-measuring both pipelines back to back so ambient host load
+# cancels out of the comparison.
+obs-bench:
+	$(GO) test -run TestObsDisabledZeroAllocs -count=1 .
+	OBS_BENCH=1 $(GO) test -run TestObsBench -count=1 -v .
 
 # Convenience: re-lint the shipped assembly library and every example
 # program (same checks `make test` already runs, but in isolation).

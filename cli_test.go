@@ -1,7 +1,9 @@
 package disc_test
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -171,6 +173,89 @@ main:
 		"-max-cycles", "3000", "-stall-window", "400", "-dump", "40:41", clean)
 	if code != 0 || !strings.Contains(out, "0040: 0014") {
 		t.Fatalf("guards broke the clean program (exit %d):\n%s", code, out)
+	}
+}
+
+// TestCLIDiscsimTraceOut runs the synchronization example's program
+// (extracted from its source, so the test tracks the example) with the
+// flight recorder on and checks both exporters: -trace-out must emit
+// valid Chrome trace-event JSON with one named track and instruction
+// slices per stream, and -metrics must print the per-stream registry.
+func TestCLIDiscsimTraceOut(t *testing.T) {
+	src, err := os.ReadFile("examples/synchronization/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rest, ok := strings.Cut(string(src), "const program = `")
+	if !ok {
+		t.Fatal("synchronization example no longer embeds its program")
+	}
+	program, _, ok := strings.Cut(rest, "`")
+	if !ok {
+		t.Fatal("unterminated program literal in the synchronization example")
+	}
+	asmPath := writeTemp(t, "sync.s", program)
+	tracePath := filepath.Join(t.TempDir(), "t.json")
+	out := goRun(t, "./cmd/discsim", "-streams", "3", "-start", "0=boss",
+		"-trace-out", tracePath, "-metrics", "-dump", "42:43", asmPath)
+	if !strings.Contains(out, "0042: 00c8") { // 200: two workers x 100 rounds
+		t.Fatalf("synchronization program computed the wrong counter:\n%s", out)
+	}
+	if !strings.Contains(out, "metrics:") || !strings.Contains(out, "dispatch gap (cycles):") {
+		t.Fatalf("missing metrics registry:\n%s", out)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	tracks := map[string]bool{}
+	slices := map[int]int{} // instruction slices per stream track
+	for _, ev := range tf.TraceEvents {
+		if ev.Pid != 1 {
+			continue
+		}
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if n, _ := ev.Args["name"].(string); n != "" {
+				tracks[n] = true
+			}
+		}
+		if ev.Ph == "X" {
+			slices[ev.Tid]++
+		}
+	}
+	for s := 0; s < 3; s++ {
+		if name := fmt.Sprintf("IS%d", s); !tracks[name] {
+			t.Errorf("trace missing per-stream track %s", name)
+		}
+		if slices[s] == 0 {
+			t.Errorf("no instruction slices on stream %d's track", s)
+		}
+	}
+
+	// A wedged run with the recorder attached dumps its post-mortem.
+	wedge := writeTemp(t, "wedge.s", "main:\n    WAITI 2\n    HALT\n")
+	out, code := goRunStatus(t, "./cmd/discsim", "-streams", "1", "-start", "0=main",
+		"-stall-window", "400", "-metrics", wedge)
+	if code == 0 {
+		t.Fatalf("wedged run exited 0:\n%s", out)
+	}
+	for _, want := range []string{"deadlock", "post-mortem", "IS0:", "state run -> irqwait"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("post-mortem output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -23,6 +23,12 @@
 //	-vb addr          interrupt vector base (default 0x0200)
 //	-extram waits     attach external RAM at 0x0400 with given wait states (default 4)
 //	-trace n          after warm-up, print an n-cycle pipeline trace
+//	-trace-out file   record the run in the flight recorder and write it
+//	                  as Chrome trace-event JSON (load in ui.perfetto.dev)
+//	-trace-buf n      flight-recorder ring capacity in events, rounded up
+//	                  to a power of two (default 65536)
+//	-metrics          print the per-stream metrics registry (event
+//	                  counters, bus-latency and dispatch-gap histograms)
 //	-dump a:b         dump internal memory [a,b) after the run
 //	-break label      stop when any stream reaches the label/address
 //	-watch addr       stop when the internal-memory address is written
@@ -39,6 +45,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +57,7 @@ import (
 	"disc/internal/bus"
 	"disc/internal/core"
 	"disc/internal/isa"
+	"disc/internal/obs"
 	"disc/internal/prof"
 	"disc/internal/trace"
 )
@@ -66,6 +74,9 @@ func main() {
 	vb := flag.Uint("vb", 0x0200, "interrupt vector base")
 	extram := flag.Int("extram", 4, "external RAM wait states")
 	traceN := flag.Int("trace", 0, "render an n-cycle pipeline trace")
+	traceOut := flag.String("trace-out", "", "write the run as Chrome trace-event JSON (Perfetto) to this file")
+	traceBuf := flag.Int("trace-buf", obs.DefaultCapacity, "flight-recorder ring capacity in events")
+	metrics := flag.Bool("metrics", false, "print the per-stream metrics registry after the run")
 	dump := flag.String("dump", "", "dump internal memory range a:b after run")
 	breakAt := flag.String("break", "", "stop at a label or address (any stream)")
 	vcd := flag.String("vcd", "", "with -trace: also write the trace as a VCD waveform to this file")
@@ -116,6 +127,17 @@ func main() {
 	}
 	m.Bus().SetTimeout(*busTimeout)
 	attachBoard(m, *extram)
+	// Attach the flight recorder before any stream starts, so even the
+	// StartStream wake-ups land in the record.
+	var rec *obs.Recorder
+	var met *obs.Metrics
+	if *traceOut != "" || *metrics {
+		rec = obs.NewRecorder(*traceBuf)
+		if *metrics {
+			met = rec.EnableMetrics(*streams)
+		}
+		m.SetRecorder(rec)
+	}
 	for _, sec := range im.Sections {
 		if err := m.LoadProgram(sec.Base, sec.Words); err != nil {
 			fatal(err)
@@ -194,8 +216,13 @@ func main() {
 		m.Run(*cycles)
 	} else if _, err := m.RunGuarded(*maxCycles, *stallWindow); err != nil {
 		// Print the diagnosis now but the statistics too: a wedged
-		// run's numbers are exactly what the user needs to see.
+		// run's numbers are exactly what the user needs to see. With a
+		// flight recorder attached the guard also carries a post-mortem
+		// of each stream's last moves.
 		fmt.Fprintln(os.Stderr, "discsim:", err)
+		if pm := postMortem(err); pm != "" {
+			fmt.Fprint(os.Stderr, pm)
+		}
 		runFailed = true
 	}
 
@@ -221,6 +248,24 @@ func main() {
 			text := asm.Disassemble([]isa.Word{m.Program().Fetch(e.PC)}, e.PC)[0]
 			fmt.Printf("  IS%d %-28s x%d\n", e.Stream, text, e.Retired)
 		}
+	}
+	if met != nil {
+		fmt.Print(met.Render())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "discsim: wrote %s (%d of %d events retained)\n",
+			*traceOut, len(rec.Events()), rec.Total())
 	}
 	if *dump != "" {
 		lo, hi, err := parseRange(*dump)
@@ -311,6 +356,20 @@ func attachBoard(m *core.Machine, ramWaits int) {
 	must(b.Attach(isa.IOBase+0x20, 8, bus.NewGPIO("gpio0", 1)))
 	must(b.Attach(isa.IOBase+0x30, 4, bus.NewADC("adc0", 4, 25, nil)))
 	must(b.Attach(isa.IOBase+0x40, 2, bus.NewStepper("step0", 3)))
+}
+
+// postMortem extracts the flight-recorder dump a guarded failure
+// carries (empty when no recorder was attached).
+func postMortem(err error) string {
+	var dl *core.DeadlockError
+	if errors.As(err, &dl) {
+		return dl.PostMortem
+	}
+	var cl *core.CycleLimitError
+	if errors.As(err, &cl) {
+		return cl.PostMortem
+	}
+	return ""
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"disc/internal/asm"
@@ -26,6 +27,7 @@ import (
 	"disc/internal/bus"
 	"disc/internal/core"
 	"disc/internal/isa"
+	"disc/internal/obs"
 	"disc/internal/parallel"
 	"disc/internal/prof"
 	"disc/internal/report"
@@ -48,7 +50,54 @@ var (
 
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+
+	traceOut = flag.String("trace-out", "", "write the cycle-accurate figure experiments (3.1-3.3) as Chrome trace-event JSON; the experiment tag is inserted before the extension when several run")
+	traceBuf = flag.Int("trace-buf", obs.DefaultCapacity, "flight-recorder ring capacity in events")
+	metrics  = flag.Bool("metrics", false, "print the per-stream metrics registry after each instrumented experiment")
 )
+
+// instrument attaches a flight recorder to a figure experiment's
+// machine when -trace-out or -metrics ask for one, and returns the
+// finisher that writes the trace / prints the registry. A no-op (and
+// zero machine overhead) when observability is off.
+func instrument(m *core.Machine, tag string) func() {
+	if *traceOut == "" && !*metrics {
+		return func() {}
+	}
+	rec := obs.NewRecorder(*traceBuf)
+	var met *obs.Metrics
+	if *metrics {
+		met = rec.EnableMetrics(m.Streams())
+	}
+	m.SetRecorder(rec)
+	return func() {
+		if met != nil {
+			fmt.Print(met.Render())
+		}
+		if *traceOut == "" {
+			return
+		}
+		name := *traceOut
+		if *only == "" {
+			// A full run writes several traces: tag each file.
+			ext := filepath.Ext(name)
+			name = strings.TrimSuffix(name, ext) + "-" + tag + ext
+		}
+		f, err := os.Create(name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %s (%d of %d events retained)\n",
+			name, len(rec.Events()), rec.Total())
+	}
+}
 
 // stopProfiles flushes any active -cpuprofile/-memprofile output; main
 // installs the real flusher, and every exit path (including fatal,
@@ -545,8 +594,10 @@ func figure31() {
 	fmt.Println("Figure 3.1 - Interleaved Pipeline (4 streams on DISC1's 4-stage pipe;")
 	fmt.Println("the paper draws the generic 5-stage case). Cells are <instr><stream>.")
 	m := fourStreamMachine()
+	finish := instrument(m, "fig31")
 	m.Run(8)
 	fmt.Println(trace.Record(m, 14).RenderPipeline())
+	finish()
 }
 
 func figure32() {
@@ -554,6 +605,7 @@ func figure32() {
 	fmt.Println("jump resolves, no other instruction of that stream is in the pipe;")
 	fmt.Println("the other streams absorb its slots.")
 	m := fourStreamMachine()
+	finish := instrument(m, "fig32")
 	m.Run(8)
 	rec := trace.Record(m, 26)
 	fmt.Println(rec.RenderPipeline())
@@ -562,6 +614,7 @@ func figure32() {
 			fmt.Println("WARNING: stream", s, "had multiple in-flight instructions during a jump")
 		}
 	}
+	finish()
 }
 
 func figure33() {
@@ -570,6 +623,7 @@ func figure33() {
 	fmt.Println("so their throughput dynamically reverts to IS1. Cells are tenths")
 	fmt.Println("of machine throughput per interval; 'T' = the whole machine.")
 	m := core.MustNew(core.Config{Streams: 4, Shares: []int{3, 1, 1, 1}})
+	finish := instrument(m, "fig33")
 	src := fourLoops + `
 .org 0x400
 fin1: LDI R0, 40
@@ -600,6 +654,7 @@ f3:   SUBI R0, 1
 	m.StartStream(3, 0x600)
 	series := trace.ThroughputSeries(m, 16, 100)
 	fmt.Println(trace.RenderThroughput(series))
+	finish()
 }
 
 func figure34() {

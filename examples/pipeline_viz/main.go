@@ -10,6 +10,10 @@
 //
 //   - Figure 3.3: a T/2, T/6, T/6, T/6 static partition whose unused
 //     throughput flows back to the busy stream as the others finish.
+//     This run is also captured by the flight recorder and written to
+//     pipeline_viz.trace.json — open it in ui.perfetto.dev to see the
+//     same reallocation as a real timeline (one track per stream, one
+//     per pipe stage).
 //
 //     go run ./examples/pipeline_viz
 package main
@@ -17,6 +21,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"disc"
 )
@@ -86,6 +91,9 @@ u3: SUBI R0, 1
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Flight-record the Figure 3.3 run and export it for Perfetto.
+	rec := disc.NewRecorder(1 << 14)
+	m2.SetRecorder(rec)
 	fmt.Println("Figure 3.3 - dynamic throughput reallocation (static partition")
 	fmt.Println("T/2, T/6, T/6, T/6; cells are tenths of throughput per interval):")
 	fmt.Println()
@@ -94,4 +102,17 @@ u3: SUBI R0, 1
 	st := m2.Stats()
 	fmt.Printf("stream 1 finished with %d retired instructions; PD = %.3f\n",
 		st.PerStream[0].Retired, st.Utilization())
+
+	const traceFile = "pipeline_viz.trace.json"
+	f, err := os.Create(traceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := disc.WriteChromeTrace(f, rec.Events()); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d events) - load it in ui.perfetto.dev\n", traceFile, len(rec.Events()))
 }

@@ -18,6 +18,8 @@ package bus
 import (
 	"fmt"
 	"sort"
+
+	"disc/internal/obs"
 )
 
 // Request is one posted external access.
@@ -79,6 +81,13 @@ type Bus struct {
 	ErrAccesses  uint64 // accesses to unmapped addresses
 	Timeouts     uint64 // accesses abandoned by the bounded-wait budget
 	DeviceFaults uint64 // accesses the device itself refused
+
+	// Observability: the flight recorder and a clock for stamping
+	// events (the bus keeps no cycle counter of its own). Both nil when
+	// tracing is off; Start/Tick pay one nil check per access event —
+	// never per idle cycle.
+	rec *obs.Recorder
+	now func() uint64
 }
 
 // New returns an empty bus; attach devices before use.
@@ -98,6 +107,32 @@ func (b *Bus) SetTimeout(n int) {
 
 // Timeout returns the bounded-wait budget (0 = unbounded).
 func (b *Bus) Timeout() int { return b.timeout }
+
+// SetRecorder attaches (or, with nils, detaches) the flight recorder.
+// now supplies the machine cycle for event timestamps. The bus emits
+// the access-level half of the ABI taxonomy — start, complete,
+// timeout, fault — while the machine emits the stream-level half
+// (wait-state entry, busy-retry).
+func (b *Bus) SetRecorder(rec *obs.Recorder, now func() uint64) {
+	b.rec = rec
+	b.now = now
+	if b.rec != nil && b.now == nil {
+		b.now = func() uint64 { return 0 }
+	}
+}
+
+// emit stamps and records one bus event; callers guard with rec != nil.
+// cause is KindBusFault's B field (0 = unmapped, 1 = device refused).
+func (b *Bus) emit(kind obs.Kind, r Request, data uint16, elapsed int, cause uint8) {
+	write := uint8(0)
+	if r.Write {
+		write = 1
+	}
+	b.rec.Emit(obs.Event{
+		Cycle: b.now(), Kind: kind, Stream: int8(r.Stream),
+		Addr: r.Addr, Data: data, A: write, B: cause, Aux: uint64(elapsed),
+	})
+}
 
 // Attach maps dev at [base, base+size). Overlapping ranges are
 // rejected so the address decode stays unambiguous.
@@ -167,6 +202,9 @@ func (b *Bus) Start(r Request) bool {
 	} else {
 		b.remaining = 1 // unmapped accesses fault after one cycle
 	}
+	if b.rec != nil {
+		b.emit(obs.KindBusStart, r, 0, 0, 0)
+	}
 	return true
 }
 
@@ -189,6 +227,9 @@ func (b *Bus) Tick() (Completion, bool) {
 			b.busy = false
 			b.Accesses++
 			b.Timeouts++
+			if b.rec != nil {
+				b.emit(obs.KindBusTimeout, b.current, 0xFFFF, b.elapsed, 0)
+			}
 			return Completion{Req: b.current, Data: 0xFFFF,
 				Err: &BusError{Cause: ErrTimeout, Req: b.current, Elapsed: b.elapsed}}, true
 		}
@@ -200,17 +241,30 @@ func (b *Bus) Tick() (Completion, bool) {
 	dev, off, ok := b.lookup(r.Addr)
 	if !ok {
 		b.ErrAccesses++
+		if b.rec != nil {
+			b.emit(obs.KindBusFault, r, 0xFFFF, b.elapsed, 0)
+		}
 		return Completion{Req: r, Data: 0xFFFF, Err: &BusError{Cause: ErrUnmapped, Req: r, Elapsed: b.elapsed}}, true
 	}
 	if f, isF := dev.(Faulter); isF && f.AccessFault(off, r.Write) {
 		b.DeviceFaults++
+		if b.rec != nil {
+			b.emit(obs.KindBusFault, r, 0xFFFF, b.elapsed, 1)
+		}
 		return Completion{Req: r, Data: 0xFFFF, Err: &BusError{Cause: ErrDeviceFault, Req: r, Elapsed: b.elapsed}}, true
 	}
 	if r.Write {
 		dev.Write(off, r.Data)
+		if b.rec != nil {
+			b.emit(obs.KindBusComplete, r, 0, b.elapsed, 0)
+		}
 		return Completion{Req: r}, true
 	}
-	return Completion{Req: r, Data: dev.Read(off)}, true
+	data := dev.Read(off)
+	if b.rec != nil {
+		b.emit(obs.KindBusComplete, r, data, b.elapsed, 0)
+	}
+	return Completion{Req: r, Data: data}, true
 }
 
 // TickDevices advances every attached device that keeps time.

@@ -33,6 +33,7 @@ import (
 	"disc/internal/interrupt"
 	"disc/internal/isa"
 	"disc/internal/mem"
+	"disc/internal/obs"
 	"disc/internal/sched"
 	"disc/internal/stackwin"
 )
@@ -207,6 +208,11 @@ type Machine struct {
 	intrVer   [isa.NumStreams]uint32 // last swept interrupt.Unit versions
 	statsBase uint64                 // cycle count at the last ResetStats
 
+	// rec is the flight recorder; nil when tracing is off. Every emit
+	// site in the pipeline is guarded by that single nil check, so a
+	// machine without a recorder pays nothing but predictable branches.
+	rec *obs.Recorder
+
 	stats Stats
 }
 
@@ -285,6 +291,67 @@ func (m *Machine) Bus() *bus.Bus { return m.bus }
 
 // Scheduler returns the hardware scheduler (to inspect slot tables).
 func (m *Machine) Scheduler() *sched.Scheduler { return m.sch }
+
+// SetRecorder attaches (or, with nil, detaches) a flight recorder to
+// the whole machine: the pipeline's own emit sites, the scheduler's
+// donation hook, every stream's interrupt unit, and the ABI are wired
+// to it in one call. Recording is observation only — a run with a
+// recorder attached is byte-identical to one without (the root
+// obs_equiv_test.go differential proof).
+func (m *Machine) SetRecorder(rec *obs.Recorder) {
+	m.rec = rec
+	if rec == nil {
+		m.bus.SetRecorder(nil, nil)
+		m.sch.SetObserver(nil)
+		for _, s := range m.streams {
+			s.intr.SetObserver(nil, nil)
+		}
+		return
+	}
+	m.bus.SetRecorder(rec, func() uint64 { return m.cycle })
+	m.sch.SetObserver(func(pick, owner int) {
+		rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindSlotDonated,
+			Stream: int8(pick), A: uint8(owner)})
+	})
+	for i, s := range m.streams {
+		id, st := i, s
+		st.intr.SetObserver(
+			func(bit uint8, wasInactive bool) {
+				rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindIRQRaise,
+					Stream: int8(id), A: bit})
+				// Waking an inactive stream whose scheduling state is
+				// otherwise run is the Figure 3.3 halted -> run edge.
+				if wasInactive && st.state == StateRun {
+					m.emitState(id, obs.StreamHalted, obs.StreamRun)
+				}
+			},
+			func(bit uint8) {
+				rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindIRQAck,
+					Stream: int8(id), A: bit})
+			},
+		)
+	}
+}
+
+// Recorder returns the attached flight recorder, or nil.
+func (m *Machine) Recorder() *obs.Recorder { return m.rec }
+
+// PostMortem formats the recorder's last n events per stream, or ""
+// when no recorder is attached. The liveness guard and the fault
+// harness attach it to their DeadlockError/CycleLimitError reports.
+func (m *Machine) PostMortem(n int) string {
+	if m.rec == nil {
+		return ""
+	}
+	return m.rec.PostMortem(n)
+}
+
+// emitState records a stream scheduling-state transition; callers
+// guard with m.rec != nil.
+func (m *Machine) emitState(id int, from, to obs.StreamCode) {
+	m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindStreamState,
+		Stream: int8(id), A: uint8(from), B: uint8(to)})
+}
 
 // Cycle returns the number of cycles executed.
 func (m *Machine) Cycle() uint64 { return m.cycle }

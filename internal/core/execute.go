@@ -4,6 +4,7 @@ import (
 	"disc/internal/bus"
 	"disc/internal/interrupt"
 	"disc/internal/isa"
+	"disc/internal/obs"
 )
 
 // execute performs a slot's semantics as it arrives at EX. Same-stream
@@ -253,12 +254,18 @@ func (m *Machine) execute(sl *slot) {
 			s.waitBit = in.N
 			m.flushYounger(id)
 			s.pc = sl.pc
+			if m.rec != nil {
+				m.emitState(id, obs.StreamRun, obs.StreamIRQWait)
+			}
 		}
 	case isa.OpHALT:
 		s.intr.Clear(interrupt.Background)
 		if !s.intr.Active() {
 			m.flushYounger(id)
 			s.pc = sl.pc + 1
+			if m.rec != nil {
+				m.emitState(id, obs.StreamRun, obs.StreamHalted)
+			}
 		}
 	case isa.OpMFS:
 		m.writeReg(s, in.Rd, m.readSpecial(sl, s))
@@ -300,6 +307,11 @@ func (m *Machine) access(sl *slot, s *stream, ea uint16, write bool, data uint16
 		m.stats.BusRetries++
 		m.flushYounger(id)
 		s.pc = sl.pc // retry the whole instruction
+		if m.rec != nil {
+			m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindBusRetry,
+				Stream: int8(id), PC: sl.pc, Addr: ea})
+			m.emitState(id, obs.StreamRun, obs.StreamBusWait)
+		}
 		return
 	}
 	m.bus.Start(bus.Request{
@@ -315,6 +327,15 @@ func (m *Machine) access(sl *slot, s *stream, ea uint16, write bool, data uint16
 	m.stats.BusWaits++
 	m.flushYounger(id)
 	s.pc = sl.pc + 1 // flushed successors re-fetch after reactivation
+	if m.rec != nil {
+		w := uint8(0)
+		if write {
+			w = 1
+		}
+		m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindBusWait,
+			Stream: int8(id), PC: sl.pc, Addr: ea, A: w})
+		m.emitState(id, obs.StreamRun, obs.StreamBusWait)
+	}
 }
 
 // readSpecial implements MFS.

@@ -49,6 +49,11 @@ type DeadlockError struct {
 	Cycle   uint64       // machine cycle at diagnosis
 	Window  uint64       // progress-free cycles observed
 	Streams []StreamDiag // every stream, in order
+
+	// PostMortem holds the flight recorder's last events per stream
+	// when a recorder was attached, "" otherwise. It is diagnosis
+	// payload, not part of Error() — callers print it separately.
+	PostMortem string
 }
 
 func (e *DeadlockError) Error() string {
@@ -66,6 +71,10 @@ func (e *DeadlockError) Error() string {
 // machine still making progress — a runaway program, not a deadlock.
 type CycleLimitError struct {
 	Limit int
+
+	// PostMortem holds the flight recorder's last events per stream
+	// when a recorder was attached, "" otherwise.
+	PostMortem string
 }
 
 func (e *CycleLimitError) Error() string {
@@ -172,7 +181,8 @@ func (g *Guard) Step() (done bool, err error) {
 		return true, nil
 	}
 	if g.window > 0 && g.barren >= g.window {
-		return false, &DeadlockError{Cycle: m.cycle, Window: g.barren, Streams: m.Diagnose()}
+		return false, &DeadlockError{Cycle: m.cycle, Window: g.barren, Streams: m.Diagnose(),
+			PostMortem: m.PostMortem(postMortemEvents)}
 	}
 	return false, nil
 }
@@ -192,5 +202,10 @@ func (m *Machine) RunGuarded(maxCycles int, stallWindow uint64) (int, error) {
 			return n + 1, nil
 		}
 	}
-	return maxCycles, &CycleLimitError{Limit: maxCycles}
+	return maxCycles, &CycleLimitError{Limit: maxCycles, PostMortem: m.PostMortem(postMortemEvents)}
 }
+
+// postMortemEvents is how many trailing events per stream the guard
+// attaches to its error reports (obs.DefaultPostMortemEvents, restated
+// here so liveness reads standalone).
+const postMortemEvents = 8

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"disc/internal/bus"
+	"disc/internal/isa"
+	"disc/internal/obs"
+)
+
+// TestRecorderCountsAlignWithStats runs a workload that exercises every
+// event family — external accesses, a SIGNAL/WAITI join, flushes — and
+// checks the metrics registry against the machine's own counters: the
+// event stream and core.Stats must be two views of the same run.
+func TestRecorderCountsAlignWithStats(t *testing.T) {
+	m := MustNew(Config{Streams: 2})
+	if err := m.Bus().Attach(isa.ExternalBase, 16, bus.NewRAM("ram", 16, 3)); err != nil {
+		t.Fatal(err)
+	}
+	load(t, m, `
+    LI  R1, 0x400
+    LDI R0, 7
+    ST  R0, [R1+0]
+    LD  R2, [R1+0]
+    SIGNAL 1, 2
+    HALT
+`)
+	load(t, m, `
+    .org 0x40
+    SETMR 0xFB         ; mask bit 2: join, don't vector
+    WAITI 2
+    HALT
+`)
+	rec := obs.NewRecorder(1 << 12)
+	met := rec.EnableMetrics(2)
+	m.SetRecorder(rec)
+	m.StartStream(0, 0)
+	m.StartStream(1, 0x40)
+	if _, err := m.RunGuarded(5000, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	st := m.Stats()
+	for s := 0; s < 2; s++ {
+		ps := st.PerStream[s]
+		if got := met.Count(obs.KindIssue, s); got != ps.Issued {
+			t.Errorf("IS%d issue events=%d, stats=%d", s, got, ps.Issued)
+		}
+		if got := met.Count(obs.KindRetire, s); got != ps.Retired {
+			t.Errorf("IS%d retire events=%d, stats=%d", s, got, ps.Retired)
+		}
+		if got := met.Count(obs.KindFlush, s); got != ps.Flushed {
+			t.Errorf("IS%d flush events=%d, stats=%d", s, got, ps.Flushed)
+		}
+		if got := met.Count(obs.KindBusWait, s); got != ps.BusWaits {
+			t.Errorf("IS%d bus-wait events=%d, stats=%d", s, got, ps.BusWaits)
+		}
+		if got := met.Count(obs.KindBusRetry, s); got != ps.BusRetries {
+			t.Errorf("IS%d bus-retry events=%d, stats=%d", s, got, ps.BusRetries)
+		}
+	}
+	// Both external accesses started and completed on the bus side, with
+	// the RAM's 3-cycle latency visible in the histogram.
+	if got := met.Count(obs.KindBusStart, 0); got != 2 {
+		t.Errorf("bus-start events=%d, want 2", got)
+	}
+	if got := met.Count(obs.KindBusComplete, 0); got != 2 {
+		t.Errorf("bus-complete events=%d, want 2", got)
+	}
+	if l := met.BusLatency[0]; l.Count != 2 || l.Max != 3 {
+		t.Errorf("bus latency n=%d max=%d, want 2 accesses of 3 cycles", l.Count, l.Max)
+	}
+	// The join produced interrupt traffic on stream 1: the SIGNAL raise
+	// and the WAITI consuming the bit.
+	if got := met.Count(obs.KindIRQRaise, 1); got == 0 {
+		t.Error("no irq-raise events for the signalled stream")
+	}
+	if got := met.Count(obs.KindIRQAck, 1); got == 0 {
+		t.Error("no irq-ack events for the join")
+	}
+	// State transitions for the bus wait round-trip exist in the record.
+	var sawWait, sawWake bool
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.KindStreamState && ev.Stream == 0 {
+			if obs.StreamCode(ev.B) == obs.StreamBusWait {
+				sawWait = true
+			}
+			if obs.StreamCode(ev.A) == obs.StreamBusWait && obs.StreamCode(ev.B) == obs.StreamRun {
+				sawWake = true
+			}
+		}
+	}
+	if !sawWait || !sawWake {
+		t.Errorf("bus-wait state transitions missing: wait=%v wake=%v", sawWait, sawWake)
+	}
+}
+
+// TestGuardAttachesPostMortem forces the WAITI deadlock from the
+// liveness tests with a recorder attached and checks the guard's error
+// carries the flight-recorder dump.
+func TestGuardAttachesPostMortem(t *testing.T) {
+	m := MustNew(Config{Streams: 1})
+	load(t, m, `
+    WAITI 2
+    HALT
+`)
+	m.SetRecorder(obs.NewRecorder(256))
+	m.StartStream(0, 0)
+	_, err := m.RunGuarded(10_000, 100)
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	for _, want := range []string{"post-mortem", "IS0:", "issue pc=0x0000", "state run -> irqwait"} {
+		if !strings.Contains(dl.PostMortem, want) {
+			t.Errorf("post-mortem missing %q:\n%s", want, dl.PostMortem)
+		}
+	}
+	// Without a recorder the same failure reports no post-mortem.
+	m2 := MustNew(Config{Streams: 1})
+	load(t, m2, `
+    WAITI 2
+    HALT
+`)
+	m2.StartStream(0, 0)
+	_, err = m2.RunGuarded(10_000, 100)
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if dl.PostMortem != "" {
+		t.Fatalf("recorder-less run has a post-mortem: %q", dl.PostMortem)
+	}
+}
+
+// TestSetRecorderDetach proves SetRecorder(nil) unhooks every layer.
+func TestSetRecorderDetach(t *testing.T) {
+	m := MustNew(Config{Streams: 2})
+	load(t, m, `
+loop:
+    ADDI R0, 1
+    JMP loop
+`)
+	rec := obs.NewRecorder(256)
+	m.SetRecorder(rec)
+	m.StartStream(0, 0)
+	m.Run(50)
+	if rec.Total() == 0 {
+		t.Fatal("recorder saw nothing while attached")
+	}
+	m.SetRecorder(nil)
+	before := rec.Total()
+	m.Run(50)
+	m.RaiseIRQ(1, 3) // interrupt hooks must be unwired too
+	if rec.Total() != before {
+		t.Fatalf("detached recorder still fed: %d -> %d", before, rec.Total())
+	}
+}

@@ -45,9 +45,18 @@ func (s Stats) Utilization() float64 {
 	return float64(s.Retired) / float64(s.Cycles)
 }
 
+// String renders the machine-wide counters on one line, including the
+// fault breakdown (total bus faults, and of those how many were
+// bounded-wait timeouts vs device refusals) when any fault occurred —
+// a faulting run must not print statistics that hide the faults.
 func (s Stats) String() string {
-	return fmt.Sprintf("cycles=%d retired=%d PD=%.3f idle=%d flushed=%d buswaits=%d retries=%d dispatches=%d",
+	out := fmt.Sprintf("cycles=%d retired=%d PD=%.3f idle=%d flushed=%d buswaits=%d retries=%d dispatches=%d",
 		s.Cycles, s.Retired, s.Utilization(), s.IdleCycles, s.Flushed, s.BusWaits, s.BusRetries, s.Dispatches)
+	if s.BusFaults > 0 {
+		out += fmt.Sprintf(" busfaults=%d (timeouts=%d devfaults=%d)",
+			s.BusFaults, s.BusTimeouts, s.BusDeviceFaults)
+	}
+	return out
 }
 
 // Stats returns a snapshot of the accumulated statistics. The cycle

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStatsString: the one-line summary must surface the bus-fault
+// breakdown when a run faulted — a timed-out or refused access must not
+// disappear from the printed statistics — while fault-free runs keep
+// the short form.
+func TestStatsString(t *testing.T) {
+	clean := Stats{Cycles: 100, Retired: 50}
+	if s := clean.String(); strings.Contains(s, "busfaults") {
+		t.Errorf("fault-free stats mention faults: %s", s)
+	}
+	faulty := Stats{Cycles: 100, Retired: 50, BusFaults: 3, BusTimeouts: 2, BusDeviceFaults: 1}
+	s := faulty.String()
+	for _, want := range []string{"busfaults=3", "timeouts=2", "devfaults=1", "PD=0.500"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats string missing %q: %s", want, s)
+		}
+	}
+}

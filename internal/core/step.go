@@ -8,6 +8,7 @@ import (
 	"disc/internal/interrupt"
 	"disc/internal/isa"
 	"disc/internal/mem"
+	"disc/internal/obs"
 	"disc/internal/sched"
 	"disc/internal/stackwin"
 )
@@ -75,6 +76,10 @@ func (m *Machine) Step() {
 		if m.profile != nil {
 			m.profileRetire(int(wr.stream), wr.pc)
 		}
+		if m.rec != nil {
+			m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindRetire,
+				Stream: int8(wr.stream), PC: wr.pc})
+		}
 	}
 	// Shift: rotating the ring base moves every slot down one stage;
 	// the just-retired WR slot becomes the new (empty) IF.
@@ -133,6 +138,10 @@ func (m *Machine) stepReference() {
 		m.stats.Retired++
 		if m.profile != nil {
 			m.profileRetire(int(wr.stream), wr.pc)
+		}
+		if m.rec != nil {
+			m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindRetire,
+				Stream: int8(wr.stream), PC: wr.pc})
 		}
 	}
 	m.pipeBase = (m.pipeBase + isa.PipeDepth - 1) & (isa.PipeDepth - 1)
@@ -251,6 +260,7 @@ func (m *Machine) issue(id int) {
 		}
 		if bit, ok := s.dispBit, s.dispOK; ok && !s.entryInFlight {
 			retPC := s.pc
+			wasWait := s.state == StateIRQWait
 			s.pc = interrupt.Vector(s.vb, uint8(id), bit)
 			s.state = StateRun
 			s.entryInFlight = true
@@ -259,6 +269,15 @@ func (m *Machine) issue(id int) {
 			*m.stage(0) = slot{valid: true, stream: uint8(id), pc: s.pc, kind: kindIntEntry, bit: bit, retPC: retPC}
 			s.issued++
 			m.stats.Issued++
+			if m.rec != nil {
+				if wasWait {
+					m.emitState(id, obs.StreamIRQWait, obs.StreamRun)
+				}
+				m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindIRQVector,
+					Stream: int8(id), PC: s.pc, Addr: retPC, A: bit})
+				m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindIssue,
+					Stream: int8(id), PC: s.pc, A: bit, B: 1})
+			}
 			m.refreshReady(id)
 			return
 		}
@@ -268,6 +287,9 @@ func (m *Machine) issue(id int) {
 		// changes what readiness means for the stream (Active() instead
 		// of the wait-bit test), so its mask bit must be recomputed.
 		s.state = StateRun
+		if m.rec != nil {
+			m.emitState(id, obs.StreamIRQWait, obs.StreamRun)
+		}
 		m.refreshReady(id)
 	}
 
@@ -295,6 +317,10 @@ func (m *Machine) issue(id int) {
 	}
 	s.pc = pc + 1
 	*m.stage(0) = slot{valid: true, stream: uint8(id), pc: pc, instr: in, kind: kindInstr, shadow: shadow}
+	if m.rec != nil {
+		m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindIssue,
+			Stream: int8(id), PC: pc})
+	}
 	if shadow {
 		// An unresolved control transfer blocks fetch — no need to run
 		// the full readiness predicate to know the bit goes low.
@@ -342,6 +368,10 @@ func (m *Machine) flushYounger(id int) {
 			sl.valid = false
 			m.streams[id].flushed++
 			m.stats.Flushed++
+			if m.rec != nil {
+				m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindFlush,
+					Stream: int8(id), PC: sl.pc})
+			}
 		}
 	}
 }
@@ -381,6 +411,9 @@ func (m *Machine) completeBus(c bus.Completion) {
 	for i, s := range m.streams {
 		if s.state == StateBusWait {
 			s.state = StateRun
+			if m.rec != nil {
+				m.emitState(i, obs.StreamBusWait, obs.StreamRun)
+			}
 			m.refreshReady(i)
 		}
 	}

@@ -122,5 +122,5 @@ func RunGuarded(m *core.Machine, maxCycles int, stallWindow uint64, inj ...Injec
 			return n + 1, nil
 		}
 	}
-	return maxCycles, &core.CycleLimitError{Limit: maxCycles}
+	return maxCycles, &core.CycleLimitError{Limit: maxCycles, PostMortem: m.PostMortem(8)}
 }

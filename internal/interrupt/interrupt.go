@@ -45,10 +45,29 @@ type Unit struct {
 	mr    uint8
 	level uint8 // 0 = background, 1..7 = servicing that vectored level
 	ver   uint32
+
+	// Observability hooks (nil when tracing is off — the only cost then
+	// is one predictable nil check per mutation, never per cycle).
+	// onRaise fires after a successful Request; onAck fires when the
+	// owning stream clears a set bit (Clear or Exit's level clear).
+	onRaise func(bit uint8, wasInactive bool)
+	onAck   func(bit uint8)
 }
 
 // New returns a Unit with all requests clear and all levels unmasked.
 func New() *Unit { return &Unit{mr: 0xFF} }
+
+// SetObserver installs (or, with nils, removes) the unit's event
+// hooks: raise fires after every successful Request — wasInactive
+// reports that the request woke a halted stream — and ack fires when
+// the owning stream consumes a set bit (CLRI/WAITI/HALT via Clear, or
+// RETI's level clear via Exit). Whole-register writes (SetIR, Reset)
+// do not fire hooks: they are loader/debugger operations, not
+// interrupt traffic.
+func (u *Unit) SetObserver(raise func(bit uint8, wasInactive bool), ack func(bit uint8)) {
+	u.onRaise = raise
+	u.onAck = ack
+}
 
 // Version returns a counter that advances on every mutation of the
 // unit (requests, clears, mask writes, level changes). The machine's
@@ -91,6 +110,9 @@ func (u *Unit) Request(n uint8) (wasInactive bool, err error) {
 	wasInactive = !u.Active()
 	u.ir |= 1 << n
 	u.ver++
+	if u.onRaise != nil {
+		u.onRaise(n, wasInactive)
+	}
 	return wasInactive, nil
 }
 
@@ -99,8 +121,12 @@ func (u *Unit) Clear(n uint8) error {
 	if n >= isa.NumIRBits {
 		return fmt.Errorf("interrupt: clear bit %d out of range", n)
 	}
+	wasSet := u.ir&(1<<n) != 0
 	u.ir &^= 1 << n
 	u.ver++
+	if wasSet && u.onAck != nil {
+		u.onAck(n)
+	}
 	return nil
 }
 
@@ -152,7 +178,11 @@ func (u *Unit) Enter(bit uint8) (prev uint8) {
 // restored. It is the register-side half of RETI.
 func (u *Unit) Exit(savedLevel uint8) {
 	if u.level != Background {
+		wasSet := u.ir&(1<<u.level) != 0
 		u.ir &^= 1 << u.level
+		if wasSet && u.onAck != nil {
+			u.onAck(u.level)
+		}
 	}
 	u.level = savedLevel & 0x7
 	u.ver++

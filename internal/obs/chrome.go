@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"disc/internal/isa"
+)
+
+// Chrome trace-event export: the flight recorder's events rendered in
+// the JSON format Perfetto (ui.perfetto.dev) and chrome://tracing
+// load. One "process" groups the instruction streams (one track per
+// stream, carrying each instruction's pipeline lifetime as a slice
+// plus instant markers for interrupts and bus protocol events), a
+// second groups the pipe stages (one track per IF/RD/EX/WR showing
+// which stream occupied the stage each cycle — Figure 3.1 as a
+// timeline), and a third carries the ABI's accesses with their
+// latencies. Timestamps are machine cycles (one trace microsecond per
+// cycle).
+
+// Process and thread numbering of the exported trace.
+const (
+	chromePidStreams = 1 // one tid per instruction stream
+	chromePidStages  = 2 // one tid per pipeline stage
+	chromePidBus     = 3 // tid 0: the asynchronous bus interface
+)
+
+// chromeEvent is one trace-event JSON object.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// stageNames mirrors core.StageNames (core imports obs, so the
+// exporter cannot ask it) — the four-stage IF/RD/EX/WR pipe of §3.3.
+var stageNames = [isa.PipeDepth]string{"IF", "RD", "EX", "WR"}
+
+// openIssue is an in-flight instruction awaiting retire or flush.
+type openIssue struct {
+	pc    uint16
+	cycle uint64
+	entry bool
+	bit   uint8
+}
+
+// WriteChromeTrace renders events (oldest first, as Recorder.Events
+// returns them) as Chrome trace-event JSON. Instruction lifetimes are
+// reconstructed by matching each stream's issues against its retires
+// (FIFO — same-stream instructions retire in order) and flushes (LIFO —
+// the flush rule squashes the youngest in-flight instructions);
+// instructions still in flight when the window ends are dropped.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var out []chromeEvent
+	streams := map[int8]bool{}
+	open := map[int8][]openIssue{}
+
+	slice := func(pid, tid int, name, cat string, ts, dur uint64, args map[string]any) {
+		if dur == 0 {
+			dur = 1
+		}
+		out = append(out, chromeEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid, Args: args})
+	}
+	instant := func(tid int, name string, ts uint64, args map[string]any) {
+		out = append(out, chromeEvent{Name: name, Ph: "i", Ts: ts, Pid: chromePidStreams, Tid: tid, S: "t", Args: args})
+	}
+	// finish renders one finished instruction: its lifetime slice on the
+	// stream track and a one-cycle slice on each stage it reached.
+	finish := func(stream int8, oi openIssue, end uint64, flushed bool) {
+		name := fmt.Sprintf("%#04x", oi.pc)
+		if oi.entry {
+			name = fmt.Sprintf("INT%d", oi.bit)
+		}
+		cat := "instr"
+		if flushed {
+			cat = "flushed"
+		} else if oi.entry {
+			cat = "irq-entry"
+		}
+		if end <= oi.cycle {
+			end = oi.cycle + 1
+		}
+		slice(chromePidStreams, int(stream), name, cat, oi.cycle, end-oi.cycle, nil)
+		stages := int(end - oi.cycle)
+		if !flushed {
+			// A retire is observed one cycle after the slot leaves WR.
+			stages--
+		}
+		if stages > isa.PipeDepth {
+			stages = isa.PipeDepth
+		}
+		for k := 0; k < stages; k++ {
+			slice(chromePidStages, k, fmt.Sprintf("IS%d %s", stream, name), cat, oi.cycle+uint64(k), 1, nil)
+		}
+	}
+
+	for _, ev := range events {
+		if ev.Stream >= 0 {
+			streams[ev.Stream] = true
+		}
+		switch ev.Kind {
+		case KindIssue:
+			open[ev.Stream] = append(open[ev.Stream], openIssue{pc: ev.PC, cycle: ev.Cycle, entry: ev.B != 0, bit: ev.A})
+		case KindRetire:
+			if q := open[ev.Stream]; len(q) > 0 {
+				finish(ev.Stream, q[0], ev.Cycle, false)
+				open[ev.Stream] = q[1:]
+			}
+		case KindFlush:
+			if q := open[ev.Stream]; len(q) > 0 {
+				finish(ev.Stream, q[len(q)-1], ev.Cycle, true)
+				open[ev.Stream] = q[:len(q)-1]
+			}
+		case KindStreamState:
+			instant(int(ev.Stream), fmt.Sprintf("state %s->%s", StreamCode(ev.A), StreamCode(ev.B)), ev.Cycle, nil)
+		case KindSlotDonated:
+			instant(int(ev.Stream), fmt.Sprintf("slot from IS%d", ev.A), ev.Cycle, nil)
+		case KindIRQRaise:
+			instant(int(ev.Stream), fmt.Sprintf("irq-raise %d", ev.A), ev.Cycle, nil)
+		case KindIRQVector:
+			instant(int(ev.Stream), fmt.Sprintf("irq-vector %d", ev.A), ev.Cycle,
+				map[string]any{"vector": fmt.Sprintf("%#04x", ev.PC), "ret": fmt.Sprintf("%#04x", ev.Addr)})
+		case KindIRQAck:
+			instant(int(ev.Stream), fmt.Sprintf("irq-ack %d", ev.A), ev.Cycle, nil)
+		case KindBusWait:
+			instant(int(ev.Stream), fmt.Sprintf("bus-wait %s %#04x", rw(ev.A), ev.Addr), ev.Cycle, nil)
+		case KindBusRetry:
+			instant(int(ev.Stream), fmt.Sprintf("bus-retry %#04x", ev.Addr), ev.Cycle, nil)
+		case KindBusComplete, KindBusTimeout, KindBusFault:
+			name := fmt.Sprintf("%s %#04x", rw(ev.A), ev.Addr)
+			cat := "bus"
+			switch ev.Kind {
+			case KindBusTimeout:
+				cat = "bus-timeout"
+			case KindBusFault:
+				cat = "bus-fault"
+			}
+			start := ev.Cycle
+			if ev.Aux > 0 && ev.Aux <= ev.Cycle {
+				start = ev.Cycle - ev.Aux
+			}
+			args := map[string]any{"stream": int(ev.Stream), "cycles": ev.Aux}
+			if ev.Kind == KindBusComplete && ev.A == 0 {
+				args["data"] = fmt.Sprintf("%#04x", ev.Data)
+			}
+			slice(chromePidBus, 0, name, cat, start, ev.Aux, args)
+			if cat != "bus" && ev.Stream >= 0 {
+				instant(int(ev.Stream), cat, ev.Cycle, nil)
+			}
+		}
+	}
+
+	// Track and process naming metadata.
+	meta := func(pid, tid int, key, name string) {
+		out = append(out, chromeEvent{Name: key, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+	}
+	meta(chromePidStreams, 0, "process_name", "instruction streams")
+	for s := range streams {
+		meta(chromePidStreams, int(s), "thread_name", fmt.Sprintf("IS%d", s))
+	}
+	meta(chromePidStages, 0, "process_name", "pipeline")
+	for k := 0; k < isa.PipeDepth; k++ {
+		meta(chromePidStages, k, "thread_name", fmt.Sprintf("%d %s", k, stageNames[k]))
+	}
+	meta(chromePidBus, 0, "process_name", "asynchronous bus")
+	meta(chromePidBus, 0, "thread_name", "ABI")
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{out})
+}

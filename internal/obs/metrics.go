@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// HistBuckets is the bucket count of the fixed log2 histograms:
+// bucket i counts observations v with bits.Len64(v) == i, i.e. [0],
+// [1], [2,3], [4,7], ... with everything >= 2^(HistBuckets-2) in the
+// last bucket. Sixteen buckets cover the full uint16 cycle-latency
+// range the 16-bit machine can produce.
+const HistBuckets = 17
+
+// Histogram is a fixed-size log2 histogram. The zero value is ready to
+// use; Observe never allocates.
+type Histogram struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the average observed value (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// String renders "count mean max [bucket:count ...]" with empty
+// buckets elided.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.2f max=%d", h.Count, h.Mean(), h.Max)
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketRange(i)
+		if lo == hi {
+			fmt.Fprintf(&b, " [%d]:%d", lo, c)
+		} else {
+			fmt.Fprintf(&b, " [%d-%d]:%d", lo, hi, c)
+		}
+	}
+	return b.String()
+}
+
+// bucketRange returns the value range bucket i covers.
+func bucketRange(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	hi = lo<<1 - 1
+	if i == HistBuckets-1 {
+		hi = ^uint64(0)
+	}
+	return lo, hi
+}
+
+// Metrics is the per-stream metrics registry. Counters mirror the
+// event stream (and therefore align with core.Stats: retires per
+// stream equal StreamStats.Retired, flushes equal Flushed, and so on —
+// the root hook-neutrality test asserts it); the histograms measure
+// the two latencies the paper's bus-contention analysis (§4.1, Tables
+// 4.2/4.3) cares about: how long external accesses occupy the ABI and
+// how large the gaps between a stream's issues grow under contention.
+type Metrics struct {
+	Streams int
+
+	// Counts[k][s] counts kind k events on stream s; machine-wide
+	// events (Stream < 0) land in the extra trailing slot.
+	Counts [NumKinds][]uint64
+
+	// BusLatency[s] observes bus cycles per completed (or timed-out)
+	// access issued by stream s.
+	BusLatency []Histogram
+	// DispatchGap[s] observes machine cycles between consecutive
+	// issues of stream s — the flip side of slot donation: a stream
+	// losing throughput shows widening gaps.
+	DispatchGap []Histogram
+
+	lastIssue []uint64 // per stream: cycle of the previous issue
+	hasIssued []bool
+}
+
+// NewMetrics builds a registry for `streams` instruction streams.
+func NewMetrics(streams int) *Metrics {
+	if streams < 1 {
+		streams = 1
+	}
+	m := &Metrics{
+		Streams:     streams,
+		BusLatency:  make([]Histogram, streams),
+		DispatchGap: make([]Histogram, streams),
+		lastIssue:   make([]uint64, streams),
+		hasIssued:   make([]bool, streams),
+	}
+	for k := range m.Counts {
+		m.Counts[k] = make([]uint64, streams+1)
+	}
+	return m
+}
+
+// observe folds one event into the registry. Out-of-range streams
+// (beyond the configured count) account as machine-wide rather than
+// panicking — the registry observes, it must never take the machine
+// down.
+func (m *Metrics) observe(ev Event) {
+	s := int(ev.Stream)
+	if s < 0 || s >= m.Streams {
+		s = m.Streams // the machine-wide slot
+	}
+	m.Counts[ev.Kind][s]++
+	switch ev.Kind {
+	case KindIssue:
+		if s < m.Streams {
+			if m.hasIssued[s] {
+				m.DispatchGap[s].Observe(ev.Cycle - m.lastIssue[s])
+			}
+			m.lastIssue[s] = ev.Cycle
+			m.hasIssued[s] = true
+		}
+	case KindBusComplete, KindBusTimeout:
+		if s < m.Streams {
+			m.BusLatency[s].Observe(ev.Aux)
+		}
+	}
+}
+
+// Count returns the number of kind-k events on stream s (s < 0 for
+// machine-wide).
+func (m *Metrics) Count(k Kind, s int) uint64 {
+	if s < 0 || s >= m.Streams {
+		s = m.Streams
+	}
+	return m.Counts[k][s]
+}
+
+// Render formats the registry as an indented report: one counter line
+// and two histogram lines per stream, kinds with no events elided.
+func (m *Metrics) Render() string {
+	var b strings.Builder
+	b.WriteString("metrics:\n")
+	for s := 0; s < m.Streams; s++ {
+		fmt.Fprintf(&b, "  IS%d:\n", s)
+		var kinds []string
+		for k := Kind(0); k < NumKinds; k++ {
+			if c := m.Counts[k][s]; c > 0 {
+				kinds = append(kinds, fmt.Sprintf("%s=%d", k, c))
+			}
+		}
+		sort.Strings(kinds)
+		if len(kinds) > 0 {
+			fmt.Fprintf(&b, "    events: %s\n", strings.Join(kinds, " "))
+		}
+		if m.BusLatency[s].Count > 0 {
+			fmt.Fprintf(&b, "    bus latency (cycles): %s\n", m.BusLatency[s].String())
+		}
+		if m.DispatchGap[s].Count > 0 {
+			fmt.Fprintf(&b, "    dispatch gap (cycles): %s\n", m.DispatchGap[s].String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewRecorderCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{-5, 16}, {0, 16}, {1, 16}, {16, 16}, {17, 32}, {100, 128}, {1 << 12, 1 << 12},
+	} {
+		if got := NewRecorder(tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewRecorder(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(16)
+	const total = 40 // wraps the 16-entry ring two and a half times
+	for i := 0; i < total; i++ {
+		r.Emit(Event{Cycle: uint64(i), Kind: KindIssue, Stream: int8(i % 2), PC: uint16(i)})
+	}
+	if r.Total() != total {
+		t.Fatalf("Total = %d, want %d", r.Total(), total)
+	}
+	evs := r.Events()
+	if len(evs) != 16 {
+		t.Fatalf("Events retained %d, want 16", len(evs))
+	}
+	// Oldest first, and exactly the trailing window survives.
+	for i, ev := range evs {
+		want := uint64(total - 16 + i)
+		if ev.Cycle != want {
+			t.Fatalf("event %d has cycle %d, want %d", i, ev.Cycle, want)
+		}
+	}
+}
+
+func TestRecorderLastPerStream(t *testing.T) {
+	r := NewRecorder(64)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Cycle: uint64(i), Kind: KindIssue, Stream: int8(i % 2)})
+	}
+	r.Emit(Event{Cycle: 99, Kind: KindSlotDonated, Stream: MachineStream})
+	per := r.LastPerStream(3)
+	if len(per) != 3 {
+		t.Fatalf("got %d stream keys, want 3 (IS0, IS1, machine)", len(per))
+	}
+	for _, s := range []int{0, 1} {
+		l := per[s]
+		if len(l) != 3 {
+			t.Fatalf("stream %d kept %d events, want 3", s, len(l))
+		}
+		for i := 1; i < len(l); i++ {
+			if l[i].Cycle <= l[i-1].Cycle {
+				t.Fatalf("stream %d events not oldest-first: %v", s, l)
+			}
+		}
+	}
+	if len(per[MachineStream]) != 1 || per[MachineStream][0].Cycle != 99 {
+		t.Fatalf("machine events = %v, want the one donation", per[MachineStream])
+	}
+}
+
+func TestPostMortemFormat(t *testing.T) {
+	r := NewRecorder(16)
+	if got := r.PostMortem(4); got != "" {
+		t.Fatalf("empty recorder post-mortem = %q, want empty", got)
+	}
+	r.Emit(Event{Cycle: 7, Kind: KindIssue, Stream: 1, PC: 0x42})
+	r.Emit(Event{Cycle: 8, Kind: KindStreamState, Stream: 1, A: uint8(StreamRun), B: uint8(StreamIRQWait)})
+	pm := r.PostMortem(0) // 0 selects the default depth
+	for _, want := range []string{"post-mortem", "IS1:", "[c=7] IS1 issue pc=0x0042", "state run -> irqwait"} {
+		if !strings.Contains(pm, want) {
+			t.Errorf("post-mortem missing %q:\n%s", want, pm)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// bits.Len64 bucketing: 0 -> bucket 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 1 << 20} {
+		h.Observe(v)
+	}
+	wantBuckets := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, HistBuckets - 1: 1}
+	for i, c := range h.Buckets {
+		if c != wantBuckets[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, wantBuckets[i])
+		}
+	}
+	if h.Count != 7 || h.Max != 1<<20 {
+		t.Fatalf("Count=%d Max=%d, want 7 and %d", h.Count, h.Max, 1<<20)
+	}
+	if got := h.Mean(); got != float64(h.Sum)/7 {
+		t.Fatalf("Mean = %v", got)
+	}
+	lo, hi := bucketRange(3)
+	if lo != 4 || hi != 7 {
+		t.Fatalf("bucketRange(3) = [%d,%d], want [4,7]", lo, hi)
+	}
+	if _, hi := bucketRange(HistBuckets - 1); hi != ^uint64(0) {
+		t.Fatalf("last bucket must be open-ended")
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	r := NewRecorder(64)
+	met := r.EnableMetrics(2)
+	r.Emit(Event{Cycle: 10, Kind: KindIssue, Stream: 0})
+	r.Emit(Event{Cycle: 13, Kind: KindIssue, Stream: 0})
+	r.Emit(Event{Cycle: 14, Kind: KindRetire, Stream: 0, PC: 1})
+	r.Emit(Event{Cycle: 20, Kind: KindBusComplete, Stream: 1, Aux: 6})
+	r.Emit(Event{Cycle: 21, Kind: KindSlotDonated, Stream: MachineStream})
+
+	if got := met.Count(KindIssue, 0); got != 2 {
+		t.Fatalf("issue count = %d, want 2", got)
+	}
+	if got := met.Count(KindSlotDonated, -1); got != 1 {
+		t.Fatalf("machine-wide donation count = %d, want 1", got)
+	}
+	// One gap of 3 cycles between the two stream-0 issues.
+	g := met.DispatchGap[0]
+	if g.Count != 1 || g.Sum != 3 {
+		t.Fatalf("dispatch gap n=%d sum=%d, want 1 and 3", g.Count, g.Sum)
+	}
+	if l := met.BusLatency[1]; l.Count != 1 || l.Max != 6 {
+		t.Fatalf("bus latency n=%d max=%d, want 1 and 6", l.Count, l.Max)
+	}
+	out := met.Render()
+	for _, want := range []string{"IS0:", "issue=2", "bus latency", "dispatch gap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsOutOfRangeStream(t *testing.T) {
+	met := NewMetrics(1)
+	met.observe(Event{Kind: KindIssue, Stream: 3}) // beyond the configured count
+	if got := met.Count(KindIssue, -1); got != 1 {
+		t.Fatalf("out-of-range stream should account machine-wide, got %d", got)
+	}
+}
+
+// chromeTrace decodes an exported trace for structural assertions.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   uint64         `json:"ts"`
+		Dur  uint64         `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	events := []Event{
+		{Cycle: 1, Kind: KindIssue, Stream: 0, PC: 0x10},
+		{Cycle: 2, Kind: KindIssue, Stream: 0, PC: 0x11},
+		{Cycle: 3, Kind: KindIssue, Stream: 1, PC: 0x80},
+		{Cycle: 5, Kind: KindRetire, Stream: 0, PC: 0x10},  // FIFO: matches 0x10
+		{Cycle: 5, Kind: KindFlush, Stream: 1, PC: 0x80},   // LIFO: matches 0x80
+		{Cycle: 6, Kind: KindRetire, Stream: 0, PC: 0x11},
+		{Cycle: 7, Kind: KindBusComplete, Stream: 1, Addr: 0x4000, Data: 0xBEEF, Aux: 4},
+		{Cycle: 8, Kind: KindSlotDonated, Stream: 1, A: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+
+	var gotInstr, gotFlushed, gotStage, gotBus, gotMeta int
+	for _, e := range tr.TraceEvents {
+		switch {
+		case e.Ph == "M":
+			gotMeta++
+		case e.Pid == chromePidStreams && e.Cat == "instr":
+			gotInstr++
+			if e.Name == "0x0010" && (e.Ts != 1 || e.Dur != 4) {
+				t.Errorf("instr 0x0010 slice ts=%d dur=%d, want 1 and 4", e.Ts, e.Dur)
+			}
+		case e.Pid == chromePidStreams && e.Cat == "flushed":
+			gotFlushed++
+		case e.Pid == chromePidStages:
+			gotStage++
+		case e.Pid == chromePidBus && e.Ph == "X":
+			gotBus++
+			if e.Ts != 3 || e.Dur != 4 { // complete at 7 after 4 cycles
+				t.Errorf("bus slice ts=%d dur=%d, want 3 and 4", e.Ts, e.Dur)
+			}
+			if e.Args["data"] != "0xbeef" {
+				t.Errorf("bus load data arg = %v", e.Args["data"])
+			}
+		}
+	}
+	if gotInstr != 2 || gotFlushed != 1 || gotBus != 1 {
+		t.Fatalf("instr=%d flushed=%d bus=%d, want 2/1/1", gotInstr, gotFlushed, gotBus)
+	}
+	if gotStage == 0 {
+		t.Fatal("no pipeline-stage slices exported")
+	}
+	if gotMeta == 0 {
+		t.Fatal("no track metadata exported")
+	}
+}
+
+func TestEventStringCoversEveryKind(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		s := Event{Cycle: 3, Kind: k, Stream: 0}.String()
+		if s == "" || strings.Contains(s, "Kind(") {
+			t.Errorf("kind %d renders as %q", k, s)
+		}
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if got := (Event{Kind: KindIssue, Stream: MachineStream}).String(); !strings.Contains(got, "machine") {
+		t.Errorf("machine event renders as %q", got)
+	}
+}
+
+func TestEmitDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(1 << 10)
+	r.EnableMetrics(4)
+	ev := Event{Cycle: 1, Kind: KindIssue, Stream: 2, PC: 0x33}
+	if n := testing.AllocsPerRun(1000, func() { r.Emit(ev); ev.Cycle++ }); n != 0 {
+		t.Fatalf("Emit allocates %v per call, want 0", n)
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultCapacity is the flight recorder's default ring size in events
+// (the CLIs' -trace-buf default).
+const DefaultCapacity = 1 << 16
+
+// DefaultPostMortemEvents is how many trailing events per stream a
+// post-mortem dump shows.
+const DefaultPostMortemEvents = 8
+
+// Recorder is the flight recorder: a fixed-size ring of Events plus an
+// optional metrics registry fed from the same emission stream. The ring
+// is preallocated, so Emit is a store and two integer operations —
+// recording steady state never allocates. Old events are overwritten
+// once the ring wraps; Total counts everything ever emitted so a
+// post-mortem can say how much history was lost.
+//
+// A Recorder is not safe for concurrent use; like the Machine it
+// observes, it belongs to one goroutine. (The parallel sweep engine
+// runs one machine — and one recorder — per worker.)
+type Recorder struct {
+	ring []Event
+	mask uint64 // len(ring)-1; ring sizes are powers of two
+	next uint64 // total events emitted since construction
+	met  *Metrics
+}
+
+// NewRecorder builds a flight recorder holding the last `capacity`
+// events. The capacity is rounded up to a power of two so the ring
+// index is a mask; values < 16 (including 0 and negatives) get the
+// minimum ring of 16.
+func NewRecorder(capacity int) *Recorder {
+	n := 16
+	for n < capacity && n < 1<<30 {
+		n <<= 1
+	}
+	return &Recorder{ring: make([]Event, n), mask: uint64(n - 1)}
+}
+
+// EnableMetrics attaches a metrics registry covering `streams`
+// instruction streams and returns it. Every subsequent Emit updates
+// the registry; events already in the ring are not back-filled.
+func (r *Recorder) EnableMetrics(streams int) *Metrics {
+	r.met = NewMetrics(streams)
+	return r.met
+}
+
+// Metrics returns the attached registry, or nil.
+func (r *Recorder) Metrics() *Metrics { return r.met }
+
+// Emit records one event. Callers stamp the Cycle; the recorder only
+// stores and accounts.
+func (r *Recorder) Emit(ev Event) {
+	r.ring[r.next&r.mask] = ev
+	r.next++
+	if r.met != nil {
+		r.met.observe(ev)
+	}
+}
+
+// Cap returns the ring capacity in events.
+func (r *Recorder) Cap() int { return len(r.ring) }
+
+// Total returns how many events were emitted since construction,
+// including any the ring has since overwritten.
+func (r *Recorder) Total() uint64 { return r.next }
+
+// Events returns the retained events, oldest first. The slice is a
+// copy; the ring keeps recording.
+func (r *Recorder) Events() []Event {
+	n := r.next
+	if n > uint64(len(r.ring)) {
+		n = uint64(len(r.ring))
+	}
+	out := make([]Event, n)
+	start := r.next - n
+	for i := uint64(0); i < n; i++ {
+		out[i] = r.ring[(start+i)&r.mask]
+	}
+	return out
+}
+
+// LastPerStream returns, for each stream seen in the retained window,
+// its trailing n events (oldest first), keyed by stream number.
+// Machine-wide events (Stream < 0) are keyed under MachineStream.
+func (r *Recorder) LastPerStream(n int) map[int][]Event {
+	out := map[int][]Event{}
+	evs := r.Events()
+	for i := len(evs) - 1; i >= 0; i-- {
+		s := int(evs[i].Stream)
+		if len(out[s]) < n {
+			out[s] = append(out[s], evs[i])
+		}
+	}
+	// Each per-stream list was gathered newest-first; flip them.
+	for _, l := range out {
+		for i, j := 0, len(l)-1; i < j; i, j = i+1, j-1 {
+			l[i], l[j] = l[j], l[i]
+		}
+	}
+	return out
+}
+
+// PostMortem formats the trailing n events of every stream — the dump
+// the liveness guard attaches to DeadlockError/CycleLimitError so a
+// wedged run explains itself.
+func (r *Recorder) PostMortem(n int) string {
+	if n <= 0 {
+		n = DefaultPostMortemEvents
+	}
+	per := r.LastPerStream(n)
+	if len(per) == 0 {
+		return ""
+	}
+	keys := make([]int, 0, len(per))
+	for k := range per {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "post-mortem: last %d events per stream (%d recorded, ring holds %d):\n",
+		n, r.Total(), r.Cap())
+	for _, k := range keys {
+		if k == MachineStream {
+			b.WriteString("  machine:\n")
+		} else {
+			fmt.Fprintf(&b, "  IS%d:\n", k)
+		}
+		for _, ev := range per[k] {
+			fmt.Fprintf(&b, "    %s\n", ev)
+		}
+	}
+	return b.String()
+}

@@ -39,7 +39,9 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 		done = true
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
 		}
 		if memPath != "" {
 			f, err := os.Create(memPath)
@@ -47,9 +49,14 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 				fmt.Fprintln(os.Stderr, "prof:", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC() // materialize final live-heap statistics
+			// Report write and close failures both: a full disk at
+			// either point would otherwise leave a silently truncated
+			// or empty profile behind.
 			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+			if err := f.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "prof:", err)
 			}
 		}

@@ -1,0 +1,36 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartMemProfile: stop must produce a non-empty allocation
+// profile and stay idempotent across repeated calls.
+func TestStartMemProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	stop, err := Start("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // second call must be a no-op, not a second truncating write
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("allocation profile is empty")
+	}
+}
+
+// TestStartNoop: with both paths empty, Start hands back a working
+// no-op stop and no error.
+func TestStartNoop(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}

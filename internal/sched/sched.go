@@ -62,7 +62,18 @@ type Scheduler struct {
 	OwnIssues     []uint64 // instructions issued in the stream's own slot
 	DonatedIssues []uint64 // instructions issued in a slot donated by another stream
 	IdleSlots     uint64   // slots in which no stream was ready
+
+	// onDonate, when non-nil, observes every §3.4 throughput-slot
+	// donation: the slot's static owner was not ready and the slot went
+	// to pick instead. The check sits on the donation branch only, so
+	// own-slot issues — the steady state — pay nothing for it.
+	onDonate func(pick, owner int)
 }
+
+// SetObserver installs (or removes, with nil) the donation hook. The
+// observability layer uses it to emit KindSlotDonated events; the
+// scheduler itself never depends on it.
+func (s *Scheduler) SetObserver(donate func(pick, owner int)) { s.onDonate = donate }
 
 // NewEven builds a scheduler that shares the slot table equally among
 // nstream streams.
@@ -207,6 +218,9 @@ func (s *Scheduler) Next(ready ReadyMask) (stream, owner int, ok bool) {
 		}
 		s.rr = int(pick)
 		s.DonatedIssues[pick]++
+		if s.onDonate != nil {
+			s.onDonate(int(pick), owner)
+		}
 		return int(pick), owner, true
 	}
 	s.IdleSlots++
@@ -250,6 +264,9 @@ func (s *Scheduler) nextPriority(r uint32) (int, int, bool) {
 		s.OwnIssues[0]++
 	} else {
 		s.DonatedIssues[i]++
+		if s.onDonate != nil {
+			s.onDonate(i, 0)
+		}
 	}
 	return i, 0, true
 }

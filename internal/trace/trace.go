@@ -105,8 +105,14 @@ func (r *Recorder) OnlyStreamInPipe(s int, from, to int) bool {
 
 // ThroughputSeries measures each stream's share of retired
 // instructions over successive intervals — the data behind Figure 3.3.
-// It steps the machine intervals×intervalLen cycles.
+// It steps the machine intervals×intervalLen cycles. A non-positive
+// interval count or length yields an empty series: there is nothing to
+// measure, and dividing by a zero-length interval would fill the rows
+// with NaN.
 func ThroughputSeries(m *core.Machine, intervals, intervalLen int) [][]float64 {
+	if intervals <= 0 || intervalLen <= 0 {
+		return nil
+	}
 	out := make([][]float64, intervals)
 	prev := make([]uint64, m.Streams())
 	for i := range prev {

@@ -174,6 +174,32 @@ func TestRenderThroughputEmpty(t *testing.T) {
 	}
 }
 
+// TestThroughputSeriesDegenerate: non-positive interval counts or
+// lengths must yield an empty series (and not advance the machine),
+// never rows of NaN from a zero-length division.
+func TestThroughputSeriesDegenerate(t *testing.T) {
+	m := machineWith(t, core.Config{Streams: 1}, `a: ADDI R0, 1
+   JMP a`)
+	m.StartStream(0, 0)
+	for _, tc := range []struct{ intervals, intervalLen int }{
+		{0, 100}, {-3, 100}, {16, 0}, {16, -50}, {0, 0},
+	} {
+		before := m.Stats().Cycles
+		series := ThroughputSeries(m, tc.intervals, tc.intervalLen)
+		if len(series) != 0 {
+			t.Errorf("ThroughputSeries(%d, %d) = %d rows, want empty",
+				tc.intervals, tc.intervalLen, len(series))
+		}
+		if got := m.Stats().Cycles; got != before {
+			t.Errorf("ThroughputSeries(%d, %d) advanced the machine %d cycles",
+				tc.intervals, tc.intervalLen, got-before)
+		}
+		if RenderThroughput(series) != "" {
+			t.Errorf("degenerate series rendered non-empty output")
+		}
+	}
+}
+
 func TestLabelStyles(t *testing.T) {
 	if got := label(core.SlotView{}); got != "--" {
 		t.Fatalf("invalid slot label %q", got)

@@ -1,0 +1,68 @@
+package disc_test
+
+import (
+	"reflect"
+	"testing"
+
+	"disc/internal/core"
+	"disc/internal/isa"
+	"disc/internal/obs"
+	"disc/internal/workload"
+	"disc/internal/xval"
+)
+
+// This file proves the observability layer is neutral: attaching the
+// flight recorder (and metrics registry) observes a run without
+// perturbing it. A machine with recording enabled must be byte-
+// identical — statistics, registers, PCs, interrupt state, memory —
+// to one with hooks nil, over the same generated programs that feed
+// the replicated Table 4.1/4.2 cells. Combined with the counter-
+// alignment test in internal/core, this is the "two views of the same
+// run" contract: the event stream describes the run, it never becomes
+// part of it.
+
+// TestObservabilityNeutrality drives the four Table 4.1 workloads at
+// every stream count with and without a recorder attached and requires
+// identical observable state (the bursty loads run always-active, as
+// in the pipeline-equivalence tests — program generation needs it).
+func TestObservabilityNeutrality(t *testing.T) {
+	for _, p := range workload.Base() {
+		p.MeanOn, p.MeanOff = 0, 0
+		for k := 1; k <= isa.NumStreams; k++ {
+			plain, err := xval.NewLoadMachine(p, k, 0x5EED, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			observed, err := xval.NewLoadMachine(p, k, 0x5EED, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := obs.NewRecorder(1 << 12)
+			rec.EnableMetrics(k)
+			observed.SetRecorder(rec)
+
+			tag := p.Name + "/k=" + string(rune('0'+k))
+			plain.Run(20000)
+			observed.Run(20000)
+			ps, os := observableState(plain), observableState(observed)
+			if !reflect.DeepEqual(ps, os) {
+				t.Errorf("%s: recording perturbed the run\nplain:    %+v\nobserved: %+v", tag, ps, os)
+			}
+			if pu, ou := plain.Stats().Utilization(), observed.Stats().Utilization(); pu != ou {
+				t.Errorf("%s: PD cell differs under recording: plain %v, observed %v", tag, pu, ou)
+			}
+			if rec.Total() == 0 {
+				t.Errorf("%s: recorder attached but saw no events", tag)
+			}
+
+			// Detaching mid-run must be neutral too: both machines keep
+			// agreeing after the observed one drops its hooks.
+			observed.SetRecorder(nil)
+			plain.Run(5000)
+			observed.Run(5000)
+			if !reflect.DeepEqual(observableState(plain), observableState(observed)) {
+				t.Errorf("%s: machines diverged after detaching the recorder", tag)
+			}
+		}
+	}
+}
