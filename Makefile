@@ -1,9 +1,9 @@
 # Single documented quality gate; CI and pre-commit both run `make check`.
 GO ?= go
 
-.PHONY: check build vet test race chaos lint-examples bench bench-core equiv obs-bench
+.PHONY: check build vet test race chaos lint-examples bench bench-core equiv obs-bench absint detlint
 
-check: build vet test race chaos equiv obs-bench
+check: build vet test race chaos equiv obs-bench absint detlint
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,20 @@ chaos:
 obs-bench:
 	$(GO) test -run TestObsDisabledZeroAllocs -count=1 .
 	OBS_BENCH=1 $(GO) test -run TestObsBench -count=1 -v .
+
+# Abstract-interpretation gate: the analysis engine's structural
+# invariants and idempotence over random images, the disclint golden
+# -json/-facts-out pins, and the differential validator that replays
+# Table 4.1 loads and chaos schedules against the static block
+# summaries. `test` covers these too; this target names the gate.
+absint:
+	$(GO) test -run 'TestRandomImages|TestAbsint|TestJSONGolden|TestFactsOut' ./internal/analysis/ ./internal/core/ ./cmd/disclint/
+
+# Determinism linter: forbid wall-clock reads, global math/rand and
+# map-order iteration in the packages whose outputs must be
+# bit-identical run to run.
+detlint:
+	$(GO) run ./cmd/detlint internal/core internal/sched internal/obs internal/parallel internal/stoch internal/rng internal/analysis
 
 # Convenience: re-lint the shipped assembly library and every example
 # program (same checks `make test` already runs, but in isolation).

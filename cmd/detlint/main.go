@@ -1,0 +1,50 @@
+// Command detlint runs the repository's determinism linter
+// (internal/detlint) over Go package directories: it flags wall-clock
+// reads, global math/rand use and map-order iteration in code whose
+// outputs must be bit-identical run to run.
+//
+// Usage:
+//
+//	detlint dir [dir...]
+//
+// Findings print one per line as file:line:col: rule: message. Exit
+// status: 0 clean, 1 findings, 2 usage or I/O errors. Suppress an
+// individual line with a `//detlint:ignore <reason>` comment on the
+// same or preceding line.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"disc/internal/detlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: detlint dir [dir...]")
+		return 2
+	}
+	total := 0
+	for _, dir := range args {
+		fs, err := detlint.CheckDir(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "detlint:", err)
+			return 2
+		}
+		for _, f := range fs {
+			fmt.Fprintln(stdout, f)
+		}
+		total += len(fs)
+	}
+	if total > 0 {
+		fmt.Fprintf(stderr, "detlint: %d finding(s)\n", total)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// exec runs the CLI entry against args, capturing stdout and stderr.
+func exec(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func writeTemp(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cleanSrc = `
+main:
+    LDI R0, 1
+    HALT
+`
+
+// One warning (use-before-def), no errors: the -Werror pivot case.
+const warnSrc = `
+main:
+    ADDI R0, 1
+    HALT
+`
+
+// badArgs analyzes the golden fixture with every value-pass feature on.
+var badArgs = []string{"-hints", "-bus", "0x400:64:2", "testdata/bad.s"}
+
+// TestExitCodes pins the documented contract: 0 clean, 1 findings or
+// load failure, 2 usage.
+func TestExitCodes(t *testing.T) {
+	clean := writeTemp(t, "clean.s", cleanSrc)
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"clean", []string{clean}, 0},
+		{"errors", badArgs, 1},
+		{"no-args", nil, 2},
+		{"bad-flag", []string{"-nosuchflag", clean}, 2},
+		{"two-files", []string{clean, clean}, 2},
+		{"missing-file", []string{filepath.Join(t.TempDir(), "nope.s")}, 1},
+		{"bad-pass-name", []string{"-passes", "nosuch", clean}, 2},
+		{"bad-bus-map", []string{"-bus", "junk", clean}, 2},
+		{"warnings-ok", []string{writeTemp(t, "warn.s", warnSrc)}, 0},
+		{"warnings-werror", []string{"-Werror", writeTemp(t, "warn.s", warnSrc)}, 1},
+	}
+	for _, tc := range cases {
+		if _, _, code := exec(t, tc.args...); code != tc.code {
+			t.Errorf("%s: exit %d, want %d", tc.name, code, tc.code)
+		}
+	}
+}
+
+// TestJSONGolden pins the -json schema byte for byte against the
+// checked-in golden file, and requires two runs to be byte-identical
+// (the report must not leak map order or any other nondeterminism).
+func TestJSONGolden(t *testing.T) {
+	args := append([]string{"-json"}, badArgs...)
+	out1, _, code := exec(t, args...)
+	if code != 1 {
+		t.Fatalf("fixture should exit 1, got %d", code)
+	}
+	out2, _, _ := exec(t, args...)
+	if out1 != out2 {
+		t.Fatalf("-json output differs between identical runs:\n%s\n----\n%s", out1, out2)
+	}
+	want, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != string(want) {
+		t.Fatalf("-json output drifted from testdata/golden.json:\n%s", out1)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out1), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != reportSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, reportSchema)
+	}
+	if rep.Errors == 0 || len(rep.Findings) == 0 {
+		t.Fatalf("fixture produced no errors: %+v", rep)
+	}
+}
+
+// TestPassFilter: -passes restricts the report to the named passes.
+func TestPassFilter(t *testing.T) {
+	args := append([]string{"-json", "-passes", "value"}, badArgs...)
+	out, _, _ := exec(t, args...)
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("value pass found nothing in the fixture")
+	}
+	for _, f := range rep.Findings {
+		if f.Pass != "value" {
+			t.Fatalf("finding from pass %q leaked through the filter", f.Pass)
+		}
+	}
+}
+
+// TestFactsOut: the block-summary facts land in the named file, carry
+// the pinned schema, and are byte-stable across runs.
+func TestFactsOut(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "facts1.json")
+	f2 := filepath.Join(dir, "facts2.json")
+	if _, _, code := exec(t, append([]string{"-facts-out", f1}, badArgs...)...); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	exec(t, append([]string{"-facts-out", f2}, badArgs...)...)
+	b1, err := os.ReadFile(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("facts output differs between identical runs")
+	}
+	var facts struct {
+		Schema string `json:"schema"`
+		Blocks []struct {
+			Start int  `json:"start"`
+			Len   int  `json:"len"`
+			Free  bool `json:"event_free"`
+		} `json:"blocks"`
+	}
+	if err := json.Unmarshal(b1, &facts); err != nil {
+		t.Fatal(err)
+	}
+	if facts.Schema != "disc-absint/1" {
+		t.Fatalf("facts schema %q", facts.Schema)
+	}
+	if len(facts.Blocks) == 0 {
+		t.Fatal("facts carry no blocks")
+	}
+}
+
+// TestQuietAndRender: -q keeps only errors in the human output, and the
+// render format carries file, line, severity, pass and label.
+func TestQuietAndRender(t *testing.T) {
+	out, _, _ := exec(t, badArgs...)
+	for _, frag := range []string{"testdata/bad.s:11:", "error:", "[value]", "taken+2", "unmapped"} {
+		if !bytes.Contains([]byte(out), []byte(frag)) {
+			t.Errorf("human output missing %q:\n%s", frag, out)
+		}
+	}
+	qout, _, _ := exec(t, append([]string{"-q"}, badArgs...)...)
+	if bytes.Contains([]byte(qout), []byte("warning")) {
+		t.Errorf("-q leaked warnings:\n%s", qout)
+	}
+	if !bytes.Contains([]byte(qout), []byte("error")) {
+		t.Errorf("-q dropped errors:\n%s", qout)
+	}
+}

@@ -1,0 +1,13 @@
+; disclint golden fixture: trips the value pass three ways (branch
+; fate, provably-unmapped bus address, constant-fold hint) plus a
+; use-before-def in the dead fall-through arm.
+main:
+    LDI  R0, 5
+    CMPI R0, 5
+    BEQ  taken          ; always taken: the fall-through arm is dead
+    ADDI R1, 1          ; reads R1 before any write
+taken:
+    LI   R2, 0xE000     ; no device decodes this address
+    LD   R3, [R2+0]     ; provably unmapped under -bus
+    MUL  R4, R0, R0     ; always 25: foldable under -hints
+    HALT

@@ -71,6 +71,29 @@ func AssembleChecked(source string, opts AnalysisOptions) (*Image, error) {
 	return asm.AssembleWith(source, analysis.Gate(opts))
 }
 
+// Abstract-interpretation facts (internal/analysis): SummarizeImage is
+// AnalyzeImage plus the machine-readable block summaries a block JIT or
+// schedule planner consumes — basic blocks with side-effect flags, net
+// stack-window deltas, bus-access and static-stall bounds, and
+// per-entry stream profiles. The summary serializes as JSON under the
+// pinned schema "disc-absint/1" (disclint -facts-out).
+type (
+	// ProgramSummary is the whole-image fact base.
+	ProgramSummary = analysis.Summary
+	// BlockSummary is one basic block's side-effect summary.
+	BlockSummary = analysis.BlockSummary
+	// StreamProfile aggregates block facts over one stream entry.
+	StreamProfile = analysis.StreamProfile
+	// BusRange declares one decoded bus window to the value pass.
+	BusRange = analysis.BusRange
+)
+
+// SummarizeImage runs the analysis pipeline and returns the block
+// summaries together with the diagnostic report.
+func SummarizeImage(im *Image, opts AnalysisOptions) (*ProgramSummary, *AnalysisReport) {
+	return analysis.Summarize(im, opts)
+}
+
 // Disassemble renders machine words as assembly, one line per word.
 func Disassemble(words []Word, base uint16) []string { return asm.Disassemble(words, base) }
 

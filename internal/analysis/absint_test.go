@@ -1,0 +1,421 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"disc/internal/asm"
+	"disc/internal/isa"
+)
+
+// summarizeSrc assembles src and runs Summarize.
+func summarizeSrc(t *testing.T, src string, opts Options) (*Summary, *Report) {
+	t.Helper()
+	im, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return Summarize(im, opts)
+}
+
+// findByPass returns the findings of one pass, failing the test when
+// the count differs from want.
+func findByPass(t *testing.T, r *Report, pass string, want int) []Finding {
+	t.Helper()
+	fs := r.ByPass(pass)
+	if len(fs) != want {
+		t.Fatalf("%s findings: got %d, want %d:\n%s", pass, len(fs), want, dumpReport(r))
+	}
+	return fs
+}
+
+func dumpReport(r *Report) string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestValueBranchFates: the interval domain proves branch outcomes
+// from constants, and widening keeps loop back-edges honest.
+func TestValueBranchFates(t *testing.T) {
+	t.Run("always-taken", func(t *testing.T) {
+		r := analyzeSrc(t, `
+main:
+    LDI  R0, 5
+    CMPI R0, 5
+    BEQ  done
+    NOP
+done:
+    HALT
+`, Options{VectorBase: 0x200, EntryLabels: []string{"main"}})
+		fs := findByPass(t, r, PassValue, 1)
+		if fs[0].Addr != 2 || !strings.Contains(fs[0].Msg, "always taken") {
+			t.Fatalf("wrong finding: %s", fs[0])
+		}
+	})
+	t.Run("never-taken", func(t *testing.T) {
+		r := analyzeSrc(t, `
+main:
+    LDI  R0, 1
+    CMPI R0, 0
+    BEQ  dead
+    HALT
+dead:
+    HALT
+`, Options{VectorBase: 0x200, EntryLabels: []string{"main"}})
+		fs := findByPass(t, r, PassValue, 1)
+		if fs[0].Addr != 2 || !strings.Contains(fs[0].Msg, "never taken") {
+			t.Fatalf("wrong finding: %s", fs[0])
+		}
+	})
+	t.Run("loop-counter-widens-to-unknown", func(t *testing.T) {
+		// The first fixpoint visit sees R2 == 8 at the BNE; widening on
+		// the back edge must erase that certainty, so a counted loop
+		// produces no fate finding.
+		r := analyzeSrc(t, `
+main:
+    LDI  R2, 8
+loop:
+    ADDI R3, 1
+    SUBI R2, 1
+    BNE  loop
+    HALT
+`, Options{VectorBase: 0x200, EntryLabels: []string{"main"}})
+		findByPass(t, r, PassValue, 0)
+	})
+	t.Run("signed-disjoint-regions", func(t *testing.T) {
+		// R0 in 0x8000.. (negative), R1 small positive: BLT always.
+		r := analyzeSrc(t, `
+main:
+    LDHI R0, 0x80
+    LDI  R1, 3
+    CMP  R0, R1
+    BLT  neg
+    NOP
+neg:
+    HALT
+`, Options{VectorBase: 0x200, EntryLabels: []string{"main"}})
+		fs := findByPass(t, r, PassValue, 1)
+		if !strings.Contains(fs[0].Msg, "always taken") {
+			t.Fatalf("wrong finding: %s", fs[0])
+		}
+	})
+}
+
+// TestValueUnmapped: an effective address provably outside every
+// configured bus range is an error finding; mapped and internal
+// accesses are not.
+func TestValueUnmapped(t *testing.T) {
+	src := `
+main:
+    LI   R4, 0xE000
+    LD   R5, [R4+0]     ; unmapped: nothing at 0xE000
+    LI   R6, 0x0400
+    LD   R7, [R6+2]     ; mapped RAM
+    LDM  R3, [0x20]     ; internal memory, never on the bus
+    HALT
+`
+	ranges := []BusRange{{Base: 0x0400, Size: 64, Wait: 3}}
+	r := analyzeSrc(t, src, Options{VectorBase: 0x200, EntryLabels: []string{"main"}, BusRanges: ranges})
+	fs := findByPass(t, r, PassValue, 1)
+	if fs[0].Severity != Error || !strings.Contains(fs[0].Msg, "provably unmapped") {
+		t.Fatalf("wrong finding: %s", fs[0])
+	}
+	// Without a device map the pass stays silent (nothing provable).
+	r = analyzeSrc(t, src, Options{VectorBase: 0x200, EntryLabels: []string{"main"}})
+	findByPass(t, r, PassValue, 0)
+}
+
+// TestConstHints: opt-in info findings for foldable ALU work.
+func TestConstHints(t *testing.T) {
+	src := `
+main:
+    LDI  R0, 6
+    LDI  R1, 7
+    MUL  R2, R0, R1
+    HALT
+`
+	r := analyzeSrc(t, src, Options{VectorBase: 0x200, EntryLabels: []string{"main"}, ConstHints: true})
+	fs := findByPass(t, r, PassValue, 1)
+	if fs[0].Severity != Info || !strings.Contains(fs[0].Msg, "0x002a") {
+		t.Fatalf("wrong hint: %s", fs[0])
+	}
+	r = analyzeSrc(t, src, Options{VectorBase: 0x200, EntryLabels: []string{"main"}})
+	findByPass(t, r, PassValue, 0)
+}
+
+// TestLivelock: a pure register spin is flagged; loops with any
+// observable escape channel are not.
+func TestLivelock(t *testing.T) {
+	flagged := func(src string, want int) {
+		t.Helper()
+		r := analyzeSrc(t, src, Options{VectorBase: 0x200, EntryLabels: []string{"main"}})
+		findByPass(t, r, PassLivelock, want)
+	}
+	// Pure spin: flagged.
+	flagged(`
+main:
+    LDI  R0, 0
+spin:
+    ADDI R0, 1
+    JMP  spin
+`, 1)
+	// Memory polling: another stream can change the word — not flagged.
+	flagged(`
+main:
+    LDI  R2, 0x40
+spin:
+    LD   R0, [R2+0]
+    JMP  spin
+`, 0)
+	// WAITI join: IRQ-visible yield — not flagged.
+	flagged(`
+main:
+spin:
+    WAITI 1
+    JMP  spin
+`, 0)
+	// Conditional exit of unknown fate — not flagged.
+	flagged(`
+main:
+spin:
+    ADDI R0, 1
+    CMPI R0, 100
+    BNE  spin
+    HALT
+`, 0)
+}
+
+// TestLivelockPrunedExit: a loop whose only exit is a provably dead
+// branch edge is a livelock even though the CFG shows an edge.
+func TestLivelockPrunedExit(t *testing.T) {
+	r := analyzeSrc(t, `
+main:
+    LDI  R0, 1
+loop:
+    ADDI R0, 0
+    CMPI R0, 1
+    BEQ  loop
+    HALT
+`, Options{VectorBase: 0x200, EntryLabels: []string{"main"}})
+	findByPass(t, r, PassLivelock, 1)
+	fs := findByPass(t, r, PassValue, 1)
+	if !strings.Contains(fs[0].Msg, "always taken") {
+		t.Fatalf("expected the always-taken companion finding, got: %s", fs[0])
+	}
+}
+
+// TestBlockSummaries pins the partitioning and the per-block facts on
+// a program exercising every summary dimension.
+func TestBlockSummaries(t *testing.T) {
+	src := `
+main:
+    LDI  R2, 8          ; 0  block A: 0..1
+    LDI  R3, 0          ; 1
+loop:
+    ADD  R3, R3, R2     ; 2  block B: 2..4 (loop body)
+    SUBI R2, 1          ; 3
+    BNE  loop           ; 4
+    LI   R4, 0x0400     ; 5,6  block C: 5..9
+    LD   R5, [R4+2]     ; 7  external access
+    STM  R3, [0x20]     ; 8  internal access
+    CALL sub            ; 9
+    HALT                ; 10 block D
+sub:
+    NOP+                ; 11 block E: 11..13
+    ADDI R1, 1          ; 12
+    RET  1              ; 13
+`
+	ranges := []BusRange{{Base: 0x0400, Size: 64, Wait: 3}}
+	sum, rep := summarizeSrc(t, src, Options{
+		VectorBase: 0x200, EntryLabels: []string{"main"},
+		BusRanges: ranges,
+	})
+	if got, _ := rep.Max(); got == Error {
+		t.Fatalf("unexpected errors:\n%s", dumpReport(rep))
+	}
+	if sum.Schema != SummarySchema {
+		t.Fatalf("schema %q", sum.Schema)
+	}
+	type want struct {
+		start, end uint16
+		eventFree  bool
+		bus, intl  int
+		delta      int
+		known      bool
+	}
+	wants := []want{
+		{0, 1, true, 0, 0, 0, true},
+		{2, 4, true, 0, 0, 0, true},
+		{5, 9, false, 1, 1, 1, true},
+		{10, 10, false, 0, 0, 0, true},
+		{11, 13, true, 0, 0, -1, true},
+	}
+	if len(sum.Blocks) != len(wants) {
+		t.Fatalf("got %d blocks, want %d: %+v", len(sum.Blocks), len(wants), sum.Blocks)
+	}
+	for i, w := range wants {
+		b := sum.Blocks[i]
+		if b.Start != w.start || b.End != w.end {
+			t.Errorf("block %d spans %04x..%04x, want %04x..%04x", i, b.Start, b.End, w.start, w.end)
+		}
+		if b.EventFree != w.eventFree || b.BusAccesses != w.bus || b.InternalAccesses != w.intl {
+			t.Errorf("block %d: eventFree=%v bus=%d internal=%d, want %v/%d/%d",
+				i, b.EventFree, b.BusAccesses, b.InternalAccesses, w.eventFree, w.bus, w.intl)
+		}
+		if b.NetWindowDelta != w.delta || b.DeltaKnown != w.known {
+			t.Errorf("block %d: delta=%d known=%v, want %d/%v", i, b.NetWindowDelta, b.DeltaKnown, w.delta, w.known)
+		}
+	}
+	// The HALT block is interrupt-visible and stream control.
+	if d := sum.Blocks[3]; !d.IRQVisible || !d.StreamControl {
+		t.Errorf("HALT block not marked irq/stream: %+v", d)
+	}
+	// Loop block succs: itself and the following leader.
+	if got := sum.Blocks[1].Succs; !reflect.DeepEqual(got, []uint16{2, 5}) {
+		t.Errorf("loop succs %v", got)
+	}
+	// Bus block stall bound: own 3 + (4-1)*(hold 3 + pipe 4) = 24.
+	if got := sum.Blocks[2].StallBound; got != 24 {
+		t.Errorf("stall bound %d, want 24", got)
+	}
+	// BlockAt finds interior addresses and rejects gaps.
+	if b := sum.BlockAt(7); b == nil || b.Start != 5 {
+		t.Errorf("BlockAt(7) = %+v", b)
+	}
+	if b := sum.BlockAt(0x300); b != nil {
+		t.Errorf("BlockAt(0x300) = %+v", b)
+	}
+	// One strict-entry profile covering every block.
+	if len(sum.Profiles) != 1 {
+		t.Fatalf("profiles: %+v", sum.Profiles)
+	}
+	p := sum.Profiles[0]
+	if p.Label != "main" || p.Blocks != 5 || p.EventFreeBlocks != 3 ||
+		p.BusAccessSites != 1 || p.MaxBlockStall != 24 || !p.Bounded {
+		t.Errorf("profile %+v", p)
+	}
+}
+
+// TestStallBounds covers the bound model's fallbacks: unknown device
+// latency without a timeout is unbounded; a timeout caps everything.
+func TestStallBounds(t *testing.T) {
+	src := `
+main:
+    LI   R4, 0x0400
+    LD   R5, [R4+0]
+    HALT
+`
+	base := Options{VectorBase: 0x200, EntryLabels: []string{"main"}}
+
+	opts := base
+	opts.BusRanges = []BusRange{{Base: 0x0400, Size: 64, Wait: 0}} // unknown latency
+	sum, _ := summarizeSrc(t, src, opts)
+	if got := sum.BlockAt(2).StallBound; got != StallUnbounded {
+		t.Errorf("unknown latency, no timeout: bound %d, want unbounded", got)
+	}
+
+	opts.BusTimeout = 20
+	sum, _ = summarizeSrc(t, src, opts)
+	// own and hold both capped at 20: 20 + 3*(20+4) = 92.
+	if got := sum.BlockAt(2).StallBound; got != 92 {
+		t.Errorf("timeout-capped bound %d, want 92", got)
+	}
+
+	opts = base
+	opts.Streams = 1
+	opts.BusRanges = []BusRange{{Base: 0x0400, Size: 64, Wait: 5}}
+	sum, _ = summarizeSrc(t, src, opts)
+	// Single stream: no contention term.
+	if got := sum.BlockAt(2).StallBound; got != 5 {
+		t.Errorf("uncontended bound %d, want 5", got)
+	}
+
+	// MTS AWP makes the window delta unknowable and the block
+	// interrupt-opaque for the event-free claim.
+	sum, _ = summarizeSrc(t, `
+main:
+    LDI  R0, 64
+    MTS  AWP, R0
+    HALT
+`, base)
+	b := sum.BlockAt(1)
+	if b == nil || b.DeltaKnown || b.EventFree {
+		t.Errorf("MTS AWP block: %+v", b)
+	}
+}
+
+// TestSummarizeIdempotent: two runs over the same image and options
+// yield deeply equal summaries and reports.
+func TestSummarizeIdempotent(t *testing.T) {
+	im, err := asm.Assemble(`
+main:
+    LDI  R0, 3
+w:
+    SUBI R0, 1
+    BNE  w
+    LI   R5, 0xF000
+    LD   R6, [R5+1]
+    HALT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{VectorBase: 0x200, EntryLabels: []string{"main"},
+		BusRanges: []BusRange{{Base: 0xF000, Size: 8, Wait: 2}}, BusTimeout: 16}
+	s1, r1 := Summarize(im, opts)
+	s2, r2 := Summarize(im, opts)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("summaries differ:\n%+v\n%+v", s1, s2)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("reports differ")
+	}
+}
+
+// TestReportEdgeCases pins the Report accessors' degenerate behaviour.
+func TestReportEdgeCases(t *testing.T) {
+	var r Report
+	if sev, ok := r.Max(); ok || sev != Info {
+		t.Errorf("empty Max = %v, %v", sev, ok)
+	}
+	if r.ErrorCount() != 0 {
+		t.Errorf("empty ErrorCount = %d", r.ErrorCount())
+	}
+	if fs := r.ByPass("no-such-pass"); fs != nil {
+		t.Errorf("ByPass(unknown) = %v", fs)
+	}
+	r.Findings = []Finding{{Pass: PassValue, Severity: Warning, Msg: "x"}}
+	if fs := r.ByPass("no-such-pass"); fs != nil {
+		t.Errorf("ByPass(unknown) on non-empty = %v", fs)
+	}
+	if sev, ok := r.Max(); !ok || sev != Warning {
+		t.Errorf("Max = %v, %v", sev, ok)
+	}
+}
+
+// TestFindingStringDegrades: findings keep rendering without a label
+// table (hex images) and without position metadata at all.
+func TestFindingStringDegrades(t *testing.T) {
+	f := Finding{Pass: PassValue, Severity: Warning, Addr: 0x00FF, Msg: "m"}
+	if got := f.String(); got != "00ff: value: warning: m" {
+		t.Errorf("bare finding renders %q", got)
+	}
+	// An image with every metadata map nil (hex round-trip) must
+	// analyze and render without panicking.
+	im := &asm.Image{Sections: []asm.Section{{Base: 0, Words: []isa.Word{0}}}}
+	r := Analyze(im, Options{VectorBase: 0x200, EntryLabels: []string{"ghost"}})
+	found := false
+	for _, f := range r.Findings {
+		if strings.Contains(f.String(), `"ghost"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing entry-label finding:\n%s", dumpReport(r))
+	}
+}

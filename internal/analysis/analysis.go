@@ -61,13 +61,21 @@ func (s Severity) String() string {
 
 // Pass names, as reported in Finding.Pass.
 const (
-	PassDecode = "decode"
-	PassCFG    = "cfg"
-	PassReach  = "reach"
-	PassWindow = "window"
-	PassUseDef = "usedef"
-	PassVector = "vector"
+	PassDecode   = "decode"
+	PassCFG      = "cfg"
+	PassReach    = "reach"
+	PassWindow   = "window"
+	PassUseDef   = "usedef"
+	PassVector   = "vector"
+	PassValue    = "value"
+	PassLivelock = "livelock"
 )
+
+// PassNames lists every pass the pipeline can report, in run order.
+var PassNames = []string{
+	PassDecode, PassCFG, PassReach, PassWindow, PassUseDef, PassVector,
+	PassValue, PassLivelock,
+}
 
 // Finding is one diagnostic produced by a pass.
 type Finding struct {
@@ -113,6 +121,17 @@ type Options struct {
 	// the spill advisory; 0 selects stackwin.DefaultDepth, negative
 	// disables the advisory.
 	WindowDepth int
+	// BusRanges describes the attached bus devices. When non-empty, the
+	// value pass reports provably-unmapped external accesses as errors,
+	// and the stall bounds use each range's worst-case Wait.
+	BusRanges []BusRange
+	// BusTimeout is the bus's bounded-wait budget in cycles (the
+	// Bus.SetTimeout value); 0 means unbounded waits, which makes stall
+	// bounds on unknown devices StallUnbounded.
+	BusTimeout int
+	// ConstHints enables info-severity constant-fold hints from the
+	// value pass.
+	ConstHints bool
 }
 
 // Report is the outcome of one Analyze run, findings sorted by address.
@@ -159,7 +178,13 @@ func (r *Report) ByPass(pass string) []Finding {
 
 // Analyze runs the full pass pipeline over an assembled image.
 func Analyze(im *asm.Image, opts Options) *Report {
-	a := newAnalyzer(im, opts)
+	return newAnalyzer(im, opts).runPasses()
+}
+
+// runPasses executes the pipeline in order and returns the sorted
+// report. The analyzer retains the fixpoint state afterwards, which is
+// what buildSummary consumes.
+func (a *analyzer) runPasses() *Report {
 	a.checkOverlap()
 	a.checkDecode()
 	a.findEntries()
@@ -167,6 +192,8 @@ func Analyze(im *asm.Image, opts Options) *Report {
 	a.checkUnreachable()
 	a.windowDepthPass()
 	a.useDefPass()
+	a.valuePass()
+	a.livelockPass()
 	sort.SliceStable(a.findings, func(i, j int) bool {
 		if a.findings[i].Addr != a.findings[j].Addr {
 			return a.findings[i].Addr < a.findings[j].Addr

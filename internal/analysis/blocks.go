@@ -1,0 +1,392 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"disc/internal/asm"
+	"disc/internal/isa"
+)
+
+// Block-summary layer. Partitions the reachable code into basic blocks
+// and derives, per block, the machine-readable side-effect facts a
+// block-compiled executor needs before it may run a block without
+// checking the world in between instructions:
+//
+//   - does the block touch the asynchronous bus (and how many sites)?
+//   - can it change any stream's interrupt state or runnability?
+//   - does it write H or the SR flags (per-stream context a JIT must
+//     keep coherent)?
+//   - its net stack-window delta, when statically known;
+//   - a worst-case ABI stall bound derived from the bus timeout model.
+//
+// A block with no bus access, no IRQ-visible or stream-control effect
+// and a known window delta is EventFree: executing it emits no
+// interleave-visible event of its own, which is precisely the license
+// ROADMAP item 2's block engine needs. (Interrupts arriving from
+// outside can still preempt the stream mid-block — that is the
+// engine's check at block entry, not a property of the block.)
+
+// BusRange describes one attached bus device span for the stall-bound
+// and unmapped-address analyses. Wait is the device's worst-case
+// per-access wait in bus cycles; 0 means unknown.
+type BusRange struct {
+	Base uint16 `json:"base"`
+	Size uint16 `json:"size"`
+	Wait int    `json:"wait"`
+}
+
+// StallUnbounded marks a stall bound that no static argument limits
+// (an access that may reach an unknown device with no bus timeout).
+const StallUnbounded int64 = -1
+
+// BlockSummary is the per-block fact record. Addresses are inclusive:
+// the block spans Start..End in program memory.
+type BlockSummary struct {
+	Start uint16 `json:"start"`
+	End   uint16 `json:"end"`
+	Len   int    `json:"len"`
+	// Label is the nearest preceding label of Start, "name+off" form.
+	Label string `json:"label,omitempty"`
+	// Succs are the statically known successor block leaders.
+	Succs []uint16 `json:"succs,omitempty"`
+
+	// BusAccesses counts memory sites that may engage the ABI;
+	// InternalAccesses counts sites proven to stay in internal memory.
+	BusAccesses      int `json:"bus_accesses"`
+	InternalAccesses int `json:"internal_accesses"`
+
+	IRQVisible    bool `json:"irq_visible"`
+	StreamControl bool `json:"stream_control"`
+	WritesH       bool `json:"writes_h"`
+	WritesSR      bool `json:"writes_sr"`
+
+	// NetWindowDelta is the block's total AWP movement when DeltaKnown;
+	// an MTS AWP inside the block makes it unknowable.
+	NetWindowDelta int  `json:"net_window_delta"`
+	DeltaKnown     bool `json:"delta_known"`
+
+	// EventFree: executing the block emits no ABI, interrupt or
+	// stream-control event and moves the window by exactly
+	// NetWindowDelta.
+	EventFree bool `json:"event_free"`
+
+	// StallBound is the worst-case cycles the block can spend blocked
+	// on the ABI (own accesses plus contention), StallUnbounded when no
+	// static bound exists, 0 for bus-free blocks.
+	StallBound int64 `json:"stall_bound"`
+}
+
+// StreamProfile aggregates block facts over everything reachable from
+// one strict entry — the static load-delay profile of that stream.
+type StreamProfile struct {
+	Entry           uint16 `json:"entry"`
+	Label           string `json:"label,omitempty"`
+	Blocks          int    `json:"blocks"`
+	EventFreeBlocks int    `json:"event_free_blocks"`
+	BusAccessSites  int    `json:"bus_access_sites"`
+	// MaxBlockStall is the worst single-block stall bound on the
+	// stream's paths; Bounded is false when any reachable access has no
+	// static bound.
+	MaxBlockStall int64 `json:"max_block_stall"`
+	Bounded       bool  `json:"bounded"`
+}
+
+// SummarySchema identifies the Summary JSON layout; bump on any
+// incompatible change (the disclint golden test pins it).
+const SummarySchema = "disc-absint/1"
+
+// Summary is the machine-readable result of one Summarize run.
+type Summary struct {
+	Schema     string          `json:"schema"`
+	Streams    int             `json:"streams"`
+	BusTimeout int             `json:"bus_timeout"`
+	Blocks     []BlockSummary  `json:"blocks"`
+	Profiles   []StreamProfile `json:"profiles,omitempty"`
+}
+
+// BlockAt returns the block containing pc, or nil.
+func (s *Summary) BlockAt(pc uint16) *BlockSummary {
+	i := sort.Search(len(s.Blocks), func(i int) bool { return s.Blocks[i].End >= pc })
+	if i < len(s.Blocks) && s.Blocks[i].Start <= pc && pc <= s.Blocks[i].End {
+		return &s.Blocks[i]
+	}
+	return nil
+}
+
+// Summarize runs the full analysis pipeline and additionally builds
+// the block-summary layer. The Report is identical to Analyze's.
+func Summarize(im *asm.Image, opts Options) (*Summary, *Report) {
+	a := newAnalyzer(im, opts)
+	rep := a.runPasses()
+	return a.buildSummary(), rep
+}
+
+// leaders computes the block-leader set over reachable code.
+func (a *analyzer) leaders() map[uint16]bool {
+	l := map[uint16]bool{}
+	//detlint:ignore set-to-set copy; visit order cannot matter
+	for addr := range a.entries {
+		l[addr] = true
+	}
+	for _, addr := range a.addrs {
+		ins := a.code[addr]
+		if !a.reach[addr] || ins.bad != nil || ins.data {
+			continue
+		}
+		if ins.in.Flow() != isa.FlowFall {
+			l[addr+1] = true // whatever follows a transfer starts a block
+			if t, ok := ins.in.StaticTarget(addr); ok {
+				l[t] = true
+			}
+		}
+	}
+	return l
+}
+
+// buildSummary partitions reachable code into blocks and summarizes
+// each. It requires runPasses to have run (reachability, value states
+// and fates are inputs).
+func (a *analyzer) buildSummary() *Summary {
+	sum := &Summary{
+		Schema:     SummarySchema,
+		Streams:    a.streams(),
+		BusTimeout: a.opts.BusTimeout,
+	}
+	lead := a.leaders()
+
+	var cur *BlockSummary
+	var prev uint16
+	flush := func() {
+		if cur != nil {
+			a.finishBlock(cur)
+			sum.Blocks = append(sum.Blocks, *cur)
+			cur = nil
+		}
+	}
+	for _, addr := range a.addrs {
+		ins := a.code[addr]
+		if !a.reach[addr] || ins.bad != nil || ins.data {
+			flush()
+			continue
+		}
+		if cur == nil || lead[addr] || addr != prev+1 {
+			flush()
+			cur = &BlockSummary{Start: addr, DeltaKnown: true, StallBound: 0}
+			if name, off, ok := a.im.NearestLabel(addr); ok {
+				if off == 0 {
+					cur.Label = name
+				} else {
+					cur.Label = fmt.Sprintf("%s+%d", name, off)
+				}
+			}
+		}
+		cur.End = addr
+		cur.Len++
+		prev = addr
+		a.accumulate(cur, ins)
+		if ins.in.Flow() != isa.FlowFall {
+			flush()
+		}
+	}
+	flush()
+
+	sort.Slice(sum.Blocks, func(i, j int) bool { return sum.Blocks[i].Start < sum.Blocks[j].Start })
+	a.buildProfiles(sum)
+	return sum
+}
+
+// accumulate folds one instruction's effects into its block summary.
+func (a *analyzer) accumulate(b *BlockSummary, ins *instr) {
+	in := ins.in
+	if _, _, _, isMem := in.MemAccess(); isMem {
+		ea := topv()
+		if st := a.vals[ins.addr]; st != nil {
+			if v, ok := eaInterval(in, st); ok {
+				ea = v
+			}
+		}
+		if classifyEA(ea) == memInternal {
+			b.InternalAccesses++
+		} else {
+			b.BusAccesses++
+			b.StallBound = addStall(b.StallBound, a.stallPerAccess(ea))
+		}
+	}
+	if in.IRQVisible() {
+		b.IRQVisible = true
+	}
+	if in.StreamControl() {
+		b.StreamControl = true
+	}
+	if in.WritesH() {
+		b.WritesH = true
+	}
+	if in.SetsFlags() {
+		b.WritesSR = true
+	}
+	delta, known := in.AWPDelta()
+	if !known {
+		b.DeltaKnown = false
+	} else {
+		b.NetWindowDelta += delta
+	}
+}
+
+// finishBlock computes the derived fields once the block is complete.
+func (a *analyzer) finishBlock(b *BlockSummary) {
+	b.EventFree = b.BusAccesses == 0 && !b.IRQVisible && !b.StreamControl && b.DeltaKnown
+	last := a.code[b.End]
+	for _, s := range a.succs(last) {
+		if _, assembled := a.code[s]; assembled {
+			b.Succs = append(b.Succs, s)
+		}
+	}
+	sort.Slice(b.Succs, func(i, j int) bool { return b.Succs[i] < b.Succs[j] })
+}
+
+// addStall accumulates per-access bounds, propagating unboundedness.
+func addStall(total, access int64) int64 {
+	if total == StallUnbounded || access == StallUnbounded {
+		return StallUnbounded
+	}
+	return total + access
+}
+
+// stallPerAccess bounds the cycles one possibly-external access can
+// stall its stream, from the §3.6.1 protocol and the bus timeout
+// model:
+//
+//	own        the access's own device occupancy — the worst Wait of
+//	           any configured range the address interval can hit
+//	           (unmapped addresses fault after one cycle); unknown
+//	           waits and unconfigured maps fall back to the bus
+//	           timeout, and with no timeout either, the bound is
+//	           StallUnbounded;
+//	contention each of the other streams may hold the bus ahead of
+//	           this access for its own worst occupancy, plus the
+//	           PipeDepth re-traversal the busy-flag retry costs.
+//
+//	bound = own + (streams-1) * (hold + PipeDepth)
+func (a *analyzer) stallPerAccess(ea ival) int64 {
+	t := int64(a.opts.BusTimeout)
+	capT := func(v int64) int64 {
+		if v == StallUnbounded {
+			if t > 0 {
+				return t
+			}
+			return StallUnbounded
+		}
+		if t > 0 && v > t {
+			return t
+		}
+		return v
+	}
+
+	// Own occupancy: worst wait among ranges the interval can hit.
+	own := int64(0)
+	known := len(a.opts.BusRanges) > 0
+	for _, r := range a.opts.BusRanges {
+		if r.Size == 0 {
+			continue
+		}
+		last := uint32(r.Base) + uint32(r.Size) - 1
+		if uint32(ea.lo) > last || uint32(ea.hi) < uint32(r.Base) {
+			continue
+		}
+		w := int64(r.Wait)
+		if w < 1 {
+			known = false // a hit on a device of unknown latency
+			continue
+		}
+		if w > own {
+			own = w
+		}
+	}
+	if own < 1 {
+		own = 1 // Bus.Start clamps AccessCycles to >= 1
+	}
+	if !known {
+		own = StallUnbounded
+	}
+	own = capT(own)
+
+	// Hold: the worst occupancy any other stream's access can pin the
+	// bus for.
+	hold := int64(0)
+	holdKnown := len(a.opts.BusRanges) > 0
+	for _, r := range a.opts.BusRanges {
+		w := int64(r.Wait)
+		if w < 1 {
+			holdKnown = false
+			continue
+		}
+		if w > hold {
+			hold = w
+		}
+	}
+	if !holdKnown {
+		hold = StallUnbounded
+	}
+	hold = capT(hold)
+
+	if own == StallUnbounded || hold == StallUnbounded {
+		return StallUnbounded
+	}
+	return own + int64(a.streams()-1)*(hold+int64(isa.PipeDepth))
+}
+
+// buildProfiles aggregates block facts per strict entry (explicit
+// stream entries), walking everything the stream can execute —
+// including callees, which run on the stream even though the depth and
+// use-def passes analyze them as separate roots.
+func (a *analyzer) buildProfiles(sum *Summary) {
+	var entries []uint16
+	//detlint:ignore collection pass; sorted before use
+	for addr, k := range a.entries {
+		if k == entryStream {
+			entries = append(entries, addr)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+
+	for _, e := range entries {
+		reached := map[uint16]bool{}
+		work := []uint16{e}
+		for len(work) > 0 {
+			addr := work[len(work)-1]
+			work = work[:len(work)-1]
+			if reached[addr] {
+				continue
+			}
+			ins, ok := a.code[addr]
+			if !ok || ins.bad != nil || ins.data {
+				continue
+			}
+			reached[addr] = true
+			work = append(work, a.succs(ins)...)
+			// succs excludes indirect targets; call targets it includes.
+		}
+		p := StreamProfile{Entry: e, Bounded: true}
+		if name, off, ok := a.im.NearestLabel(e); ok && off == 0 {
+			p.Label = name
+		}
+		for i := range sum.Blocks {
+			b := &sum.Blocks[i]
+			if !reached[b.Start] {
+				continue
+			}
+			p.Blocks++
+			if b.EventFree {
+				p.EventFreeBlocks++
+			}
+			p.BusAccessSites += b.BusAccesses
+			if b.StallBound == StallUnbounded {
+				p.Bounded = false
+			} else if b.StallBound > p.MaxBlockStall {
+				p.MaxBlockStall = b.StallBound
+			}
+		}
+		sum.Profiles = append(sum.Profiles, p)
+	}
+}

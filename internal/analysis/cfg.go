@@ -42,6 +42,11 @@ type analyzer struct {
 	entries  map[uint16]entryKind
 	reach    map[uint16]bool
 	findings []Finding
+
+	// Value-pass fixpoint results, consumed by the livelock pass and
+	// the block-summary layer.
+	vals  map[uint16]*vstate // final in-state per reachable instruction
+	fates map[uint16]int8    // final fate per conditional branch
 }
 
 func newAnalyzer(im *asm.Image, opts Options) *analyzer {
@@ -66,6 +71,21 @@ func newAnalyzer(im *asm.Image, opts Options) *analyzer {
 	}
 	sort.Slice(a.addrs, func(i, j int) bool { return a.addrs[i] < a.addrs[j] })
 	return a
+}
+
+// sortedEntries returns the entry addresses in ascending order. The
+// fixpoint passes seed their worklists from this, not from the entries
+// map directly: with widening (value pass) and first-report-wins
+// diagnostics (window, usedef), seeding order is observable, and map
+// order would make two runs over the same image disagree.
+func (a *analyzer) sortedEntries() []uint16 {
+	out := make([]uint16, 0, len(a.entries))
+	//detlint:ignore collection pass; sorted before use
+	for addr := range a.entries {
+		out = append(out, addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func (a *analyzer) streams() int {
@@ -227,6 +247,7 @@ func (a *analyzer) findEntries() {
 			}
 		}
 	}
+	//detlint:ignore reachability closure; the grown set is order-independent
 	for addr := range a.entries {
 		a.grow(addr)
 	}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"sort"
+
+	"disc/internal/isa"
+)
+
+// Static-livelock pass. A stream stuck in a loop that never performs a
+// memory access, never touches the interrupt structure and never
+// yields control cannot be observed or influenced by anything except
+// a vectored interrupt — and if the loop is its handler's level, not
+// even that. The paper's scheduler keeps donating the stream's slots
+// into pure register spin (§3.4): the machine does not hang, but the
+// stream is dead weight forever.
+//
+// The pass runs Tarjan's SCC algorithm over the reachable instruction
+// graph with provably-dead branch edges pruned (value pass fates) and
+// reports every strongly connected component that
+//
+//   - actually cycles (≥2 nodes, or a self-loop),
+//   - has no edge leaving the component, and
+//   - contains no escape: a memory access (another stream or device
+//     can change memory and thereby the loop's future), an
+//     IRQ-visible or stream-control instruction, a CALL/CALR (the
+//     callee is analyzed separately and may yield), or an indirect
+//     control transfer (target unknowable).
+//
+// Memory accesses count as escapes deliberately: a spin on an internal
+// semaphore word (TAS/LD polling) is a legitimate §3.6.2 idiom whose
+// exit condition another stream controls, not a livelock.
+
+// escapes reports whether the instruction gives the loop an observable
+// exit or effect channel.
+func escapes(in isa.Instruction) bool {
+	if in.Op.IsMemory() || in.IRQVisible() || in.StreamControl() {
+		return true
+	}
+	switch in.Flow() {
+	case isa.FlowCall, isa.FlowCallIndirect, isa.FlowIndirect, isa.FlowReturn, isa.FlowHalt:
+		return true
+	}
+	return false
+}
+
+// prunedSuccs returns the instruction's successors with provably dead
+// conditional edges removed.
+func (a *analyzer) prunedSuccs(ins *instr) []uint16 {
+	ss := a.succs(ins)
+	if ins.in.Flow() != isa.FlowCond || a.fates == nil {
+		return ss
+	}
+	t, _ := ins.in.StaticTarget(ins.addr)
+	fate := a.fates[ins.addr]
+	out := ss[:0:0]
+	for _, s := range ss {
+		if fate == fateNever && s == t && s != ins.addr+1 {
+			continue
+		}
+		if fate == fateAlways && s == ins.addr+1 && s != t {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// livelockPass finds yield-free cycles and reports each once, at the
+// lowest address of the component.
+func (a *analyzer) livelockPass() {
+	// Graph over reachable, decodable instructions only.
+	nodes := make([]uint16, 0, len(a.addrs))
+	for _, addr := range a.addrs {
+		ins := a.code[addr]
+		if a.reach[addr] && ins.bad == nil && !ins.data {
+			nodes = append(nodes, addr)
+		}
+	}
+	inGraph := make(map[uint16]bool, len(nodes))
+	for _, n := range nodes {
+		inGraph[n] = true
+	}
+	edges := func(addr uint16) []uint16 {
+		ins := a.code[addr]
+		var out []uint16
+		for _, s := range a.prunedSuccs(ins) {
+			// Call targets are separate roots; the loop body is the
+			// fallthrough path.
+			if ins.in.Flow() == isa.FlowCall {
+				if t, _ := ins.in.StaticTarget(addr); s == t && s != addr+1 {
+					continue
+				}
+			}
+			if inGraph[s] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	// Iterative Tarjan.
+	index := make(map[uint16]int, len(nodes))
+	low := make(map[uint16]int, len(nodes))
+	onStack := make(map[uint16]bool, len(nodes))
+	var stack []uint16
+	var sccs [][]uint16
+	next := 0
+
+	type frame struct {
+		v    uint16
+		succ []uint16
+		i    int
+	}
+	for _, root := range nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		var call []frame
+		push := func(v uint16) {
+			index[v] = next
+			low[v] = next
+			next++
+			stack = append(stack, v)
+			onStack[v] = true
+			call = append(call, frame{v: v, succ: edges(v)})
+		}
+		push(root)
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					push(w)
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// f exhausted: pop.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := &call[len(call)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []uint16
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+
+	for _, comp := range sccs {
+		inComp := make(map[uint16]bool, len(comp))
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		// Must actually cycle.
+		cycles := len(comp) > 1
+		if !cycles {
+			for _, s := range edges(comp[0]) {
+				if s == comp[0] {
+					cycles = true
+				}
+			}
+		}
+		if !cycles {
+			continue
+		}
+		hasEscape, hasExit := false, false
+		for _, v := range comp {
+			if escapes(a.code[v].in) {
+				hasEscape = true
+				break
+			}
+			for _, s := range edges(v) {
+				if !inComp[s] {
+					hasExit = true
+				}
+			}
+		}
+		if hasEscape || hasExit {
+			continue
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		a.findingf(PassLivelock, Warning, comp[0],
+			"busy loop with no IRQ-visible yield: this %d-instruction cycle performs no memory access, WAITI, or interrupt-visible operation and has no exit edge (static livelock)",
+			len(comp))
+	}
+}

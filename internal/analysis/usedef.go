@@ -61,8 +61,8 @@ func (a *analyzer) useDefPass() {
 			work = append(work, addr)
 		}
 	}
-	for addr, k := range a.entries {
-		merge(addr, entryMask(k))
+	for _, addr := range a.sortedEntries() {
+		merge(addr, entryMask(a.entries[addr]))
 	}
 
 	reported := map[uint32]bool{}

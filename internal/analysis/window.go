@@ -65,7 +65,7 @@ func (a *analyzer) windowDepthPass() {
 		}
 	}
 
-	for addr := range a.entries {
+	for _, addr := range a.sortedEntries() {
 		merge(addr, 0, true)
 	}
 

@@ -170,6 +170,7 @@ type ProfileEntry struct {
 // HotSpots returns the top-n retirement sites, hottest first.
 func (m *Machine) HotSpots(n int) []ProfileEntry {
 	out := make([]ProfileEntry, 0, len(m.profile))
+	//detlint:ignore collection pass; the sort below totally orders entries
 	for k, v := range m.profile {
 		out = append(out, ProfileEntry{Stream: int(k >> 16), PC: uint16(k), Retired: v})
 	}

@@ -1,0 +1,234 @@
+// Package detlint is the repository's determinism linter. The DISC
+// machine's contract — same seed, same byte-identical outputs, on any
+// host — dies by a thousand cuts: a time.Now sneaking into a report, a
+// package-level math/rand call, a `for k := range m` over a map whose
+// iteration order leaks into output. detlint walks the Go source of the
+// deterministic core packages and reports the three classes:
+//
+//   - wallclock: calls into the time package that read the host clock
+//     (Now, Since, Until, Tick, After, AfterFunc, NewTicker, NewTimer).
+//     Durations and formatting are fine; sampling the wall clock is not.
+//   - globalrand: calls to math/rand's package-level, globally seeded
+//     functions (Intn, Float64, Shuffle, ...). Constructing an explicit
+//     source (New, NewSource) is allowed — that is what internal/rng
+//     wraps.
+//   - maprange: a range statement over a map. Go randomizes map
+//     iteration order per run, so any map walk whose body can reach
+//     output, event emission or floating-point accumulation is a
+//     nondeterminism bug. Order-independent walks (set building,
+//     key collection followed by a sort) are annotated away.
+//
+// A finding is suppressed by the escape hatch
+//
+//	//detlint:ignore <reason>
+//
+// on the same line or the line immediately above; the reason is
+// mandatory prose, reviewed like any comment.
+//
+// The checker is deliberately self-contained (go/parser + go/types with
+// a swallowing importer, no module cache, no external analysis
+// framework) so it runs in the same sandboxed environments the tests
+// do. Type information is best-effort: cross-package types do not
+// resolve, but map types declared or instantiated in the checked
+// package — the only place a range statement can bind one — do.
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one determinism violation.
+type Finding struct {
+	Pos  token.Position // file:line:col of the offending expression
+	Rule string         // "wallclock", "globalrand" or "maprange"
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// wallclockFuncs are the time-package functions that sample the host
+// clock. time.Duration arithmetic, Parse, formatting and Unix
+// constructors are untouched.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTicker": true, "NewTimer": true, "Sleep": true,
+}
+
+// randAllowed are the math/rand identifiers that construct explicit,
+// seedable state instead of touching the global source.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+	// Types, not calls into the global source.
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+	"PCG": true, "ChaCha8": true,
+}
+
+// CheckDir lints every non-test .go file directly in dir (no descent)
+// and returns the findings sorted by position.
+func CheckDir(dir string) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	// Best-effort type information. The importer fails for everything,
+	// and the error handler swallows the fallout: identifiers with
+	// cross-package types come out invalid (and are skipped), while
+	// locally-declared types — including every map a range statement
+	// can see — resolve fine.
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	conf := types.Config{
+		Importer: failImporter{},
+		Error:    func(error) {},
+	}
+	conf.Check(dir, fset, files, info)
+
+	var out []Finding
+	for _, f := range files {
+		out = append(out, checkFile(fset, f, info)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// failImporter refuses every import; the type checker degrades
+// gracefully under its Error hook.
+type failImporter struct{}
+
+func (failImporter) Import(path string) (*types.Package, error) {
+	return nil, fmt.Errorf("detlint: imports not resolved (%s)", path)
+}
+
+// checkFile runs the three rules over one file.
+func checkFile(fset *token.FileSet, f *ast.File, info *types.Info) []Finding {
+	ignored := ignoredLines(fset, f)
+	timeNames, randNames := importNames(f)
+	var out []Finding
+	report := func(pos token.Pos, rule, msg string) {
+		p := fset.Position(pos)
+		if ignored[p.Line] {
+			return
+		}
+		out = append(out, Finding{Pos: p, Rule: rule, Msg: msg})
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Obj != nil { // Obj != nil: a local variable, not a package
+				return true
+			}
+			switch {
+			case timeNames[pkg.Name] && wallclockFuncs[sel.Sel.Name]:
+				report(n.Pos(), "wallclock",
+					fmt.Sprintf("%s.%s reads the host clock; deterministic code must count cycles", pkg.Name, sel.Sel.Name))
+			case randNames[pkg.Name] && !randAllowed[sel.Sel.Name]:
+				report(n.Pos(), "globalrand",
+					fmt.Sprintf("%s.%s uses the global, unseeded source; construct a seeded source (internal/rng) instead", pkg.Name, sel.Sel.Name))
+			}
+		case *ast.RangeStmt:
+			tv, ok := info.Types[n.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				report(n.X.Pos(), "maprange",
+					"range over a map iterates in randomized order; sort the keys or annotate why order cannot matter")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ignoredLines collects the lines suppressed by //detlint:ignore
+// comments: the comment's own line and the line below it.
+func ignoredLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "detlint:ignore") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = true
+			out[line+1] = true
+		}
+	}
+	return out
+}
+
+// importNames maps the local names under which a file imports the time
+// and math/rand packages (honoring renames; dot imports are not used in
+// this repository and are not handled).
+func importNames(f *ast.File) (timeNames, randNames map[string]bool) {
+	timeNames = map[string]bool{}
+	randNames = map[string]bool{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch path {
+		case "time":
+			if name == "" {
+				name = "time"
+			}
+			timeNames[name] = true
+		case "math/rand", "math/rand/v2":
+			if name == "" {
+				name = "rand"
+			}
+			randNames[name] = true
+		}
+	}
+	return timeNames, randNames
+}

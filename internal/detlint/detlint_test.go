@@ -1,0 +1,230 @@
+package detlint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePkg materializes a one-file package in a temp dir.
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func rules(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+func TestWallclock(t *testing.T) {
+	dir := writePkg(t, `package p
+
+import "time"
+
+func f() time.Time { return time.Now() }
+
+func g(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Duration arithmetic and parsing are fine.
+func h() time.Duration { return 3 * time.Second }
+
+func ok(d time.Duration) string { return d.String() }
+`)
+	fs, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rules(fs); len(got) != 2 || got[0] != "wallclock" || got[1] != "wallclock" {
+		t.Fatalf("findings %v, want two wallclock", fs)
+	}
+	if fs[0].Pos.Line != 5 || fs[1].Pos.Line != 7 {
+		t.Fatalf("positions %v, want lines 5 and 7", fs)
+	}
+}
+
+func TestGlobalRand(t *testing.T) {
+	dir := writePkg(t, `package p
+
+import "math/rand"
+
+func f() int { return rand.Intn(10) }
+
+// Explicit sources are the sanctioned path.
+func g() *rand.Rand { return rand.New(rand.NewSource(1)) }
+`)
+	fs, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rules(fs); len(got) != 1 || got[0] != "globalrand" {
+		t.Fatalf("findings %v, want one globalrand", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "rand.Intn") {
+		t.Fatalf("msg %q does not name the call", fs[0].Msg)
+	}
+}
+
+func TestRenamedImport(t *testing.T) {
+	dir := writePkg(t, `package p
+
+import clock "time"
+
+func f() clock.Time { return clock.Now() }
+`)
+	fs, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rules(fs); len(got) != 1 || got[0] != "wallclock" {
+		t.Fatalf("findings %v, want one wallclock through the rename", fs)
+	}
+}
+
+func TestLocalShadowNotFlagged(t *testing.T) {
+	// A local variable named `time` is not the time package.
+	dir := writePkg(t, `package p
+
+type ticker struct{}
+
+func (ticker) Now() int { return 0 }
+
+func f() int {
+	time := ticker{}
+	return time.Now()
+}
+`)
+	fs, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("flagged a local variable: %v", fs)
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	dir := writePkg(t, `package p
+
+type set map[string]bool
+
+func f(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func g(s set) int {
+	n := 0
+	for range s { // named map types count too
+		n++
+	}
+	return n
+}
+
+func ok(xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+`)
+	fs, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rules(fs); len(got) != 2 || got[0] != "maprange" || got[1] != "maprange" {
+		t.Fatalf("findings %v, want two maprange", fs)
+	}
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	dir := writePkg(t, `package p
+
+import "time"
+
+//detlint:ignore display-only wall clock for the progress meter
+func f() time.Time { return time.Now() }
+
+func g() time.Time {
+	return time.Now() //detlint:ignore same-line escape
+}
+
+func h() time.Time { return time.Now() } // still flagged
+`)
+	fs, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Pos.Line != 12 {
+		t.Fatalf("findings %v, want only line 12", fs)
+	}
+}
+
+func TestTestFilesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := "package p\n\nimport \"time\"\n\nfunc f() time.Time { return time.Now() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "p_test.go"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("test file was linted: %v", fs)
+	}
+}
+
+// TestCrossPackageTypesDegrade: imports never resolve inside the
+// sandboxed checker; the maprange rule must stay quiet (not crash, not
+// false-positive) on expressions whose types it cannot see.
+func TestCrossPackageTypesDegrade(t *testing.T) {
+	dir := writePkg(t, `package p
+
+import "unknowable/pkg"
+
+func f() {
+	for range pkg.Mystery() {
+	}
+}
+`)
+	fs, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("unresolvable type produced findings: %v", fs)
+	}
+}
+
+// TestCorePackagesClean locks the deterministic core of the repository
+// under the linter — the same set the detlint CLI gates in `make check`.
+func TestCorePackagesClean(t *testing.T) {
+	for _, dir := range []string{
+		"../core", "../sched", "../obs", "../parallel",
+		"../stoch", "../rng", "../analysis",
+	} {
+		fs, err := CheckDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s: %s", dir, f)
+		}
+	}
+}

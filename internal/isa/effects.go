@@ -170,6 +170,52 @@ func (in Instruction) ReadsFlags() bool {
 	return false
 }
 
+// IRQVisible reports whether executing the instruction can change any
+// stream's interrupt state — raise, clear or mask IR bits, consume a
+// WAITI join, enter or leave a vectored level. These are the points a
+// block-compiled executor must stay interpretive around, because the
+// machine emits interrupt events (and may reschedule) exactly there.
+func (in Instruction) IRQVisible() bool {
+	switch in.Op {
+	case OpSSTART, OpSIGNAL, OpCLRI, OpSETMR, OpWAITI, OpRETI, OpHALT:
+		return true
+	case OpMTS:
+		return in.Spec == SpecIR || in.Spec == SpecMR
+	}
+	return false
+}
+
+// StreamControl reports whether the instruction can change which
+// streams are runnable: starting a stream, signalling a join, blocking
+// on one, or deactivating (§3.4, §3.6.3). A scheduler consuming block
+// summaries must re-evaluate readiness after any of these.
+func (in Instruction) StreamControl() bool {
+	switch in.Op {
+	case OpSSTART, OpSIGNAL, OpWAITI, OpHALT, OpRETI:
+		return true
+	}
+	return false
+}
+
+// MemAccess describes the instruction's data-memory access, when it has
+// one: the base register (ZR for the absolute LDM/STM forms), the
+// signed offset added to it, and whether the access writes. ok is false
+// for non-memory instructions. External TAS degrades to a load, so TAS
+// reports a read either way.
+func (in Instruction) MemAccess() (base Reg, off int32, write, ok bool) {
+	switch in.Op {
+	case OpLD, OpTAS:
+		return in.Rs, in.Imm, false, true
+	case OpST:
+		return in.Rs, in.Imm, true, true
+	case OpLDM:
+		return ZR, in.Imm, false, true
+	case OpSTM:
+		return ZR, in.Imm, true, true
+	}
+	return 0, 0, false, false
+}
+
 // DecodeRaw unpacks a word's fields per its opcode's format without any
 // validation, so diagnostics can name the illegal field (for example a
 // reserved register-15 encoding) that makes Decode reject the word.

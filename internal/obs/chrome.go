@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"disc/internal/isa"
 )
@@ -162,8 +163,16 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		out = append(out, chromeEvent{Name: key, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
 	}
 	meta(chromePidStreams, 0, "process_name", "instruction streams")
+	// Sorted, not map order: the trace is a deliverable artifact and two
+	// exports of the same run must be byte-identical.
+	ids := make([]int, 0, len(streams))
+	//detlint:ignore collection pass; sorted before use
 	for s := range streams {
-		meta(chromePidStreams, int(s), "thread_name", fmt.Sprintf("IS%d", s))
+		ids = append(ids, int(s))
+	}
+	sort.Ints(ids)
+	for _, s := range ids {
+		meta(chromePidStreams, s, "thread_name", fmt.Sprintf("IS%d", s))
 	}
 	meta(chromePidStages, 0, "process_name", "pipeline")
 	for k := 0; k < isa.PipeDepth; k++ {

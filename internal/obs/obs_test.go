@@ -165,8 +165,8 @@ func TestWriteChromeTrace(t *testing.T) {
 		{Cycle: 1, Kind: KindIssue, Stream: 0, PC: 0x10},
 		{Cycle: 2, Kind: KindIssue, Stream: 0, PC: 0x11},
 		{Cycle: 3, Kind: KindIssue, Stream: 1, PC: 0x80},
-		{Cycle: 5, Kind: KindRetire, Stream: 0, PC: 0x10},  // FIFO: matches 0x10
-		{Cycle: 5, Kind: KindFlush, Stream: 1, PC: 0x80},   // LIFO: matches 0x80
+		{Cycle: 5, Kind: KindRetire, Stream: 0, PC: 0x10}, // FIFO: matches 0x10
+		{Cycle: 5, Kind: KindFlush, Stream: 1, PC: 0x80},  // LIFO: matches 0x80
 		{Cycle: 6, Kind: KindRetire, Stream: 0, PC: 0x11},
 		{Cycle: 7, Kind: KindBusComplete, Stream: 1, Addr: 0x4000, Data: 0xBEEF, Aux: 4},
 		{Cycle: 8, Kind: KindSlotDonated, Stream: 1, A: 0},

@@ -99,6 +99,7 @@ func (r *Recorder) LastPerStream(n int) map[int][]Event {
 		}
 	}
 	// Each per-stream list was gathered newest-first; flip them.
+	//detlint:ignore in-place per-value reversal; visit order cannot matter
 	for _, l := range out {
 		for i, j := 0, len(l)-1; i < j; i, j = i+1, j-1 {
 			l[i], l[j] = l[j], l[i]
@@ -119,6 +120,7 @@ func (r *Recorder) PostMortem(n int) string {
 		return ""
 	}
 	keys := make([]int, 0, len(per))
+	//detlint:ignore collection pass; sorted before use
 	for k := range per {
 		keys = append(keys, k)
 	}

@@ -114,16 +114,17 @@ func call[T any](fn func(int) (T, error), i int) (out T, err error) {
 // wall-clock state, so meters belong on a terminal's stderr — never in
 // output that must be deterministic.
 func NewMeter(w io.Writer, label string) func(done, total int) {
-	start := time.Now()
+	start := time.Now() //detlint:ignore display-only progress meter, never in deterministic output
 	var last time.Time
 	return func(done, total int) {
-		now := time.Now()
+		now := time.Now() //detlint:ignore display-only progress meter
 		if done < total && now.Sub(last) < 100*time.Millisecond {
 			return
 		}
 		last = now
 		if done >= total {
 			fmt.Fprintf(w, "\r%s %d/%d done in %-16s\n", label, done, total,
+				//detlint:ignore display-only progress meter
 				time.Since(start).Round(time.Millisecond))
 			return
 		}

@@ -99,6 +99,27 @@ func runMachine(p workload.Params, k int, cycles uint64, seed uint64) (float64, 
 	return m.Stats().Utilization(), nil
 }
 
+// DeviceSpan records one bus attachment of a load setup, in the shape
+// static analysis wants: base, size and the device's wait states.
+type DeviceSpan struct {
+	Base uint16
+	Size uint16
+	Wait int
+}
+
+// LoadSetup is a ready-to-run load machine together with everything a
+// static analyzer needs to reason about it: the assembled image and
+// entry point per stream, and the bus device map. The differential
+// validator in internal/core replays these images through
+// analysis.Summarize and checks every dynamic event against the static
+// block summaries.
+type LoadSetup struct {
+	Machine *core.Machine
+	Images  []*asm.Image // one per stream, index = stream number
+	Entries []uint16     // stream start addresses
+	Devices []DeviceSpan // every attached bus device
+}
+
 // NewLoadMachine builds a ready-to-run machine driving k streams with
 // generated programs whose instruction statistics match workload p —
 // the same construction the cross-validation sweep uses. cfg supplies
@@ -108,11 +129,25 @@ func runMachine(p workload.Params, k int, cycles uint64, seed uint64) (float64, 
 // benchmarks and the differential equivalence tests drive the optimized
 // and reference pipelines with bit-identical inputs.
 func NewLoadMachine(p workload.Params, k int, seed uint64, cfg core.Config) (*core.Machine, error) {
+	setup, err := NewLoadSetup(p, k, seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return setup.Machine, nil
+}
+
+// NewLoadSetup is NewLoadMachine plus the static-analysis view: it
+// returns the per-stream images, entries and device spans alongside the
+// machine. The RNG consumption order is identical to what
+// NewLoadMachine has always done, so (p, k, seed) still pin every bit
+// of the build.
+func NewLoadSetup(p workload.Params, k int, seed uint64, cfg core.Config) (*LoadSetup, error) {
 	cfg.Streams = k
 	m, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	setup := &LoadSetup{Machine: m}
 	// External memory with tmem waits, plus a bank of I/O devices whose
 	// wait states approximate the Poisson(mean_io) distribution: the
 	// generator picks a device per request with a sampled latency.
@@ -120,6 +155,7 @@ func NewLoadMachine(p workload.Params, k int, seed uint64, cfg core.Config) (*co
 		if err := m.Bus().Attach(isa.ExternalBase, 64, bus.NewRAM("mem", 64, p.TMem)); err != nil {
 			return nil, err
 		}
+		setup.Devices = append(setup.Devices, DeviceSpan{Base: isa.ExternalBase, Size: 64, Wait: p.TMem})
 	}
 	src := rng.New(seed ^ 0xABCD)
 	ioWaits := []int{}
@@ -131,9 +167,11 @@ func NewLoadMachine(p workload.Params, k int, seed uint64, cfg core.Config) (*co
 			}
 			ioWaits = append(ioWaits, w)
 			dev := bus.NewGPIO(fmt.Sprintf("io%d", i), w)
-			if err := m.Bus().Attach(isa.IOBase+uint16(i)*8, 8, dev); err != nil {
+			base := isa.IOBase + uint16(i)*8
+			if err := m.Bus().Attach(base, 8, dev); err != nil {
 				return nil, err
 			}
+			setup.Devices = append(setup.Devices, DeviceSpan{Base: base, Size: 8, Wait: w})
 		}
 	}
 	for s := 0; s < k; s++ {
@@ -151,8 +189,10 @@ func NewLoadMachine(p workload.Params, k int, seed uint64, cfg core.Config) (*co
 		if err := m.StartStream(s, base); err != nil {
 			return nil, err
 		}
+		setup.Images = append(setup.Images, im)
+		setup.Entries = append(setup.Entries, base)
 	}
-	return m, nil
+	return setup, nil
 }
 
 // generate emits a long straight-line program at base whose
