@@ -30,16 +30,20 @@ bench:
 # Serial simulator throughput, recorded in BENCH_core.json: simulated
 # cycles per host second for each Table 4.1 load, on the optimized
 # pipeline, the retained reference pipeline, and (as recorded at the
-# seed commit) the pre-overhaul simulator.
+# seed commit) the pre-overhaul simulator — plus the block-engine rows
+# (1 stream, analysis-planned tables, plain vs fused).
 bench-core:
 	BENCH_CORE_JSON=$(CURDIR)/BENCH_core.json $(GO) test -run TestBenchCoreJSON -count=1 -v .
 
 # Differential equivalence gate: the optimized pipeline against the
-# retained reference pipeline — cycle-level lockstep in internal/core,
+# retained reference pipeline AND the block-compiled engine — three-way
+# cycle-level lockstep in internal/core (TestBlockEquiv*), the
+# analysis-planned pipeline over Table 4.1 loads in internal/blockc,
 # whole-run example programs and Table 4.1 loads at the top level.
 # `test` and `race` already cover these; this target names the gate.
 equiv:
-	$(GO) test -run 'TestEquiv|TestExamplesEquivalence|TestTableLoadsEquivalence' ./internal/core/ .
+	$(GO) test -run 'TestEquiv|TestBlockEquiv|TestExamplesEquivalence|TestTableLoadsEquivalence' ./internal/core/ .
+	$(GO) test -run 'TestAttachCompilesAndStaysEquivalent|TestTable41LoadEquiv' ./internal/blockc/
 
 # Robustness gate: replay the chaos fuzz corpus and the deterministic
 # fault-injection tests under the race detector. `race` already covers
@@ -69,7 +73,7 @@ absint:
 # map-order iteration in the packages whose outputs must be
 # bit-identical run to run.
 detlint:
-	$(GO) run ./cmd/detlint internal/core internal/sched internal/obs internal/parallel internal/stoch internal/rng internal/analysis
+	$(GO) run ./cmd/detlint internal/core internal/sched internal/obs internal/parallel internal/stoch internal/rng internal/analysis internal/blockc
 
 # Convenience: re-lint the shipped assembly library and every example
 # program (same checks `make test` already runs, but in isolation).

@@ -15,6 +15,8 @@ import (
 	"testing"
 	"time"
 
+	"disc/internal/analysis"
+	"disc/internal/blockc"
 	"disc/internal/core"
 	"disc/internal/workload"
 	"disc/internal/xval"
@@ -59,6 +61,50 @@ func BenchmarkCore_Load4(b *testing.B) { benchCore(b, workload.Ld4, core.Config{
 func BenchmarkCore_Reference(b *testing.B) {
 	benchCore(b, workload.Ld1, core.Config{Reference: true})
 }
+
+// benchBlockSetup builds a single-stream load machine with an
+// analysis-planned block table attached — the configuration where the
+// sole-ready session entry can actually fire. Fusion-eligible work is
+// what the block engine accelerates; multi-stream interleave falls
+// back to the per-cycle path by design (DESIGN.md §13).
+func benchBlockSetup(tb testing.TB, p workload.Params, attach bool) *core.Machine {
+	tb.Helper()
+	p.MeanOn, p.MeanOff = 0, 0
+	setup, err := xval.NewLoadSetup(p, 1, 1991, core.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if attach {
+		opts := analysis.Options{Entries: []uint16{setup.Entries[0]}, Streams: 1}
+		for _, d := range setup.Devices {
+			opts.BusRanges = append(opts.BusRanges, analysis.BusRange{Base: d.Base, Size: d.Size, Wait: d.Wait})
+		}
+		blockc.Attach(setup.Machine, setup.Images[0], opts)
+	}
+	return setup.Machine
+}
+
+func benchCoreBlock(b *testing.B, p workload.Params) {
+	m := benchBlockSetup(b, p, true)
+	m.Run(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(b.N) // dispatches fused sessions via StepBlock
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+	if m.BlockStats().Sessions > 0 {
+		b.ReportMetric(float64(m.BlockStats().FusedCycles)/float64(b.N+64), "fused-share")
+	}
+}
+
+// BenchmarkCore_BlockLoad1..4: the block-compiled engine on each Table
+// 4.1 workload at one stream, analysis-planned tables. Compare against
+// BenchmarkCore_Load* to see what fusion buys per workload (load 3,
+// the compute-bound mix, fuses hardest).
+func BenchmarkCore_BlockLoad1(b *testing.B) { benchCoreBlock(b, workload.Ld1) }
+func BenchmarkCore_BlockLoad2(b *testing.B) { benchCoreBlock(b, workload.Ld2) }
+func BenchmarkCore_BlockLoad3(b *testing.B) { benchCoreBlock(b, workload.Ld3) }
+func BenchmarkCore_BlockLoad4(b *testing.B) { benchCoreBlock(b, workload.Ld4) }
 
 // seedBaseline is the pre-overhaul simulator's serial throughput on
 // the identical 2M-cycle per-load measurement, measured at commit
@@ -121,20 +167,56 @@ func TestBenchCoreJSON(t *testing.T) {
 			SpeedupSed: spSeed, SpeedupRef: after / ref,
 		})
 	}
+
+	// Block-engine rows: single stream (the sole-ready configuration
+	// where sessions fire), analysis-planned tables, plain vs fused over
+	// the same generated program.
+	blockRate := func(p workload.Params, attach bool) (float64, float64) {
+		m := benchBlockSetup(t, p, attach)
+		m.Run(64)
+		start := time.Now()
+		m.Run(cycles)
+		cs := float64(cycles) / time.Since(start).Seconds()
+		return cs, float64(m.BlockStats().FusedCycles) / float64(cycles+64)
+	}
+	type blockRow struct {
+		Load       string  `json:"load"`
+		PlainCS    float64 `json:"optimized_cycles_per_sec"`
+		BlockCS    float64 `json:"block_cycles_per_sec"`
+		Speedup    float64 `json:"speedup_vs_optimized"`
+		FusedShare float64 `json:"fused_cycle_share"`
+	}
+	var blockRows []blockRow
+	for _, p := range workload.Base() {
+		_, _ = blockRate(p, true) // warm-up
+		plain, _ := blockRate(p, false)
+		fused, share := blockRate(p, true)
+		blockRows = append(blockRows, blockRow{
+			Load: p.Name, PlainCS: plain, BlockCS: fused,
+			Speedup: fused / plain, FusedShare: share,
+		})
+	}
 	rec := struct {
-		Benchmark  string  `json:"benchmark"`
-		Rows       []row   `json:"rows"`
-		MinSpeed   float64 `json:"min_speedup_vs_seed"`
-		SeedCommit string  `json:"seed_baseline_commit"`
-		Cycles     int     `json:"cycles_per_measurement"`
-		Streams    int     `json:"streams"`
-		HostCPUs   int     `json:"host_cpus"`
-		GoVersion  string  `json:"go_version"`
-		GoOSArch   string  `json:"goos_goarch"`
-		Note       string  `json:"note"`
+		Benchmark  string     `json:"benchmark"`
+		Rows       []row      `json:"rows"`
+		BlockRows  []blockRow `json:"block_rows"`
+		BlockNote  string     `json:"block_note"`
+		MinSpeed   float64    `json:"min_speedup_vs_seed"`
+		SeedCommit string     `json:"seed_baseline_commit"`
+		Cycles     int        `json:"cycles_per_measurement"`
+		Streams    int        `json:"streams"`
+		HostCPUs   int        `json:"host_cpus"`
+		GoVersion  string     `json:"go_version"`
+		GoOSArch   string     `json:"goos_goarch"`
+		Note       string     `json:"note"`
 	}{
-		Benchmark:  "serial machine throughput: seed baseline vs reference pipeline vs optimized (Table 4.1 loads)",
-		Rows:       rows,
+		Benchmark: "serial machine throughput: seed baseline vs reference pipeline vs optimized (Table 4.1 loads)",
+		Rows:      rows,
+		BlockRows: blockRows,
+		BlockNote: "block rows run at 1 stream (sole-ready sessions), " +
+			"analysis-planned tables via internal/blockc; " +
+			"fused_cycle_share = cycles executed inside fused sessions / " +
+			"total; multi-stream interleave falls back per-cycle by design",
 		MinSpeed:   worst,
 		SeedCommit: seedBaselineCommit,
 		Cycles:     cycles,
@@ -161,5 +243,9 @@ func TestBenchCoreJSON(t *testing.T) {
 	for _, r := range rows {
 		t.Logf("%s: seed %.2f / ref %.2f -> %.2f Mcyc/s (%.2fx vs seed, %.2fx vs ref)",
 			r.Load, r.SeedCS/1e6, r.RefCS/1e6, r.AfterCS/1e6, r.SpeedupSed, r.SpeedupRef)
+	}
+	for _, r := range blockRows {
+		t.Logf("block %s: %.2f -> %.2f Mcyc/s (%.2fx, fused share %.2f)",
+			r.Load, r.PlainCS/1e6, r.BlockCS/1e6, r.Speedup, r.FusedShare)
 	}
 }

@@ -36,6 +36,9 @@
 //	-profile n        list the n hottest instructions after the run
 //	-lint             refuse programs with error-severity findings from
 //	                  the internal/analysis static checks
+//	-block-engine     pre-compile statically event-free instruction runs
+//	                  into fused block sessions (cycle-exact, DESIGN.md
+//	                  §13) and report fusion coverage after the run
 //	-cpuprofile file  write a CPU profile of the run (go tool pprof)
 //	-memprofile file  write an allocation profile on exit
 //
@@ -54,6 +57,7 @@ import (
 
 	"disc/internal/analysis"
 	"disc/internal/asm"
+	"disc/internal/blockc"
 	"disc/internal/bus"
 	"disc/internal/core"
 	"disc/internal/isa"
@@ -83,6 +87,7 @@ func main() {
 	profileN := flag.Int("profile", 0, "after the run, list the n hottest instructions")
 	watch := flag.String("watch", "", "stop when this internal-memory address is written")
 	lint := flag.Bool("lint", false, "refuse programs with error-severity analysis findings")
+	blockEngine := flag.Bool("block-engine", false, "pre-compile event-free instruction runs into fused block sessions")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -159,6 +164,18 @@ func main() {
 		if err := m.StartStream(sid, addr); err != nil {
 			fatal(err)
 		}
+	}
+	if *blockEngine {
+		// Compile after the image is loaded: the table is keyed to the
+		// program store's mutation version and goes stale on reload.
+		tbl, _ := blockc.Attach(m, im, analysis.Options{
+			VectorBase: uint16(*vb),
+			Streams:    *streams,
+			BusTimeout: *busTimeout,
+			BusRanges:  boardRanges(*extram),
+		})
+		fmt.Fprintf(os.Stderr, "discsim: block engine: %d instructions compiled into %d fused regions (%d planned but unqualified)\n",
+			tbl.Compiled, tbl.Regions, tbl.Skipped)
 	}
 
 	if *profileN > 0 {
@@ -240,6 +257,11 @@ func main() {
 	for i, ss := range st.PerStream {
 		fmt.Printf("  IS%d: issued %d retired %d flushed %d buswaits %d irq %d\n",
 			i, ss.Issued, ss.Retired, ss.Flushed, ss.BusWaits, ss.Dispatches)
+	}
+	if *blockEngine {
+		bs := m.BlockStats()
+		fmt.Printf("block engine sessions %d fused-cycles %d fused-instrs %d bails %d stale %d\n",
+			bs.Sessions, bs.FusedCycles, bs.FusedInstrs, bs.Bails, bs.Stale)
 	}
 
 	if *profileN > 0 {
@@ -356,6 +378,19 @@ func attachBoard(m *core.Machine, ramWaits int) {
 	must(b.Attach(isa.IOBase+0x20, 8, bus.NewGPIO("gpio0", 1)))
 	must(b.Attach(isa.IOBase+0x30, 4, bus.NewADC("adc0", 4, 25, nil)))
 	must(b.Attach(isa.IOBase+0x40, 2, bus.NewStepper("step0", 3)))
+}
+
+// boardRanges mirrors attachBoard for the static analyzer: every span
+// a program can legally address externally, with its wait states.
+func boardRanges(ramWaits int) []analysis.BusRange {
+	return []analysis.BusRange{
+		{Base: isa.ExternalBase, Size: 0x1000, Wait: ramWaits},
+		{Base: isa.IOBase + 0x00, Size: 4, Wait: 2},
+		{Base: isa.IOBase + 0x10, Size: 2, Wait: 6},
+		{Base: isa.IOBase + 0x20, Size: 8, Wait: 1},
+		{Base: isa.IOBase + 0x30, Size: 4, Wait: 4},
+		{Base: isa.IOBase + 0x40, Size: 2, Wait: 3},
+	}
 }
 
 // postMortem extracts the flight-recorder dump a guarded failure

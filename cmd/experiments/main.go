@@ -19,9 +19,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
+	"time"
 
+	"disc/internal/analysis"
 	"disc/internal/asm"
+	"disc/internal/blockc"
 	"disc/internal/asmlib"
 	"disc/internal/baseline"
 	"disc/internal/bus"
@@ -128,6 +132,7 @@ var experiments = []struct {
 	{"fixedwin", extraFixedWindows},
 	{"polling", extraPolling},
 	{"isolation", extraIsolation},
+	{"block", extraBlockSpeedup},
 }
 
 func experimentNames() []string {
@@ -270,6 +275,68 @@ poll:
 	}
 	fmt.Println(report.Table("",
 		[]string{"organization", "events", "service-stream issues", "background retired", "bg share"}, rows))
+}
+
+// extraBlockSpeedup measures what the block-compiled execution engine
+// (internal/blockc + core fused sessions, DESIGN.md §13) buys in
+// simulator throughput: wall-clock cycles/second on the reference,
+// optimized and block-engine pipelines over identical generated Table
+// 4.1 programs at one stream — the sole-ready configuration where
+// sessions can fire. Every replication re-verifies bit-identical
+// machine statistics between the optimized and block runs before its
+// timing counts.
+func extraBlockSpeedup() {
+	fmt.Println("Extension - block-compiled execution: simulator throughput on")
+	fmt.Println("the reference, optimized and block-engine pipelines, identical")
+	fmt.Println("generated programs per load, 1 stream. Cycle-exactness is")
+	fmt.Println("re-verified every replication. Wall-clock measurements run")
+	fmt.Println("serially (never fanned across workers) and depend on the host;")
+	fmt.Println("the recorded numbers name theirs in EXPERIMENTS.md.")
+	n := int(*cycles)
+	build := func(p workload.Params, cfg core.Config, rep int, attach bool) *core.Machine {
+		setup, err := xval.NewLoadSetup(p, 1, *seed+uint64(rep), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if attach {
+			opts := analysis.Options{Entries: []uint16{setup.Entries[0]}, Streams: 1}
+			for _, d := range setup.Devices {
+				opts.BusRanges = append(opts.BusRanges, analysis.BusRange{Base: d.Base, Size: d.Size, Wait: d.Wait})
+			}
+			blockc.Attach(setup.Machine, setup.Images[0], opts)
+		}
+		return setup.Machine
+	}
+	timeRun := func(m *core.Machine) float64 {
+		m.Run(64)
+		start := time.Now()
+		m.Run(n)
+		return float64(n) / time.Since(start).Seconds() / 1e6
+	}
+	rows := [][]string{}
+	for _, p := range workload.Base() {
+		p.MeanOn, p.MeanOff = 0, 0
+		var refR, optR, blkR []float64
+		var share float64
+		for rep := 0; rep < *reps; rep++ {
+			refR = append(refR, timeRun(build(p, core.Config{Reference: true}, rep, false)))
+			opt := build(p, core.Config{}, rep, false)
+			optR = append(optR, timeRun(opt))
+			blk := build(p, core.Config{}, rep, true)
+			blkR = append(blkR, timeRun(blk))
+			if !reflect.DeepEqual(opt.Stats(), blk.Stats()) {
+				fatal(fmt.Errorf("block engine diverged from optimized pipeline on %s rep %d", p.Name, rep))
+			}
+			share = float64(blk.BlockStats().FusedCycles) / float64(n+64)
+		}
+		ref, opt, blk := report.Summarize(refR), report.Summarize(optR), report.Summarize(blkR)
+		rows = append(rows, []string{
+			p.Name, ref.FCI(2), opt.FCI(2), blk.FCI(2),
+			report.F(blk.Mean/opt.Mean, 2) + "x", report.F(share, 2),
+		})
+	}
+	fmt.Println(report.Table("",
+		[]string{"load", "reference Mcyc/s", "optimized Mcyc/s", "block Mcyc/s", "block/optimized", "fused share"}, rows))
 }
 
 // extraXval cross-validates the stochastic model against the

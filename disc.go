@@ -5,6 +5,7 @@ import (
 
 	"disc/internal/analysis"
 	"disc/internal/asm"
+	"disc/internal/blockc"
 	"disc/internal/bus"
 	"disc/internal/core"
 	"disc/internal/fault"
@@ -72,8 +73,9 @@ func AssembleChecked(source string, opts AnalysisOptions) (*Image, error) {
 }
 
 // Abstract-interpretation facts (internal/analysis): SummarizeImage is
-// AnalyzeImage plus the machine-readable block summaries a block JIT or
-// schedule planner consumes — basic blocks with side-effect flags, net
+// AnalyzeImage plus the machine-readable block summaries the block
+// engine (internal/blockc) and schedule planners consume — basic
+// blocks with side-effect flags, net
 // stack-window deltas, bus-access and static-stall bounds, and
 // per-entry stream profiles. The summary serializes as JSON under the
 // pinned schema "disc-absint/1" (disclint -facts-out).
@@ -92,6 +94,42 @@ type (
 // summaries together with the diagnostic report.
 func SummarizeImage(im *Image, opts AnalysisOptions) (*ProgramSummary, *AnalysisReport) {
 	return analysis.Summarize(im, opts)
+}
+
+// Block-compiled execution (internal/blockc + internal/core): the
+// analysis pipeline's EventFree facts drive a table of pre-compiled
+// fused sessions that the machine dispatches in place of per-cycle
+// stepping wherever no interleave-visible event can occur. Cycle-exact
+// by contract — see the blockc package documentation and DESIGN.md
+// §13.
+type (
+	// BlockTable holds the compiled fused regions for one program image,
+	// keyed to the program store's mutation version.
+	BlockTable = core.BlockTable
+	// BlockStats counts fused sessions, cycles, instructions and bails.
+	BlockStats = core.BlockStats
+	// RegionSpec proposes one address range for block compilation.
+	RegionSpec = core.RegionSpec
+	// BlockCoverage reports how much of a plan survived compilation.
+	BlockCoverage = blockc.Coverage
+)
+
+// MinFuseLen is the shortest instruction run a fused session can cover.
+const MinFuseLen = core.MinFuseLen
+
+// PlanBlocks converts a program summary into block-compilation
+// proposals; CompileBlocks builds the table for a machine's program
+// store.
+var (
+	PlanBlocks    = blockc.Plan
+	CompileBlocks = blockc.Compile
+)
+
+// AttachBlockEngine analyzes im, compiles the resulting plan and
+// attaches the block table to m — the one-call opt-in to
+// block-compiled execution. The image must already be loaded.
+func AttachBlockEngine(m *Machine, im *Image, opts AnalysisOptions) (*BlockTable, *AnalysisReport) {
+	return blockc.Attach(m, im, opts)
 }
 
 // Disassemble renders machine words as assembly, one line per word.

@@ -148,3 +148,65 @@ bg: ADDI R0, 1
 			samples.Max(), ConventionalLatency(PipeDepth, 12, 4))
 	}
 }
+
+// TestBlockEngineFacade drives block-compiled execution end to end
+// through the public API: assemble, build, attach, run — and verify
+// the fused run matches a plain machine bit for bit.
+func TestBlockEngineFacade(t *testing.T) {
+	src := `
+main:
+    ADDI R0, 1
+    ADD  R1, R0, R0
+    XOR  R2, R1, R0
+    SUB  R3, R1, R2
+    OR   R4, R3, R0
+    AND  R5, R4, R1
+    JMP  main
+`
+	build := func() (*Machine, *Image) {
+		im, err := Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMachine(Config{Streams: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := LoadImage(m, im); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		return m, im
+	}
+	plain, _ := build()
+	fused, im := build()
+
+	sum, _ := SummarizeImage(im, AnalysisOptions{Entries: []uint16{0}, Streams: 1})
+	specs := PlanBlocks(sum)
+	if len(specs) == 0 {
+		t.Fatal("PlanBlocks proposed nothing for straight-line code")
+	}
+	tbl, rep := AttachBlockEngine(fused, im, AnalysisOptions{Entries: []uint16{0}, Streams: 1})
+	if rep.ErrorCount() != 0 {
+		t.Fatalf("unexpected analysis errors: %d", rep.ErrorCount())
+	}
+	if tbl.Compiled < MinFuseLen {
+		t.Fatalf("table compiled only %d instructions", tbl.Compiled)
+	}
+	if CompileBlocks(fused.Program(), sum).Compiled != tbl.Compiled {
+		t.Fatal("CompileBlocks and AttachBlockEngine disagree")
+	}
+
+	plain.Run(5000)
+	fused.Run(5000)
+	if plain.Cycle() != fused.Cycle() || plain.Stats().Retired != fused.Stats().Retired {
+		t.Fatalf("fused run diverged: cycles %d/%d retired %d/%d",
+			plain.Cycle(), fused.Cycle(), plain.Stats().Retired, fused.Stats().Retired)
+	}
+	var bs BlockStats = fused.BlockStats()
+	if bs.Sessions == 0 || bs.FusedCycles == 0 {
+		t.Fatalf("block engine never engaged: %+v", bs)
+	}
+}

@@ -1,0 +1,57 @@
+package analysis
+
+// Fusion planning: the bridge from the block-summary layer to the
+// core's block-compiled executor. The summary side decides *where*
+// fusion is worth attempting — maximal chains of address-contiguous
+// EventFree blocks — and hands the executor plain address spans; the
+// executor re-qualifies every instruction when compiling (and checks
+// the machine state at every session entry), so a span here is a
+// performance hint with no correctness weight.
+
+// Span is one inclusive program-address range [Start, End].
+type Span struct {
+	Start, End uint16
+}
+
+// Len returns the number of instructions the span covers.
+func (s Span) Len() int { return int(s.End) - int(s.Start) + 1 }
+
+// FusibleSpans returns the address spans a block-compiling executor
+// should consider, longest chains first in address order: runs of
+// address-contiguous EventFree blocks totalling at least minLen
+// instructions. Contiguity matters because a fused session crosses
+// fall-through block boundaries freely — a branch target that lands
+// mid-span simply starts the session there — while any non-EventFree
+// block (a bus access site, an IRQ- or stream-visible instruction, an
+// unknowable window delta) ends the chain: past it the summary can no
+// longer promise the absence of interleave-visible events.
+//
+// EventFree deliberately says nothing about *incoming* events — an
+// interrupt can arrive mid-span at any time. Ruling that out is the
+// executor's session-entry check against live machine state, not a
+// static property, which is why the static and dynamic halves of the
+// qualification split exactly here.
+func (s *Summary) FusibleSpans(minLen int) []Span {
+	var out []Span
+	i := 0
+	for i < len(s.Blocks) {
+		if !s.Blocks[i].EventFree {
+			i++
+			continue
+		}
+		start := s.Blocks[i].Start
+		end := s.Blocks[i].End
+		n := s.Blocks[i].Len
+		j := i + 1
+		for j < len(s.Blocks) && s.Blocks[j].EventFree && s.Blocks[j].Start == end+1 {
+			end = s.Blocks[j].End
+			n += s.Blocks[j].Len
+			j++
+		}
+		if n >= minLen {
+			out = append(out, Span{Start: start, End: end})
+		}
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func fusibleSum(t *testing.T, src string) *Summary {
+	t.Helper()
+	sum, _ := summarizeSrc(t, src, Options{Entries: []uint16{0}, Streams: 1})
+	return sum
+}
+
+// TestFusibleSpansChainsContiguousEventFree checks the planner-facing
+// span builder: contiguous EventFree blocks chain into one span, any
+// non-EventFree block ends the chain, and chains below minLen are
+// dropped.
+func TestFusibleSpansChainsContiguousEventFree(t *testing.T) {
+	// Two event-free runs separated by a bus access; the second run is
+	// split into two blocks by a fall-through branch target, which
+	// FusibleSpans must chain back together.
+	sum := fusibleSum(t, `
+main:
+    LI   R7, 0x0400
+    ADDI R0, 1
+    ADDI R1, 1
+    ADD  R2, R0, R1
+    LD   R3, [R7+1]
+half:
+    ADDI R0, 2
+    SUB  R2, R2, R0
+there:
+    XOR  R1, R1, R2
+    ADDI R3, 4
+    JMP  main
+`)
+	spans := sum.FusibleSpans(4)
+	if len(spans) == 0 {
+		t.Fatalf("no fusible spans found")
+	}
+	for _, sp := range spans {
+		if sp.Len() < 4 {
+			t.Errorf("span %+v shorter than minLen", sp)
+		}
+		for _, b := range sum.Blocks {
+			if !b.EventFree && b.Start >= sp.Start && b.Start <= sp.End {
+				t.Errorf("span %+v covers non-EventFree block at %d", sp, b.Start)
+			}
+		}
+	}
+	// The half:/there: blocks are contiguous and event-free, so they
+	// must appear inside a single span, not one per block.
+	var covering int
+	for _, sp := range spans {
+		for _, b := range sum.Blocks {
+			if b.Label == "half" && b.Start >= sp.Start && b.Start <= sp.End {
+				covering++
+				// The same span must reach past the next block boundary.
+				next := sum.BlockAt(b.End + 1)
+				if next != nil && next.EventFree && next.End > sp.End {
+					t.Errorf("span %+v stopped at a fall-through boundary before %d", sp, next.End)
+				}
+			}
+		}
+	}
+	if covering != 1 {
+		t.Errorf("half: block covered by %d spans, want exactly 1", covering)
+	}
+}
+
+func TestFusibleSpansMinLen(t *testing.T) {
+	// A 2-instruction event-free island between jumps: long minLen
+	// drops it, minLen<=2 keeps it.
+	sum := fusibleSum(t, `
+main:
+    ADDI R0, 1
+    ADDI R1, 1
+    JMP  tail
+tail:
+    ADDI R0, 1
+    ADDI R1, 1
+    ADDI R2, 1
+    ADDI R3, 1
+    JMP  main
+`)
+	long := sum.FusibleSpans(16)
+	if len(long) != 0 {
+		t.Errorf("minLen=16 returned %v, want none", long)
+	}
+	short := sum.FusibleSpans(2)
+	if len(short) == 0 {
+		t.Fatalf("minLen=2 returned no spans")
+	}
+	// Spans are in address order and non-overlapping.
+	sorted := make([]Span, len(short))
+	copy(sorted, short)
+	for i := 1; i < len(short); i++ {
+		if short[i].Start <= short[i-1].End {
+			t.Errorf("spans overlap or out of order: %v", short)
+		}
+	}
+	if !reflect.DeepEqual(short, sorted) {
+		t.Errorf("spans not returned in address order: %v", short)
+	}
+}

@@ -1,0 +1,106 @@
+// Package blockc plans and builds block-compiled execution tables: it
+// is the bridge from the static analysis pipeline (internal/analysis,
+// the disc-absint/1 block summary) to the core's fused-session
+// executor (internal/core, DESIGN.md §13).
+//
+// # Division of labour
+//
+// The qualification that lets a run of instructions execute as one
+// fused dispatch is split in three, and this package owns only the
+// middle layer:
+//
+//   - internal/analysis proves static facts per basic block — the
+//     EventFree bit: no bus access site, no IRQ-visible or
+//     stream-control instruction, a statically known net stack-window
+//     delta (Summary.FusibleSpans chains contiguous EventFree blocks
+//     into candidate spans);
+//   - blockc (this package) turns those spans into core.RegionSpec
+//     proposals and asks the core to compile them;
+//   - internal/core re-qualifies every proposed instruction through
+//     its own op compiler and, at run time, checks the live machine
+//     state at every session entry (sole ready stream, idle bus, no
+//     dispatchable interrupt, stack-window headroom for the whole
+//     run).
+//
+// The consequence is the package's central contract: a plan is a
+// performance hint, never a correctness input. A wrong or stale span
+// costs fused coverage; it cannot change an architectural outcome,
+// because the core rebuilds the qualification from the program words
+// themselves and refuses any session the machine state does not
+// license.
+//
+// # Determinism contract
+//
+// Block-compiled execution is cycle-exact, not approximately fast: a
+// machine running with a table attached produces, at every observable
+// point, bit-identical architectural state — registers, memories,
+// flags, PCs, cycle count, statistics — to the same machine stepping
+// per cycle, which the three-way differential suite (optimized,
+// reference, block; equiv tests and FuzzStepEquiv in internal/core and
+// blockc) enforces. Fused sessions only elide per-instruction trace
+// events, summarizing them as block-enter/exit pairs; they never elide
+// architecture. Planning itself is deterministic: the same summary
+// yields the same spans in the same order, so a rebuilt table is
+// byte-equivalent and `make detlint` holds this package to the
+// repository's determinism rules.
+package blockc
+
+import (
+	"disc/internal/analysis"
+	"disc/internal/asm"
+	"disc/internal/core"
+	"disc/internal/mem"
+)
+
+// Plan converts a block summary into compilation proposals: the
+// fusible spans of at least core.MinFuseLen instructions, as
+// core.RegionSpec values in address order. Shorter spans cannot form a
+// session (the exit pipeline needs PipeDepth freshly issued slots) and
+// are not proposed.
+func Plan(sum *analysis.Summary) []core.RegionSpec {
+	spans := sum.FusibleSpans(core.MinFuseLen)
+	specs := make([]core.RegionSpec, len(spans))
+	for i, s := range spans {
+		specs[i] = core.RegionSpec{Start: s.Start, End: s.End}
+	}
+	return specs
+}
+
+// Compile plans against sum and builds the block table for prog. The
+// table records prog's current version; load or patch the image first,
+// compile second.
+func Compile(prog *mem.Program, sum *analysis.Summary) *core.BlockTable {
+	return core.BuildBlockTable(prog, Plan(sum))
+}
+
+// Attach analyzes im, compiles the resulting plan against m's program
+// memory, and attaches the table to m. The image must already be
+// loaded into m (Attach compiles what the machine will execute, keyed
+// to the program store's mutation version). The analysis report is
+// returned alongside the table so callers can surface findings; a
+// report with errors does not block attachment — analysis errors mark
+// suspect code, and suspect code simply fails re-qualification or
+// session entry.
+func Attach(m *core.Machine, im *asm.Image, opts analysis.Options) (*core.BlockTable, *analysis.Report) {
+	sum, rep := analysis.Summarize(im, opts)
+	t := Compile(m.Program(), sum)
+	m.SetBlockTable(t)
+	return t, rep
+}
+
+// Coverage summarizes how much of a plan survived compilation.
+type Coverage struct {
+	Planned  int // instructions inside proposed spans
+	Compiled int // instructions the core accepted into fused regions
+	Regions  int // fused runs formed
+}
+
+// PlanCoverage reports how a table's compilation went against the
+// specs that produced it.
+func PlanCoverage(t *core.BlockTable, specs []core.RegionSpec) Coverage {
+	c := Coverage{Compiled: t.Compiled, Regions: t.Regions}
+	for _, sp := range specs {
+		c.Planned += int(sp.End) - int(sp.Start) + 1
+	}
+	return c
+}

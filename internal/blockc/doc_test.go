@@ -1,0 +1,48 @@
+package blockc
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocPinsContracts pins the load-bearing phrases of the
+// package documentation: the determinism contract and the
+// qualification split are API promises other packages and DESIGN.md
+// §13 reference by name, so weakening the godoc must fail a test, not
+// slip through a refactor.
+func TestPackageDocPinsContracts(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var doc string
+	for _, pkg := range pkgs {
+		for name, f := range pkg.Files {
+			if strings.HasSuffix(name, "_test.go") || f.Doc == nil {
+				continue
+			}
+			doc = f.Doc.Text()
+		}
+	}
+	if doc == "" {
+		t.Fatalf("package blockc has no package comment")
+	}
+	// Compare on whitespace-normalized text so re-wrapping the comment
+	// doesn't count as losing a promise.
+	flat := strings.Join(strings.Fields(doc), " ")
+	for _, phrase := range []string{
+		"a plan is a performance hint, never a correctness input",
+		"Division of labour",
+		"Determinism contract",
+		"bit-identical architectural state",
+		"re-qualifies every proposed instruction",
+		"checks the live machine state at every session entry",
+	} {
+		if !strings.Contains(flat, phrase) {
+			t.Errorf("package doc lost the phrase %q", phrase)
+		}
+	}
+}

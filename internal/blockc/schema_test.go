@@ -1,0 +1,76 @@
+package blockc
+
+import (
+	"encoding/json"
+	"testing"
+
+	"disc/internal/analysis"
+	"disc/internal/asm"
+)
+
+// TestAbsintSchemaFieldsStable pins the disc-absint/1 JSON field names
+// this package's planning layer (and any external consumer of
+// `discsim -absint -json`) relies on. Renaming a field is a schema
+// break: it needs a schema version bump, not a silent edit.
+func TestAbsintSchemaFieldsStable(t *testing.T) {
+	im, err := asm.Assemble(planSrc)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	sum, _ := analysis.Summarize(im, analysis.Options{Entries: []uint16{0}, Streams: 1})
+	if sum.Schema != analysis.SummarySchema {
+		t.Fatalf("summary schema = %q, want %q", sum.Schema, analysis.SummarySchema)
+	}
+	if analysis.SummarySchema != "disc-absint/1" {
+		t.Fatalf("SummarySchema changed to %q without updating consumers", analysis.SummarySchema)
+	}
+
+	raw, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, key := range []string{"schema", "streams", "bus_timeout", "blocks"} {
+		if _, ok := top[key]; !ok {
+			t.Errorf("top-level field %q missing from disc-absint/1 output", key)
+		}
+	}
+
+	var blocks []map[string]json.RawMessage
+	if err := json.Unmarshal(top["blocks"], &blocks); err != nil {
+		t.Fatalf("unmarshal blocks: %v", err)
+	}
+	if len(blocks) == 0 {
+		t.Fatalf("no blocks summarized")
+	}
+	// Every always-emitted per-block field blockc's planner reads
+	// (omitempty fields — label, succs — are pinned by presence on at
+	// least one block below).
+	for _, key := range []string{
+		"start", "end", "len",
+		"bus_accesses", "internal_accesses",
+		"irq_visible", "stream_control",
+		"writes_h", "writes_sr",
+		"net_window_delta", "delta_known",
+		"event_free", "stall_bound",
+	} {
+		if _, ok := blocks[0][key]; !ok {
+			t.Errorf("block field %q missing from disc-absint/1 output", key)
+		}
+	}
+	haveLabel, haveSuccs := false, false
+	for _, b := range blocks {
+		if _, ok := b["label"]; ok {
+			haveLabel = true
+		}
+		if _, ok := b["succs"]; ok {
+			haveSuccs = true
+		}
+	}
+	if !haveLabel || !haveSuccs {
+		t.Errorf("no block carries label/succs (label=%v succs=%v)", haveLabel, haveSuccs)
+	}
+}

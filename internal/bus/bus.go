@@ -57,6 +57,18 @@ type Ticker interface {
 	Tick()
 }
 
+// Quieter is an optional refinement of Ticker: Quiet reports that the
+// device's Tick is currently a no-op AND will stay one until a bus
+// access changes the device's state (a disabled timer, an ADC with no
+// conversion in flight). The block engine uses it to prove that
+// skipping TickDevices over a fused session — which contains no bus
+// access by construction — cannot change any device outcome. A ticker
+// that does not implement Quieter is conservatively assumed never
+// quiet.
+type Quieter interface {
+	Quiet() bool
+}
+
 type mapping struct {
 	base uint16
 	size uint16
@@ -168,6 +180,21 @@ func (b *Bus) Attach(base, size uint16, dev Device) error {
 // with only passive devices (or none) can skip TickDevices entirely —
 // the common case in the Table 4.x compute-bound workloads.
 func (b *Bus) NeedsTick() bool { return len(b.tickers) > 0 }
+
+// Quiescent reports that every time-keeping device is in a state
+// where ticking it is a provable no-op (see Quieter). While it holds,
+// any stretch of cycles free of bus accesses can skip TickDevices
+// without changing a single device outcome — the license the block
+// engine's session-entry check relies on.
+func (b *Bus) Quiescent() bool {
+	for _, t := range b.tickers {
+		q, ok := t.(Quieter)
+		if !ok || !q.Quiet() {
+			return false
+		}
+	}
+	return true
+}
 
 // lookup finds the device covering addr.
 func (b *Bus) lookup(addr uint16) (Device, uint16, bool) {

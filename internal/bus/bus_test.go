@@ -325,3 +325,68 @@ func TestWatchdogKickedNeverBites(t *testing.T) {
 		t.Fatal("ctrl readback wrong")
 	}
 }
+
+// TestQuiescent pins the Quieter contract the block engine's session
+// entry leans on: an idle board is quiescent, any ticker with work in
+// flight breaks quiescence, and every transition in or out runs
+// through a bus-visible device write.
+func TestQuiescent(t *testing.T) {
+	b := New()
+	if !b.Quiescent() {
+		t.Fatal("empty bus not quiescent")
+	}
+	tm := NewTimer("t", 1, nil, 0, 4)
+	adc := NewADC("a", 1, 5, nil)
+	wd := NewWatchdog("w", 1, 100, nil, 0, 7)
+	if err := b.Attach(0xF000, 4, tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(0xF010, 4, adc); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(0xF020, 4, wd); err != nil {
+		t.Fatal(err)
+	}
+	if !b.NeedsTick() {
+		t.Fatal("tickers attached but NeedsTick is false")
+	}
+	if !b.Quiescent() {
+		t.Fatal("all-idle board not quiescent")
+	}
+
+	// Arm the timer: count + run bit. Not quiet until it expires.
+	tm.Write(TimerCount, 3)
+	tm.Write(TimerCtrl, 1)
+	if b.Quiescent() {
+		t.Fatal("running timer counted as quiescent")
+	}
+	for i := 0; i < 3; i++ {
+		b.TickDevices()
+	}
+	if !b.Quiescent() {
+		t.Fatal("expired no-reload timer still not quiescent")
+	}
+
+	// A conversion in flight breaks quiescence until it completes.
+	adc.Write(ADCCtrl, 1)
+	if b.Quiescent() {
+		t.Fatal("converting ADC counted as quiescent")
+	}
+	for i := 0; i < 5; i++ {
+		b.TickDevices()
+	}
+	if !b.Quiescent() {
+		t.Fatal("finished ADC still not quiescent")
+	}
+
+	// An armed watchdog is never quiet: its whole job is to bite while
+	// software does nothing.
+	wd.Write(WatchdogCtrl, 1)
+	if b.Quiescent() {
+		t.Fatal("armed watchdog counted as quiescent")
+	}
+	wd.Write(WatchdogCtrl, 0)
+	if !b.Quiescent() {
+		t.Fatal("disarmed watchdog still not quiescent")
+	}
+}

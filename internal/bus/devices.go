@@ -134,8 +134,14 @@ func (t *Timer) Tick() {
 	}
 }
 
+// Quiet reports that ticking is a no-op: stopped, or counted down to
+// rest with no auto-reload pending. Only a CTRL/COUNT write — a bus
+// access — can change that.
+func (t *Timer) Quiet() bool { return t.ctrl&1 == 0 || t.count == 0 }
+
 var _ Device = (*Timer)(nil)
 var _ Ticker = (*Timer)(nil)
+var _ Quieter = (*Timer)(nil)
 
 // UART register offsets.
 const (
@@ -285,8 +291,12 @@ func (a *ADC) Tick() {
 	}
 }
 
+// Quiet reports no conversion in flight; only a CTRL write starts one.
+func (a *ADC) Quiet() bool { return !a.converting }
+
 var _ Device = (*ADC)(nil)
 var _ Ticker = (*ADC)(nil)
+var _ Quieter = (*ADC)(nil)
 
 // Stepper register offsets.
 const (
@@ -436,5 +446,9 @@ func (w *Watchdog) Tick() {
 	}
 }
 
+// Quiet reports the watchdog disarmed; only a CTRL write arms it.
+func (w *Watchdog) Quiet() bool { return !w.enabled }
+
 var _ Device = (*Watchdog)(nil)
 var _ Ticker = (*Watchdog)(nil)
+var _ Quieter = (*Watchdog)(nil)

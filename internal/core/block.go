@@ -1,0 +1,932 @@
+package core
+
+// Block-compiled execution: the dynamic half of the analysis→execution
+// pipeline (DESIGN.md §13). Qualifying straight-line runs of
+// instructions are pre-compiled into fused Go closures; when the
+// machine is provably in a quiescent single-stream state, a whole run
+// executes in one dispatch — a "session" — instead of one Step call
+// per cycle, with the per-cycle machinery (readiness sweeps, scheduler
+// calls, pipe shifts, slot writes) replaced by bulk accounting that
+// lands on the exact same architectural state.
+//
+// Cycle-exactness is preserved by construction, not by hope:
+//
+//   - A session only opens when exactly one stream is ready, the bus
+//     is idle with no tickable devices, no stall timer is live, no
+//     interrupt can vector, and the IF/RD slots hold (only) this
+//     stream's own in-region instructions. Under those preconditions
+//     the per-cycle machine would issue this stream back-to-back and
+//     nothing interleave-visible could happen — which is exactly what
+//     the fused path replays.
+//   - Compiled ops run in EX order at their precise execute cycles
+//     (an instruction issued at cycle c executes at c+2), with m.cycle
+//     maintained per op so a mid-session bus-wait entry stamps the
+//     same request Tag the per-cycle path would.
+//   - Only instructions whose EX semantics cannot produce an
+//     interleave-visible event compile: no control flow, no stream or
+//     interrupt control, no MTS to a scheduling-visible special. Memory
+//     ops compile with a runtime internal-memory guard; the moment one
+//     goes external it performs the exact §3.6.1 wait-state entry and
+//     the session ends ("bail"), committing partial accounting.
+//   - Stack-window faults cannot fire mid-session: each region carries
+//     suffix extrema of its cumulative AWP deltas and the entry check
+//     proves the whole excursion stays inside the guard band.
+//   - On exit the at-rest pipeline is materialized exactly: the last
+//     four issued instructions occupy IF/RD/EX/WR (EX/WR already
+//     executed), or the precise post-flush shape after a bail.
+//
+// BuildBlockTable re-qualifies every instruction through compileOp
+// regardless of what the planner (internal/blockc) claimed, so a bogus
+// region spec can cost performance but never correctness. The table
+// records the program-store version it was built against; any
+// Load/Set afterwards invalidates it at the next session attempt.
+
+import (
+	"math/bits"
+
+	"disc/internal/bus"
+	"disc/internal/isa"
+	"disc/internal/mem"
+	"disc/internal/obs"
+	"disc/internal/stackwin"
+)
+
+// MinFuseLen is the shortest run worth fusing: a session must issue at
+// least PipeDepth instructions so the exit pipe consists entirely of
+// freshly issued in-region slots. Planners (internal/blockc) use it as
+// the minimum span length worth proposing.
+const MinFuseLen = isa.PipeDepth
+
+// RegionSpec names a candidate address range [Start, End] for block
+// compilation. Specs come from the analysis-driven planner in
+// internal/blockc (chained event-free blocks) or, in tests, from
+// whole-image ranges; BuildBlockTable re-checks every instruction
+// either way.
+type RegionSpec struct {
+	Start, End uint16
+}
+
+// blockOp executes one compiled instruction's EX semantics. m.cycle is
+// already set to the op's execute cycle. It returns false when the op
+// performed a session-ending §3.6.1 wait-state entry (an external
+// memory access), true otherwise.
+type blockOp func(m *Machine, id int, s *stream) bool
+
+// region is one compiled run of fusible instructions.
+type region struct {
+	start, end uint16
+	ops        []blockOp
+	// cum[i] is the net AWP delta of ops[0..i]; sufMax/sufMin[i] bound
+	// cum[j] over j >= i. The session entry check uses them to prove no
+	// stack-window fault can fire mid-session.
+	cum, sufMax, sufMin []int
+}
+
+// BlockTable is a compiled-region table for one program image. Build
+// one with BuildBlockTable (or blockc.Compile) and attach it with
+// Machine.SetBlockTable. The counter fields are populated at build
+// time; session statistics live on the machine (Machine.BlockStats).
+type BlockTable struct {
+	index   []int32 // program address -> region index+1; 0 = none
+	regions []region
+	version uint32 // prog.Version() at build time
+
+	// Compiled counts the instructions that qualified; Regions the
+	// fused runs they formed. Skipped counts spec-covered instructions
+	// that did not qualify (region breakers and short runs).
+	Compiled int
+	Regions  int
+	Skipped  int
+}
+
+// Version returns the program-store version the table was built
+// against (mem.Program.Version).
+func (t *BlockTable) Version() uint32 { return t.version }
+
+// RegionAt returns the compiled region covering pc as an address
+// range, or ok=false when pc is not inside any fused region.
+func (t *BlockTable) RegionAt(pc uint16) (start, end uint16, ok bool) {
+	if int(pc) >= len(t.index) || t.index[pc] == 0 {
+		return 0, 0, false
+	}
+	r := &t.regions[t.index[pc]-1]
+	return r.start, r.end, true
+}
+
+// BlockStats counts fused-session activity. They are deliberately NOT
+// part of Stats: the equivalence suite compares Stats across engines,
+// and session counts are an engine property, not architectural state.
+type BlockStats struct {
+	Sessions    uint64 // fused sessions entered
+	FusedCycles uint64 // cycles covered by sessions
+	FusedInstrs uint64 // instructions issued inside sessions
+	Bails       uint64 // sessions ended early by an external access
+	Stale       uint64 // table drops due to program-store mutation
+}
+
+// BlockStats returns the machine's fused-session counters.
+func (m *Machine) BlockStats() BlockStats { return m.blockStats }
+
+// SetBlockTable attaches a compiled block table (nil detaches). The
+// per-cycle engines are unaffected; StepBlock, Run, RunUntilIdle and
+// RunGuarded consult the table. Reset keeps the table attached —
+// program memory survives Reset, so the compiled regions stay valid.
+func (m *Machine) SetBlockTable(t *BlockTable) {
+	m.blocks = t
+}
+
+// AttachedBlockTable returns the attached table, or nil. (A stale
+// table — program store mutated after build — detaches itself at the
+// next session attempt.)
+func (m *Machine) AttachedBlockTable() *BlockTable { return m.blocks }
+
+// BuildBlockTable compiles the qualifying instructions inside specs
+// into fused regions. Every instruction is qualified individually
+// through the op compiler — the specs only bound the search — so
+// callers may pass coarse or even bogus ranges without risking
+// correctness. Runs shorter than PipeDepth instructions are not worth
+// a session and are skipped.
+func BuildBlockTable(prog *mem.Program, specs []RegionSpec) *BlockTable {
+	limit := prog.Limit()
+	t := &BlockTable{version: prog.Version(), index: make([]int32, limit)}
+	for _, sp := range specs {
+		if uint32(sp.Start) >= limit || sp.End < sp.Start {
+			continue
+		}
+		end := uint32(sp.End)
+		if end >= limit {
+			end = limit - 1
+		}
+		for a := uint32(sp.Start); a <= end; {
+			if t.index[a] != 0 {
+				a++ // already inside a region from an earlier spec
+				continue
+			}
+			runStart := a
+			var ops []blockOp
+			var deltas []int
+			for a <= end && t.index[a] == 0 {
+				in, meta := prog.Decoded(uint16(a))
+				if meta != 0 {
+					break // illegal word or control transfer
+				}
+				op, ok := compileOp(in, uint16(a))
+				if !ok {
+					break
+				}
+				d, known := in.AWPDelta()
+				if !known {
+					break // cannot happen for compiled ops; belt and suspenders
+				}
+				ops = append(ops, op)
+				deltas = append(deltas, d)
+				a++
+			}
+			if len(ops) < MinFuseLen {
+				t.Skipped += len(ops)
+				if a == runStart+uint32(len(ops)) && len(ops) == 0 {
+					t.Skipped++
+					a++ // step over the region breaker
+				}
+				continue
+			}
+			r := region{start: uint16(runStart), end: uint16(a - 1), ops: ops}
+			r.cum = make([]int, len(ops))
+			r.sufMax = make([]int, len(ops))
+			r.sufMin = make([]int, len(ops))
+			sum := 0
+			for i, d := range deltas {
+				sum += d
+				r.cum[i] = sum
+			}
+			mx, mn := r.cum[len(ops)-1], r.cum[len(ops)-1]
+			for i := len(ops) - 1; i >= 0; i-- {
+				if r.cum[i] > mx {
+					mx = r.cum[i]
+				}
+				if r.cum[i] < mn {
+					mn = r.cum[i]
+				}
+				r.sufMax[i] = mx
+				r.sufMin[i] = mn
+			}
+			t.regions = append(t.regions, r)
+			t.Compiled += len(ops)
+			t.Regions++
+			ri := int32(len(t.regions)) // index+1
+			for x := runStart; x < a; x++ {
+				t.index[x] = ri
+			}
+		}
+	}
+	return t
+}
+
+// StepBlock advances the machine by one dispatch: a fused session of
+// up to max cycles when a block table is attached and the machine
+// qualifies, or exactly one ordinary Step otherwise. It returns the
+// cycles advanced (always >= 1 for max >= 1). Callers that must
+// observe the machine at a specific future cycle — stimulus schedules,
+// lockstep comparisons — bound max accordingly; a session never
+// advances past it.
+func (m *Machine) StepBlock(max int) int {
+	if m.blocks != nil {
+		if n := m.blockSession(max); n > 0 {
+			return n
+		}
+	}
+	m.Step()
+	return 1
+}
+
+// blockSession attempts one fused session of at most max cycles.
+// It returns 0 when the machine does not qualify (caller falls back to
+// Step) and the cycles advanced otherwise.
+func (m *Machine) blockSession(max int) int {
+	t := m.blocks
+	if max < MinFuseLen || m.cfg.Reference || m.cfg.CheckReadiness || m.dbg != nil || m.profile != nil {
+		return 0
+	}
+	// Fast reject on the cached ready mask and the region index before
+	// touching any other state: on workloads that rarely fuse this path
+	// is taken almost every cycle, and the full predicate below costs
+	// real throughput. Both reads are heuristic here — the mask may be
+	// stale and the table unvalidated — which is sound because this
+	// filter can only *reject*: everything it trusts is re-derived
+	// authoritatively below before a session runs. A stale reject costs
+	// a missed session, never a wrong outcome.
+	r0 := uint32(m.ready)
+	if r0 == 0 || r0&(r0-1) != 0 {
+		return 0
+	}
+	if p0 := m.streams[bits.TrailingZeros32(r0)].pc; int(p0) >= len(t.index) || t.index[p0] == 0 ||
+		int(t.regions[t.index[p0]-1].end)-int(p0)+1 < MinFuseLen {
+		return 0
+	}
+	if t.version != m.prog.Version() {
+		// Image reloaded or patched: the compiled closures may describe
+		// instructions that no longer exist. Drop the table.
+		m.blocks = nil
+		m.blockStats.Stale++
+		return 0
+	}
+	// Time-keeping devices are fine as long as every one is provably
+	// inert: a fused session contains no bus access, and only a bus
+	// access can wake a Quiet ticker, so the skipped TickDevices calls
+	// are all no-ops (bus.Quieter).
+	if m.stallMask != 0 || m.bus.Busy() || (m.bus.NeedsTick() && !m.bus.Quiescent()) {
+		return 0
+	}
+	// Replicate Step's interrupt-version sweep so the ready mask is
+	// exact before the session trusts it (raw *interrupt.Unit handles
+	// can be mutated between dispatches without a machine-side hook).
+	for i, st := range m.streams {
+		if v := st.intr.Version(); v != m.intrVer[i] {
+			m.intrVer[i] = v
+			m.refreshReady(i)
+		}
+	}
+	r := uint32(m.ready)
+	if r == 0 || r&(r-1) != 0 {
+		return 0 // zero or multiple ready streams: interleaving possible
+	}
+	id := bits.TrailingZeros32(r)
+	s := m.streams[id]
+	if s.state != StateRun || s.branchShadow != 0 || s.entryInFlight {
+		return 0
+	}
+	// The issue stage would vector a pending interrupt before fetching;
+	// refresh the cached dispatch decision exactly as issue() would.
+	if v := s.intr.Version(); v != s.dispVer {
+		s.dispBit, s.dispOK = s.intr.Dispatch()
+		s.dispVer = v
+	}
+	if s.dispOK {
+		return 0
+	}
+	p := s.pc
+	if int(p) >= len(t.index) || t.index[p] == 0 {
+		return 0
+	}
+	ri := &t.regions[t.index[p]-1]
+	k := int(ri.end) - int(p) + 1 // in-region instructions from p
+	if k > max {
+		k = max
+	}
+	if k < MinFuseLen {
+		return 0
+	}
+	// The IF/RD slots must hold this stream's own immediately-preceding
+	// in-region instructions (the usual back-to-back shape) or nothing.
+	// Any other content — another stream's instruction, an interrupt
+	// entry micro-op, an out-of-region fetch — executes per-cycle.
+	u1S, u2S := *m.stage(0), *m.stage(1)
+	if u1S.valid && (u1S.kind != kindInstr || int(u1S.stream) != id ||
+		u1S.pc != p-1 || u1S.pc < ri.start || u1S.pc > ri.end) {
+		return 0
+	}
+	if u2S.valid && (!u1S.valid || u2S.kind != kindInstr || int(u2S.stream) != id ||
+		u2S.pc != p-2 || u2S.pc < ri.start || u2S.pc > ri.end) {
+		return 0
+	}
+	// Stack-window headroom: prove the whole session's AWP excursion
+	// stays strictly inside the guard band, so no overflow/underflow
+	// interrupt can fire mid-session. The suffix extrema run to the
+	// region end — conservative for budget-capped sessions, but sound.
+	j0 := int(p) - int(ri.start)
+	if u1S.valid {
+		j0--
+	}
+	if u2S.valid {
+		j0--
+	}
+	base := 0
+	if j0 > 0 {
+		base = ri.cum[j0-1]
+	}
+	live := s.win.Live()
+	if live+ri.sufMax[j0]-base > s.win.Depth()-isa.WindowSize ||
+		live+ri.sufMin[j0]-base < isa.WindowSize {
+		return 0
+	}
+
+	// --- Qualified: run the fused session. ---
+	exS, wrS := *m.stage(2), *m.stage(3)
+	entry := m.cycle
+	start := int(ri.start)
+	if m.rec != nil {
+		m.rec.Emit(obs.Event{Cycle: entry + 1, Kind: obs.KindBlockEnter,
+			Stream: int8(id), PC: p})
+	}
+	// Execute in EX order at exact execute cycles: the pending RD/IF
+	// prefix first (issued before the session; they execute at entry+1
+	// and entry+2), then the session's own issues (address a executes
+	// at entry+(a-p)+3). A false return is the bail: the op performed
+	// the §3.6.1 wait entry at the current m.cycle and the session
+	// stops with partial accounting.
+	bail := false
+	if u2S.valid {
+		m.cycle = entry + 1
+		bail = !ri.ops[int(u2S.pc)-start](m, id, s)
+	}
+	if !bail && u1S.valid {
+		m.cycle = entry + 2
+		bail = !ri.ops[int(u1S.pc)-start](m, id, s)
+	}
+	if !bail {
+		for a := int(p); a <= int(p)+k-3; a++ {
+			m.cycle = entry + uint64(a-int(p)) + 3
+			if !ri.ops[a-start](m, id, s) {
+				bail = true
+				break
+			}
+		}
+	}
+	n := int(m.cycle - entry) // cycles covered: bail cycle included
+	if !bail {
+		n = k
+		m.cycle = entry + uint64(k)
+	}
+
+	// --- Bulk accounting: exactly what n per-cycle Steps would do. ---
+	issues := n
+	if bail {
+		issues = n - 1 // the bail cycle loses its issue slot
+		m.stats.IdleCycles++
+	}
+	s.issued += uint64(issues)
+	m.stats.Issued += uint64(issues)
+	m.seq += uint64(issues)
+	// The scheduler saw a sole-ready stream every session cycle,
+	// including the bail cycle (readiness is latched at cycle top).
+	m.sch.AdvanceSole(id, n)
+	m.blockStats.Sessions++
+	m.blockStats.FusedCycles += uint64(n)
+	m.blockStats.FusedInstrs += uint64(issues)
+
+	// Retires: cycle entry+j retires what sat j stages from WR at
+	// entry — the initial WR and EX slots (any stream), the prefix
+	// slots, then the session's own issues.
+	if wrS.valid {
+		m.streams[wrS.stream].retired++
+		m.stats.Retired++
+	}
+	if n >= 2 && exS.valid {
+		m.streams[exS.stream].retired++
+		m.stats.Retired++
+	}
+	sret := 0
+	if n >= 3 && u2S.valid {
+		sret++
+	}
+	if n >= 4 && u1S.valid {
+		sret++
+	}
+	if n >= 5 {
+		sret += n - 4
+	}
+	s.retired += uint64(sret)
+	m.stats.Retired += uint64(sret)
+
+	// Materialize the at-rest pipe after n shifts.
+	m.pipeBase = uint8((int(m.pipeBase) + (isa.PipeDepth-1)*n) & (isa.PipeDepth - 1))
+	if !bail {
+		b := int(p) + k - 1 // last issued address
+		s.pc = uint16(b + 1)
+		*m.stage(0) = m.freshSlot(id, uint16(b))
+		*m.stage(1) = m.freshSlot(id, uint16(b-1))
+		*m.stage(2) = m.freshSlot(id, uint16(b-2)) // executed in-session
+		*m.stage(3) = m.freshSlot(id, uint16(b-3)) // executed in-session
+	} else {
+		// The bailing access at address q executed at cycle entry+n and
+		// sits at EX; WR holds its predecessor; the flush rule emptied
+		// IF and RD; the stream PC was set to q+1 by the wait entry.
+		q := int(p) + n - 3
+		*m.stage(0) = slot{}
+		*m.stage(1) = slot{}
+		switch {
+		case q >= int(p):
+			*m.stage(2) = m.freshSlot(id, uint16(q))
+		case q == int(p)-1:
+			*m.stage(2) = u1S
+		default: // q == p-2
+			*m.stage(2) = u2S
+		}
+		switch {
+		case q >= int(p)+1:
+			*m.stage(3) = m.freshSlot(id, uint16(q-1))
+		case q == int(p):
+			*m.stage(3) = u1S
+		case q == int(p)-1:
+			*m.stage(3) = u2S
+		default: // q == p-2
+			*m.stage(3) = exS
+		}
+		// Exactly one younger slot is flushed by the wait entry: the
+		// just-issued successor (n >= 2), or the pending IF prefix slot
+		// when the very first prefix op bailed.
+		if n >= 2 || u1S.valid {
+			s.flushed++
+			m.stats.Flushed++
+		}
+		m.blockStats.Bails++
+	}
+
+	if m.rec != nil {
+		// The session's own issues/retires are summarized by the
+		// enter/exit pair; instructions issued *before* the session
+		// have open issue events, so their retires (and a first-cycle
+		// bail's flush of the IF prefix slot) are emitted at their
+		// exact cycles to keep lifetime matching consistent.
+		if wrS.valid {
+			m.rec.Emit(obs.Event{Cycle: entry + 1, Kind: obs.KindRetire,
+				Stream: int8(wrS.stream), PC: wrS.pc})
+		}
+		if n >= 2 && exS.valid {
+			m.rec.Emit(obs.Event{Cycle: entry + 2, Kind: obs.KindRetire,
+				Stream: int8(exS.stream), PC: exS.pc})
+		}
+		if n >= 3 && u2S.valid {
+			m.rec.Emit(obs.Event{Cycle: entry + 3, Kind: obs.KindRetire,
+				Stream: int8(id), PC: u2S.pc})
+		}
+		if n >= 4 && u1S.valid {
+			m.rec.Emit(obs.Event{Cycle: entry + 4, Kind: obs.KindRetire,
+				Stream: int8(id), PC: u1S.pc})
+		}
+		if bail && n == 1 && u1S.valid {
+			m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindFlush,
+				Stream: int8(id), PC: u1S.pc})
+		}
+		// Session-issued instructions still in the pipe at exit retire
+		// (or flush) later under per-cycle stepping, so they need open
+		// issue events at their true issue cycles — address a issued at
+		// entry+(a-p)+1 — or the trace reconstruction would mismatch
+		// them against younger instructions.
+		emitOpen := func(a int) {
+			m.rec.Emit(obs.Event{Cycle: entry + uint64(a-int(p)) + 1,
+				Kind: obs.KindIssue, Stream: int8(id), PC: uint16(a)})
+		}
+		if !bail {
+			for a := int(p) + k - 4; a <= int(p)+k-1; a++ {
+				emitOpen(a)
+			}
+		} else {
+			if q := int(p) + n - 3; q >= int(p)+1 {
+				emitOpen(q - 1)
+				emitOpen(q)
+			} else if q == int(p) {
+				emitOpen(q)
+			}
+		}
+		bailFlag := uint8(0)
+		if bail {
+			bailFlag = 1
+		}
+		m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindBlockExit,
+			Stream: int8(id), PC: s.pc, Aux: uint64(n), Data: uint16(issues), B: bailFlag})
+	}
+	return n
+}
+
+// freshSlot builds the pipe slot an in-session issue of pc produced:
+// a plain predecoded instruction of stream id (compiled regions hold
+// no control transfers, so shadow is always clear).
+func (m *Machine) freshSlot(id int, pc uint16) slot {
+	in, _ := m.prog.Decoded(pc)
+	return slot{instr: in, valid: true, stream: uint8(id), pc: pc}
+}
+
+// blockBusEnter performs the §3.6.1 wait-state entry for a compiled
+// memory op whose effective address went external: post the access,
+// block the stream, and advance its PC past the instruction (the
+// access completes asynchronously; flushed successors re-fetch from
+// there). The bus is never busy mid-session — the session's first
+// external access is also its last — so the busy-retry path cannot
+// occur. The caller commits flush and idle-slot accounting.
+func (m *Machine) blockBusEnter(id int, s *stream, pc, ea uint16, write bool, data uint16, dest isa.Reg) {
+	m.bus.Start(bus.Request{
+		Stream: id,
+		Write:  write,
+		Addr:   ea,
+		Data:   data,
+		Dest:   uint8(dest),
+		Tag:    m.cycle,
+	})
+	s.state = StateBusWait
+	s.busWaits++
+	m.stats.BusWaits++
+	s.pc = pc + 1
+	if m.rec != nil {
+		w := uint8(0)
+		if write {
+			w = 1
+		}
+		m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindBusWait,
+			Stream: int8(id), PC: pc, Addr: ea, A: w})
+		m.emitState(id, obs.StreamRun, obs.StreamBusWait)
+	}
+	m.refreshReady(id)
+}
+
+// compileOp compiles one instruction into a fused closure, or reports
+// ok=false for a region breaker. The qualification rule is semantic:
+// an instruction compiles exactly when its EX semantics cannot produce
+// an interleave-visible event — no control transfer (pipeline shadow),
+// no stream/interrupt control (scheduling visibility), no write to a
+// scheduling-visible special register. Memory ops compile with a
+// runtime internal-memory guard and end the session on an external
+// access; LDM/STM with a provably-external static address never
+// compile. Stack-window adjust fields compile freely — the session
+// entry headroom check proves they cannot fault.
+//
+// Every closure replicates the corresponding execute() case exactly,
+// including flag algebra and write ordering; equiv_test.go and
+// FuzzStepEquiv hold the two implementations together.
+func compileOp(in isa.Instruction, pc uint16) (blockOp, bool) {
+	var op blockOp
+	switch in.Op {
+	case isa.OpNOP:
+		op = func(m *Machine, id int, s *stream) bool { return true }
+
+	// ---- ALU register-register ----
+	case isa.OpADD:
+		rs, rt, rd := in.Rs, in.Rt, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			a, b := m.readReg(s, rs), m.readReg(s, rt)
+			r := a + b
+			m.addFlags(s, a, b, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpSUB:
+		rs, rt, rd := in.Rs, in.Rt, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			a, b := m.readReg(s, rs), m.readReg(s, rt)
+			r := a - b
+			m.subFlags(s, a, b, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpAND:
+		rs, rt, rd := in.Rs, in.Rt, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			r := m.readReg(s, rs) & m.readReg(s, rt)
+			m.setZN(s, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpOR:
+		rs, rt, rd := in.Rs, in.Rt, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			r := m.readReg(s, rs) | m.readReg(s, rt)
+			m.setZN(s, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpXOR:
+		rs, rt, rd := in.Rs, in.Rt, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			r := m.readReg(s, rs) ^ m.readReg(s, rt)
+			m.setZN(s, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpSHL:
+		rs, rt, rd := in.Rs, in.Rt, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			a := m.readReg(s, rs)
+			amt := m.readReg(s, rt) & 0xF
+			r := a << amt
+			m.setZN(s, r)
+			if amt > 0 {
+				s.flags &^= isa.FlagC
+				if a&(1<<(16-amt)) != 0 {
+					s.flags |= isa.FlagC
+				}
+			}
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpSHR:
+		rs, rt, rd := in.Rs, in.Rt, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			a := m.readReg(s, rs)
+			amt := m.readReg(s, rt) & 0xF
+			r := a >> amt
+			m.setZN(s, r)
+			if amt > 0 {
+				s.flags &^= isa.FlagC
+				if a&(1<<(amt-1)) != 0 {
+					s.flags |= isa.FlagC
+				}
+			}
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpASR:
+		rs, rt, rd := in.Rs, in.Rt, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			a := m.readReg(s, rs)
+			amt := m.readReg(s, rt) & 0xF
+			r := uint16(int16(a) >> amt)
+			m.setZN(s, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpMUL:
+		rs, rt, rd := in.Rs, in.Rt, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			p := uint32(m.readReg(s, rs)) * uint32(m.readReg(s, rt))
+			lo := uint16(p)
+			s.h = uint16(p >> 16)
+			m.setZN(s, lo)
+			m.writeReg(s, rd, lo)
+			return true
+		}
+	case isa.OpCMP:
+		rs, rt := in.Rs, in.Rt
+		op = func(m *Machine, id int, s *stream) bool {
+			a, b := m.readReg(s, rs), m.readReg(s, rt)
+			m.subFlags(s, a, b, a-b)
+			return true
+		}
+	case isa.OpMOV:
+		rs, rd := in.Rs, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			r := m.readReg(s, rs)
+			m.setZN(s, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpNOT:
+		rs, rd := in.Rs, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			r := ^m.readReg(s, rs)
+			m.setZN(s, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpNEG:
+		rs, rd := in.Rs, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			a := m.readReg(s, rs)
+			r := -a
+			m.subFlags(s, 0, a, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpSWP:
+		rs, rd := in.Rs, in.Rd
+		op = func(m *Machine, id int, s *stream) bool {
+			a, b := m.readReg(s, rd), m.readReg(s, rs)
+			m.writeReg(s, rd, b)
+			m.writeReg(s, rs, a)
+			m.setZN(s, b)
+			return true
+		}
+
+	// ---- ALU immediate ----
+	case isa.OpADDI:
+		rd, imm := in.Rd, uint16(in.Imm)
+		op = func(m *Machine, id int, s *stream) bool {
+			a := m.readReg(s, rd)
+			r := a + imm
+			m.addFlags(s, a, imm, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpSUBI:
+		rd, imm := in.Rd, uint16(in.Imm)
+		op = func(m *Machine, id int, s *stream) bool {
+			a := m.readReg(s, rd)
+			r := a - imm
+			m.subFlags(s, a, imm, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpANDI:
+		rd, imm := in.Rd, uint16(in.Imm)
+		op = func(m *Machine, id int, s *stream) bool {
+			r := m.readReg(s, rd) & imm
+			m.setZN(s, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpORI:
+		rd, imm := in.Rd, uint16(in.Imm)
+		op = func(m *Machine, id int, s *stream) bool {
+			r := m.readReg(s, rd) | imm
+			m.setZN(s, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpXORI:
+		rd, imm := in.Rd, uint16(in.Imm)
+		op = func(m *Machine, id int, s *stream) bool {
+			r := m.readReg(s, rd) ^ imm
+			m.setZN(s, r)
+			m.writeReg(s, rd, r)
+			return true
+		}
+	case isa.OpCMPI:
+		rd, imm := in.Rd, uint16(in.Imm)
+		op = func(m *Machine, id int, s *stream) bool {
+			a := m.readReg(s, rd)
+			m.subFlags(s, a, imm, a-imm)
+			return true
+		}
+	case isa.OpLDI:
+		rd, imm := in.Rd, uint16(in.Imm)
+		op = func(m *Machine, id int, s *stream) bool {
+			m.setZN(s, imm)
+			m.writeReg(s, rd, imm)
+			return true
+		}
+	case isa.OpLDHI:
+		rd, imm := in.Rd, uint16(in.Imm)<<8
+		op = func(m *Machine, id int, s *stream) bool {
+			m.setZN(s, imm)
+			m.writeReg(s, rd, imm)
+			return true
+		}
+
+	// ---- Memory (runtime internal guard; external = bail) ----
+	case isa.OpLD:
+		rs, rd, off, cpc := in.Rs, in.Rd, uint16(in.Imm), pc
+		op = func(m *Machine, id int, s *stream) bool {
+			ea := m.readReg(s, rs) + off
+			if m.imem.Contains(ea) {
+				v := m.imem.Read(ea)
+				m.setZN(s, v)
+				m.writeReg(s, rd, v)
+				return true
+			}
+			m.blockBusEnter(id, s, cpc, ea, false, 0, rd)
+			return false
+		}
+	case isa.OpST:
+		rs, rd, off, cpc := in.Rs, in.Rd, uint16(in.Imm), pc
+		op = func(m *Machine, id int, s *stream) bool {
+			ea := m.readReg(s, rs) + off
+			data := m.readReg(s, rd)
+			if m.imem.Contains(ea) {
+				m.imem.Write(ea, data)
+				return true
+			}
+			m.blockBusEnter(id, s, cpc, ea, true, data, 0)
+			return false
+		}
+	case isa.OpLDM:
+		ea, rd := uint16(in.Imm), in.Rd
+		if !mem.NewInternal().Contains(ea) {
+			return nil, false // statically external: region breaker
+		}
+		op = func(m *Machine, id int, s *stream) bool {
+			v := m.imem.Read(ea)
+			m.setZN(s, v)
+			m.writeReg(s, rd, v)
+			return true
+		}
+	case isa.OpSTM:
+		ea, rd := uint16(in.Imm), in.Rd
+		if !mem.NewInternal().Contains(ea) {
+			return nil, false
+		}
+		op = func(m *Machine, id int, s *stream) bool {
+			m.imem.Write(ea, m.readReg(s, rd))
+			return true
+		}
+	case isa.OpTAS:
+		rs, rd, off, cpc := in.Rs, in.Rd, uint16(in.Imm), pc
+		op = func(m *Machine, id int, s *stream) bool {
+			ea := m.readReg(s, rs) + off
+			if m.imem.Contains(ea) {
+				old := m.imem.TestAndSet(ea)
+				m.setZN(s, old)
+				m.writeReg(s, rd, old)
+				return true
+			}
+			m.stats.UndefinedTAS++
+			m.blockBusEnter(id, s, cpc, ea, false, 0, rd)
+			return false
+		}
+
+	// ---- Special registers ----
+	case isa.OpMFS:
+		spec, rd, cpc := in.Spec, in.Rd, pc
+		op = func(m *Machine, id int, s *stream) bool {
+			var v uint16
+			switch spec {
+			case isa.SpecPC:
+				v = cpc
+			case isa.SpecSR:
+				v = s.sr()
+			case isa.SpecH:
+				v = s.h
+			case isa.SpecVB:
+				v = s.vb
+			case isa.SpecAWP:
+				v = uint16(s.win.AWP())
+			case isa.SpecBOS:
+				v = uint16(s.win.BOS())
+			case isa.SpecIR:
+				v = uint16(s.intr.IR())
+			case isa.SpecMR:
+				v = uint16(s.intr.MR())
+			}
+			m.writeReg(s, rd, v)
+			return true
+		}
+	case isa.OpMTS:
+		rs := in.Rs
+		switch in.Spec {
+		case isa.SpecSR:
+			op = func(m *Machine, id int, s *stream) bool {
+				s.flags = uint8(m.readReg(s, rs) & 0xF)
+				return true
+			}
+		case isa.SpecH:
+			op = func(m *Machine, id int, s *stream) bool {
+				s.h = m.readReg(s, rs)
+				return true
+			}
+		case isa.SpecVB:
+			op = func(m *Machine, id int, s *stream) bool {
+				s.vb = m.readReg(s, rs)
+				return true
+			}
+		default:
+			// PC is a computed jump; AWP/BOS relocate the window beyond
+			// the static headroom proof; IR/MR change dispatchability.
+			return nil, false
+		}
+
+	default:
+		// Control flow, HALT, WAITI, SSTART, SIGNAL, CLRI, SETMR:
+		// interleave-visible by definition.
+		return nil, false
+	}
+
+	// Post-instruction stack-window adjust (§3.5). The entry headroom
+	// check proves the adjust cannot fault; the assertion turns an
+	// engine bug into a loud panic instead of a silent divergence. The
+	// adjust runs even when the base op bailed — the per-cycle execute
+	// path applies SW after a wait-state entry too (the instruction
+	// completed; only its successors were flushed).
+	if in.SW != isa.SWNone {
+		d := 1
+		if in.SW == isa.SWDec {
+			d = -1
+		}
+		inner := op
+		op = func(m *Machine, id int, s *stream) bool {
+			r := inner(m, id, s)
+			if ev := s.win.Adjust(d); ev != stackwin.EventNone {
+				panic("core: stack-window fault inside a fused block session (headroom check bug)")
+			}
+			return r
+		}
+	}
+	return op, true
+}

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"disc/internal/bus"
+	"disc/internal/isa"
+	"disc/internal/rng"
+)
+
+// Three-way differential proof for the block-compiled engine: a machine
+// advancing by fused sessions (StepBlock) must hold bit-identical
+// architectural state to BOTH per-cycle pipelines — optimized and
+// reference — at every session boundary. Sessions are compared where
+// they end, never mid-flight, which is exactly the engine's contract:
+// fused execution is unobservable except through the machine going
+// faster.
+
+// wholeImageTable compiles every qualifying run in the loaded image —
+// the coarsest possible plan, exercising BuildBlockTable's own
+// re-qualification rather than the analysis planner's.
+func wholeImageTable(m *Machine) *BlockTable {
+	limit := m.Program().Limit()
+	if limit == 0 {
+		return BuildBlockTable(m.Program(), nil)
+	}
+	return BuildBlockTable(m.Program(), []RegionSpec{{Start: 0, End: uint16(limit - 1)}})
+}
+
+// triple builds three identically configured machines: optimized (with
+// CheckReadiness armed), reference, and block-engine (optimized plus a
+// whole-image block table).
+func triple(t *testing.T, cfg Config, setup func(m *Machine)) (fast, ref, blk *Machine) {
+	t.Helper()
+	fast, ref = pair(t, cfg, setup)
+	bcfg := cfg
+	bcfg.Reference = false
+	blk = MustNew(bcfg)
+	setup(blk)
+	blk.SetBlockTable(wholeImageTable(blk))
+	return fast, ref, blk
+}
+
+// lockstep3 advances the block machine by fused sessions and the two
+// per-cycle machines by the same number of cycles, comparing full
+// snapshots at every session boundary. stim maps cycle numbers to
+// stimulus applied identically to all three machines; session budgets
+// are capped so no session runs past a stimulus point.
+func lockstep3(t *testing.T, fast, ref, blk *Machine, n int, stim map[int]func(m *Machine)) {
+	t.Helper()
+	for c := 0; c < n; {
+		if f, ok := stim[c]; ok {
+			f(fast)
+			f(ref)
+			f(blk)
+		}
+		next := n
+		for d := c + 1; d < n; d++ {
+			if _, ok := stim[d]; ok {
+				next = d
+				break
+			}
+		}
+		adv := blk.StepBlock(next - c)
+		for i := 0; i < adv; i++ {
+			fast.Step()
+			ref.Step()
+		}
+		c += adv
+		fs, rs, bs := snap(fast), snap(ref), snap(blk)
+		if !reflect.DeepEqual(fs, rs) {
+			t.Fatalf("cycle %d: optimized and reference pipelines diverged\nfast: %+v\nref:  %+v", c, fs, rs)
+		}
+		if !reflect.DeepEqual(fs, bs) {
+			t.Fatalf("cycle %d: block engine diverged from per-cycle execution\nfast:  %+v\nblock: %+v", c, fs, bs)
+		}
+	}
+	fm, bm := fast.Internal().Snapshot(), blk.Internal().Snapshot()
+	if !reflect.DeepEqual(fm, bm) {
+		t.Fatal("internal data memory diverged between per-cycle and block execution")
+	}
+}
+
+// TestBlockEquivStraightLine: the bread-and-butter case — a single
+// stream in an ALU/internal-memory loop, where almost every cycle
+// should fuse. Sessions must actually fire for the test to mean
+// anything.
+func TestBlockEquivStraightLine(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		LDI  R0, 0
+		LDI  R1, 1
+	loop:
+		ADDI R0, 1
+		ADD  R2, R0, R1
+		XOR  R3, R2, R0
+		SHL  R4, R2, R1
+		ST   R0, [0x40]
+		LD   R5, [0x40]
+		SUB  R5, R5, R1
+		MUL  R6, R2, R3
+		NOT  R7, R6
+		JMP  loop
+	`
+	fast, ref, blk := triple(t, Config{Streams: 1}, func(m *Machine) {
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	lockstep3(t, fast, ref, blk, 3000, nil)
+	bs := blk.BlockStats()
+	if bs.Sessions == 0 {
+		t.Fatal("no fused sessions fired on a straight-line loop")
+	}
+	if bs.FusedCycles < 1500 {
+		t.Fatalf("only %d of 3000 cycles fused on a fusion-friendly loop", bs.FusedCycles)
+	}
+	if bs.Bails != 0 {
+		t.Fatalf("%d bails without any external access", bs.Bails)
+	}
+}
+
+// TestBlockEquivExternalBail: the loop periodically touches external
+// RAM, so sessions must end early on the §3.6.1 wait-state entry with
+// exact partial accounting.
+func TestBlockEquivExternalBail(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		LDHI R7, 0x04
+		LDI  R6, 0
+	loop:
+		ADDI R6, 1
+		ADD  R1, R6, R6
+		XOR  R2, R1, R6
+		SUB  R3, R1, R2
+		ST   R6, [R7+2]
+		ADDI R1, 3
+		AND  R4, R1, R3
+		OR   R5, R4, R6
+		LD   R0, [R7+2]
+		JMP  loop
+	`
+	fast, ref, blk := triple(t, Config{Streams: 1}, func(m *Machine) {
+		if err := m.Bus().Attach(isa.ExternalBase, 64, bus.NewRAM("ext", 64, 3)); err != nil {
+			t.Fatal(err)
+		}
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	lockstep3(t, fast, ref, blk, 4000, nil)
+	bs := blk.BlockStats()
+	if bs.Sessions == 0 || bs.Bails == 0 {
+		t.Fatalf("expected sessions with bails, got %+v", bs)
+	}
+	if blk.Stats().BusWaits == 0 {
+		t.Fatal("no bus waits recorded")
+	}
+}
+
+// TestBlockEquivWindowPressure: stack-window adjusts inside fused code,
+// driven until the window overflows. The entry headroom check must
+// refuse sessions that could fault mid-block; the fault itself (and its
+// vectoring) must stay cycle-exact on the fallback path.
+func TestBlockEquivWindowPressure(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		ADD+ R0, R0, ZR
+		ADD+ R0, R0, ZR
+		ADD+ R0, R0, ZR
+		ADD+ R0, R0, ZR
+		ADD+ R0, R0, ZR
+		ADD+ R0, R0, ZR
+		SUB- R0, R0, ZR
+		SUB- R0, R0, ZR
+		SUB- R0, R0, ZR
+		ADDI R1, 1
+		ADD  R2, R1, R0
+		XOR  R3, R2, R1
+		JMP  main
+	`
+	fast, ref, blk := triple(t, Config{Streams: 1}, func(m *Machine) {
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The net +3 per iteration marches AWP into the guard band and
+	// faults; the handler vectors into the program (VectorBase 0) and
+	// the chaos that follows must still be bit-identical.
+	lockstep3(t, fast, ref, blk, 2500, nil)
+	if fast.Stats().StackFaults == 0 {
+		t.Fatal("window pressure never faulted; test is vacuous")
+	}
+}
+
+// TestBlockEquivMultiStream: with several streams runnable the sole-
+// ready entry condition fails and sessions must not fire — but the
+// block machine must still track the per-cycle pipelines exactly
+// through its fallback, including across WAITI/SIGNAL traffic that
+// leaves one stream sole-ready for stretches.
+func TestBlockEquivMultiStream(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		LDI  R0, 0
+		LDI  R1, 37
+	loop:
+		ADDI R0, 1
+		ST   R0, [0x20]
+		LD   R2, [0x20]
+		SUB  R2, R2, R0
+		BNE  loop
+		JMP  loop
+	`
+	fast, ref, blk := triple(t, Config{Streams: 4}, func(m *Machine) {
+		load(t, m, src)
+		for i := 0; i < 4; i++ {
+			if err := m.StartStream(i, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	lockstep3(t, fast, ref, blk, 3000, nil)
+}
+
+// TestBlockEquivChaos: random instruction soup over all stream counts
+// with IRQ and stall stimulus, whole-image compiled. The table's
+// per-instruction re-qualification and the session entry predicate
+// carry the full weight here — most of the soup must fall back, and
+// whatever fuses must be invisible.
+func TestBlockEquivChaos(t *testing.T) {
+	src := rng.New(0xB10C)
+	for trial := 0; trial < 10; trial++ {
+		streams := 1 + src.Intn(isa.NumStreams)
+		img := make([]isa.Word, 512)
+		for i := range img {
+			img[i] = isa.Word(src.Uint64()) & isa.MaxWord
+		}
+		starts := make([]uint16, streams)
+		for i := range starts {
+			starts[i] = uint16(src.Intn(512))
+		}
+		vb := uint16(src.Intn(1 << 16))
+		fast, ref, blk := triple(t, Config{Streams: streams, VectorBase: vb}, func(m *Machine) {
+			if err := m.Bus().Attach(isa.ExternalBase, 64, bus.NewRAM("ext", 64, 3)); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadProgram(0, img); err != nil {
+				t.Fatal(err)
+			}
+			for i, pc := range starts {
+				m.StartStream(i, pc)
+			}
+		})
+		stim := map[int]func(m *Machine){}
+		for c := 0; c < 1500; c++ {
+			if src.Bool(0.01) {
+				is, ib := src.Intn(streams), src.Intn(8)
+				stim[c] = func(m *Machine) { m.RaiseIRQ(uint8(is), uint8(ib)) }
+			} else if src.Bool(0.002) {
+				is, d := src.Intn(streams), 1+src.Intn(20)
+				stim[c] = func(m *Machine) { m.StallStream(is, uint64(d)) }
+			}
+		}
+		lockstep3(t, fast, ref, blk, 1500, stim)
+	}
+}
+
+// TestBlockTableStale: mutating the program store after compilation
+// must detach the table at the next session attempt instead of running
+// stale closures — and execution must continue per-cycle, still
+// equivalent.
+func TestBlockTableStale(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		ADDI R0, 1
+		ADD  R1, R0, R0
+		XOR  R2, R1, R0
+		SUB  R3, R1, R2
+		OR   R4, R3, R0
+		JMP  main
+	`
+	fast, ref, blk := triple(t, Config{Streams: 1}, func(m *Machine) {
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	lockstep3(t, fast, ref, blk, 400, nil)
+	if blk.BlockStats().Sessions == 0 {
+		t.Fatal("no sessions before the patch")
+	}
+	// Patch one word (to an equivalent instruction, so the three
+	// machines stay comparable) on all machines.
+	w := fast.Program().Fetch(1)
+	patch := func(m *Machine) { m.Program().Set(1, w) }
+	patch(fast)
+	patch(ref)
+	patch(blk)
+	lockstep3(t, fast, ref, blk, 400, nil)
+	if blk.BlockStats().Stale != 1 {
+		t.Fatalf("stale table not dropped exactly once: %+v", blk.BlockStats())
+	}
+	if blk.AttachedBlockTable() != nil {
+		t.Fatal("stale table still attached")
+	}
+}
+
+// TestBlockEquivRunHelpers: Run, RunUntilIdle and RunGuarded must give
+// the same outcomes through the session path as per-cycle stepping.
+func TestBlockEquivRunHelpers(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		ADDI R0, 1
+		ADD  R1, R0, R0
+		XOR  R2, R1, R0
+		SUB  R3, R1, R2
+		CMP  R3, R0
+		HALT
+	`
+	build := func(table bool) *Machine {
+		m := MustNew(Config{Streams: 1})
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if table {
+			m.SetBlockTable(wholeImageTable(m))
+		}
+		return m
+	}
+
+	a, b := build(false), build(true)
+	an, aidle := a.RunUntilIdle(500)
+	bn, bidle := b.RunUntilIdle(500)
+	if an != bn || aidle != bidle {
+		t.Fatalf("RunUntilIdle diverged: per-cycle (%d,%v) block (%d,%v)", an, aidle, bn, bidle)
+	}
+	if !reflect.DeepEqual(snap(a), snap(b)) {
+		t.Fatal("state diverged after RunUntilIdle")
+	}
+
+	a, b = build(false), build(true)
+	an1, aerr := a.RunGuarded(500, 64)
+	bn1, berr := b.RunGuarded(500, 64)
+	if an1 != bn1 || (aerr == nil) != (berr == nil) {
+		t.Fatalf("RunGuarded diverged: per-cycle (%d,%v) block (%d,%v)", an1, aerr, bn1, berr)
+	}
+	if !reflect.DeepEqual(snap(a), snap(b)) {
+		t.Fatal("state diverged after RunGuarded")
+	}
+
+	a, b = build(false), build(true)
+	a.Run(300)
+	b.Run(300)
+	if !reflect.DeepEqual(snap(a), snap(b)) {
+		t.Fatal("state diverged after Run")
+	}
+}
+
+// TestBuildBlockTable covers the compiler's region extraction: control
+// transfers and other unfusible instructions break regions, short runs
+// are skipped, and the index maps addresses to their regions.
+func TestBuildBlockTable(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		ADDI R0, 1
+		ADD  R1, R0, R0
+		XOR  R2, R1, R0
+		SUB  R3, R1, R2
+		JMP  next
+		ADDI R4, 1
+		ADDI R4, 2
+		JMP  main
+	next:
+		OR   R5, R3, R0
+		AND  R6, R5, R1
+		NOT  R7, R6
+		NEG  R0, R7
+		SWP  R1, R2
+		HALT
+	`
+	m := MustNew(Config{Streams: 1})
+	load(t, m, src)
+	tab := wholeImageTable(m)
+	if tab.Regions != 2 {
+		t.Fatalf("expected 2 regions, got %d (compiled=%d skipped=%d)", tab.Regions, tab.Compiled, tab.Skipped)
+	}
+	if tab.Compiled != 9 {
+		t.Fatalf("expected 9 compiled instructions, got %d", tab.Compiled)
+	}
+	if s, e, ok := tab.RegionAt(0); !ok || s != 0 || e != 3 {
+		t.Fatalf("region at 0: (%d,%d,%v)", s, e, ok)
+	}
+	if s, e, ok := tab.RegionAt(8); !ok || s != 8 || e != 12 {
+		t.Fatalf("region at 8: (%d,%d,%v)", s, e, ok)
+	}
+	if _, _, ok := tab.RegionAt(4); ok {
+		t.Fatal("JMP compiled into a region")
+	}
+	if _, _, ok := tab.RegionAt(5); ok {
+		t.Fatal("2-instruction run between transfers fused below MinFuseLen")
+	}
+	if tab.Version() != m.Program().Version() {
+		t.Fatal("table version does not match the program store")
+	}
+}
+
+// TestBlockEquivQuiescentTicker: a machine with time-keeping devices
+// attached fuses only while every ticker is provably inert
+// (bus.Quieter). The program arms the timer, takes its interrupt, and
+// returns to straight-line code; sessions must pause while the timer
+// counts and resume after it comes to rest — bit-identically.
+func TestBlockEquivQuiescentTicker(t *testing.T) {
+	// Vector base 0x0100; IRQ bit 4 on stream 0 vectors to 0x0100+4=0x0104.
+	src := `
+		.org 0
+	main:
+		LDHI R7, 0xF0
+		LDI  R1, 40
+		ST   R1, [R7+0]
+		LDI  R1, 3
+		ST   R1, [R7+2]
+	loop:
+		ADDI R0, 1
+		ADD  R2, R0, R0
+		XOR  R3, R2, R0
+		SUB  R4, R2, R3
+		OR   R5, R4, R0
+		AND  R6, R5, R2
+		JMP  loop
+
+		.org 0x0104
+		ADDI R6, 1
+		RETI
+	`
+	fast, ref, blk := triple(t, Config{Streams: 1, VectorBase: 0x0100}, func(m *Machine) {
+		if err := m.Bus().Attach(isa.IOBase, 4, bus.NewTimer("timer0", 2, m.RaiseIRQ, 0, 4)); err != nil {
+			t.Fatal(err)
+		}
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	lockstep3(t, fast, ref, blk, 4000, nil)
+	bs := blk.BlockStats()
+	if bs.Sessions == 0 {
+		t.Fatal("no sessions fused after the timer came to rest")
+	}
+	if fast.Stats().PerStream[0].Dispatches == 0 {
+		t.Fatal("timer interrupt never dispatched; test is vacuous")
+	}
+}

@@ -213,6 +213,13 @@ type Machine struct {
 	// machine without a recorder pays nothing but predictable branches.
 	rec *obs.Recorder
 
+	// blocks is the attached compiled block table; nil runs the
+	// per-cycle engines only. blockStats counts fused sessions — kept
+	// out of Stats so the equivalence suite's Stats comparison stays an
+	// engine-independent architectural check. See block.go.
+	blocks     *BlockTable
+	blockStats BlockStats
+
 	stats Stats
 }
 

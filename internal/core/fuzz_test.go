@@ -311,13 +311,15 @@ h:  LDM  R3, [0x51]
 }
 
 // FuzzStepEquiv feeds arbitrary byte soup — packed into 24-bit
-// instruction words — through the optimized and reference pipelines in
-// lockstep and requires bit-identical architectural state every cycle.
-// This is the open-ended version of TestEquivRandomChaos: the fuzzer
-// owns the program image, the stream count, the start PCs and the
-// interrupt traffic, and the incremental ready mask additionally
+// instruction words — through the optimized, reference and
+// block-compiled pipelines in lockstep and requires bit-identical
+// architectural state at every comparison point. This is the
+// open-ended version of TestEquivRandomChaos and TestBlockEquivChaos:
+// the fuzzer owns the program image, the stream count, the start PCs
+// and the interrupt traffic; the incremental ready mask additionally
 // self-checks against a fresh recompute (CheckReadiness) on the fast
-// side.
+// side, and the block machine compiles the whole image so the fuzzer
+// also owns what the op compiler and session entry predicate see.
 func FuzzStepEquiv(f *testing.F) {
 	f.Add(uint64(1), uint8(1), []byte{0, 0, 0, 1, 2, 3})
 	f.Add(uint64(0xD15C), uint8(4), []byte("\x00\x01\x02\x03\x04\x05\x06\x07\x08"))
@@ -341,7 +343,7 @@ func FuzzStepEquiv(f *testing.F) {
 			starts[i] = uint16(src.Intn(n))
 		}
 		vb := uint16(src.Intn(1 << 16))
-		fast, ref := pair(t, Config{Streams: streams, VectorBase: vb}, func(m *Machine) {
+		fast, ref, blk := triple(t, Config{Streams: streams, VectorBase: vb}, func(m *Machine) {
 			if err := m.Bus().Attach(isa.ExternalBase, 32, bus.NewRAM("ext", 32, 2)); err != nil {
 				t.Fatal(err)
 			}
@@ -352,16 +354,13 @@ func FuzzStepEquiv(f *testing.F) {
 				m.StartStream(i, pc)
 			}
 		})
-		irqAt := map[int][2]uint8{}
+		stim := map[int]func(m *Machine){}
 		for c := 0; c < 400; c++ {
 			if src.Bool(0.02) {
-				irqAt[c] = [2]uint8{uint8(src.Intn(streams)), uint8(src.Intn(8))}
+				is, ib := uint8(src.Intn(streams)), uint8(src.Intn(8))
+				stim[c] = func(m *Machine) { m.RaiseIRQ(is, ib) }
 			}
 		}
-		lockstep(t, fast, ref, 400, func(c int, m *Machine) {
-			if ev, ok := irqAt[c]; ok {
-				m.RaiseIRQ(ev[0], ev[1])
-			}
-		})
+		lockstep3(t, fast, ref, blk, 400, stim)
 	})
 }

@@ -148,8 +148,25 @@ func (m *Machine) irFingerprint() uint64 {
 // idle; a non-nil error is a *DeadlockError. Exactly one of the three
 // outcomes (running, done, error) holds after each call.
 func (g *Guard) Step() (done bool, err error) {
+	_, done, err = g.StepN(1)
+	return done, err
+}
+
+// StepN advances one dispatch — a fused block session of up to max
+// cycles when a block table is attached and the machine qualifies, one
+// ordinary cycle otherwise — and returns the cycles covered. The
+// watchdog verdict is unaffected by fusion: a session issues
+// instructions (or starts a bus access) by construction, so it always
+// registers as progress, and a machine quiet enough to go barren never
+// qualifies for a session in the first place.
+func (g *Guard) StepN(max int) (n int, done bool, err error) {
 	m := g.m
-	m.Step()
+	if max > 1 && m.blocks != nil {
+		n = m.StepBlock(max)
+	} else {
+		m.Step()
+		n = 1
+	}
 
 	progress := false
 	if m.stats.Issued != g.issued {
@@ -173,33 +190,39 @@ func (g *Guard) Step() (done bool, err error) {
 	}
 	if progress {
 		g.barren = 0
-		return false, nil
+		return n, false, nil
 	}
 	g.barren++
 
 	if m.Idle() && !m.wedged() {
-		return true, nil
+		return n, true, nil
 	}
 	if g.window > 0 && g.barren >= g.window {
-		return false, &DeadlockError{Cycle: m.cycle, Window: g.barren, Streams: m.Diagnose(),
+		return n, false, &DeadlockError{Cycle: m.cycle, Window: g.barren, Streams: m.Diagnose(),
 			PostMortem: m.PostMortem(postMortemEvents)}
 	}
-	return false, nil
+	return n, false, nil
 }
 
 // RunGuarded steps until the machine goes cleanly idle, a deadlock is
 // diagnosed, or maxCycles elapse. maxCycles 0 means unlimited;
 // stallWindow 0 disables the deadlock watchdog. It returns the cycles
 // executed and a nil error, a *DeadlockError, or a *CycleLimitError.
+// With a block table attached the loop advances by fused sessions.
 func (m *Machine) RunGuarded(maxCycles int, stallWindow uint64) (int, error) {
 	g := m.NewGuard(stallWindow)
-	for n := 0; maxCycles == 0 || n < maxCycles; n++ {
-		done, err := g.Step()
+	for n := 0; maxCycles == 0 || n < maxCycles; {
+		budget := 1 << 30
+		if maxCycles != 0 {
+			budget = maxCycles - n
+		}
+		k, done, err := g.StepN(budget)
+		n += k
 		if err != nil {
-			return n + 1, err
+			return n, err
 		}
 		if done {
-			return n + 1, nil
+			return n, nil
 		}
 	}
 	return maxCycles, &CycleLimitError{Limit: maxCycles, PostMortem: m.PostMortem(postMortemEvents)}

@@ -192,8 +192,16 @@ func (m *Machine) verifyReadyMask() {
 	}
 }
 
-// Run executes n cycles.
+// Run executes n cycles, through fused block sessions when a compiled
+// block table is attached (SetBlockTable). The no-table path is the
+// plain per-cycle loop, untouched for benchmark comparability.
 func (m *Machine) Run(n int) {
+	if m.blocks != nil {
+		for left := n; left > 0; {
+			left -= m.StepBlock(left)
+		}
+		return
+	}
 	for i := 0; i < n; i++ {
 		m.Step()
 	}
@@ -201,7 +209,20 @@ func (m *Machine) Run(n int) {
 
 // RunUntilIdle steps until the machine is idle or max cycles elapse.
 // It returns the number of cycles executed and whether it went idle.
+// A fused session never spans an idle transition — the sole ready
+// stream issues on every session cycle — so checking between
+// dispatches observes the same first-idle cycle the per-cycle loop
+// would.
 func (m *Machine) RunUntilIdle(max int) (int, bool) {
+	if m.blocks != nil {
+		for done := 0; done < max; {
+			done += m.StepBlock(max - done)
+			if m.Idle() {
+				return done, true
+			}
+		}
+		return max, false
+	}
 	for i := 0; i < max; i++ {
 		m.Step()
 		if m.Idle() {

@@ -45,10 +45,11 @@ const (
 // remains the single source of truth; the cache is generated through
 // it and can never disagree with it.
 type Program struct {
-	words [ProgramSize]isa.Word
-	code  [ProgramSize]isa.Instruction
-	meta  [ProgramSize]uint8
-	limit uint32 // highest loaded address + 1, for diagnostics
+	words   [ProgramSize]isa.Word
+	code    [ProgramSize]isa.Instruction
+	meta    [ProgramSize]uint8
+	limit   uint32 // highest loaded address + 1, for diagnostics
+	version uint32 // bumped on every Load/Set, see Version
 }
 
 // NewProgram returns an empty program memory filled with NOP (word 0).
@@ -84,6 +85,7 @@ func (p *Program) Load(base uint16, image []isa.Word) error {
 	if end := uint32(base) + uint32(len(image)); end > p.limit {
 		p.limit = end
 	}
+	p.version++
 	return nil
 }
 
@@ -111,10 +113,18 @@ func (p *Program) Set(pc uint16, w isa.Word) {
 	if uint32(pc)+1 > p.limit {
 		p.limit = uint32(pc) + 1
 	}
+	p.version++
 }
 
 // Limit returns one past the highest address ever loaded.
 func (p *Program) Limit() uint32 { return p.limit }
+
+// Version counts store mutations: it increments on every Load and Set.
+// Caches derived from program memory — the core's compiled block table
+// in particular — record the version they were built against and treat
+// a mismatch as "image changed, rebuild or bail". A fresh Program is
+// version 0.
+func (p *Program) Version() uint32 { return p.version }
 
 // Internal is the 2 KB on-chip data memory shared between all
 // instruction streams (§3.7). Accesses are zero-wait and, because the

@@ -173,3 +173,38 @@ func TestSnapshotIsCopy(t *testing.T) {
 		t.Fatal("mutating the snapshot changed the memory")
 	}
 }
+
+// TestProgramVersion pins the mutation-version contract the block
+// engine's table invalidation relies on: every Load and every Set
+// bumps the version, and mere reads never do.
+func TestProgramVersion(t *testing.T) {
+	p := NewProgram()
+	v0 := p.Version()
+	if err := p.Load(0, []isa.Word{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	v1 := p.Version()
+	if v1 == v0 {
+		t.Fatalf("Load did not bump version (still %d)", v1)
+	}
+	p.Set(1, 42)
+	v2 := p.Version()
+	if v2 == v1 {
+		t.Fatalf("Set did not bump version (still %d)", v2)
+	}
+	p.Fetch(1)
+	p.Decoded(1)
+	_ = p.Limit()
+	if p.Version() != v2 {
+		t.Fatalf("read-only access bumped version: %d -> %d", v2, p.Version())
+	}
+	// A second load over the same range still counts as a mutation —
+	// the table compiled against the old contents must go stale even if
+	// the words happen to match.
+	if err := p.Load(0, []isa.Word{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Version() == v2 {
+		t.Fatalf("reload did not bump version")
+	}
+}

@@ -62,6 +62,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	var out []chromeEvent
 	streams := map[int8]bool{}
 	open := map[int8][]openIssue{}
+	blockEnter := map[int8]Event{}
 
 	slice := func(pid, tid int, name, cat string, ts, dur uint64, args map[string]any) {
 		if dur == 0 {
@@ -134,6 +135,24 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			instant(int(ev.Stream), fmt.Sprintf("bus-wait %s %#04x", rw(ev.A), ev.Addr), ev.Cycle, nil)
 		case KindBusRetry:
 			instant(int(ev.Stream), fmt.Sprintf("bus-retry %#04x", ev.Addr), ev.Cycle, nil)
+		case KindBlockEnter:
+			blockEnter[ev.Stream] = ev
+		case KindBlockExit:
+			// Fused sessions render as one slice spanning the covered
+			// cycles — the per-instruction events they summarize were
+			// never emitted.
+			enter, ok := blockEnter[ev.Stream]
+			start := ev.Cycle - ev.Aux
+			if ok {
+				start = enter.Cycle
+			}
+			delete(blockEnter, ev.Stream)
+			cat := "block"
+			if ev.B != 0 {
+				cat = "block-bail"
+			}
+			slice(chromePidStreams, int(ev.Stream), fmt.Sprintf("block %#04x", enter.PC), cat,
+				start, ev.Cycle-start, map[string]any{"issued": int(ev.Data), "next": fmt.Sprintf("%#04x", ev.PC)})
 		case KindBusComplete, KindBusTimeout, KindBusFault:
 			name := fmt.Sprintf("%s %#04x", rw(ev.A), ev.Addr)
 			cat := "bus"

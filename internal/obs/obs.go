@@ -74,6 +74,16 @@ const (
 	// KindBusFault: the access failed — B=0 unmapped address, B=1 the
 	// device refused it (Addr, A=1 for a store, Aux = cycles elapsed).
 	KindBusFault
+	// KindBlockEnter: the block engine opened a fused session at PC.
+	// Per-instruction issue/retire events inside the session are
+	// summarized by the enter/exit pair (interleave-visible events
+	// cannot occur inside one by construction, DESIGN.md §13).
+	KindBlockEnter
+	// KindBlockExit: the fused session ended. PC is the next fetch
+	// address, Aux the cycles the session covered, Data the
+	// instructions issued, and B=1 when the session ended early on an
+	// external memory access (the bail path).
+	KindBlockExit
 
 	// NumKinds bounds the Kind space (metrics index by it).
 	NumKinds
@@ -83,6 +93,7 @@ var kindNames = [NumKinds]string{
 	"issue", "retire", "flush", "state", "donated",
 	"irq-raise", "irq-vector", "irq-ack",
 	"bus-wait", "bus-retry", "bus-start", "bus-complete", "bus-timeout", "bus-fault",
+	"block-enter", "block-exit",
 }
 
 func (k Kind) String() string {
@@ -175,6 +186,14 @@ func (e Event) String() string {
 			cause = "device-fault"
 		}
 		return fmt.Sprintf("[c=%d] %s bus-fault (%s) addr=%#04x", e.Cycle, who, cause, e.Addr)
+	case KindBlockEnter:
+		return fmt.Sprintf("[c=%d] %s block-enter pc=%#04x", e.Cycle, who, e.PC)
+	case KindBlockExit:
+		end := "run"
+		if e.B != 0 {
+			end = "bail"
+		}
+		return fmt.Sprintf("[c=%d] %s block-exit (%s) next=%#04x cycles=%d issued=%d", e.Cycle, who, end, e.PC, e.Aux, e.Data)
 	}
 	return fmt.Sprintf("[c=%d] %s %s", e.Cycle, who, e.Kind)
 }

@@ -238,3 +238,49 @@ func TestEmitDoesNotAllocate(t *testing.T) {
 		t.Fatalf("Emit allocates %v per call, want 0", n)
 	}
 }
+
+// TestBlockEventRendering pins the block engine's trace surface: the
+// enter/exit pair renders as one session slice with the issued count
+// taken from Data (Aux is the cycle span), and String says run vs
+// bail.
+func TestBlockEventRendering(t *testing.T) {
+	enter := Event{Cycle: 11, Kind: KindBlockEnter, Stream: 2, PC: 0x40}
+	exit := Event{Cycle: 30, Kind: KindBlockExit, Stream: 2, PC: 0x60, Aux: 19, Data: 20}
+	if s := enter.String(); !strings.Contains(s, "block-enter") || !strings.Contains(s, "0x0040") {
+		t.Errorf("enter renders as %q", s)
+	}
+	s := exit.String()
+	if !strings.Contains(s, "block-exit") || !strings.Contains(s, "(run)") ||
+		!strings.Contains(s, "issued=20") || !strings.Contains(s, "cycles=19") {
+		t.Errorf("exit renders as %q", s)
+	}
+	bail := exit
+	bail.B = 1
+	if s := bail.String(); !strings.Contains(s, "(bail)") {
+		t.Errorf("bail renders as %q", s)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []Event{enter, exit}); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	found := false
+	for _, e := range tr.TraceEvents {
+		if e.Cat == "block" {
+			found = true
+			if e.Ts != 11 || e.Dur != 19 {
+				t.Errorf("block slice ts=%d dur=%d, want 11 and 19", e.Ts, e.Dur)
+			}
+			if e.Args["issued"] != float64(20) {
+				t.Errorf("block slice issued arg = %v, want 20", e.Args["issued"])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no block slice exported")
+	}
+}

@@ -227,6 +227,38 @@ func (s *Scheduler) Next(ready ReadyMask) (stream, owner int, ok bool) {
 	return 0, owner, false
 }
 
+// AdvanceSole advances the scheduler by n cycles during which stream
+// id is the only ready stream and issues every cycle. It leaves the
+// cursor, round-robin pointer and issue counters exactly as n calls of
+// Next(1<<id) would — each slot counts as an own issue when id owns it
+// and as a donated slot (moving rr to id) otherwise — without the
+// per-cycle call. The onDonate observer is NOT fired: the block engine
+// is the only caller, and its trace contract summarizes in-session
+// scheduling with block-enter/exit events (DESIGN.md §13).
+func (s *Scheduler) AdvanceSole(id, n int) {
+	if s.priority {
+		if id == 0 {
+			s.OwnIssues[0] += uint64(n)
+		} else {
+			s.DonatedIssues[id] += uint64(n)
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.cursor++
+		if s.cursor == len(s.slots) {
+			s.cursor = 0
+		}
+		if owner := s.slots[s.cursor]; owner == id {
+			s.OwnIssues[id]++
+		} else {
+			// Sole-ready donation: the rotated scan can only land on id.
+			s.rr = id
+			s.DonatedIssues[id]++
+		}
+	}
+}
+
 // ResetStats clears the issue counters without moving the cursor.
 func (s *Scheduler) ResetStats() {
 	for i := range s.OwnIssues {
