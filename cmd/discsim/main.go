@@ -39,6 +39,18 @@
 //	-block-engine     pre-compile statically event-free instruction runs
 //	                  into fused block sessions (cycle-exact, DESIGN.md
 //	                  §13) and report fusion coverage after the run
+//	-checkpoint-out f write a crash-atomic machine snapshot (DESIGN.md
+//	                  §14) to f when the run ends — including when it
+//	                  ends badly (deadlock diagnosis, cycle budget)
+//	-checkpoint-every n
+//	                  with -checkpoint-out: also snapshot every n cycles
+//	                  during the run, so a killed process loses at most
+//	                  n cycles of work
+//	-resume f         restore the machine from snapshot f and continue;
+//	                  the machine geometry (-streams, -shares, -vb,
+//	                  -trap-busfault, -bus-timeout) comes from the
+//	                  snapshot and -start is ignored. Board flags
+//	                  (-extram) must match the original run.
 //	-cpuprofile file  write a CPU profile of the run (go tool pprof)
 //	-memprofile file  write an allocation profile on exit
 //
@@ -63,6 +75,7 @@ import (
 	"disc/internal/isa"
 	"disc/internal/obs"
 	"disc/internal/prof"
+	"disc/internal/snap"
 	"disc/internal/trace"
 )
 
@@ -88,6 +101,9 @@ func main() {
 	watch := flag.String("watch", "", "stop when this internal-memory address is written")
 	lint := flag.Bool("lint", false, "refuse programs with error-severity analysis findings")
 	blockEngine := flag.Bool("block-engine", false, "pre-compile event-free instruction runs into fused block sessions")
+	checkpointOut := flag.String("checkpoint-out", "", "write a machine snapshot here when the run ends (even on failure)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "with -checkpoint-out: also snapshot every n cycles (0: only at exit)")
+	resume := flag.String("resume", "", "restore the machine from this snapshot and continue the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -96,6 +112,9 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *checkpointEvery != 0 && *checkpointOut == "" {
+		fatal(errors.New("-checkpoint-every needs -checkpoint-out"))
+	}
 	// Every later exit goes through fatal or the ends of main below, so
 	// the profiles are flushed even though os.Exit skips defers.
 	stop, err := prof.Start(*cpuprofile, *memprofile)
@@ -103,6 +122,22 @@ func main() {
 		fatal(err)
 	}
 	stopProfiles = stop
+
+	// A resumed run takes its machine geometry from the snapshot, not
+	// the flags: everything below (the lint gate, metrics sizing, block
+	// compilation) must see the restored configuration.
+	var resumed *core.Snapshot
+	if *resume != "" {
+		s, err := snap.Load(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		resumed = s
+		*streams = s.Cfg.Streams
+		*vb = uint(s.Cfg.VectorBase)
+		*trapBusFault = s.Cfg.TrapBusFaults
+		*busTimeout = s.BusTimeout
+	}
 
 	var hooks []asm.Hook
 	if *lint {
@@ -117,7 +152,9 @@ func main() {
 	}
 
 	cfg := core.Config{Streams: *streams, VectorBase: uint16(*vb), TrapBusFaults: *trapBusFault}
-	if *shares != "" {
+	if resumed != nil {
+		cfg = resumed.Cfg
+	} else if *shares != "" {
 		for _, f := range strings.Split(*shares, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil {
@@ -148,21 +185,30 @@ func main() {
 			fatal(err)
 		}
 	}
-	for _, spec := range strings.Split(*start, ",") {
-		parts := strings.SplitN(strings.TrimSpace(spec), "=", 2)
-		if len(parts) != 2 {
-			fatal(fmt.Errorf("bad -start entry %q", spec))
-		}
-		sid, err := strconv.Atoi(parts[0])
-		if err != nil {
-			fatal(fmt.Errorf("bad stream in %q", spec))
-		}
-		addr, err := resolve(im, parts[1])
-		if err != nil {
+	if resumed != nil {
+		// The snapshot carries the whole machine — program store
+		// included, so the image load above only mattered for symbol
+		// resolution — and the streams resume exactly where they were.
+		if err := m.Restore(resumed); err != nil {
 			fatal(err)
 		}
-		if err := m.StartStream(sid, addr); err != nil {
-			fatal(err)
+	} else {
+		for _, spec := range strings.Split(*start, ",") {
+			parts := strings.SplitN(strings.TrimSpace(spec), "=", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad -start entry %q", spec))
+			}
+			sid, err := strconv.Atoi(parts[0])
+			if err != nil {
+				fatal(fmt.Errorf("bad stream in %q", spec))
+			}
+			addr, err := resolve(im, parts[1])
+			if err != nil {
+				fatal(err)
+			}
+			if err := m.StartStream(sid, addr); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	if *blockEngine {
@@ -200,6 +246,9 @@ func main() {
 		}
 	}
 	if *breakAt != "" || *watch != "" {
+		if *checkpointOut != "" {
+			fatal(errors.New("-checkpoint-out cannot be combined with -break/-watch"))
+		}
 		if *breakAt != "" {
 			addr, err := resolve(im, *breakAt)
 			if err != nil {
@@ -228,6 +277,14 @@ func main() {
 			}
 		} else {
 			fmt.Fprintf(os.Stderr, "discsim: no debug event within %d cycles\n", budget)
+		}
+	} else if *checkpointOut != "" {
+		if err := runCheckpointed(m, *cycles, *maxCycles, *stallWindow, *checkpointEvery, *checkpointOut); err != nil {
+			fmt.Fprintln(os.Stderr, "discsim:", err)
+			if pm := postMortem(err); pm != "" {
+				fmt.Fprint(os.Stderr, pm)
+			}
+			runFailed = true
 		}
 	} else if *cycles > 0 {
 		m.Run(*cycles)
@@ -391,6 +448,63 @@ func boardRanges(ramWaits int) []analysis.BusRange {
 		{Base: isa.IOBase + 0x30, Size: 4, Wait: 4},
 		{Base: isa.IOBase + 0x40, Size: 2, Wait: 3},
 	}
+}
+
+// runCheckpointed drives the run in checkpoint-sized chunks. A
+// snapshot lands at path — crash-atomically, so the previous one
+// survives a kill mid-write — every `every` cycles (0: never) and once
+// more on every way out: clean idle, fixed cycle count, cycle budget,
+// deadlock diagnosis. The returned error is the run's verdict; a
+// checkpoint that cannot be written is fatal, because a user who asked
+// for checkpoints is relying on them being there.
+func runCheckpointed(m *core.Machine, cycles, maxCycles int, stallWindow uint64, every int, path string) error {
+	save := func() {
+		if err := snap.Capture(path, m); err != nil {
+			fatal(err)
+		}
+	}
+	if cycles > 0 {
+		// Fixed-length run: no watchdog, mirror m.Run chunk by chunk.
+		for done := 0; done < cycles; {
+			chunk := cycles - done
+			if every > 0 && chunk > every {
+				chunk = every
+			}
+			m.Run(chunk)
+			done += chunk
+			save()
+		}
+		return nil
+	}
+	// Until-idle run: mirror RunGuarded, capping each dispatch at the
+	// next checkpoint boundary so snapshots land on schedule even when
+	// the block engine is fusing long sessions.
+	g := m.NewGuard(stallWindow)
+	next := 0
+	if every > 0 {
+		next = every
+	}
+	for n := 0; maxCycles == 0 || n < maxCycles; {
+		budget := 1 << 30
+		if maxCycles != 0 {
+			budget = maxCycles - n
+		}
+		if next > 0 && next-n < budget {
+			budget = next - n
+		}
+		k, done, err := g.StepN(budget)
+		n += k
+		if err != nil || done {
+			save()
+			return err
+		}
+		if next > 0 && n >= next {
+			save()
+			next = n + every
+		}
+	}
+	save()
+	return &core.CycleLimitError{Limit: maxCycles, PostMortem: m.PostMortem(8)}
 }
 
 // postMortem extracts the flight-recorder dump a guarded failure

@@ -9,12 +9,21 @@
 // byte-identical for every -par value. A progress/ETA line is drawn on
 // stderr when it is a terminal (force with -progress).
 //
+// The replicated tables (4.2, 4.3) are resumable campaigns: with
+// -journal dir every completed cell is appended to an on-disk journal,
+// and a run killed at any point — kill -9 included — picks up with
+// -journal dir -resume, re-running only the missing cells. Replayed
+// and recomputed cells are indistinguishable, so the resumed tables
+// are byte-identical to an uninterrupted run's.
+//
 // Usage:
 //
 //	experiments [-cycles n] [-seed n] [-reps n] [-par n] [-only 4.2|3.3|latency|...]
+//	            [-journal dir [-resume]]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +34,9 @@ import (
 
 	"disc/internal/analysis"
 	"disc/internal/asm"
-	"disc/internal/blockc"
 	"disc/internal/asmlib"
 	"disc/internal/baseline"
+	"disc/internal/blockc"
 	"disc/internal/bus"
 	"disc/internal/core"
 	"disc/internal/isa"
@@ -51,6 +60,9 @@ var (
 	par      = flag.Int("par", 0, "sweep worker goroutines; 0 = GOMAXPROCS (results never depend on -par)")
 	progress = flag.Bool("progress", false, "force the progress/ETA line even when stderr is not a terminal")
 	only     = flag.String("only", "", "run a single experiment (see -help for the list)")
+
+	journalDir = flag.String("journal", "", "record sweep completions under this directory so a killed run can resume (-resume)")
+	resumeRun  = flag.Bool("resume", false, "with -journal: replay completed cells from the journals instead of starting fresh")
 
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -160,8 +172,33 @@ func tableOpts(label string) tables.Opts {
 	return tables.Opts{
 		Cycles: *cycles, Seed: *seed,
 		Reps: *reps, Par: *par,
-		Progress: meter(label),
+		Progress:   meter(label),
+		JournalDir: *journalDir,
 	}
+}
+
+// prepareJournalDir creates the campaign directory; a fresh (non
+// -resume) run clears any journals a previous campaign left behind so
+// stale completions cannot leak into its tables. With -resume the
+// journals are kept and replayed — the campaign keys inside them still
+// guard against resuming under changed parameters.
+func prepareJournalDir(dir string, resume bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if resume {
+		return nil
+	}
+	old, err := filepath.Glob(filepath.Join(dir, "*.journal"))
+	if err != nil {
+		return err
+	}
+	for _, p := range old {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func main() {
@@ -172,6 +209,14 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *resumeRun && *journalDir == "" {
+		fatal(errors.New("-resume needs -journal"))
+	}
+	if *journalDir != "" {
+		if err := prepareJournalDir(*journalDir, *resumeRun); err != nil {
+			fatal(err)
+		}
+	}
 	stop, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)

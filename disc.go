@@ -12,6 +12,7 @@ import (
 	"disc/internal/interrupt"
 	"disc/internal/isa"
 	"disc/internal/rt"
+	"disc/internal/snap"
 )
 
 // Machine is a configured DISC1 processor. See core.Machine for the
@@ -253,6 +254,37 @@ func RunInjected(m *Machine, n int, inj ...Injector) { fault.Run(m, n, inj...) }
 func RunGuardedInjected(m *Machine, maxCycles int, stallWindow uint64, inj ...Injector) (int, error) {
 	return fault.RunGuarded(m, maxCycles, stallWindow, inj...)
 }
+
+// Crash-safe snapshot/restore (internal/core + internal/snap): a
+// Snapshot captures complete machine state — streams, pipe, scheduler,
+// memories, bus and device state — such that a machine restored from
+// it continues byte-identically to one that never stopped. The snap
+// package serializes snapshots in the versioned "disc-snap/1" binary
+// format (DESIGN.md §14) with crash-atomic writes; its decoder treats
+// snapshot files as untrusted input and returns *SnapshotFormatError
+// rather than panicking on corruption.
+type (
+	// Snapshot is one machine's complete architectural state.
+	Snapshot = core.Snapshot
+	// SnapshotFormatError locates a format violation in a snapshot file.
+	SnapshotFormatError = snap.FormatError
+	// DeviceStater is the optional interface a bus device implements to
+	// have its internal state carried through snapshots.
+	DeviceStater = snap.Stater
+)
+
+// TakeSnapshot captures m's state; see Machine.Snapshot and
+// Machine.Restore for the round-trip contract.
+func TakeSnapshot(m *Machine) (*Snapshot, error) { return m.Snapshot() }
+
+// SaveSnapshot / LoadSnapshot / CaptureSnapshot are the file-backed
+// forms: encode-and-write (crash-atomically), read-and-decode, and
+// snapshot-then-save in one call.
+var (
+	SaveSnapshot    = snap.Save
+	LoadSnapshot    = snap.Load
+	CaptureSnapshot = snap.Capture
+)
 
 // Real-time measurement helpers (package rt).
 type (

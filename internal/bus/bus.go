@@ -310,10 +310,94 @@ func (b *Bus) Devices() []Device {
 	return out
 }
 
+// DeviceMapping is one entry of the address decode table, exposed for
+// the snapshot layer: a restored machine must pair each serialized
+// device-state blob with the device at the same base address.
+type DeviceMapping struct {
+	Base uint16
+	Size uint16
+	Dev  Device
+}
+
+// Mappings returns the decode table in address order.
+func (b *Bus) Mappings() []DeviceMapping {
+	out := make([]DeviceMapping, len(b.maps))
+	for i, m := range b.maps {
+		out[i] = DeviceMapping{Base: m.base, Size: m.size, Dev: m.dev}
+	}
+	return out
+}
+
+// State is the serializable mutable state of the ABI itself: the
+// in-flight access (if any) and the statistics counters. Device
+// contents are captured separately, per device; the decode table and
+// the bounded-wait budget are configuration.
+type State struct {
+	Busy      bool
+	Current   Request
+	Remaining int
+	Elapsed   int
+
+	BusyCycles   uint64
+	Accesses     uint64
+	Rejections   uint64
+	ErrAccesses  uint64
+	Timeouts     uint64
+	DeviceFaults uint64
+}
+
+// State captures the ABI mid-handshake. An idle bus reports a zero
+// handshake even though the last completed access leaves residue in the
+// internal fields — that residue is architecturally dead, and dropping
+// it makes State a canonical form (two buses in the same architectural
+// state capture equal States).
+func (b *Bus) State() State {
+	s := State{
+		BusyCycles: b.BusyCycles, Accesses: b.Accesses, Rejections: b.Rejections,
+		ErrAccesses: b.ErrAccesses, Timeouts: b.Timeouts, DeviceFaults: b.DeviceFaults,
+	}
+	if b.busy {
+		s.Busy = true
+		s.Current = b.current
+		s.Remaining = b.remaining
+		s.Elapsed = b.elapsed
+	}
+	return s
+}
+
+// SetState restores a captured ABI state. An idle bus gets its
+// handshake counters zeroed regardless of what the snapshot claims, and
+// a busy one is given at least one remaining cycle, so corrupt input
+// cannot produce an access that never completes or completes at a
+// negative cycle count.
+func (b *Bus) SetState(s State) {
+	b.busy = s.Busy
+	b.current = s.Current
+	if !s.Busy {
+		b.current = Request{}
+		b.remaining, b.elapsed = 0, 0
+	} else {
+		b.remaining, b.elapsed = s.Remaining, s.Elapsed
+		if b.remaining < 1 {
+			b.remaining = 1
+		}
+		if b.elapsed < 0 {
+			b.elapsed = 0
+		}
+	}
+	b.BusyCycles = s.BusyCycles
+	b.Accesses = s.Accesses
+	b.Rejections = s.Rejections
+	b.ErrAccesses = s.ErrAccesses
+	b.Timeouts = s.Timeouts
+	b.DeviceFaults = s.DeviceFaults
+}
+
 // Reset aborts any in-flight access and clears statistics. The
 // bounded-wait budget is configuration and survives.
 func (b *Bus) Reset() {
 	b.busy = false
+	b.current = Request{}
 	b.remaining, b.elapsed = 0, 0
 	b.BusyCycles, b.Accesses, b.Rejections, b.ErrAccesses = 0, 0, 0, 0
 	b.Timeouts, b.DeviceFaults = 0, 0

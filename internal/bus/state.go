@@ -1,0 +1,292 @@
+package bus
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file gives every shipped device a MarshalState/UnmarshalState
+// pair — the structural `snap.Stater` contract (internal/snap stays a
+// non-dependency of bus: the snapshot layer asserts the interface
+// structurally, so the bus remains a leaf package).
+//
+// Blobs are little-endian with fixed field order per device. They carry
+// no version byte of their own: the enclosing disc-snap container is
+// versioned, and a device-format change is a container-version bump.
+// Configuration (names, wait states, sizes, timeout values, IRQ wiring,
+// sample functions) is never serialized — the restore side rebuilds the
+// board from configuration and then applies state on top.
+//
+// UnmarshalState is on the restore trust boundary: every read is
+// bounds-checked and errors are returned, never panicked, even for
+// adversarial input.
+
+// stateWriter accumulates a little-endian state blob.
+type stateWriter struct{ buf []byte }
+
+func (w *stateWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *stateWriter) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *stateWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *stateWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *stateWriter) flag(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// stateReader consumes a little-endian state blob with sticky errors:
+// after the first short read every accessor returns zero and the final
+// err() call reports the failure.
+type stateReader struct {
+	buf  []byte
+	off  int
+	fail bool
+}
+
+func (r *stateReader) take(n int) []byte {
+	if r.fail || n < 0 || len(r.buf)-r.off < n {
+		r.fail = true
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *stateReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *stateReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *stateReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *stateReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *stateReader) flag() bool { return r.u8() != 0 }
+
+// err reports a decode failure: a short buffer or trailing garbage.
+func (r *stateReader) err(dev string) error {
+	if r.fail {
+		return fmt.Errorf("bus: %s state truncated at byte %d", dev, r.off)
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("bus: %s state has %d trailing bytes", dev, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// MarshalState captures the RAM contents. The word count leads the blob
+// so a restore into a differently-sized RAM is detected as a
+// configuration mismatch rather than silent truncation.
+func (r *RAM) MarshalState() ([]byte, error) {
+	w := &stateWriter{buf: make([]byte, 0, 4+2*len(r.words))}
+	w.u32(uint32(len(r.words)))
+	for _, v := range r.words {
+		w.u16(v)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalState restores RAM contents captured from a same-sized RAM.
+func (r *RAM) UnmarshalState(b []byte) error {
+	d := &stateReader{buf: b}
+	n := d.u32()
+	if d.fail {
+		return d.err(r.name)
+	}
+	if int(n) != len(r.words) {
+		return fmt.Errorf("bus: %s state has %d words, device has %d", r.name, n, len(r.words))
+	}
+	for i := range r.words {
+		r.words[i] = d.u16()
+	}
+	return d.err(r.name)
+}
+
+// MarshalState captures the timer registers and expiry count.
+func (t *Timer) MarshalState() ([]byte, error) {
+	w := &stateWriter{}
+	w.u16(t.count)
+	w.u16(t.reload)
+	w.u16(t.ctrl)
+	w.u16(t.status)
+	w.u64(t.Expirations)
+	return w.buf, nil
+}
+
+// UnmarshalState restores the timer registers. IRQ wiring is
+// configuration and untouched.
+func (t *Timer) UnmarshalState(b []byte) error {
+	d := &stateReader{buf: b}
+	count, reload, ctrl, status := d.u16(), d.u16(), d.u16(), d.u16()
+	exp := d.u64()
+	if err := d.err(t.name); err != nil {
+		return err
+	}
+	t.count, t.reload, t.ctrl, t.status = count, reload, ctrl, status
+	t.Expirations = exp
+	return nil
+}
+
+// maxUARTQueue bounds the byte queues a snapshot may claim, so a
+// corrupt length field cannot force a giant allocation.
+const maxUARTQueue = 1 << 20
+
+// MarshalState captures both UART byte queues.
+func (u *UART) MarshalState() ([]byte, error) {
+	w := &stateWriter{buf: make([]byte, 0, 8+len(u.TX)+len(u.rx))}
+	w.u32(uint32(len(u.TX)))
+	w.buf = append(w.buf, u.TX...)
+	w.u32(uint32(len(u.rx)))
+	w.buf = append(w.buf, u.rx...)
+	return w.buf, nil
+}
+
+// UnmarshalState restores the UART queues.
+func (u *UART) UnmarshalState(b []byte) error {
+	d := &stateReader{buf: b}
+	nTX := d.u32()
+	if d.fail || nTX > maxUARTQueue {
+		return fmt.Errorf("bus: %s state TX length %d invalid", u.name, nTX)
+	}
+	tx := d.take(int(nTX))
+	nRX := d.u32()
+	if d.fail || nRX > maxUARTQueue {
+		return fmt.Errorf("bus: %s state RX length %d invalid", u.name, nRX)
+	}
+	rx := d.take(int(nRX))
+	if err := d.err(u.name); err != nil {
+		return err
+	}
+	u.TX = append([]byte(nil), tx...)
+	u.rx = append([]byte(nil), rx...)
+	return nil
+}
+
+// MarshalState captures the conversion machinery. The sample function
+// is code, not state: the restored ADC keeps its own, and the sample
+// index n makes the next conversion produce the same value as long as
+// both sides use the same function — the determinism contract the
+// round-trip tests pin.
+func (a *ADC) MarshalState() ([]byte, error) {
+	w := &stateWriter{}
+	w.flag(a.converting)
+	w.u32(uint32(int32(a.remaining)))
+	w.u16(a.data)
+	w.flag(a.done)
+	w.u32(uint32(int32(a.n)))
+	return w.buf, nil
+}
+
+// UnmarshalState restores the conversion machinery.
+func (a *ADC) UnmarshalState(b []byte) error {
+	d := &stateReader{buf: b}
+	converting := d.flag()
+	remaining := int(int32(d.u32()))
+	data := d.u16()
+	done := d.flag()
+	n := int(int32(d.u32()))
+	if err := d.err(a.name); err != nil {
+		return err
+	}
+	if n < 0 {
+		n = 0
+	}
+	a.converting = converting
+	a.remaining = remaining
+	a.data = data
+	a.done = done
+	a.n = n
+	return nil
+}
+
+// MarshalState captures the motor position and step count.
+func (s *Stepper) MarshalState() ([]byte, error) {
+	w := &stateWriter{}
+	w.u16(uint16(s.pos))
+	w.u64(s.Steps)
+	return w.buf, nil
+}
+
+// UnmarshalState restores the motor position.
+func (s *Stepper) UnmarshalState(b []byte) error {
+	d := &stateReader{buf: b}
+	pos := int16(d.u16())
+	steps := d.u64()
+	if err := d.err(s.name); err != nil {
+		return err
+	}
+	s.pos, s.Steps = pos, steps
+	return nil
+}
+
+// MarshalState captures the eight latched ports.
+func (g *GPIO) MarshalState() ([]byte, error) {
+	w := &stateWriter{}
+	for _, p := range g.ports {
+		w.u16(p)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalState restores the latched ports.
+func (g *GPIO) UnmarshalState(b []byte) error {
+	d := &stateReader{buf: b}
+	var ports [8]uint16
+	for i := range ports {
+		ports[i] = d.u16()
+	}
+	if err := d.err(g.name); err != nil {
+		return err
+	}
+	g.ports = ports
+	return nil
+}
+
+// MarshalState captures the countdown and bite count. The timeout is
+// configuration.
+func (w *Watchdog) MarshalState() ([]byte, error) {
+	sw := &stateWriter{}
+	sw.u16(w.left)
+	sw.flag(w.enabled)
+	sw.u64(w.Bites)
+	return sw.buf, nil
+}
+
+// UnmarshalState restores the countdown.
+func (w *Watchdog) UnmarshalState(b []byte) error {
+	d := &stateReader{buf: b}
+	left := d.u16()
+	enabled := d.flag()
+	bites := d.u64()
+	if err := d.err(w.name); err != nil {
+		return err
+	}
+	w.left, w.enabled, w.Bites = left, enabled, bites
+	return nil
+}

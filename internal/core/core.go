@@ -193,7 +193,6 @@ type Machine struct {
 	pipeBase uint8
 	cycle    uint64
 	seq      uint64
-	halted   bool // RunUntilIdle latch
 	dbg      *debugState
 	profile  map[uint32]uint64 // per-(stream,pc) retirement counts
 
@@ -493,10 +492,18 @@ func (m *Machine) Reset() {
 	m.pipe = [isa.PipeDepth]slot{}
 	m.pipeBase = 0
 	m.globals = [isa.NumGlobals]uint16{}
+	m.sch.Reset() // power-on rotation, not wherever the last run parked it
 	m.bus.Reset()
 	m.cycle, m.seq = 0, 0
 	m.statsBase = 0
 	m.dbg = nil
+	// Power-on state means no residue from the previous run's harness
+	// attachments either: profiling counts and block-engine session
+	// statistics restart from zero exactly as on a freshly built machine
+	// (the reset-vs-fresh differential test pins this). The block table
+	// itself survives — like program memory, it is loaded configuration.
+	m.profile = nil
+	m.blockStats = BlockStats{}
 	m.ready, m.stallMask = 0, 0
 	for i := range m.streams {
 		m.intrVer[i] = m.streams[i].intr.Version()

@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Snapshot support. A fault wrapper and a storm are deterministic
+// machines of their own (private RNG + counters), so checkpointing a
+// chaos run means checkpointing them too: the wrapper implements the
+// structural snap.Stater contract (and nests its inner device's state,
+// so a fault-wrapped RAM round-trips as one blob), and Storm exposes
+// the same pair for the harness to carry alongside the machine
+// snapshot. Blobs are little-endian, fixed field order, versioned by
+// the enclosing disc-snap container. Config — probabilities, windows,
+// target lists — is never serialized; the restore side rebuilds the
+// same injectors from configuration and applies state on top.
+
+// stater is the structural device-state contract (see snap.Stater).
+type stater interface {
+	MarshalState() ([]byte, error)
+	UnmarshalState([]byte) error
+}
+
+// MarshalState captures the wrapper's RNG position, clock, stuck-busy
+// deadline and injection statistics, plus the inner device's own state
+// when it has any (length-prefixed, flagged).
+func (d *Device) MarshalState() ([]byte, error) {
+	b := make([]byte, 0, 64)
+	b = binary.LittleEndian.AppendUint64(b, d.src.State())
+	b = binary.LittleEndian.AppendUint64(b, d.cycle)
+	b = binary.LittleEndian.AppendUint64(b, d.stuckUntil)
+	b = binary.LittleEndian.AppendUint64(b, d.Stats.Accesses)
+	b = binary.LittleEndian.AppendUint64(b, d.Stats.ExtraWaits)
+	b = binary.LittleEndian.AppendUint64(b, d.Stats.BitFlips)
+	b = binary.LittleEndian.AppendUint64(b, d.Stats.Faults)
+	b = binary.LittleEndian.AppendUint64(b, d.Stats.StuckBusy)
+	b = binary.LittleEndian.AppendUint64(b, d.Stats.DeadHits)
+	if s, ok := d.inner.(stater); ok {
+		inner, err := s.MarshalState()
+		if err != nil {
+			return nil, fmt.Errorf("fault: %s inner state: %w", d.Name(), err)
+		}
+		b = append(b, 1)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(inner)))
+		b = append(b, inner...)
+	} else {
+		b = append(b, 0)
+	}
+	return b, nil
+}
+
+// UnmarshalState restores a captured wrapper state. Like every restore
+// path it treats the input as untrusted: short buffers, bad lengths and
+// an inner-state flag that disagrees with the wrapped device's actual
+// capabilities are errors, never panics.
+func (d *Device) UnmarshalState(b []byte) error {
+	const fixed = 9*8 + 1
+	if len(b) < fixed {
+		return fmt.Errorf("fault: %s state truncated (%d bytes)", d.Name(), len(b))
+	}
+	d.src.SetState(binary.LittleEndian.Uint64(b[0:]))
+	d.cycle = binary.LittleEndian.Uint64(b[8:])
+	d.stuckUntil = binary.LittleEndian.Uint64(b[16:])
+	d.Stats.Accesses = binary.LittleEndian.Uint64(b[24:])
+	d.Stats.ExtraWaits = binary.LittleEndian.Uint64(b[32:])
+	d.Stats.BitFlips = binary.LittleEndian.Uint64(b[40:])
+	d.Stats.Faults = binary.LittleEndian.Uint64(b[48:])
+	d.Stats.StuckBusy = binary.LittleEndian.Uint64(b[56:])
+	d.Stats.DeadHits = binary.LittleEndian.Uint64(b[64:])
+	rest := b[fixed-1:]
+	hasInner := rest[0] != 0
+	rest = rest[1:]
+	s, ok := d.inner.(stater)
+	if !hasInner {
+		if len(rest) != 0 {
+			return fmt.Errorf("fault: %s state has %d trailing bytes", d.Name(), len(rest))
+		}
+		return nil
+	}
+	if !ok {
+		return fmt.Errorf("fault: %s state carries inner-device state but %s is stateless",
+			d.Name(), d.inner.Name())
+	}
+	if len(rest) < 4 {
+		return fmt.Errorf("fault: %s inner state length truncated", d.Name())
+	}
+	n := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(n) != uint64(len(rest)) {
+		return fmt.Errorf("fault: %s inner state claims %d bytes, has %d", d.Name(), n, len(rest))
+	}
+	return s.UnmarshalState(rest)
+}
+
+// StormState is the serializable schedule position of a Storm.
+type StormState struct {
+	RNG    uint64
+	Next   uint64
+	Tick   uint64
+	Raised uint64
+}
+
+// State captures the storm mid-schedule.
+func (s *Storm) State() StormState {
+	return StormState{RNG: s.src.State(), Next: s.next, Tick: s.tick, Raised: s.Raised}
+}
+
+// SetState rewinds the storm to a captured schedule position. Any
+// field values are safe: a Next in the past simply fires on the next
+// Tick, exactly as an overdue schedule would.
+func (s *Storm) SetState(st StormState) {
+	s.src.SetState(st.RNG)
+	s.next = st.Next
+	s.tick = st.Tick
+	s.Raised = st.Raised
+}

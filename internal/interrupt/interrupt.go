@@ -101,6 +101,32 @@ func (u *Unit) Level() uint8 { return u.level }
 // SetLevel restores a saved level (the SR write-back in RETI).
 func (u *Unit) SetLevel(l uint8) { u.level = l & 0x7; u.ver++ }
 
+// State is the serializable register content of a Unit: the request
+// and mask registers plus the current execution level. The version
+// counter and observer hooks are deliberately excluded — the version
+// is a local change detector (a restore bumps it like any other
+// mutation) and hooks belong to whoever attached them.
+type State struct {
+	IR    uint8
+	MR    uint8
+	Level uint8
+}
+
+// State captures the unit's registers.
+func (u *Unit) State() State { return State{IR: u.ir, MR: u.mr, Level: u.level} }
+
+// SetState restores previously captured registers. The level is masked
+// to its architectural 3 bits (as SetLevel does), so arbitrary snapshot
+// bytes cannot construct an unrepresentable level. The version counter
+// advances so cached readiness derived from the old registers is
+// invalidated.
+func (u *Unit) SetState(s State) {
+	u.ir = s.IR
+	u.mr = s.MR
+	u.level = s.Level & 0x7
+	u.ver++
+}
+
 // Request sets request bit n. It reports whether the stream was
 // inactive before — the caller uses this to wake a halted stream.
 func (u *Unit) Request(n uint8) (wasInactive bool, err error) {

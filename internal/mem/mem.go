@@ -126,6 +126,49 @@ func (p *Program) Limit() uint32 { return p.limit }
 // version 0.
 func (p *Program) Version() uint32 { return p.version }
 
+// ProgramState is the serializable content of program memory: the raw
+// words up to the load limit. The predecode cache is derived state and
+// deliberately absent — SetState regenerates it through isa.Decode, so
+// a snapshot can never smuggle in a decode that disagrees with the ISA.
+type ProgramState struct {
+	Words []isa.Word
+	Limit uint32
+}
+
+// State captures the loaded portion of program memory.
+func (p *Program) State() ProgramState {
+	w := make([]isa.Word, p.limit)
+	copy(w, p.words[:p.limit])
+	return ProgramState{Words: w, Limit: p.limit}
+}
+
+// SetState replaces the whole program store with a captured image and
+// re-predecodes it. Words past the limit are zeroed (NOP), matching a
+// fresh store. The version counter is BUMPED, not restored: version is
+// a local mutation counter for derived caches, and a restore is a
+// mutation — any block table compiled against the pre-restore image
+// must observe a mismatch and invalidate (DESIGN.md §13).
+func (p *Program) SetState(s ProgramState) error {
+	if s.Limit > ProgramSize || uint64(len(s.Words)) != uint64(s.Limit) {
+		return fmt.Errorf("mem: program state limit %d with %d words is malformed", s.Limit, len(s.Words))
+	}
+	copy(p.words[:s.Limit], s.Words)
+	for i := uint32(s.Limit); i < p.limit; i++ {
+		// Zero word and cache entry alike: the zero Instruction is
+		// Decode(0), so the shrunk region matches a fresh store even if a
+		// later Set raises the limit back over it.
+		p.words[i] = 0
+		p.code[i] = isa.Instruction{}
+		p.meta[i] = 0
+	}
+	p.limit = s.Limit
+	for pc := uint32(0); pc < s.Limit; pc++ {
+		p.predecode(uint16(pc))
+	}
+	p.version++
+	return nil
+}
+
 // Internal is the 2 KB on-chip data memory shared between all
 // instruction streams (§3.7). Accesses are zero-wait and, because the
 // machine executes one instruction per cycle, read-modify-write
@@ -166,4 +209,13 @@ func (m *Internal) Snapshot() []uint16 {
 	out := make([]uint16, isa.InternalSize)
 	copy(out, m.words[:])
 	return out
+}
+
+// SetState restores contents previously captured by Snapshot.
+func (m *Internal) SetState(words []uint16) error {
+	if len(words) != isa.InternalSize {
+		return fmt.Errorf("mem: internal state has %d words, memory holds %d", len(words), isa.InternalSize)
+	}
+	copy(m.words[:], words)
+	return nil
 }

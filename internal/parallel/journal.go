@@ -1,0 +1,234 @@
+package parallel
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only completion log for a sweep campaign: one
+// JSON header line naming the campaign, then one line per completed
+// job carrying its index and result. Because completed results are
+// recorded as they finish and the file is only ever appended to, a
+// sweep killed at any instant — including kill -9 mid-write — resumes
+// by replaying the journal and running only the jobs it does not
+// cover; a torn trailing line (the crash case) is detected and
+// ignored. The recorded values are replayed verbatim, so a resumed
+// sweep produces byte-identical tables to an uninterrupted one: JSON
+// numbers round-trip exactly through Go's float64 encoding, and
+// everything the table layers journal is float64s and small structs.
+//
+// The campaign key guards against resuming with changed parameters: it
+// should encode everything the results depend on (seed, cycles, reps,
+// table geometry), and Open refuses a journal whose header disagrees.
+type Journal[T any] struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[int]T
+}
+
+// journalHeader is the first line of every journal file.
+type journalHeader struct {
+	Campaign string `json:"campaign"`
+	Jobs     int    `json:"jobs"`
+}
+
+// journalEntry is one completion line.
+type journalEntry[T any] struct {
+	I int `json:"i"`
+	V T   `json:"v"`
+}
+
+// OpenJournal opens (or creates) the journal for one campaign. A fresh
+// file gets the header written and synced immediately; an existing
+// file must carry a matching header, and its completion lines are
+// loaded for replay. jobs is the campaign's total job count.
+func OpenJournal[T any](path, campaign string, jobs int) (*Journal[T], error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: journal %s: %w", path, err)
+	}
+	j := &Journal[T]{f: f, done: make(map[int]T)}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("parallel: journal %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		hb, err := json.Marshal(journalHeader{Campaign: campaign, Jobs: jobs})
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("parallel: journal %s: %w", path, err)
+		}
+		if _, err := f.Write(append(hb, '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("parallel: journal %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("parallel: journal %s: %w", path, err)
+		}
+		return j, nil
+	}
+	if err := j.replay(path, campaign, jobs); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Future appends go to the end — which, after replay truncated any
+	// torn trailing line, is the end of the last complete line.
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("parallel: journal %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// replay loads an existing journal: header validation, then completion
+// lines. A kill mid-append leaves a torn final line with no
+// terminating newline; replay drops it — the job re-runs — and
+// truncates the file back to the last complete line so the next append
+// starts fresh instead of extending the torn bytes. A malformed
+// newline-terminated line can only be corruption (torn writes never
+// carry the trailing newline) and is reported.
+func (j *Journal[T]) replay(path, campaign string, jobs int) error {
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("parallel: journal %s: %w", path, err)
+	}
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("parallel: journal %s: %w", path, err)
+	}
+	good := bytes.LastIndexByte(data, '\n') + 1
+	if good == 0 {
+		return fmt.Errorf("parallel: journal %s: unreadable header", path)
+	}
+	rest := data[:good]
+	lineNo := 0
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		line := rest[:nl]
+		rest = rest[nl+1:]
+		lineNo++
+		if lineNo == 1 {
+			var hdr journalHeader
+			if err := json.Unmarshal(line, &hdr); err != nil {
+				return fmt.Errorf("parallel: journal %s: malformed header: %w", path, err)
+			}
+			if hdr.Campaign != campaign || hdr.Jobs != jobs {
+				return fmt.Errorf("parallel: journal %s belongs to campaign %q (%d jobs), not %q (%d jobs) — delete it or pick another path",
+					path, hdr.Campaign, hdr.Jobs, campaign, jobs)
+			}
+			continue
+		}
+		var ent journalEntry[T]
+		if err := json.Unmarshal(line, &ent); err != nil {
+			return fmt.Errorf("parallel: journal %s: malformed entry at line %d: %w", path, lineNo, err)
+		}
+		if ent.I < 0 || ent.I >= jobs {
+			return fmt.Errorf("parallel: journal %s: entry at line %d names job %d of %d", path, lineNo, ent.I, jobs)
+		}
+		j.done[ent.I] = ent.V
+	}
+	if good < len(data) {
+		if err := j.f.Truncate(int64(good)); err != nil {
+			return fmt.Errorf("parallel: journal %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// Done returns how many jobs the journal already covers.
+func (j *Journal[T]) Done() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// record appends one completion. The line is built fully and written
+// with a single Write so concurrent completions never interleave
+// bytes; the mutex orders writers.
+func (j *Journal[T]) record(i int, v T) error {
+	ent, err := json.Marshal(journalEntry[T]{I: i, V: v})
+	if err != nil {
+		return fmt.Errorf("parallel: journal job %d: %w", i, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(ent, '\n')); err != nil {
+		return fmt.Errorf("parallel: journal job %d: %w", i, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal[T]) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// MapJournaled is MapProgress with campaign resumption: jobs the
+// journal already covers are filled from their recorded values without
+// re-running, the rest execute normally and are recorded as they
+// complete. The determinism contract carries over — because every
+// job's value is a pure function of its index, replayed and re-run
+// cells are indistinguishable, and the result slice is byte-identical
+// to an uninterrupted MapProgress run at any worker count. A nil
+// journal degrades to plain MapProgress. progress counts all n jobs,
+// replayed ones included (they complete instantly).
+func MapJournaled[T any](par, n int, fn func(i int) (T, error), progress func(done, total int), j *Journal[T]) ([]T, error) {
+	if j == nil {
+		return MapProgress(par, n, fn, progress)
+	}
+	j.mu.Lock()
+	pending := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if _, ok := j.done[i]; !ok {
+			pending = append(pending, i)
+		}
+	}
+	j.mu.Unlock()
+	replayed := n - len(pending)
+	wrapped := progress
+	if progress != nil && replayed > 0 {
+		progress(replayed, n)
+		wrapped = func(done, total int) { progress(replayed+done, n) }
+	}
+	out, err := MapProgress(par, len(pending), func(k int) (T, error) {
+		i := pending[k]
+		v, err := fn(i)
+		if err != nil {
+			return v, err
+		}
+		if werr := j.record(i, v); werr != nil {
+			return v, werr
+		}
+		return v, nil
+	}, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]T, n)
+	j.mu.Lock()
+	for i := 0; i < n; i++ {
+		if v, ok := j.done[i]; ok {
+			results[i] = v
+		}
+	}
+	j.mu.Unlock()
+	for k, i := range pending {
+		results[i] = out[k]
+	}
+	return results, nil
+}

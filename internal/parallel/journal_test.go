@@ -1,0 +1,260 @@
+package parallel
+
+// Resumable-campaign proofs. The journal's contract: kill a sweep at
+// any instant — worker error, kill -9 mid-append — and the resumed run
+// (a) never re-runs a job the journal covers, and (b) produces results
+// byte-identical to a run that was never interrupted.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cell is the kind of value the table layers journal: a small struct of
+// float64s, which JSON round-trips exactly.
+type cell struct {
+	Mean float64 `json:"mean"`
+	Hits float64 `json:"hits"`
+}
+
+func cellFn(i int) (cell, error) {
+	return cell{Mean: float64(i) * 0.125, Hits: float64(i * i)}, nil
+}
+
+// TestJournalResumeAfterFailure interrupts a campaign with a worker
+// error, then resumes it with a fn that refuses to recompute finished
+// jobs — proving replay really skips them — and requires the final
+// result slice to match an uninterrupted run exactly.
+func TestJournalResumeAfterFailure(t *testing.T) {
+	const n = 10
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := OpenJournal[cell](path, "campaign-a", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("worker died")
+	_, err = MapJournaled(1, n, func(i int) (cell, error) {
+		if i == 6 {
+			return cell{}, boom
+		}
+		return cellFn(i)
+	}, nil, j)
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume. Jobs 0..5 completed before the error (par=1 runs in index
+	// order); recomputing any of them means replay failed.
+	j2, err := OpenJournal[cell](path, "campaign-a", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Done() != 6 {
+		t.Fatalf("journal covers %d jobs, want 6", j2.Done())
+	}
+	got, err := MapJournaled(1, n, func(i int) (cell, error) {
+		if i < 6 {
+			t.Errorf("job %d re-ran despite being journaled", i)
+		}
+		return cellFn(i)
+	}, nil, j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := MapProgress(1, n, cellFn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("job %d: resumed %+v, uninterrupted %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJournalTornTrailingLine simulates kill -9 mid-append: a journal
+// whose final line has no terminating newline. Replay must drop the
+// torn job (it re-runs), truncate the tear, and leave the file in a
+// state where subsequent appends produce a clean journal — not a
+// concatenation of torn bytes and a fresh entry.
+func TestJournalTornTrailingLine(t *testing.T) {
+	const n = 5
+	path := filepath.Join(t.TempDir(), "c.journal")
+	torn := `{"campaign":"camp","jobs":5}
+{"i":0,"v":{"mean":0,"hits":0}}
+{"i":1,"v":{"mean":0.125,"hits":1}}
+{"i":2,"v":{"mea`
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal[cell](path, "camp", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Done() != 2 {
+		t.Fatalf("journal covers %d jobs, want 2 (torn line dropped)", j.Done())
+	}
+	if _, err := MapJournaled(2, n, cellFn, nil, j); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The completed file must be line-clean: every line valid JSON, no
+	// fossil of the torn bytes.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `{"mea{`) || strings.Contains(string(data), `"mea"`) {
+		t.Fatalf("torn bytes survived the resume:\n%s", data)
+	}
+	j3, err := OpenJournal[cell](path, "camp", n)
+	if err != nil {
+		t.Fatalf("journal unreadable after resume: %v", err)
+	}
+	if j3.Done() != n {
+		t.Fatalf("final journal covers %d jobs, want %d", j3.Done(), n)
+	}
+	j3.Close()
+}
+
+// TestJournalRefusesForeignCampaign: a journal written under different
+// parameters must not be silently reused.
+func TestJournalRefusesForeignCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := OpenJournal[cell](path, "seed=1 cycles=100", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := OpenJournal[cell](path, "seed=2 cycles=100", 4); err == nil {
+		t.Fatal("accepted a journal from another campaign")
+	}
+	if _, err := OpenJournal[cell](path, "seed=1 cycles=100", 5); err == nil {
+		t.Fatal("accepted a journal with a different job count")
+	}
+}
+
+// TestJournalRejectsCorruptLines: a malformed newline-terminated line
+// cannot be a torn write (those never carry the newline) — it is
+// corruption and must be an error, as must entries naming impossible
+// job indices.
+func TestJournalRejectsCorruptLines(t *testing.T) {
+	cases := map[string]string{
+		"garbage entry":    `{"campaign":"c","jobs":3}` + "\n" + `not json` + "\n",
+		"job out of range": `{"campaign":"c","jobs":3}` + "\n" + `{"i":7,"v":{"mean":0,"hits":0}}` + "\n",
+		"negative job":     `{"campaign":"c","jobs":3}` + "\n" + `{"i":-1,"v":{"mean":0,"hits":0}}` + "\n",
+		"garbage header":   `what even is this` + "\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(t.TempDir(), "c.journal")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenJournal[cell](path, "c", 3); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestJournaledMatchesPlain: with and without a journal, at several
+// worker counts, the result slice is identical — the journal is purely
+// a persistence layer, never a semantic one.
+func TestJournaledMatchesPlain(t *testing.T) {
+	const n = 23
+	want, err := MapProgress(1, n, cellFn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 3, 8} {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("p%d.journal", par))
+		j, err := OpenJournal[cell](path, "camp", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MapJournaled(par, n, cellFn, nil, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("par=%d job %d: %+v vs %+v", par, i, got[i], want[i])
+			}
+		}
+		// A second, fully replayed pass must also match and run nothing.
+		j2, err := OpenJournal[cell](path, "camp", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := MapJournaled(par, n, func(i int) (cell, error) {
+			t.Errorf("job %d ran in a fully journaled campaign", i)
+			return cellFn(i)
+		}, nil, j2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		for i := range want {
+			if got2[i] != want[i] {
+				t.Fatalf("par=%d replay job %d: %+v vs %+v", par, i, got2[i], want[i])
+			}
+		}
+	}
+}
+
+// TestJournalProgressCountsReplayed: progress must span all n jobs,
+// replayed ones included, so a resumed sweep's meter starts where the
+// killed one left off instead of at zero.
+func TestJournalProgressCountsReplayed(t *testing.T) {
+	const n = 8
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := OpenJournal[cell](path, "camp", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-record half the campaign, then reopen so replay loads it.
+	for i := 0; i < 4; i++ {
+		v, _ := cellFn(i)
+		if err := j.record(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	j, err = OpenJournal[cell](path, "camp", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last int
+	_, err = MapJournaled(1, n, cellFn, func(done, total int) {
+		if first == 0 {
+			first = done
+		}
+		last = done
+		if total != n {
+			t.Errorf("progress total %d, want %d", total, n)
+		}
+	}, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if first != 4 {
+		t.Errorf("first progress tick at %d, want 4 (replayed jobs pre-counted)", first)
+	}
+	if last != n {
+		t.Errorf("final progress tick at %d, want %d", last, n)
+	}
+}

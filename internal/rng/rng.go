@@ -34,6 +34,25 @@ func New(seed uint64) *Source {
 	return s
 }
 
+// State returns the generator's internal state word. Together with
+// SetState it lets a checkpoint capture a generator mid-sequence and
+// resume it elsewhere with bit-identical continuation — the property
+// the snapshot/restore layer (internal/snap) relies on for stochastic
+// workloads and fault schedules.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState overwrites the generator's internal state word, typically
+// with a value previously returned by State. A zero state (the
+// xorshift fixed point, which State can never legitimately return) is
+// remapped the same way New remaps a zero seed, so a corrupted or
+// adversarial snapshot cannot wedge the generator.
+func (s *Source) SetState(v uint64) {
+	if v == 0 {
+		v = 0x9E3779B97F4A7C15
+	}
+	s.state = v
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Source) Uint64() uint64 {
 	x := s.state

@@ -259,6 +259,67 @@ func (s *Scheduler) AdvanceSole(id, n int) {
 	}
 }
 
+// State is the serializable mutable state of a Scheduler: the slot
+// cursor, the donation round-robin pointer, and the issue statistics.
+// The slot table, stream count and priority flag are configuration —
+// the restore side rebuilds the scheduler from config and then applies
+// State on top.
+type State struct {
+	Cursor        int
+	RR            int
+	OwnIssues     []uint64
+	DonatedIssues []uint64
+	IdleSlots     uint64
+}
+
+// State returns a deep copy of the scheduler's mutable state.
+func (s *Scheduler) State() State {
+	own := make([]uint64, len(s.OwnIssues))
+	copy(own, s.OwnIssues)
+	don := make([]uint64, len(s.DonatedIssues))
+	copy(don, s.DonatedIssues)
+	return State{
+		Cursor:        s.cursor,
+		RR:            s.rr,
+		OwnIssues:     own,
+		DonatedIssues: don,
+		IdleSlots:     s.IdleSlots,
+	}
+}
+
+// SetState restores state captured from a scheduler with the same
+// configuration. Counter-length mismatches are configuration mismatches
+// and reported as errors; the cursor and round-robin pointer are
+// clamped into range so corrupt input cannot make Next index out of
+// bounds.
+func (s *Scheduler) SetState(st State) error {
+	if len(st.OwnIssues) != s.nstream || len(st.DonatedIssues) != s.nstream {
+		return fmt.Errorf("sched: state counters sized %d/%d, scheduler has %d streams",
+			len(st.OwnIssues), len(st.DonatedIssues), s.nstream)
+	}
+	if st.Cursor < 0 || st.Cursor >= len(s.slots) {
+		return fmt.Errorf("sched: state cursor %d outside slot table of %d", st.Cursor, len(s.slots))
+	}
+	if st.RR < 0 || st.RR >= s.nstream {
+		return fmt.Errorf("sched: state rr %d outside 0..%d", st.RR, s.nstream-1)
+	}
+	s.cursor = st.Cursor
+	s.rr = st.RR
+	copy(s.OwnIssues, st.OwnIssues)
+	copy(s.DonatedIssues, st.DonatedIssues)
+	s.IdleSlots = st.IdleSlots
+	return nil
+}
+
+// Reset returns the scheduler to its power-on rotation — cursor parked
+// before slot 0, donation round-robin at stream 0 — and clears the
+// counters. The slot table is configuration and survives.
+func (s *Scheduler) Reset() {
+	s.cursor = len(s.slots) - 1
+	s.rr = 0
+	s.ResetStats()
+}
+
 // ResetStats clears the issue counters without moving the cursor.
 func (s *Scheduler) ResetStats() {
 	for i := range s.OwnIssues {

@@ -1,0 +1,86 @@
+package snap
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"disc/internal/core"
+)
+
+// Save encodes the snapshot and writes it to path crash-atomically:
+// the bytes land in a temporary file in the same directory, are
+// fsync'd, and replace path with a single rename. A crash at any point
+// leaves either the previous checkpoint or the new one — never a torn
+// file — which is what makes `-checkpoint-every` safe to point at the
+// same path repeatedly.
+func Save(path string, s *core.Snapshot) error {
+	b, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(path, b)
+}
+
+// Capture is Save for a live machine: snapshot, encode, write.
+func Capture(path string, m *core.Machine) error {
+	s, err := m.Snapshot()
+	if err != nil {
+		return err
+	}
+	return Save(path, s)
+}
+
+// Load reads and decodes a snapshot file. The error distinguishes I/O
+// failures from format violations (*FormatError).
+func Load(path string) (*core.Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snap: read %s: %w", path, err)
+	}
+	s, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("snap: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// writeAtomic writes b to path via tmp + fsync + rename, fsyncing the
+// directory afterwards so the rename itself is durable.
+func writeAtomic(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snap: write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	// CreateTemp opens 0600; a checkpoint should be as readable as any
+	// other output file (the umask still applies via rename semantics).
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snap: write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snap: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snap: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snap: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("snap: rename %s: %w", path, err)
+	}
+	// Durability of the rename needs the directory entry flushed too.
+	// Some platforms cannot fsync a directory; that degrades durability,
+	// not atomicity, so it is not an error.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,645 @@
+// Package snap is the versioned binary snapshot codec of the DISC
+// reproduction: it serializes a core.Snapshot — the complete
+// architectural state of a machine — into the crash-safe `disc-snap/1`
+// container and restores it, so that execution continued from a
+// restored machine is byte-identical to the uninterrupted run.
+//
+// # Container format (disc-snap/1)
+//
+//	magic   8 bytes  "DISCSNAP"
+//	version u32      1
+//	...sections...
+//	crc     u32      CRC-32 (IEEE) over every preceding byte
+//
+// Each section is tag-length-value: a 4-byte ASCII tag, a u32 payload
+// length, then the payload. Version 1 writes exactly these sections, in
+// exactly this order:
+//
+//	META  machine configuration, clocks, bus timeout
+//	GLOB  shared global registers
+//	STRM  per-stream contexts (windows, interrupt units, counters)
+//	PIPE  pipeline slots in stage order
+//	SCHD  scheduler cursor and issue counters
+//	BUSS  ABI in-flight access and statistics
+//	DEVS  per-device state blobs, address order
+//	PROG  program memory up to the load limit
+//	IMEM  internal data memory
+//	STAT  machine-wide statistics counters
+//
+// All integers are little-endian. DESIGN.md §14 specifies every field.
+//
+// Compatibility policy: version 1 is strict. Any layout change — a new
+// section, a reordered section, a widened field — bumps the version,
+// and Decode rejects versions it does not know with a *FormatError.
+// The golden-fixture test pins the byte layout so an accidental change
+// fails CI rather than silently orphaning old checkpoints.
+//
+// # Trust boundary
+//
+// Decode treats its input as hostile: truncated files, bit flips
+// (caught by the CRC), absurd lengths and adversarial section payloads
+// all return a structured *FormatError and never panic or allocate
+// unboundedly (FuzzRestore enforces this). core.Machine.Restore then
+// re-validates the decoded Snapshot against the live machine's
+// configuration, so a snapshot can also never be restored into a
+// machine with different geometry or a different device board.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"disc/internal/bus"
+	"disc/internal/core"
+	"disc/internal/interrupt"
+	"disc/internal/isa"
+	"disc/internal/mem"
+	"disc/internal/sched"
+)
+
+// Version is the container format version this package writes.
+const Version = 1
+
+// magic identifies a disc-snap container.
+const magic = "DISCSNAP"
+
+// Stater is the optional device-state contract: a bus device that
+// implements it has its state captured into DEVS and restored on the
+// way back. Devices implement it structurally (internal/bus and
+// internal/fault do not import this package).
+type Stater interface {
+	MarshalState() ([]byte, error)
+	UnmarshalState([]byte) error
+}
+
+// Decode-side sanity caps. They bound what a hostile length field can
+// make Decode allocate; the real validation against the target machine
+// happens in core.Machine.Restore.
+const (
+	maxStreams   = isa.NumStreams
+	maxWinDepth  = 1 << 20
+	maxDevices   = 4096
+	maxDevName   = 256
+	maxDevState  = 1 << 24
+	maxSlotTable = 1 << 16
+	maxSections  = 64
+)
+
+// FormatError describes why a byte stream is not a valid disc-snap
+// container (or not one this version can read).
+type FormatError struct {
+	Offset  int    // byte offset at which decoding failed
+	Section string // section tag being decoded, or "" for the envelope
+	Msg     string
+}
+
+func (e *FormatError) Error() string {
+	if e.Section == "" {
+		return fmt.Sprintf("snap: invalid snapshot at byte %d: %s", e.Offset, e.Msg)
+	}
+	return fmt.Sprintf("snap: invalid %s section at byte %d: %s", e.Section, e.Offset, e.Msg)
+}
+
+// section tags, in the fixed v1 order.
+var sectionOrder = []string{"META", "GLOB", "STRM", "PIPE", "SCHD", "BUSS", "DEVS", "PROG", "IMEM", "STAT"}
+
+// enc accumulates the container.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i32(v int)    { e.u32(uint32(int32(v))) }
+func (e *enc) i64(v int)    { e.u64(uint64(int64(v))) }
+func (e *enc) flag(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *enc) bytes(b []byte) { e.b = append(e.b, b...) }
+
+// section appends one TLV section built by fill.
+func (e *enc) section(tag string, fill func(*enc)) {
+	e.bytes([]byte(tag))
+	lenAt := len(e.b)
+	e.u32(0) // patched below
+	fill(e)
+	binary.LittleEndian.PutUint32(e.b[lenAt:], uint32(len(e.b)-lenAt-4))
+}
+
+func (e *enc) request(r bus.Request) {
+	e.i32(r.Stream)
+	e.flag(r.Write)
+	e.u16(r.Addr)
+	e.u16(r.Data)
+	e.u8(r.Dest)
+	e.u64(r.Tag)
+}
+
+// Encode serializes a Snapshot into a disc-snap/1 container.
+func Encode(s *core.Snapshot) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("snap: nil snapshot")
+	}
+	e := &enc{b: make([]byte, 0, 4096+2*len(s.Prog.Words)+2*len(s.Imem))}
+	e.bytes([]byte(magic))
+	e.u32(Version)
+
+	e.section("META", func(e *enc) {
+		e.i32(s.Cfg.Streams)
+		e.i32(s.Cfg.WindowDepth)
+		e.u16(s.Cfg.VectorBase)
+		e.flag(s.Cfg.Priority)
+		e.flag(s.Cfg.TrapBusFaults)
+		e.flag(s.Cfg.Reference)
+		e.flag(s.Cfg.CheckReadiness)
+		encIntSlice(e, s.Cfg.Shares)
+		encIntSlice(e, s.Cfg.Slots)
+		e.u64(s.Cycle)
+		e.u64(s.Seq)
+		e.u64(s.StatsBase)
+		e.i32(s.BusTimeout)
+	})
+	e.section("GLOB", func(e *enc) {
+		for _, g := range s.Globals {
+			e.u16(g)
+		}
+	})
+	e.section("STRM", func(e *enc) {
+		e.u32(uint32(len(s.Streams)))
+		for _, st := range s.Streams {
+			e.u16(st.PC)
+			e.u8(st.Flags)
+			e.u16(st.H)
+			e.u16(st.VB)
+			e.u8(st.State)
+			e.u8(st.WaitBit)
+			e.u64(st.StallUntil)
+			e.i32(st.BranchShadow)
+			e.flag(st.EntryInFlight)
+			e.u8(st.Intr.IR)
+			e.u8(st.Intr.MR)
+			e.u8(st.Intr.Level)
+			e.i64(st.Win.AWP)
+			e.i64(st.Win.BOS)
+			e.u32(uint32(len(st.Win.Regs)))
+			for _, r := range st.Win.Regs {
+				e.u16(r)
+			}
+			if st.BusErr != nil {
+				e.flag(true)
+				e.u8(st.BusErr.Cause)
+				e.request(st.BusErr.Req)
+				e.i32(st.BusErr.Elapsed)
+			} else {
+				e.flag(false)
+			}
+			e.u64(st.Issued)
+			e.u64(st.Retired)
+			e.u64(st.Flushed)
+			e.u64(st.BusWaits)
+			e.u64(st.BusRetries)
+			e.u64(st.Dispatches)
+			e.u64(st.StackFault)
+			e.u64(st.BusFaults)
+		}
+	})
+	e.section("PIPE", func(e *enc) {
+		for _, sl := range s.Pipe {
+			e.flag(sl.Valid)
+			e.u8(sl.Stream)
+			e.u8(sl.Kind)
+			e.u8(sl.Bit)
+			e.flag(sl.Shadow)
+			e.u16(sl.PC)
+			e.u16(sl.RetPC)
+		}
+	})
+	e.section("SCHD", func(e *enc) {
+		e.i32(s.Sched.Cursor)
+		e.i32(s.Sched.RR)
+		e.u32(uint32(len(s.Sched.OwnIssues)))
+		for _, v := range s.Sched.OwnIssues {
+			e.u64(v)
+		}
+		for _, v := range s.Sched.DonatedIssues {
+			e.u64(v)
+		}
+		e.u64(s.Sched.IdleSlots)
+	})
+	e.section("BUSS", func(e *enc) {
+		e.flag(s.Bus.Busy)
+		e.request(s.Bus.Current)
+		e.i32(s.Bus.Remaining)
+		e.i32(s.Bus.Elapsed)
+		e.u64(s.Bus.BusyCycles)
+		e.u64(s.Bus.Accesses)
+		e.u64(s.Bus.Rejections)
+		e.u64(s.Bus.ErrAccesses)
+		e.u64(s.Bus.Timeouts)
+		e.u64(s.Bus.DeviceFaults)
+	})
+	e.section("DEVS", func(e *enc) {
+		e.u32(uint32(len(s.Devices)))
+		for _, d := range s.Devices {
+			e.u16(d.Base)
+			e.u16(uint16(len(d.Name)))
+			e.bytes([]byte(d.Name))
+			e.flag(d.HasState)
+			e.u32(uint32(len(d.State)))
+			e.bytes(d.State)
+		}
+	})
+	e.section("PROG", func(e *enc) {
+		e.u32(s.Prog.Limit)
+		for _, w := range s.Prog.Words {
+			e.u32(uint32(w))
+		}
+	})
+	e.section("IMEM", func(e *enc) {
+		e.u32(uint32(len(s.Imem)))
+		for _, w := range s.Imem {
+			e.u16(w)
+		}
+	})
+	e.section("STAT", func(e *enc) {
+		e.u64(s.Machine.Cycles)
+		e.u64(s.Machine.Issued)
+		e.u64(s.Machine.Retired)
+		e.u64(s.Machine.Flushed)
+		e.u64(s.Machine.IdleCycles)
+		e.u64(s.Machine.BusWaits)
+		e.u64(s.Machine.BusRetries)
+		e.u64(s.Machine.Dispatches)
+		e.u64(s.Machine.StackFaults)
+		e.u64(s.Machine.DoubleFaults)
+		e.u64(s.Machine.IllegalInstr)
+		e.u64(s.Machine.UndefinedTAS)
+		e.u64(s.Machine.BusFaults)
+		e.u64(s.Machine.BusTimeouts)
+		e.u64(s.Machine.BusDeviceFaults)
+		e.u64(s.Machine.SStartIgnored)
+	})
+
+	e.u32(crc32.ChecksumIEEE(e.b))
+	return e.b, nil
+}
+
+func encIntSlice(e *enc, v []int) {
+	if v == nil {
+		e.flag(false)
+		return
+	}
+	e.flag(true)
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.i32(x)
+	}
+}
+
+// dec consumes a container with sticky errors and offset tracking.
+type dec struct {
+	b       []byte
+	off     int
+	section string
+	err     *FormatError
+}
+
+func (d *dec) fail(msg string) {
+	if d.err == nil {
+		d.err = &FormatError{Offset: d.off, Section: d.section, Msg: msg}
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.fail("truncated")
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) i32() int   { return int(int32(d.u32())) }
+func (d *dec) i64() int   { return int(int64(d.u64())) }
+func (d *dec) flag() bool { return d.u8() != 0 }
+
+func (d *dec) request() bus.Request {
+	return bus.Request{
+		Stream: d.i32(),
+		Write:  d.flag(),
+		Addr:   d.u16(),
+		Data:   d.u16(),
+		Dest:   d.u8(),
+		Tag:    d.u64(),
+	}
+}
+
+// count reads a u32 element count and validates it against a cap.
+func (d *dec) count(what string, max int) int {
+	n := d.u32()
+	if d.err == nil && int64(n) > int64(max) {
+		d.fail(fmt.Sprintf("%s count %d exceeds limit %d", what, n, max))
+	}
+	if d.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func decIntSlice(d *dec, what string, max int) []int {
+	if !d.flag() {
+		return nil
+	}
+	n := d.count(what, max)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.i32()
+	}
+	return out
+}
+
+// Decode parses a disc-snap container into a core.Snapshot. The result
+// still has to pass core.Machine.Restore's validation against a live
+// machine; Decode alone guarantees only structural well-formedness.
+func Decode(b []byte) (*core.Snapshot, error) {
+	d := &dec{b: b}
+	if len(b) < len(magic)+4+4 {
+		d.fail("shorter than the minimal envelope")
+		return nil, d.err
+	}
+	if string(b[:len(magic)]) != magic {
+		d.fail("bad magic (not a disc-snap container)")
+		return nil, d.err
+	}
+	// CRC first: a bit flip anywhere becomes one clear error instead of
+	// whichever section-level misparse it would otherwise cause.
+	body, trailer := b[:len(b)-4], b[len(b)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		d.off = len(body)
+		d.fail(fmt.Sprintf("CRC mismatch (computed %#08x, stored %#08x)", got, want))
+		return nil, d.err
+	}
+	d.b = body
+	d.off = len(magic)
+	if v := d.u32(); v != Version {
+		d.fail(fmt.Sprintf("unsupported version %d (this build reads %d)", v, Version))
+		return nil, d.err
+	}
+
+	s := &core.Snapshot{}
+	for _, want := range sectionOrder {
+		tagB := d.take(4)
+		if d.err != nil {
+			return nil, d.err
+		}
+		tag := string(tagB)
+		if tag != want {
+			d.off -= 4
+			d.fail(fmt.Sprintf("expected %s section, found %q", want, tag))
+			return nil, d.err
+		}
+		d.section = tag
+		n := d.u32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if int64(n) > int64(len(d.b)-d.off) {
+			d.fail(fmt.Sprintf("declared length %d exceeds remaining %d bytes", n, len(d.b)-d.off))
+			return nil, d.err
+		}
+		end := d.off + int(n)
+		d.decodeSection(tag, s)
+		if d.err != nil {
+			return nil, d.err
+		}
+		if d.off != end {
+			d.fail(fmt.Sprintf("section declared %d bytes, consumed %d", n, d.off-(end-int(n))))
+			return nil, d.err
+		}
+		d.section = ""
+	}
+	if d.off != len(d.b) {
+		d.fail(fmt.Sprintf("%d trailing bytes after final section", len(d.b)-d.off))
+		return nil, d.err
+	}
+	return s, nil
+}
+
+func (d *dec) decodeSection(tag string, s *core.Snapshot) {
+	switch tag {
+	case "META":
+		s.Cfg.Streams = d.i32()
+		s.Cfg.WindowDepth = d.i32()
+		s.Cfg.VectorBase = d.u16()
+		s.Cfg.Priority = d.flag()
+		s.Cfg.TrapBusFaults = d.flag()
+		s.Cfg.Reference = d.flag()
+		s.Cfg.CheckReadiness = d.flag()
+		s.Cfg.Shares = decIntSlice(d, "shares", sched.MaxStreams)
+		s.Cfg.Slots = decIntSlice(d, "slots", maxSlotTable)
+		s.Cycle = d.u64()
+		s.Seq = d.u64()
+		s.StatsBase = d.u64()
+		s.BusTimeout = d.i32()
+		if d.err == nil && (s.Cfg.Streams < 1 || s.Cfg.Streams > maxStreams) {
+			d.fail(fmt.Sprintf("stream count %d outside 1..%d", s.Cfg.Streams, maxStreams))
+		}
+	case "GLOB":
+		for i := range s.Globals {
+			s.Globals[i] = d.u16()
+		}
+	case "STRM":
+		n := d.count("stream", maxStreams)
+		if d.err != nil {
+			return
+		}
+		s.Streams = make([]core.StreamSnap, n)
+		for i := range s.Streams {
+			st := &s.Streams[i]
+			st.PC = d.u16()
+			st.Flags = d.u8()
+			st.H = d.u16()
+			st.VB = d.u16()
+			st.State = d.u8()
+			st.WaitBit = d.u8()
+			st.StallUntil = d.u64()
+			st.BranchShadow = d.i32()
+			st.EntryInFlight = d.flag()
+			st.Intr = interrupt.State{IR: d.u8(), MR: d.u8(), Level: d.u8()}
+			st.Win.AWP = d.i64()
+			st.Win.BOS = d.i64()
+			nr := d.count("window register", maxWinDepth)
+			if d.err != nil {
+				return
+			}
+			st.Win.Regs = make([]uint16, nr)
+			for j := range st.Win.Regs {
+				st.Win.Regs[j] = d.u16()
+			}
+			if d.flag() {
+				st.BusErr = &core.BusErrSnap{Cause: d.u8(), Req: d.request(), Elapsed: d.i32()}
+			}
+			st.Issued = d.u64()
+			st.Retired = d.u64()
+			st.Flushed = d.u64()
+			st.BusWaits = d.u64()
+			st.BusRetries = d.u64()
+			st.Dispatches = d.u64()
+			st.StackFault = d.u64()
+			st.BusFaults = d.u64()
+			if d.err != nil {
+				return
+			}
+		}
+	case "PIPE":
+		for i := range s.Pipe {
+			s.Pipe[i] = core.SlotSnap{
+				Valid:  d.flag(),
+				Stream: d.u8(),
+				Kind:   d.u8(),
+				Bit:    d.u8(),
+				Shadow: d.flag(),
+				PC:     d.u16(),
+				RetPC:  d.u16(),
+			}
+		}
+	case "SCHD":
+		s.Sched.Cursor = d.i32()
+		s.Sched.RR = d.i32()
+		n := d.count("scheduler stream", sched.MaxStreams)
+		if d.err != nil {
+			return
+		}
+		s.Sched.OwnIssues = make([]uint64, n)
+		for i := range s.Sched.OwnIssues {
+			s.Sched.OwnIssues[i] = d.u64()
+		}
+		s.Sched.DonatedIssues = make([]uint64, n)
+		for i := range s.Sched.DonatedIssues {
+			s.Sched.DonatedIssues[i] = d.u64()
+		}
+		s.Sched.IdleSlots = d.u64()
+	case "BUSS":
+		s.Bus.Busy = d.flag()
+		s.Bus.Current = d.request()
+		s.Bus.Remaining = d.i32()
+		s.Bus.Elapsed = d.i32()
+		s.Bus.BusyCycles = d.u64()
+		s.Bus.Accesses = d.u64()
+		s.Bus.Rejections = d.u64()
+		s.Bus.ErrAccesses = d.u64()
+		s.Bus.Timeouts = d.u64()
+		s.Bus.DeviceFaults = d.u64()
+	case "DEVS":
+		n := d.count("device", maxDevices)
+		if d.err != nil {
+			return
+		}
+		if n > 0 {
+			s.Devices = make([]core.DeviceSnap, n)
+		}
+		for i := 0; i < n; i++ {
+			dv := &s.Devices[i]
+			dv.Base = d.u16()
+			nameLen := int(d.u16())
+			if d.err == nil && nameLen > maxDevName {
+				d.fail(fmt.Sprintf("device name length %d exceeds limit %d", nameLen, maxDevName))
+				return
+			}
+			dv.Name = string(d.take(nameLen))
+			dv.HasState = d.flag()
+			stateLen := d.count("device state byte", maxDevState)
+			if d.err != nil {
+				return
+			}
+			dv.State = append([]byte(nil), d.take(stateLen)...)
+			if d.err != nil {
+				return
+			}
+		}
+	case "PROG":
+		s.Prog.Limit = d.u32()
+		if d.err == nil && s.Prog.Limit > mem.ProgramSize {
+			d.fail(fmt.Sprintf("program limit %d exceeds program memory %d", s.Prog.Limit, mem.ProgramSize))
+			return
+		}
+		if d.err != nil {
+			return
+		}
+		s.Prog.Words = make([]isa.Word, s.Prog.Limit)
+		for i := range s.Prog.Words {
+			s.Prog.Words[i] = isa.Word(d.u32())
+		}
+	case "IMEM":
+		n := d.count("internal memory word", isa.InternalSize)
+		if d.err != nil {
+			return
+		}
+		s.Imem = make([]uint16, n)
+		for i := range s.Imem {
+			s.Imem[i] = d.u16()
+		}
+	case "STAT":
+		s.Machine.Cycles = d.u64()
+		s.Machine.Issued = d.u64()
+		s.Machine.Retired = d.u64()
+		s.Machine.Flushed = d.u64()
+		s.Machine.IdleCycles = d.u64()
+		s.Machine.BusWaits = d.u64()
+		s.Machine.BusRetries = d.u64()
+		s.Machine.Dispatches = d.u64()
+		s.Machine.StackFaults = d.u64()
+		s.Machine.DoubleFaults = d.u64()
+		s.Machine.IllegalInstr = d.u64()
+		s.Machine.UndefinedTAS = d.u64()
+		s.Machine.BusFaults = d.u64()
+		s.Machine.BusTimeouts = d.u64()
+		s.Machine.BusDeviceFaults = d.u64()
+		s.Machine.SStartIgnored = d.u64()
+	}
+}

@@ -104,6 +104,36 @@ func (f *File) Reset() {
 	f.bos = -1
 }
 
+// State is the serializable content of a window file: the physical
+// registers plus the two virtual pointers. Depth, mask and guard are
+// configuration, re-derived by New on the restore side.
+type State struct {
+	Regs []uint16
+	AWP  int
+	BOS  int
+}
+
+// State returns a deep copy of the file's mutable state.
+func (f *File) State() State {
+	regs := make([]uint16, len(f.regs))
+	copy(regs, f.regs)
+	return State{Regs: regs, AWP: f.awp, BOS: f.bos}
+}
+
+// SetState restores state previously captured from a file of the same
+// depth. A register-count mismatch is a configuration mismatch the
+// caller must have ruled out, so it is reported as an error rather
+// than silently truncated.
+func (f *File) SetState(s State) error {
+	if len(s.Regs) != f.depth {
+		return fmt.Errorf("stackwin: state has %d registers, file depth is %d", len(s.Regs), f.depth)
+	}
+	copy(f.regs, s.Regs)
+	f.awp = s.AWP
+	f.bos = s.BOS
+	return nil
+}
+
 // Depth returns the physical register count.
 func (f *File) Depth() int { return f.depth }
 

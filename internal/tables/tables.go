@@ -20,6 +20,7 @@ package tables
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"disc/internal/baseline"
 	"disc/internal/parallel"
@@ -43,6 +44,32 @@ type Opts struct {
 	// Progress, when non-nil, is invoked serially as runs complete
 	// (see parallel.MapProgress); use parallel.NewMeter for an ETA line.
 	Progress func(done, total int)
+	// JournalDir, when non-empty, makes each table sweep a resumable
+	// campaign: completed cells are appended to
+	// <JournalDir>/<table>.journal as they finish, and a rerun with the
+	// same options replays them instead of recomputing — so a killed
+	// sweep resumes where it died and still produces byte-identical
+	// tables (see parallel.MapJournaled). The journal is keyed by every
+	// option the cell values depend on; changing Seed/Cycles/Reps/
+	// PipeLen with a stale journal in place is refused rather than
+	// silently mixing campaigns.
+	JournalDir string
+}
+
+// runCells fans a table's cell jobs across the sweep engine, through
+// the campaign journal when Opts requests one.
+func runCells(o Opts, name string, total int, fn func(j int) (float64, error)) ([]float64, error) {
+	if o.JournalDir == "" {
+		return parallel.MapProgress(o.Par, total, fn, o.Progress)
+	}
+	key := fmt.Sprintf("%s seed=%d cycles=%d pipelen=%d reps=%d jobs=%d",
+		name, o.Seed, o.Cycles, o.PipeLen, o.Reps, total)
+	j, err := parallel.OpenJournal[float64](filepath.Join(o.JournalDir, name+".journal"), key, total)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	return parallel.MapJournaled(o.Par, total, fn, o.Progress, j)
 }
 
 func (o Opts) fill() Opts {
@@ -151,7 +178,7 @@ func Table42(o Opts) ([]Table42Row, error) {
 	const nCfg = MaxStreams + 1
 	perLoad := nCfg * o.Reps
 	total := len(loads) * perLoad
-	vals, err := parallel.MapProgress(o.Par, total, func(j int) (float64, error) {
+	vals, err := runCells(o, "table42", total, func(j int) (float64, error) {
 		li := j / perLoad
 		cfg := (j % perLoad) / o.Reps
 		l := workload.Simple(loads[li])
@@ -177,7 +204,7 @@ func Table42(o Opts) ([]Table42Row, error) {
 			return 0, err
 		}
 		return res.PD(), nil
-	}, o.Progress)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +276,7 @@ func Table43(o Opts) ([]Table43Row, error) {
 	const nCfg = 5 // baseline + 4 organizations
 	perPair := nCfg * o.Reps
 	total := len(partners) * perPair
-	vals, err := parallel.MapProgress(o.Par, total, func(j int) (float64, error) {
+	vals, err := runCells(o, "table43", total, func(j int) (float64, error) {
 		pi := j / perPair
 		cfg := (j % perPair) / o.Reps
 		comb, configs := streamsFor(pi, cfg)
@@ -271,7 +298,7 @@ func Table43(o Opts) ([]Table43Row, error) {
 			return 0, err
 		}
 		return res.PD(), nil
-	}, o.Progress)
+	})
 	if err != nil {
 		return nil, err
 	}

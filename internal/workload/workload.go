@@ -148,6 +148,44 @@ func NewProcess(l Load, src *rng.Source) *Process {
 	return p
 }
 
+// ProcessState is the serializable runtime state of a Process: the RNG
+// position plus the burst/request counters. The Load itself is config,
+// not state — a restored Process must be built over the same Load.
+type ProcessState struct {
+	RNG     uint64
+	Phase   int
+	OnLeft  int
+	OffLeft int
+	ToReq   int
+}
+
+// State captures the process mid-run for a checkpoint.
+func (p *Process) State() ProcessState {
+	return ProcessState{
+		RNG:     p.src.State(),
+		Phase:   p.phase,
+		OnLeft:  p.onLeft,
+		OffLeft: p.offLeft,
+		ToReq:   p.toReq,
+	}
+}
+
+// SetState rewinds the process to a previously captured state. The
+// phase index is clamped into range so an adversarial snapshot cannot
+// make params() panic; all other fields are plain counters for which
+// any value is safe.
+func (p *Process) SetState(s ProcessState) {
+	p.src.SetState(s.RNG)
+	ph := s.Phase
+	if ph < 0 || ph >= len(p.load.Phases) {
+		ph = 0
+	}
+	p.phase = ph
+	p.onLeft = s.OnLeft
+	p.offLeft = s.OffLeft
+	p.toReq = s.ToReq
+}
+
 // params returns the current phase's parameters.
 func (p *Process) params() Params { return p.load.Phases[p.phase] }
 

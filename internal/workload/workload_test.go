@@ -175,3 +175,53 @@ func TestProcessDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestProcessStateRoundTrip: a process checkpointed mid-burst and
+// rewound into a twin must issue the identical request/idle schedule
+// from that point on — the property the snapshot layer relies on for
+// stochastic workloads.
+func TestProcessStateRoundTrip(t *testing.T) {
+	for _, load := range Combined() {
+		a := NewProcess(load, rng.New(7))
+		for i := 0; i < 5000; i++ {
+			if a.Active() {
+				a.Issue()
+			} else {
+				a.TickIdle()
+			}
+		}
+		mid := a.State()
+		b := NewProcess(load, rng.New(1234))
+		b.SetState(mid)
+		for i := 0; i < 5000; i++ {
+			if aa, ba := a.Active(), b.Active(); aa != ba {
+				t.Fatalf("%s step %d: activity diverged", load.Name, i)
+			}
+			if a.Active() {
+				ak, al := a.Issue()
+				bk, bl := b.Issue()
+				if ak != bk || al != bl {
+					t.Fatalf("%s step %d: issue diverged (%v/%d vs %v/%d)", load.Name, i, ak, al, bk, bl)
+				}
+			} else {
+				a.TickIdle()
+				b.TickIdle()
+			}
+		}
+		if a.State() != b.State() {
+			t.Fatalf("%s: final states diverged", load.Name)
+		}
+	}
+}
+
+// TestProcessSetStateClampsPhase: an out-of-range phase index from an
+// adversarial snapshot must not make params() panic.
+func TestProcessSetStateClampsPhase(t *testing.T) {
+	p := NewProcess(Simple(Ld1), rng.New(1))
+	s := p.State()
+	s.Phase = 99
+	p.SetState(s)
+	if p.Active() {
+		p.Issue() // must not panic
+	}
+}
