@@ -1,9 +1,9 @@
 # Single documented quality gate; CI and pre-commit both run `make check`.
 GO ?= go
 
-.PHONY: check build vet test race chaos lint-examples bench bench-core equiv obs-bench absint detlint snap
+.PHONY: check build vet test race chaos lint-examples bench bench-core bench-core-gate equiv obs-bench absint detlint snap
 
-check: build vet test race chaos equiv obs-bench absint detlint snap
+check: build vet test race chaos equiv obs-bench bench-core-gate absint detlint snap
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,17 @@ bench:
 # (1 stream, analysis-planned tables, plain vs fused).
 bench-core:
 	BENCH_CORE_JSON=$(CURDIR)/BENCH_core.json $(GO) test -run TestBenchCoreJSON -count=1 -v .
+
+# Block-engine regression gate: with a compiled table attached, the
+# machine must not lose to the plain optimized interpreter on any
+# Table 4.1 load (the adaptive gate's never-lose contract), and the
+# deterministic session-stat shape — load 3 fusing, bus-bound loads
+# demoting — must hold exactly. The wall-clock half is env-gated like
+# obs-bench; block_bench_test.go documents the measurement discipline
+# and the threshold's measured noise floor.
+bench-core-gate:
+	$(GO) test -run TestBlockFusionCoverage -count=1 .
+	BLOCK_BENCH=1 $(GO) test -run TestBlockBenchGate -count=1 -v .
 
 # Differential equivalence gate: the optimized pipeline against the
 # retained reference pipeline AND the block-compiled engine — three-way

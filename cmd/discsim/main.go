@@ -37,8 +37,11 @@
 //	-lint             refuse programs with error-severity findings from
 //	                  the internal/analysis static checks
 //	-block-engine     pre-compile statically event-free instruction runs
-//	                  into fused block sessions (cycle-exact, DESIGN.md
-//	                  §13) and report fusion coverage after the run
+//	                  — including fate-proven branches and bridged gaps
+//	                  — into fused block sessions (cycle-exact, DESIGN.md
+//	                  §13) and report fusion coverage after the run,
+//	                  broken down by region form (straight-line,
+//	                  branch-fused, chained) with adaptive-gate activity
 //	-checkpoint-out f write a crash-atomic machine snapshot (DESIGN.md
 //	                  §14) to f when the run ends — including when it
 //	                  ends badly (deadlock diagnosis, cycle budget)
@@ -319,6 +322,23 @@ func main() {
 		bs := m.BlockStats()
 		fmt.Printf("block engine sessions %d fused-cycles %d fused-instrs %d bails %d stale %d\n",
 			bs.Sessions, bs.FusedCycles, bs.FusedInstrs, bs.Bails, bs.Stale)
+		// Fused-share breakdown by region form: how much of the fused
+		// time ran straight-line, resolved branches in-session, or
+		// chained across region boundaries — plus what the adaptive
+		// gate did about chronically bailing regions.
+		share := func(c uint64) float64 {
+			if bs.FusedCycles == 0 {
+				return 0
+			}
+			return float64(c) / float64(bs.FusedCycles)
+		}
+		fmt.Printf("  straight  %d sessions, %d cycles (%.1f%% of fused)\n",
+			bs.StraightSessions, bs.StraightCycles, 100*share(bs.StraightCycles))
+		fmt.Printf("  branched  %d sessions, %d cycles (%.1f%% of fused), %d branches resolved in-session\n",
+			bs.BranchSessions, bs.BranchCycles, 100*share(bs.BranchCycles), bs.BranchFuses)
+		fmt.Printf("  chained   %d sessions, %d cycles (%.1f%% of fused), %d region-to-region chains\n",
+			bs.ChainSessions, bs.ChainCycles, 100*share(bs.ChainCycles), bs.Chains)
+		fmt.Printf("  gate      %d demotions, %d re-promotions\n", bs.Demotes, bs.Promotes)
 	}
 
 	if *profileN > 0 {

@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"time"
 
@@ -145,6 +146,7 @@ var experiments = []struct {
 	{"polling", extraPolling},
 	{"isolation", extraIsolation},
 	{"block", extraBlockSpeedup},
+	{"gating", extraBlockGating},
 }
 
 func experimentNames() []string {
@@ -352,36 +354,154 @@ func extraBlockSpeedup() {
 		}
 		return setup.Machine
 	}
-	timeRun := func(m *core.Machine) float64 {
-		m.Run(64)
-		start := time.Now()
-		m.Run(n)
-		return float64(n) / time.Since(start).Seconds() / 1e6
-	}
+	const windows = 4
+	n = n / windows * windows
 	rows := [][]string{}
 	for _, p := range workload.Base() {
 		p.MeanOn, p.MeanOff = 0, 0
 		var refR, optR, blkR []float64
-		var share float64
+		var share, stS, brS, chS float64
 		for rep := 0; rep < *reps; rep++ {
-			refR = append(refR, timeRun(build(p, core.Config{Reference: true}, rep, false)))
+			// Build and warm all three machines before timing anything:
+			// an engine timed straight after its alloc-heavy build (worse
+			// for the block machine, whose attach runs analysis+compile)
+			// records a fake loss from GC and scheduler aftermath. Timing
+			// in short rotated windows makes the engines sample the same
+			// host phases (see block_bench_test.go for the measured
+			// failure modes).
+			ref := build(p, core.Config{Reference: true}, rep, false)
 			opt := build(p, core.Config{}, rep, false)
-			optR = append(optR, timeRun(opt))
 			blk := build(p, core.Config{}, rep, true)
-			blkR = append(blkR, timeRun(blk))
+			ms := []*core.Machine{ref, opt, blk}
+			for _, m := range ms {
+				m.Run(64)
+			}
+			runtime.GC()
+			times := make([]time.Duration, len(ms))
+			for w := 0; w < windows; w++ {
+				for i := range ms {
+					j := (w + i) % len(ms)
+					start := time.Now()
+					ms[j].Run(n / windows)
+					times[j] += time.Since(start)
+				}
+			}
+			refR = append(refR, float64(n)/times[0].Seconds()/1e6)
+			optR = append(optR, float64(n)/times[1].Seconds()/1e6)
+			blkR = append(blkR, float64(n)/times[2].Seconds()/1e6)
 			if !reflect.DeepEqual(opt.Stats(), blk.Stats()) {
 				fatal(fmt.Errorf("block engine diverged from optimized pipeline on %s rep %d", p.Name, rep))
 			}
-			share = float64(blk.BlockStats().FusedCycles) / float64(n+64)
+			bs := blk.BlockStats()
+			share = float64(bs.FusedCycles) / float64(n+64)
+			if bs.FusedCycles > 0 {
+				stS = float64(bs.StraightCycles) / float64(bs.FusedCycles)
+				brS = float64(bs.BranchCycles) / float64(bs.FusedCycles)
+				chS = float64(bs.ChainCycles) / float64(bs.FusedCycles)
+			}
 		}
 		ref, opt, blk := report.Summarize(refR), report.Summarize(optR), report.Summarize(blkR)
 		rows = append(rows, []string{
 			p.Name, ref.FCI(2), opt.FCI(2), blk.FCI(2),
 			report.F(blk.Mean/opt.Mean, 2) + "x", report.F(share, 2),
+			report.F(stS, 2) + "/" + report.F(brS, 2) + "/" + report.F(chS, 2),
 		})
 	}
 	fmt.Println(report.Table("",
-		[]string{"load", "reference Mcyc/s", "optimized Mcyc/s", "block Mcyc/s", "block/optimized", "fused share"}, rows))
+		[]string{"load", "reference Mcyc/s", "optimized Mcyc/s", "block Mcyc/s", "block/optimized", "fused share", "st/br/ch"}, rows))
+}
+
+// extraBlockGating measures the block engine's never-lose promise: on
+// loads whose sessions are chronically short (external accesses every
+// few instructions) the adaptive gate demotes unprofitable regions and
+// the dispatch seam batch-skips its entry predicate, so the block
+// engine must track the optimized pipeline within noise on every load
+// while keeping the full speedup where fusion pays. The gate-off
+// column isolates the gate's own contribution from the skip batching,
+// which applies either way.
+//
+// Measurement discipline (see block_bench_test.go for the measured
+// failure modes): all three machines per replication are built and
+// warmed before anything is timed — timing an engine straight after
+// its alloc-heavy analysis+compile pass records a fake loss from GC
+// and scheduler aftermath — and the engines are timed in short
+// rotated windows so they sample the same host phases.
+func extraBlockGating() {
+	fmt.Println("Extension - adaptive session gating: block-engine throughput with")
+	fmt.Println("the per-region demotion gate on vs off, identical generated Table")
+	fmt.Println("4.1 programs, 1 stream. Cycle-exactness is re-verified every")
+	fmt.Println("replication (the gate changes dispatch policy, never architecture).")
+	fmt.Println("Wall-clock measurements run serially; recorded numbers name their")
+	fmt.Println("host in EXPERIMENTS.md.")
+	const windows = 4
+	n := int(*cycles) / windows * windows
+	build := func(p workload.Params, rep int, gate bool) *core.Machine {
+		setup, err := xval.NewLoadSetup(p, 1, *seed+uint64(rep), core.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		opts := analysis.Options{Entries: []uint16{setup.Entries[0]}, Streams: 1}
+		for _, d := range setup.Devices {
+			opts.BusRanges = append(opts.BusRanges, analysis.BusRange{Base: d.Base, Size: d.Size, Wait: d.Wait})
+		}
+		blockc.Attach(setup.Machine, setup.Images[0], opts)
+		setup.Machine.SetBlockGate(gate)
+		return setup.Machine
+	}
+	rows := [][]string{}
+	for _, p := range workload.Base() {
+		p.MeanOn, p.MeanOff = 0, 0
+		var optR, onR, offR []float64
+		var demotes, promotes uint64
+		for rep := 0; rep < *reps; rep++ {
+			setup, err := xval.NewLoadSetup(p, 1, *seed+uint64(rep), core.Config{})
+			if err != nil {
+				fatal(err)
+			}
+			opt := setup.Machine
+			gated := build(p, rep, true)
+			ungated := build(p, rep, false)
+			ms := []*core.Machine{opt, gated, ungated}
+			for _, m := range ms {
+				m.Run(64)
+			}
+			runtime.GC()
+			times := make([]time.Duration, len(ms))
+			for w := 0; w < windows; w++ {
+				for i := range ms {
+					j := (w + i) % len(ms) // rotate timing order per window
+					start := time.Now()
+					ms[j].Run(n / windows)
+					times[j] += time.Since(start)
+				}
+			}
+			for i, d := range times {
+				r := float64(n) / d.Seconds() / 1e6
+				switch i {
+				case 0:
+					optR = append(optR, r)
+				case 1:
+					onR = append(onR, r)
+				case 2:
+					offR = append(offR, r)
+				}
+			}
+			if !reflect.DeepEqual(opt.Stats(), gated.Stats()) || !reflect.DeepEqual(opt.Stats(), ungated.Stats()) {
+				fatal(fmt.Errorf("gated block engine diverged from optimized pipeline on %s rep %d", p.Name, rep))
+			}
+			bs := gated.BlockStats()
+			demotes += bs.Demotes
+			promotes += bs.Promotes
+		}
+		opt, on, off := report.Summarize(optR), report.Summarize(onR), report.Summarize(offR)
+		rows = append(rows, []string{
+			p.Name, opt.FCI(2), on.FCI(2), off.FCI(2),
+			report.F(on.Mean/opt.Mean, 2) + "x", report.F(off.Mean/opt.Mean, 2) + "x",
+			fmt.Sprintf("%d/%d", demotes, promotes),
+		})
+	}
+	fmt.Println(report.Table("",
+		[]string{"load", "optimized Mcyc/s", "gated Mcyc/s", "ungated Mcyc/s", "gated/opt", "ungated/opt", "dem/prom"}, rows))
 }
 
 // extraXval cross-validates the stochastic model against the

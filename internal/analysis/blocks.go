@@ -103,7 +103,20 @@ type Summary struct {
 	BusTimeout int             `json:"bus_timeout"`
 	Blocks     []BlockSummary  `json:"blocks"`
 	Profiles   []StreamProfile `json:"profiles,omitempty"`
+
+	// fates carries the value pass's conditional-branch verdicts (see
+	// BranchFate); bridges maps block-terminator addresses to the static
+	// target of a transfer proven taken on every execution (JMP, or Bcc
+	// with an always fate). Both stay unexported: they feed FusibleSpans
+	// and callers via accessors, not the pinned JSON schema.
+	fates   map[uint16]int8
+	bridges map[uint16]uint16
 }
+
+// BranchFate reports the value pass's verdict for the conditional
+// branch at pc. Addresses that are not reachable conditional branches
+// report FateVaries — the answer that licenses nothing.
+func (s *Summary) BranchFate(pc uint16) Fate { return Fate(s.fates[pc]) }
 
 // BlockAt returns the block containing pc, or nil.
 func (s *Summary) BlockAt(pc uint16) *BlockSummary {
@@ -152,6 +165,12 @@ func (a *analyzer) buildSummary() *Summary {
 		Schema:     SummarySchema,
 		Streams:    a.streams(),
 		BusTimeout: a.opts.BusTimeout,
+		fates:      map[uint16]int8{},
+		bridges:    map[uint16]uint16{},
+	}
+	//detlint:ignore set-to-set copy; visit order cannot matter
+	for addr, f := range a.fates {
+		sum.fates[addr] = f
 	}
 	lead := a.leaders()
 
@@ -159,7 +178,7 @@ func (a *analyzer) buildSummary() *Summary {
 	var prev uint16
 	flush := func() {
 		if cur != nil {
-			a.finishBlock(cur)
+			a.finishBlock(sum, cur)
 			sum.Blocks = append(sum.Blocks, *cur)
 			cur = nil
 		}
@@ -234,7 +253,7 @@ func (a *analyzer) accumulate(b *BlockSummary, ins *instr) {
 }
 
 // finishBlock computes the derived fields once the block is complete.
-func (a *analyzer) finishBlock(b *BlockSummary) {
+func (a *analyzer) finishBlock(sum *Summary, b *BlockSummary) {
 	b.EventFree = b.BusAccesses == 0 && !b.IRQVisible && !b.StreamControl && b.DeltaKnown
 	last := a.code[b.End]
 	for _, s := range a.succs(last) {
@@ -243,6 +262,23 @@ func (a *analyzer) finishBlock(b *BlockSummary) {
 		}
 	}
 	sort.Slice(b.Succs, func(i, j int) bool { return b.Succs[i] < b.Succs[j] })
+
+	// Record proven-taken static transfers for FusibleSpans bridging: an
+	// unconditional jump, or a conditional branch the value pass proved
+	// always taken, makes everything between the transfer and its target
+	// dead fall-through. Calls don't qualify — they come back.
+	switch last.in.Flow() {
+	case isa.FlowJump:
+		if t, ok := last.in.StaticTarget(b.End); ok {
+			sum.bridges[b.End] = t
+		}
+	case isa.FlowCond:
+		if a.fates[b.End] == fateAlways {
+			if t, ok := last.in.StaticTarget(b.End); ok {
+				sum.bridges[b.End] = t
+			}
+		}
+	}
 }
 
 // addStall accumulates per-access bounds, propagating unboundedness.

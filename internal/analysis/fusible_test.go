@@ -103,3 +103,96 @@ tail:
 		t.Errorf("spans not returned in address order: %v", short)
 	}
 }
+
+// fusibleSumNV is fusibleSum with vector-slot roots suppressed: the
+// tiny programs here sit at address 0, where implicit vector entries
+// would top every value state and mask the fates under test.
+func fusibleSumNV(t *testing.T, src string) *Summary {
+	t.Helper()
+	sum, _ := summarizeSrc(t, src, Options{Entries: []uint16{0}, Streams: 1, NoVectors: true})
+	return sum
+}
+
+// TestFusibleSpansBridgesProvenJumps: a chain ending in a transfer the
+// analysis proves always taken may vault the dead gap to its target
+// and continue in the target's chain — and the dead gap instructions
+// do not count toward minLen.
+func TestFusibleSpansBridgesProvenJumps(t *testing.T) {
+	// BEQ after CMP of two equal constants has an always fate; the LD
+	// in the gap is dead fall-through (and would otherwise end the
+	// chain, being a bus access).
+	sum := fusibleSumNV(t, `
+main:
+    LI   R4, 3
+    LI   R5, 3
+    ADDI R0, 1
+    ADDI R1, 1
+    CMP  R4, R5
+    BEQ  over
+    LD   R3, [R7+1]
+over:
+    ADDI R0, 2
+    ADDI R1, 2
+    ADDI R2, 2
+    JMP  main
+`)
+	if f := sum.BranchFate(7); f != FateAlways { // LI is two words: BEQ sits at 7
+		t.Fatalf("BEQ fate = %v, want FateAlways", f)
+	}
+	spans := sum.FusibleSpans(12)
+	if len(spans) != 1 || spans[0] != (Span{Start: 0, End: 12}) {
+		t.Fatalf("bridged spans = %v, want one span 0..12", spans)
+	}
+	// The span covers 13 addresses but only 12 live instructions: the
+	// dead LD must not help a chain over the threshold.
+	if got := sum.FusibleSpans(13); len(got) != 0 {
+		t.Errorf("minLen=13 returned %v; gap instruction counted as live", got)
+	}
+}
+
+// TestFusibleSpansBridgesUnconditional: a forward JMP bridges like a
+// proven branch.
+func TestFusibleSpansBridgesUnconditional(t *testing.T) {
+	sum := fusibleSumNV(t, `
+main:
+    ADDI R0, 1
+    ADDI R1, 1
+    JMP  over
+    LD   R3, [R7+1]
+over:
+    ADDI R2, 1
+    ADDI R3, 1
+    JMP  main
+`)
+	spans := sum.FusibleSpans(6)
+	if len(spans) != 1 || spans[0] != (Span{Start: 0, End: 6}) {
+		t.Fatalf("bridged spans = %v, want one span 0..6", spans)
+	}
+}
+
+// TestFusibleSpansNoBridgeOnVaryingFate: an unproven conditional keeps
+// both edges live, so the non-EventFree fall-through still ends the
+// chain.
+func TestFusibleSpansNoBridgeOnVaryingFate(t *testing.T) {
+	sum := fusibleSumNV(t, `
+main:
+    CMP  R0, R1
+    ADDI R2, 1
+    ADDI R3, 1
+    BEQ  over
+    LD   R3, [R7+1]
+over:
+    ADDI R0, 2
+    ADDI R1, 2
+    ADDI R2, 2
+    JMP  main
+`)
+	if f := sum.BranchFate(3); f != FateVaries {
+		t.Fatalf("BEQ fate = %v, want FateVaries", f)
+	}
+	for _, sp := range sum.FusibleSpans(2) {
+		if sp.Start <= 4 && 4 <= sp.End {
+			t.Fatalf("span %+v covers the live bus-access block", sp)
+		}
+	}
+}

@@ -161,6 +161,23 @@ const (
 	fateAlways int8 = 1
 )
 
+// Fate is the exported view of one conditional branch's proven runtime
+// behaviour, for consumers of a Summary (fusion planners, linters). The
+// zero value is the sound default: nothing proven.
+type Fate int8
+
+const (
+	// FateNever: the condition is false on every reachable execution —
+	// the branch falls through; its taken edge is dead.
+	FateNever Fate = -1
+	// FateVaries: neither direction could be ruled out (or the address
+	// is not a reachable conditional branch).
+	FateVaries Fate = 0
+	// FateAlways: the condition holds on every reachable execution —
+	// the branch is taken; its fall-through edge is dead.
+	FateAlways Fate = 1
+)
+
 // branchFate decides a condition against the flag abstraction:
 // fateAlways / fateNever when provable, fateVaries otherwise.
 func branchFate(c isa.Cond, fl flagsAbs) int8 {

@@ -13,7 +13,8 @@
 //     EventFree bit: no bus access site, no IRQ-visible or
 //     stream-control instruction, a statically known net stack-window
 //     delta (Summary.FusibleSpans chains contiguous EventFree blocks
-//     into candidate spans);
+//     into candidate spans, and bridges chains across short
+//     proven-dead gaps behind always-taken transfers);
 //   - blockc (this package) turns those spans into core.RegionSpec
 //     proposals and asks the core to compile them;
 //   - internal/core re-qualifies every proposed instruction through
@@ -21,6 +22,33 @@
 //     state at every session entry (sole ready stream, idle bus, no
 //     dispatchable interrupt, stack-window headroom for the whole
 //     run).
+//
+// # Region forms
+//
+// A compiled region takes one of three dynamic shapes, all proposed
+// through the same RegionSpec and distinguished only by what the
+// session encounters while running:
+//
+//   - straight-line: no control transfer resolves in-session; the
+//     session runs the span top to bottom (the original §13 form);
+//   - branch-fused: in-region JMP and Bcc instructions resolve against
+//     live flags inside the session, replaying the §3.3 two-cycle
+//     branch shadow exactly; dead gap addresses carried inside a
+//     region (bridged fall-through, up to core.MaxRegionGap) are never
+//     session entry points and bail the session if control somehow
+//     reaches them;
+//   - chained: a session whose resolved branch target is the entry of
+//     another compiled region re-proves quiescence and stack-window
+//     headroom from live state and continues there without returning
+//     to the interpreter.
+//
+// A branch whose target leaves the compiled space — or whose target
+// region fails re-proof — ends the session through the §3.6.1 bail
+// path, architecturally identical to a per-cycle run. An adaptive
+// per-region gate demotes regions whose sessions chronically bail and
+// re-probes them with exponential backoff, so attaching a table never
+// makes a workload slower than the interpreter by more than the probe
+// overhead.
 //
 // The consequence is the package's central contract: a plan is a
 // performance hint, never a correctness input. A wrong or stale span

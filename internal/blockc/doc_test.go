@@ -40,6 +40,11 @@ func TestPackageDocPinsContracts(t *testing.T) {
 		"bit-identical architectural state",
 		"re-qualifies every proposed instruction",
 		"checks the live machine state at every session entry",
+		"Region forms",
+		"replaying the §3.3 two-cycle branch shadow exactly",
+		"re-proves quiescence and stack-window headroom from live state",
+		"ends the session through the §3.6.1 bail path",
+		"demotes regions whose sessions chronically bail",
 	} {
 		if !strings.Contains(flat, phrase) {
 			t.Errorf("package doc lost the phrase %q", phrase)

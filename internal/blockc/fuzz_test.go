@@ -1,0 +1,174 @@
+package blockc
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"disc/internal/analysis"
+	"disc/internal/core"
+	"disc/internal/obs"
+)
+
+// condMenu are the branch conditions the program generator draws from.
+// They span flag polarity pairs so the value pass can prove fates in
+// both directions (and fail to, for the data-dependent ones).
+var condMenu = []string{"NE", "EQ", "CS", "CC", "MI", "PL"}
+
+// genBranchy renders data as a structured single-stream program: one
+// instruction per address (no multi-word forms, so label addresses are
+// slot indices), a mix of constant-flavoured ALU ops with conditional
+// branches and short jumps to in-image labels, closed by a backward
+// JMP so the stream never halts. Returns the source and the addresses
+// of the conditional branches with their taken targets.
+func genBranchy(data []byte) (string, []condBr) {
+	n := len(data)
+	if n > 200 {
+		n = 200
+	}
+	var sb strings.Builder
+	sb.WriteString(".org 0\n")
+	var brs []condBr
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "L%d:\n", i)
+		b := data[i]
+		switch b % 8 {
+		case 0:
+			fmt.Fprintf(&sb, "\tADDI R%d, %d\n", b%4, 1+(b>>3)%7)
+		case 1:
+			fmt.Fprintf(&sb, "\tADD  R%d, R%d, R%d\n", b%4, (b>>2)%4, (b>>4)%4)
+		case 2:
+			fmt.Fprintf(&sb, "\tXOR  R%d, R%d, R%d\n", b%4, (b>>2)%4, (b>>4)%4)
+		case 3:
+			fmt.Fprintf(&sb, "\tSUBI R%d, %d\n", b%4, 1+(b>>3)%7)
+		case 4:
+			fmt.Fprintf(&sb, "\tLDI  R%d, %d\n", b%4, (b>>2)%61)
+		case 5:
+			fmt.Fprintf(&sb, "\tOR   R%d, R%d, R%d\n", b%4, (b>>2)%4, (b>>4)%4)
+		case 6:
+			// Conditional branch to a nearby label, forward or backward.
+			off := int(b>>3)%11 - 5
+			t := i + off
+			if t < 0 {
+				t = 0
+			}
+			if t > n {
+				t = n
+			}
+			cond := condMenu[int(b>>3)%len(condMenu)]
+			fmt.Fprintf(&sb, "\tB%s L%d\n", cond, t)
+			brs = append(brs, condBr{pc: uint16(i), taken: uint16(t)})
+		case 7:
+			t := i + 1 + int(b>>4)%6
+			if t > n {
+				t = n
+			}
+			fmt.Fprintf(&sb, "\tJMP  L%d\n", t)
+		}
+	}
+	fmt.Fprintf(&sb, "L%d:\n\tJMP  L0\n", n)
+	return sb.String(), brs
+}
+
+type condBr struct {
+	pc, taken uint16
+}
+
+// FuzzPlanBranches drives the planner's widened universe — fate-pinned
+// conditional branches, bridged gaps, short jumps — over generated
+// control-flow soup, and holds it to two promises:
+//
+//  1. Fate soundness by replay: every Always/Never verdict the value
+//     pass hands the planner must agree with the live machine. A plain
+//     machine runs the program under a flight recorder, and for each
+//     fate-pinned branch every recorded issue of that branch must be
+//     followed by an issue of exactly the pinned successor (taken
+//     target for Always, fall-through for Never).
+//  2. The plan stays a performance hint: a machine running the compiled
+//     plan stays bit-identical to the plain machine in cycle count,
+//     statistics, and internal memory.
+func FuzzPlanBranches(f *testing.F) {
+	f.Add([]byte{0x06, 0x20, 0x0B, 0x33, 0x46, 0x51, 0x66, 0x07, 0x18, 0x29, 0x3E, 0x4C})
+	f.Add([]byte{0x26, 0x26, 0x26, 0x00, 0x11, 0x22, 0x7F, 0x6E, 0x5D, 0x4C})
+	f.Add([]byte("branchy-program-soup"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			return
+		}
+		src, brs := genBranchy(data)
+		opts := analysis.Options{Entries: []uint16{0}, Streams: 1, NoVectors: true}
+		cfg := core.Config{Streams: 1}
+
+		plain, im := assemble(t, src, cfg)
+		sum, rep := analysis.Summarize(im, opts)
+		if rep.ErrorCount() != 0 {
+			// The generator only emits well-formed single-word code;
+			// analysis errors here mean the harness broke, not the plan.
+			t.Fatalf("analysis errors over generated program:\n%s", src)
+		}
+
+		fused, _ := assemble(t, src, cfg)
+		tbl := Compile(fused.Program(), sum)
+		fused.SetBlockTable(tbl)
+
+		rec := obs.NewRecorder(32768)
+		plain.SetRecorder(rec)
+		if err := plain.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := fused.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		const horizon = 3000
+		plain.Run(horizon)
+		fused.Run(horizon)
+
+		// Promise 2: plan equivalence.
+		if plain.Cycle() != fused.Cycle() {
+			t.Fatalf("cycle mismatch: plain=%d fused=%d", plain.Cycle(), fused.Cycle())
+		}
+		if ps, fs := plain.Stats(), fused.Stats(); !reflect.DeepEqual(ps, fs) {
+			t.Fatalf("stats diverge:\nplain: %+v\nfused: %+v", ps, fs)
+		}
+		if !reflect.DeepEqual(plain.Internal().Snapshot(), fused.Internal().Snapshot()) {
+			t.Fatalf("internal memory diverges")
+		}
+
+		// Promise 1: fate replay. The program has no bus accesses, waits,
+		// or interrupts, so stream 0's issue stream is an exact dynamic
+		// control-flow trace with no flushes to discount.
+		pinned := map[uint16]uint16{}
+		for _, br := range brs {
+			switch sum.BranchFate(br.pc) {
+			case analysis.FateAlways:
+				pinned[br.pc] = br.taken
+			case analysis.FateNever:
+				pinned[br.pc] = br.pc + 1
+			}
+		}
+		events := rec.Events()
+		for i, ev := range events {
+			if ev.Kind != obs.KindIssue || ev.Stream != 0 || ev.B != 0 {
+				continue
+			}
+			want, ok := pinned[ev.PC]
+			if !ok {
+				continue
+			}
+			for _, next := range events[i+1:] {
+				if next.Kind == obs.KindFlush && next.Stream == 0 {
+					t.Fatalf("unexpected flush in a flush-free program (cycle %d)", next.Cycle)
+				}
+				if next.Kind != obs.KindIssue || next.Stream != 0 {
+					continue
+				}
+				if next.PC != want {
+					t.Fatalf("fate-pinned branch at %#04x (cycle %d): static successor %#04x, live machine issued %#04x\n%s",
+						ev.PC, ev.Cycle, want, next.PC, src)
+				}
+				break
+			}
+		}
+	})
+}

@@ -69,6 +69,19 @@ type Quieter interface {
 	Quiet() bool
 }
 
+// CatchUpTicker is implemented by tickers that keep a cycle count (or
+// other clock-derived bookkeeping) even while quiet — fault-injection
+// wrappers timestamp their observations, for example. When the block
+// engine skips TickDevices over a fused session it calls CatchUp(n)
+// at session end so such bookkeeping lands exactly where n individual
+// Ticks would have put it; a quiet ticker without CatchUpTicker is
+// assumed to carry no clock-derived state at all (its Tick is a pure
+// no-op while quiet), which Quiet already promises.
+type CatchUpTicker interface {
+	Ticker
+	CatchUp(n uint64)
+}
+
 type mapping struct {
 	base uint16
 	size uint16
@@ -77,8 +90,9 @@ type mapping struct {
 
 // Bus is the ABI plus the address decoder for the external data space.
 type Bus struct {
-	maps    []mapping
-	tickers []Ticker // devices that keep time, in address order
+	maps     []mapping
+	tickers  []Ticker        // devices that keep time, in address order
+	catchups []CatchUpTicker // tickers with clock-derived bookkeeping
 
 	busy      bool
 	current   Request
@@ -168,12 +182,28 @@ func (b *Bus) Attach(base, size uint16, dev Device) error {
 	// keeps its deterministic sequence without re-asserting the Ticker
 	// interface on every device every cycle.
 	b.tickers = b.tickers[:0]
+	b.catchups = b.catchups[:0]
 	for _, m := range b.maps {
 		if t, ok := m.dev.(Ticker); ok {
 			b.tickers = append(b.tickers, t)
+			if c, ok := m.dev.(CatchUpTicker); ok {
+				b.catchups = append(b.catchups, c)
+			}
 		}
 	}
 	return nil
+}
+
+// CatchUp replays n skipped TickDevices calls into every ticker that
+// keeps clock-derived bookkeeping (CatchUpTicker). It is only sound
+// when every ticker was Quiet for the whole skipped span — exactly the
+// precondition Quiescent certifies and the block engine maintains —
+// because for plain quiet tickers the skipped Ticks were no-ops by
+// definition and need no replay.
+func (b *Bus) CatchUp(n uint64) {
+	for _, c := range b.catchups {
+		c.CatchUp(n)
+	}
 }
 
 // NeedsTick reports whether any attached device keeps time. A machine

@@ -390,3 +390,83 @@ func TestQuiescent(t *testing.T) {
 		t.Fatal("disarmed watchdog still not quiescent")
 	}
 }
+
+// TestQuieterRestStates pins the rest-state reporting of the devices
+// with no autonomous time behaviour — UART, GPIO, Stepper — which must
+// be unconditionally quiet in every reachable state: nothing the clock
+// does can change them, so a board carrying them must not suppress
+// fused sessions.
+func TestQuieterRestStates(t *testing.T) {
+	u := NewUART("u", 3)
+	if !u.Quiet() {
+		t.Fatal("idle UART not quiet")
+	}
+	u.Feed('x', 'y') // pending rx bytes hold still until a bus read
+	if !u.Quiet() {
+		t.Fatal("UART with queued rx not quiet (rx only drains on bus reads)")
+	}
+	u.Write(UARTData, 'z')
+	if !u.Quiet() {
+		t.Fatal("UART after tx not quiet (tx completes immediately)")
+	}
+
+	g := NewGPIO("g", 1)
+	g.Write(3, 0xBEEF)
+	if !g.Quiet() {
+		t.Fatal("latched GPIO not quiet")
+	}
+
+	s := NewStepper("s", 2)
+	s.Write(StepperCmd, 1)
+	s.Write(StepperCmd, 0xFFFF)
+	if !s.Quiet() {
+		t.Fatal("stepper between commands not quiet")
+	}
+
+	// None of the three keeps time: attaching them must not create
+	// ticker work, and the board stays quiescent throughout.
+	b := New()
+	for i, dev := range []Device{u, g, s} {
+		if err := b.Attach(0xF000+uint16(i)*16, 8, dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.NeedsTick() {
+		t.Fatal("clockless devices registered as tickers")
+	}
+	if !b.Quiescent() {
+		t.Fatal("UART+GPIO+Stepper board not quiescent")
+	}
+}
+
+// catchTicker records Tick and CatchUp calls for the Bus.CatchUp test.
+type catchTicker struct {
+	GPIO          // embedded for Device plumbing
+	ticks, caught uint64
+}
+
+func (c *catchTicker) Tick()            { c.ticks++ }
+func (c *catchTicker) CatchUp(n uint64) { c.caught += n }
+
+// TestBusCatchUp: CatchUp reaches exactly the tickers that declare
+// clock-derived bookkeeping, and reaches them with the full skipped
+// span.
+func TestBusCatchUp(t *testing.T) {
+	b := New()
+	ct := &catchTicker{GPIO: *NewGPIO("ct", 1)}
+	tm := NewTimer("t", 1, nil, 0, 4) // plain Ticker, no CatchUp
+	if err := b.Attach(0xF000, 8, ct); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(0xF010, 4, tm); err != nil {
+		t.Fatal(err)
+	}
+	b.CatchUp(123)
+	b.CatchUp(4)
+	if ct.caught != 127 {
+		t.Fatalf("catch-up ticker saw %d cycles, want 127", ct.caught)
+	}
+	if ct.ticks != 0 {
+		t.Fatal("CatchUp must not call Tick")
+	}
+}

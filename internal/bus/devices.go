@@ -208,7 +208,16 @@ func (u *UART) Feed(bs ...byte) {
 	}
 }
 
+// Quiet reports the UART's rest state: this model has no autonomous
+// time behaviour (delivery is push-model via Feed, transmit completes
+// immediately), so the clock cannot change it and it is always quiet.
+// Declaring that explicitly lets quiescence wrappers (fault injection,
+// the block engine's session-entry check) treat a board with a UART on
+// it as fusion-transparent instead of conservatively never-quiet.
+func (u *UART) Quiet() bool { return true }
+
 var _ Device = (*UART)(nil)
+var _ Quieter = (*UART)(nil)
 
 // ADC register offsets.
 const (
@@ -343,7 +352,12 @@ func (s *Stepper) Write(off uint16, v uint16) {
 // Position returns the motor position as a signed count.
 func (s *Stepper) Position() int16 { return s.pos }
 
+// Quiet reports the stepper's rest state: position only moves on bus
+// writes, never with the clock, so the port is always quiet.
+func (s *Stepper) Quiet() bool { return true }
+
 var _ Device = (*Stepper)(nil)
+var _ Quieter = (*Stepper)(nil)
 
 // GPIO is a bank of simple latched ports with negligible logic — the
 // cheapest possible external device, useful to measure pure bus cost.
@@ -361,7 +375,12 @@ func (g *GPIO) AccessCycles(_ uint16, _ bool) int { return g.waits }
 func (g *GPIO) Read(off uint16) uint16            { return g.ports[off%8] }
 func (g *GPIO) Write(off uint16, v uint16)        { g.ports[off%8] = v }
 
+// Quiet reports the latch bank's rest state: latched ports hold their
+// value until the next bus write, so the bank is always quiet.
+func (g *GPIO) Quiet() bool { return true }
+
 var _ Device = (*GPIO)(nil)
+var _ Quieter = (*GPIO)(nil)
 
 // String summarises a request for traces and error messages.
 func (r Request) String() string {

@@ -1,45 +1,78 @@
 package core
 
 // Block-compiled execution: the dynamic half of the analysis→execution
-// pipeline (DESIGN.md §13). Qualifying straight-line runs of
-// instructions are pre-compiled into fused Go closures; when the
-// machine is provably in a quiescent single-stream state, a whole run
-// executes in one dispatch — a "session" — instead of one Step call
-// per cycle, with the per-cycle machinery (readiness sweeps, scheduler
-// calls, pipe shifts, slot writes) replaced by bulk accounting that
-// lands on the exact same architectural state.
+// pipeline (DESIGN.md §13). Qualifying runs of instructions are
+// pre-compiled into fused Go closures; when the machine is provably in
+// a quiescent single-stream state, a whole run executes in one
+// dispatch — a "session" — instead of one Step call per cycle, with
+// the per-cycle machinery (readiness sweeps, scheduler calls, pipe
+// shifts, slot writes) replaced by bulk accounting that lands on the
+// exact same architectural state.
+//
+// Three region forms widen the fusible universe beyond straight lines:
+//
+//   - Straight-line runs: contiguous interleave-free instructions, the
+//     original form.
+//   - Branch-fused regions: a region may contain JMP and Bcc
+//     instructions. A fused branch issues at its exact cycle, idles
+//     the two §3.3 shadow cycles, resolves against live flags at its
+//     EX cycle, and continues at the taken or fall-through address as
+//     an intra-session jump — including backward, so a whole loop can
+//     spin inside one session. Compiled regions may also contain
+//     statically-dead gaps (addresses a proven-taken branch vaults
+//     over); a session exits to the interpreter before ever issuing a
+//     gap, so a perturbed machine that disagrees with the static fate
+//     costs a session, never correctness.
+//   - Chained sessions: when a resolved branch lands on the entry of
+//     another compiled region of the same stream, the session re-checks
+//     quiescence from the cached readiness mask and the new region's
+//     stack-window headroom from the live AWP, and on success continues
+//     there directly without returning to the interpreter.
 //
 // Cycle-exactness is preserved by construction, not by hope:
 //
 //   - A session only opens when exactly one stream is ready, the bus
-//     is idle with no tickable devices, no stall timer is live, no
-//     interrupt can vector, and the IF/RD slots hold (only) this
-//     stream's own in-region instructions. Under those preconditions
-//     the per-cycle machine would issue this stream back-to-back and
-//     nothing interleave-visible could happen — which is exactly what
-//     the fused path replays.
+//     is idle with every tickable device at rest, no stall timer is
+//     live, no interrupt can vector, and the IF/RD slots hold (only)
+//     this stream's own in-region instructions. Under those
+//     preconditions the per-cycle machine would issue this stream
+//     back-to-back and nothing interleave-visible could happen — which
+//     is exactly what the fused path replays, shadow cycles included.
 //   - Compiled ops run in EX order at their precise execute cycles
 //     (an instruction issued at cycle c executes at c+2), with m.cycle
 //     maintained per op so a mid-session bus-wait entry stamps the
 //     same request Tag the per-cycle path would.
-//   - Only instructions whose EX semantics cannot produce an
-//     interleave-visible event compile: no control flow, no stream or
-//     interrupt control, no MTS to a scheduling-visible special. Memory
-//     ops compile with a runtime internal-memory guard; the moment one
-//     goes external it performs the exact §3.6.1 wait-state entry and
-//     the session ends ("bail"), committing partial accounting.
+//   - Rest-state devices are kept cycle-exact by a tick watermark: a
+//     session skips the per-cycle TickDevices sweep (provably inert
+//     under the entry check), then replays the elided ticks in bulk
+//     through bus.CatchUp before any access and at session end, so
+//     device-internal cycle counters (fault windows, serialized state)
+//     match a per-cycle run tick for tick.
+//   - Memory ops compile with a runtime internal-memory guard; the
+//     moment one goes external it performs the exact §3.6.1 wait-state
+//     entry and the session ends ("bail"), committing partial
+//     accounting including the flush of the one younger in-flight slot.
 //   - Stack-window faults cannot fire mid-session: each region carries
-//     suffix extrema of its cumulative AWP deltas and the entry check
-//     proves the whole excursion stays inside the guard band.
-//   - On exit the at-rest pipeline is materialized exactly: the last
-//     four issued instructions occupy IF/RD/EX/WR (EX/WR already
-//     executed), or the precise post-flush shape after a bail.
+//     suffix extrema of its cumulative AWP deltas; the entry check
+//     proves the straight-line excursion and every branch resolution
+//     re-proves the continuation's excursion from the live AWP (loops
+//     revisit ops, so a one-pass bound would not cover them).
+//   - On exit the at-rest pipeline is materialized exactly: each stage
+//     holds what the per-cycle machine would have put there (an issued
+//     slot, a shadow-cycle bubble, or a pre-session prefix slot), or
+//     the precise post-flush shape after a bail.
 //
-// BuildBlockTable re-qualifies every instruction through compileOp
-// regardless of what the planner (internal/blockc) claimed, so a bogus
-// region spec can cost performance but never correctness. The table
-// records the program-store version it was built against; any
-// Load/Set afterwards invalidates it at the next session attempt.
+// An adaptive per-region gate keeps the engine never-lose: regions
+// whose sessions chronically end early (bails, failed entries) are
+// demoted to the interpreter on an EWMA quality score and re-probed
+// with exponential backoff, so a phase change re-promotes them. The
+// gate is pure counter arithmetic — deterministic and replay-safe.
+//
+// BuildBlockTable re-qualifies every instruction through the op
+// compilers regardless of what the planner (internal/blockc) claimed,
+// so a bogus region spec can cost performance but never correctness.
+// The table records the program-store version it was built against;
+// any Load/Set afterwards invalidates it at the next session attempt.
 
 import (
 	"math/bits"
@@ -51,17 +84,22 @@ import (
 	"disc/internal/stackwin"
 )
 
-// MinFuseLen is the shortest run worth fusing: a session must issue at
-// least PipeDepth instructions so the exit pipe consists entirely of
-// freshly issued in-region slots. Planners (internal/blockc) use it as
-// the minimum span length worth proposing.
+// MinFuseLen is the shortest straight-line run worth fusing: a session
+// should be able to issue at least PipeDepth instructions before
+// leaving the region. Planners (internal/blockc) use it as the minimum
+// span length worth proposing.
 const MinFuseLen = isa.PipeDepth
+
+// MaxRegionGap bounds the statically-dead instructions a region may
+// carry between live ops (the fall-through of a proven-taken branch,
+// per analysis.MaxBridgeGap). Longer dead stretches split the region.
+const MaxRegionGap = 8
 
 // RegionSpec names a candidate address range [Start, End] for block
 // compilation. Specs come from the analysis-driven planner in
-// internal/blockc (chained event-free blocks) or, in tests, from
-// whole-image ranges; BuildBlockTable re-checks every instruction
-// either way.
+// internal/blockc (chained event-free blocks, bridged across
+// proven-dead gaps) or, in tests, from whole-image ranges;
+// BuildBlockTable re-checks every instruction either way.
 type RegionSpec struct {
 	Start, End uint16
 }
@@ -72,14 +110,37 @@ type RegionSpec struct {
 // memory access), true otherwise.
 type blockOp func(m *Machine, id int, s *stream) bool
 
-// region is one compiled run of fusible instructions.
+// brSpec describes a fused control transfer at the same index of the
+// region's op array. The op itself is a no-op closure (plus any
+// stack-window adjust); the session loop owns the control decision.
+type brSpec struct {
+	valid  bool     // this index is a fused JMP/Bcc
+	uncond bool     // JMP, or Bcc with CondAL: taken unconditionally
+	cond   isa.Cond // condition, when not uncond
+	taken  uint16   // target when taken
+	fall   uint16   // fall-through address (pc+1)
+}
+
+// region is one compiled run of fusible instructions. ops[i] may be
+// nil: a statically-dead gap the planner bridged. Gap addresses are
+// not indexed (no session enters or continues at one) and a running
+// session exits before issuing one, so gaps never execute.
 type region struct {
 	start, end uint16
 	ops        []blockOp
+	brs        []brSpec
 	// cum[i] is the net AWP delta of ops[0..i]; sufMax/sufMin[i] bound
-	// cum[j] over j >= i. The session entry check uses them to prove no
-	// stack-window fault can fire mid-session.
+	// cum[j] over j >= i. Entry and branch-resolution checks use them
+	// to prove no stack-window fault can fire before the next check.
 	cum, sufMax, sufMin []int
+	// run[i] counts the consecutive straight-line ops from i: non-gap,
+	// non-branch. The session loop batches such stretches through a
+	// tight execute-only path with no per-cycle control bookkeeping.
+	run []int32
+	// flatWin: no op in the region moves the stack window (all cum
+	// zero). Branch resolutions between flat regions skip the live
+	// headroom re-proof — the entry-time bound still covers them.
+	flatWin bool
 }
 
 // BlockTable is a compiled-region table for one program image. Build
@@ -93,7 +154,8 @@ type BlockTable struct {
 
 	// Compiled counts the instructions that qualified; Regions the
 	// fused runs they formed. Skipped counts spec-covered instructions
-	// that did not qualify (region breakers and short runs).
+	// that did not qualify (region breakers and short runs); bridged
+	// gaps count as Skipped too — they are carried, not compiled.
 	Compiled int
 	Regions  int
 	Skipped  int
@@ -104,7 +166,8 @@ type BlockTable struct {
 func (t *BlockTable) Version() uint32 { return t.version }
 
 // RegionAt returns the compiled region covering pc as an address
-// range, or ok=false when pc is not inside any fused region.
+// range, or ok=false when pc is not inside any fused region (gap
+// addresses inside a region report false: nothing dispatches there).
 func (t *BlockTable) RegionAt(pc uint16) (start, end uint16, ok bool) {
 	if int(pc) >= len(t.index) || t.index[pc] == 0 {
 		return 0, 0, false
@@ -122,17 +185,137 @@ type BlockStats struct {
 	FusedInstrs uint64 // instructions issued inside sessions
 	Bails       uint64 // sessions ended early by an external access
 	Stale       uint64 // table drops due to program-store mutation
+
+	// Session-form breakdown: a session that crossed into another
+	// region is a chain session; one that resolved a fused branch but
+	// stayed in its region is a branch session; otherwise straight.
+	StraightSessions uint64
+	BranchSessions   uint64
+	ChainSessions    uint64
+	StraightCycles   uint64
+	BranchCycles     uint64
+	ChainCycles      uint64
+	BranchFuses      uint64 // fused branches resolved in-session
+	Chains           uint64 // cross-region continuations taken
+
+	// Adaptive-gate activity.
+	Demotes  uint64 // regions demoted to the interpreter
+	Promotes uint64 // demoted regions re-qualified by a probe
 }
 
 // BlockStats returns the machine's fused-session counters.
 func (m *Machine) BlockStats() BlockStats { return m.blockStats }
 
-// SetBlockTable attaches a compiled block table (nil detaches). The
-// per-cycle engines are unaffected; StepBlock, Run, RunUntilIdle and
-// RunGuarded consult the table. Reset keeps the table attached —
-// program memory survives Reset, so the compiled regions stay valid.
+// Adaptive per-region gate. Quality is the cycles a session (or failed
+// entry attempt, which scores zero) covered, EWMA-smoothed in Q4 fixed
+// point. A region whose smoothed quality sinks below gateDemoteQ4 is
+// demoted: attempts fall through to the interpreter until an
+// exponentially backed-off probe session re-measures it. All state is
+// counter-driven — no clocks, no randomness — so runs replay exactly.
+type regionGate struct {
+	score   uint32 // EWMA of session quality, Q4 fixed point
+	demoted bool
+	probeIn uint32 // demoted: attempts to skip before the next probe
+	backoff uint32 // current probe backoff, in attempts
+}
+
+const (
+	gateAlpha      = 3        // EWMA shift: score moves 1/8 per sample
+	gateScoreInit  = 256 << 4 // optimistic prior: regions start trusted
+	gateSampleCap  = 256      // one sample's maximum quality
+	gateDemoteQ4   = 24 << 4  // demote below 24 covered cycles/attempt
+	gatePromoteLen = 48       // a probe covering >= this re-promotes
+	gateBackoff0   = 16       // first re-probe distance
+	gateBackoffMax = 4096     // backoff ceiling
+	gateSkipBatch  = 64       // first probe-countdown batch per fast-out
+	gateSkipMax    = 512      // fast-out batch ceiling after escalation
+
+	// notSoleSkip0/Max bound how long the entry predicate stays quiet
+	// after a reject that no session could have survived: no stream
+	// ready, more than one ready (interleaving possible), or a sole
+	// ready stream whose PC sits in code no compiled region covers.
+	// Those states only change through bus completions, scheduler
+	// activity, or the PC leaving the uncovered stretch — and on loads
+	// that never fuse, such cycles would otherwise pay the full
+	// dispatch detour every cycle for a predicate that cannot succeed:
+	// measurably several percent of plain throughput. Consecutive
+	// rejects escalate the skip from notSoleSkip0 toward
+	// notSoleSkipMax, and any sole-ready observation inside a covered
+	// region resets it, so a three-cycle bus wait costs one predicate
+	// run and near-zero blindness while a chronically unfusible phase
+	// converges to one run per notSoleSkipMax cycles — the same
+	// steady-state cost the demoted fast-out pays (gateSkipMax).
+	// Blindness stays bounded: a session entry is missed by at most
+	// the current skip, a delay, never a wrong outcome.
+	notSoleSkip0   = 4
+	notSoleSkipMax = 256
+)
+
+// gateUpdate feeds one sample (q cycles covered; 0 for a failed entry
+// attempt) into a region's gate and applies demote/promote decisions.
+func (m *Machine) gateUpdate(g *regionGate, id int, regionPC uint16, q int, probe bool) {
+	if q > gateSampleCap {
+		q = gateSampleCap
+	}
+	g.score = uint32(int32(g.score) + ((int32(q)<<4 - int32(g.score)) >> gateAlpha))
+	if probe {
+		if q >= gatePromoteLen {
+			g.demoted = false
+			g.backoff = 0
+			g.score = uint32(q) << 4
+			m.blockStats.Promotes++
+			if m.rec != nil {
+				m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindBlockPromote,
+					Stream: int8(id), PC: regionPC})
+			}
+		} else {
+			g.backoff = g.backoff*2 + gateBackoff0
+			if g.backoff > gateBackoffMax {
+				g.backoff = gateBackoffMax
+			}
+			g.probeIn = g.backoff
+		}
+		return
+	}
+	if !g.demoted && g.score < gateDemoteQ4 {
+		g.demoted = true
+		g.backoff = g.backoff*2 + gateBackoff0
+		if g.backoff > gateBackoffMax {
+			g.backoff = gateBackoffMax
+		}
+		g.probeIn = g.backoff
+		m.blockStats.Demotes++
+		if m.rec != nil {
+			m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindBlockDemote,
+				Stream: int8(id), PC: regionPC, Aux: uint64(g.backoff)})
+		}
+	}
+}
+
+// SetBlockGate enables or disables the adaptive per-region gate
+// (enabled by default when a table is attached). Disabling it makes
+// every qualifying dispatch attempt a session — useful for measuring
+// the gate's own contribution (cmd/experiments E26).
+func (m *Machine) SetBlockGate(on bool) { m.blockGateOff = !on }
+
+// SetBlockTable attaches a compiled block table (nil detaches) and
+// resets the per-region adaptive gates. The per-cycle engines are
+// unaffected; StepBlock, Run, RunUntilIdle and RunGuarded consult the
+// table. Reset keeps the table attached — program memory survives
+// Reset, so the compiled regions stay valid — but re-arms the gates.
 func (m *Machine) SetBlockTable(t *BlockTable) {
 	m.blocks = t
+	m.blockSkip = 0
+	m.blockIdleSkip = 0
+	m.blockDemoteSkip = 0
+	if t == nil {
+		m.gates = nil
+		return
+	}
+	m.gates = make([]regionGate, len(t.regions))
+	for i := range m.gates {
+		m.gates[i] = regionGate{score: gateScoreInit}
+	}
 }
 
 // AttachedBlockTable returns the attached table, or nil. (A stale
@@ -142,10 +325,14 @@ func (m *Machine) AttachedBlockTable() *BlockTable { return m.blocks }
 
 // BuildBlockTable compiles the qualifying instructions inside specs
 // into fused regions. Every instruction is qualified individually
-// through the op compiler — the specs only bound the search — so
+// through the op compilers — the specs only bound the search — so
 // callers may pass coarse or even bogus ranges without risking
-// correctness. Runs shorter than PipeDepth instructions are not worth
-// a session and are skipped.
+// correctness. JMP and Bcc compile as fused branches; other breakers
+// (calls, returns, computed jumps, stream control, illegal words)
+// become in-region gaps when a live op precedes them within
+// MaxRegionGap addresses, and split the region otherwise. Runs with
+// fewer than MinFuseLen live instructions are not worth a session and
+// are skipped.
 func BuildBlockTable(prog *mem.Program, specs []RegionSpec) *BlockTable {
 	limit := prog.Limit()
 	t := &BlockTable{version: prog.Version(), index: make([]int32, limit)}
@@ -164,40 +351,72 @@ func BuildBlockTable(prog *mem.Program, specs []RegionSpec) *BlockTable {
 			}
 			runStart := a
 			var ops []blockOp
+			var brs []brSpec
 			var deltas []int
+			live := 0   // non-gap ops collected
+			gapRun := 0 // consecutive gaps at the current tail
 			for a <= end && t.index[a] == 0 {
 				in, meta := prog.Decoded(uint16(a))
-				if meta != 0 {
-					break // illegal word or control transfer
+				var op blockOp
+				var br brSpec
+				ok := false
+				if meta&mem.MetaIllegal == 0 {
+					if meta&mem.MetaShadow != 0 {
+						op, br, ok = compileBranch(in, uint16(a))
+					} else {
+						op, ok = compileOp(in, uint16(a))
+					}
 				}
-				op, ok := compileOp(in, uint16(a))
-				if !ok {
+				if ok {
+					if d, known := in.AWPDelta(); known {
+						ops = append(ops, op)
+						brs = append(brs, br)
+						deltas = append(deltas, d)
+						live++
+						gapRun = 0
+						a++
+						continue
+					}
+				}
+				// Region breaker: carry it as a dead gap if a live op
+				// precedes it and the gap stays short, else split here.
+				if live == 0 || gapRun == MaxRegionGap {
 					break
 				}
-				d, known := in.AWPDelta()
-				if !known {
-					break // cannot happen for compiled ops; belt and suspenders
-				}
-				ops = append(ops, op)
-				deltas = append(deltas, d)
+				ops = append(ops, nil)
+				brs = append(brs, brSpec{})
+				deltas = append(deltas, 0)
+				gapRun++
 				a++
 			}
-			if len(ops) < MinFuseLen {
-				t.Skipped += len(ops)
-				if a == runStart+uint32(len(ops)) && len(ops) == 0 {
+			// Trailing gaps carry nothing: trim them off the region.
+			for len(ops) > 0 && ops[len(ops)-1] == nil {
+				ops = ops[:len(ops)-1]
+				brs = brs[:len(brs)-1]
+				deltas = deltas[:len(deltas)-1]
+			}
+			if live < MinFuseLen {
+				t.Skipped += live
+				if a == runStart {
 					t.Skipped++
 					a++ // step over the region breaker
 				}
 				continue
 			}
-			r := region{start: uint16(runStart), end: uint16(a - 1), ops: ops}
+			t.Skipped += len(ops) - live // carried gaps
+			r := region{start: uint16(runStart), end: uint16(int(runStart) + len(ops) - 1),
+				ops: ops, brs: brs}
 			r.cum = make([]int, len(ops))
 			r.sufMax = make([]int, len(ops))
 			r.sufMin = make([]int, len(ops))
 			sum := 0
+			r.flatWin = true
 			for i, d := range deltas {
 				sum += d
 				r.cum[i] = sum
+				if d != 0 {
+					r.flatWin = false
+				}
 			}
 			mx, mn := r.cum[len(ops)-1], r.cum[len(ops)-1]
 			for i := len(ops) - 1; i >= 0; i-- {
@@ -210,12 +429,24 @@ func BuildBlockTable(prog *mem.Program, specs []RegionSpec) *BlockTable {
 				r.sufMax[i] = mx
 				r.sufMin[i] = mn
 			}
+			r.run = make([]int32, len(ops))
+			for i := len(ops) - 1; i >= 0; i-- {
+				if ops[i] == nil || brs[i].valid {
+					continue // run stays 0: a gap or a fused branch
+				}
+				r.run[i] = 1
+				if i+1 < len(ops) {
+					r.run[i] += r.run[i+1]
+				}
+			}
 			t.regions = append(t.regions, r)
-			t.Compiled += len(ops)
+			t.Compiled += live
 			t.Regions++
 			ri := int32(len(t.regions)) // index+1
-			for x := runStart; x < a; x++ {
-				t.index[x] = ri
+			for i, op := range ops {
+				if op != nil {
+					t.index[runStart+uint32(i)] = ri
+				}
 			}
 		}
 	}
@@ -228,10 +459,17 @@ func BuildBlockTable(prog *mem.Program, specs []RegionSpec) *BlockTable {
 // cycles advanced (always >= 1 for max >= 1). Callers that must
 // observe the machine at a specific future cycle — stimulus schedules,
 // lockstep comparisons — bound max accordingly; a session never
-// advances past it.
+// advances past it (a fused branch only issues when its resolution
+// also fits the budget).
 func (m *Machine) StepBlock(max int) int {
 	if m.blocks != nil {
-		if n := m.blockSession(max); n > 0 {
+		if m.blockSkip > 0 {
+			// A demoted region batch-consumed part of its probe backoff;
+			// step plainly without re-running the entry predicate. The
+			// batch is capped (gateSkipBatch) so a move into a different,
+			// promoted region is blind for a bounded stretch only.
+			m.blockSkip--
+		} else if n := m.blockSession(max); n > 0 {
 			return n
 		}
 	}
@@ -239,9 +477,42 @@ func (m *Machine) StepBlock(max int) int {
 	return 1
 }
 
+// pendEX is one in-flight compiled op awaiting its EX cycle. Two slots
+// suffice: an op issued at cycle c executes at c+2, and the session's
+// EX-before-issue ordering drains slot c&1 before reusing it.
+type pendEX struct {
+	j     int32 // region-relative op index
+	valid bool
+}
+
+// ringSlot records whether cycle c issued, and what. The last four
+// entries materialize the exit pipe and count the still-in-flight tail.
+type ringSlot struct {
+	pc    uint16
+	valid bool
+}
+
 // blockSession attempts one fused session of at most max cycles.
 // It returns 0 when the machine does not qualify (caller falls back to
 // Step) and the cycles advanced otherwise.
+// idleSkipBatch escalates the no-session-possible skip (readiness or
+// region-coverage reject) and arms StepBlock's fast path for the batch.
+// Batches at the ceiling are jittered by the cycle counter —
+// deterministic, so replay and lockstep equivalence are unaffected — to
+// keep the probe stride from phase-locking with a workload's loop
+// period: a fixed stride that divides the loop length would land every
+// probe at the same loop offset and could miss a fusible region
+// forever (observed: a power-of-two ceiling collapsed session counts
+// three orders of magnitude on the periodic Table 4.1 mixes).
+func (m *Machine) idleSkipBatch() {
+	k := m.blockIdleSkip*2 + notSoleSkip0
+	if k >= notSoleSkipMax {
+		k = notSoleSkipMax - uint32(m.cycle)&63
+	}
+	m.blockIdleSkip = k
+	m.blockSkip = k - 1
+}
+
 func (m *Machine) blockSession(max int) int {
 	t := m.blocks
 	if max < MinFuseLen || m.cfg.Reference || m.cfg.CheckReadiness || m.dbg != nil || m.profile != nil {
@@ -257,23 +528,62 @@ func (m *Machine) blockSession(max int) int {
 	// a missed session, never a wrong outcome.
 	r0 := uint32(m.ready)
 	if r0 == 0 || r0&(r0-1) != 0 {
+		m.idleSkipBatch()
 		return 0
 	}
-	if p0 := m.streams[bits.TrailingZeros32(r0)].pc; int(p0) >= len(t.index) || t.index[p0] == 0 ||
+	p0 := m.streams[bits.TrailingZeros32(r0)].pc
+	if int(p0) >= len(t.index) || t.index[p0] == 0 ||
 		int(t.regions[t.index[p0]-1].end)-int(p0)+1 < MinFuseLen {
+		// Sole-ready but executing code no compiled region covers: the
+		// same escalating batch as the not-sole-ready case, because a PC
+		// sweeping an uncovered stretch fails this lookup every cycle
+		// and the lookup itself is the dominant cost on loads that never
+		// fuse. Worst case a region entry is noticed one batch late — a
+		// missed session, never a wrong outcome.
+		m.idleSkipBatch()
 		return 0
+	}
+	m.blockIdleSkip = 0
+	// Demoted-region fast-out on the same cached lookups: a region the
+	// gate has benched must not pay the full entry predicate every
+	// dispatch — counting down to the next probe is the whole point of
+	// the backoff. (If the cached mask was stale the authoritative
+	// consult below repeats this check; pacing is heuristic either way.)
+	if !m.blockGateOff && m.gates != nil {
+		if g0 := &m.gates[t.index[p0]-1]; g0.demoted && g0.probeIn > 0 {
+			// Consume a bounded batch of the countdown and let StepBlock
+			// skip the predicate for the remainder: same attempts-per-
+			// probe pacing, a fraction of the per-dispatch cost. The
+			// batch escalates across consecutive fast-outs (reset by any
+			// session actually running) so a stable demoted phase pays
+			// one predicate run per gateSkipMax cycles while a phase
+			// change is still noticed within the current batch.
+			k := m.blockDemoteSkip*2 + gateSkipBatch
+			if k > gateSkipMax {
+				k = gateSkipMax
+			}
+			m.blockDemoteSkip = k
+			if k > g0.probeIn {
+				k = g0.probeIn
+			}
+			g0.probeIn -= k
+			m.blockSkip = k - 1
+			return 0
+		}
 	}
 	if t.version != m.prog.Version() {
 		// Image reloaded or patched: the compiled closures may describe
 		// instructions that no longer exist. Drop the table.
 		m.blocks = nil
+		m.gates = nil
 		m.blockStats.Stale++
 		return 0
 	}
 	// Time-keeping devices are fine as long as every one is provably
 	// inert: a fused session contains no bus access, and only a bus
 	// access can wake a Quiet ticker, so the skipped TickDevices calls
-	// are all no-ops (bus.Quieter).
+	// are pure counter advances — replayed in bulk via the CatchUp
+	// watermark below (bus.Quieter, bus.CatchUpTicker).
 	if m.stallMask != 0 || m.bus.Busy() || (m.bus.NeedsTick() && !m.bus.Quiescent()) {
 		return 0
 	}
@@ -308,31 +618,56 @@ func (m *Machine) blockSession(max int) int {
 	if int(p) >= len(t.index) || t.index[p] == 0 {
 		return 0
 	}
-	ri := &t.regions[t.index[p]-1]
-	k := int(ri.end) - int(p) + 1 // in-region instructions from p
+	gi := int(t.index[p]) - 1
+	ri := &t.regions[gi]
+	k := int(ri.end) - int(p) + 1 // in-region addresses ahead of p
 	if k > max {
 		k = max
 	}
 	if k < MinFuseLen {
 		return 0
 	}
+	// Adaptive gate: a demoted region falls through to the interpreter
+	// until its backoff expires, then runs one probe session. Entry
+	// failures past this point score zero — a region that cannot even
+	// be entered is not worth attempting every dispatch.
+	var g *regionGate
+	probe := false
+	if !m.blockGateOff && m.gates != nil {
+		g = &m.gates[gi]
+		if g.demoted {
+			if g.probeIn > 0 {
+				g.probeIn--
+				return 0
+			}
+			probe = true
+		}
+	}
 	// The IF/RD slots must hold this stream's own immediately-preceding
 	// in-region instructions (the usual back-to-back shape) or nothing.
 	// Any other content — another stream's instruction, an interrupt
 	// entry micro-op, an out-of-region fetch — executes per-cycle.
+	// Index equality (not an address-range check) keeps gap slots out:
+	// a gap address indexes 0 and can never match p's region.
 	u1S, u2S := *m.stage(0), *m.stage(1)
 	if u1S.valid && (u1S.kind != kindInstr || int(u1S.stream) != id ||
-		u1S.pc != p-1 || u1S.pc < ri.start || u1S.pc > ri.end) {
+		u1S.pc != p-1 || int(u1S.pc) >= len(t.index) || t.index[u1S.pc] != t.index[p]) {
+		if g != nil {
+			m.gateUpdate(g, id, ri.start, 0, probe)
+		}
 		return 0
 	}
 	if u2S.valid && (!u1S.valid || u2S.kind != kindInstr || int(u2S.stream) != id ||
-		u2S.pc != p-2 || u2S.pc < ri.start || u2S.pc > ri.end) {
+		u2S.pc != p-2 || int(u2S.pc) >= len(t.index) || t.index[u2S.pc] != t.index[p]) {
+		if g != nil {
+			m.gateUpdate(g, id, ri.start, 0, probe)
+		}
 		return 0
 	}
-	// Stack-window headroom: prove the whole session's AWP excursion
-	// stays strictly inside the guard band, so no overflow/underflow
-	// interrupt can fire mid-session. The suffix extrema run to the
-	// region end — conservative for budget-capped sessions, but sound.
+	// Stack-window headroom: prove the straight-line AWP excursion from
+	// here to the region end stays strictly inside the guard band, so
+	// no overflow/underflow interrupt can fire before the next check
+	// (every branch resolution re-proves its continuation).
 	j0 := int(p) - int(ri.start)
 	if u1S.valid {
 		j0--
@@ -347,66 +682,313 @@ func (m *Machine) blockSession(max int) int {
 	live := s.win.Live()
 	if live+ri.sufMax[j0]-base > s.win.Depth()-isa.WindowSize ||
 		live+ri.sufMin[j0]-base < isa.WindowSize {
+		if g != nil {
+			m.gateUpdate(g, id, ri.start, 0, probe)
+		}
 		return 0
 	}
 
 	// --- Qualified: run the fused session. ---
+	m.blockDemoteSkip = 0
 	exS, wrS := *m.stage(2), *m.stage(3)
 	entry := m.cycle
-	start := int(ri.start)
+	budget := entry + uint64(max)
+	m.blockTickBase = entry
+	entryStart := ri.start
 	if m.rec != nil {
 		m.rec.Emit(obs.Event{Cycle: entry + 1, Kind: obs.KindBlockEnter,
 			Stream: int8(id), PC: p})
 	}
-	// Execute in EX order at exact execute cycles: the pending RD/IF
-	// prefix first (issued before the session; they execute at entry+1
-	// and entry+2), then the session's own issues (address a executes
-	// at entry+(a-p)+3). A false return is the bail: the op performed
-	// the §3.6.1 wait entry at the current m.cycle and the session
-	// stops with partial accounting.
+
+	// The chronological loop replays the per-cycle machine's order —
+	// top-of-cycle exit decisions, then EX, then issue — one cycle per
+	// iteration, touching only session-local state plus the ops' own
+	// architectural effects. pend carries issued ops to their EX cycle
+	// (+2); ring remembers the last four cycles' issues for the exit
+	// pipe; nextIssue pauses the cursor across a fused branch's two
+	// shadow cycles; scheduler advances batch into maximal sole/idle
+	// runs (the cursor census is order-dependent, so runs must be
+	// applied chronologically).
+	reg := ri
+	flatSession := ri.flatWin
+	issueJ := int(p) - int(reg.start)
+	nextIssue := entry + 1
+	var pend [2]pendEX
+	var ring [4]ringSlot
+	var issues, idleStat int
+	var soleRun, idleRun int
+	var brFusesN, chainsN uint64
 	bail := false
-	if u2S.valid {
-		m.cycle = entry + 1
-		bail = !ri.ops[int(u2S.pc)-start](m, id, s)
-	}
-	if !bail && u1S.valid {
-		m.cycle = entry + 2
-		bail = !ri.ops[int(u1S.pc)-start](m, id, s)
-	}
-	if !bail {
-		for a := int(p); a <= int(p)+k-3; a++ {
-			m.cycle = entry + uint64(a-int(p)) + 3
-			if !ri.ops[a-start](m, id, s) {
-				bail = true
-				break
-			}
+	exitPC := p
+	X := entry
+
+	flushSole := func() {
+		if soleRun > 0 {
+			m.sch.AdvanceSole(id, soleRun)
+			soleRun = 0
 		}
 	}
-	n := int(m.cycle - entry) // cycles covered: bail cycle included
-	if !bail {
-		n = k
-		m.cycle = entry + uint64(k)
+	flushIdle := func() {
+		if idleRun > 0 {
+			m.sch.AdvanceIdle(idleRun)
+			idleRun = 0
+		}
 	}
 
-	// --- Bulk accounting: exactly what n per-cycle Steps would do. ---
-	issues := n
-	if bail {
-		issues = n - 1 // the bail cycle loses its issue slot
-		m.stats.IdleCycles++
+	// Pending RD/IF prefix ops issued before the session execute at
+	// entry+1 and entry+2 — seeded into pend like in-session issues.
+	if u2S.valid {
+		pend[(entry+1)&1] = pendEX{j: int32(u2S.pc) - int32(reg.start), valid: true}
 	}
+	if u1S.valid {
+		pend[(entry+2)&1] = pendEX{j: int32(u1S.pc) - int32(reg.start), valid: true}
+	}
+
+	for c := entry + 1; ; c++ {
+		// Top-of-cycle exit decisions, before any state moves for c.
+		if c > budget {
+			X = c - 1
+			exitPC = reg.start + uint16(issueJ)
+			break
+		}
+		if c >= nextIssue {
+			if issueJ >= len(reg.ops) || reg.ops[issueJ] == nil {
+				// Cursor ran off the region or onto a dead gap: exit
+				// cleanly with the pipe full of issued work.
+				X = c - 1
+				exitPC = reg.start + uint16(issueJ)
+				break
+			}
+			if reg.brs[issueJ].valid && c+2 > budget {
+				// The branch could not resolve inside the budget; the
+				// interpreter issues it instead.
+				X = c - 1
+				exitPC = reg.start + uint16(issueJ)
+				break
+			}
+			// Straight-stretch fast path: a run of L gap-free, branch-free
+			// ops issues one per cycle with nothing to decide until the
+			// stretch ends, so the per-cycle bookkeeping above collapses
+			// to the ops' own EX calls. Whenever c >= nextIssue, pend
+			// cannot hold an unresolved branch (a fused branch is always
+			// consumed during its own shadow, when c < nextIssue), so EX
+			// here never needs the resolution logic.
+			if L := int(reg.run[issueJ]); L >= 4 {
+				if rem := int(budget - c + 1); L > rem {
+					L = rem
+				}
+				if L >= 4 {
+					j0 := issueJ
+					cEnd := c + uint64(L) - 1
+					bailAt := uint64(0)
+					// Header cycles c and c+1 drain whatever was in
+					// flight at stretch entry (prefix ops, or the tail of
+					// an earlier stretch).
+					for q := uint64(0); q < 2; q++ {
+						if e := pend[(c+q)&1]; e.valid {
+							pend[(c+q)&1].valid = false
+							m.cycle = c + q
+							if !reg.ops[e.j](m, id, s) {
+								bailAt = c + q
+								break
+							}
+						}
+					}
+					// Body: cycle c+i executes the op issued at c+i-2. The
+					// subslice drops the per-op bounds check from the
+					// hottest loop in the engine.
+					if bailAt == 0 {
+						m.cycle = c + 1
+						for i, op := range reg.ops[j0 : j0+L-2] {
+							m.cycle++
+							if !op(m, id, s) {
+								bailAt = c + uint64(i) + 2
+								break
+							}
+						}
+					}
+					if bailAt != 0 {
+						// Reconstruct exactly the generic loop's state at
+						// an EX bail in cycle bailAt: cycles c..bailAt-1
+						// issued ops j0.. in order; bailAt's issue never
+						// ran. Ring entries older than c are still valid
+						// from the generic path.
+						did := int(bailAt - c)
+						issues += did
+						soleRun += did
+						for d := uint64(0); d < 4; d++ {
+							cc := int64(bailAt) - 1 - int64(d)
+							if cc < int64(c) {
+								break
+							}
+							ring[cc&3] = ringSlot{
+								pc:    reg.start + uint16(j0+int(cc-int64(c))),
+								valid: true,
+							}
+						}
+						issueJ = j0 + did
+						bail = true
+						X = bailAt
+						break
+					}
+					// Stretch complete: cycles c..cEnd all issued; the two
+					// youngest ops are still in flight toward EX.
+					issues += L
+					flushIdle()
+					soleRun += L
+					for d := uint64(0); d < 4 && d < uint64(L); d++ {
+						cc := cEnd - d
+						ring[cc&3] = ringSlot{
+							pc:    reg.start + uint16(j0+int(cc-c)),
+							valid: true,
+						}
+					}
+					pend[(cEnd+1)&1] = pendEX{j: int32(j0 + L - 2), valid: true}
+					pend[(cEnd+2)&1] = pendEX{j: int32(j0 + L - 1), valid: true}
+					issueJ = j0 + L
+					c = cEnd
+					continue
+				}
+			}
+		}
+		// EX: the op issued at c-2, if any. Clearing the slot matters —
+		// an idle issue phase below must not leave it to re-fire at c+2.
+		if e := pend[c&1]; e.valid {
+			pend[c&1].valid = false
+			m.cycle = c
+			j := int(e.j)
+			if !reg.ops[j](m, id, s) {
+				bail = true
+				X = c
+				break
+			}
+			if br := &reg.brs[j]; br.valid {
+				brFusesN++
+				contPC := br.fall
+				if br.uncond || condTrue(br.cond, s.flags) {
+					contPC = br.taken
+				}
+				// Continue (or chain) only when the target is a live
+				// compiled address, quiescence still holds, and the
+				// continuation's stack-window excursion re-proves from
+				// the live AWP (a loop may revisit adjusting ops, so
+				// the entry-time bound does not cover it).
+				ok := int(contPC) < len(t.index) && t.index[contPC] != 0 &&
+					uint32(m.ready) == r
+				var nr *region
+				jT := 0
+				if ok {
+					nr = &t.regions[t.index[contPC]-1]
+					jT = int(contPC) - int(nr.start)
+					// A session that has only ever run flat regions holds
+					// the live count the entry check proved in-band; a
+					// flat continuation cannot move it, so the re-proof is
+					// the entry proof. Anything else re-proves live.
+					if !(flatSession && nr.flatWin) {
+						flatSession = false
+						baseT := 0
+						if jT > 0 {
+							baseT = nr.cum[jT-1]
+						}
+						lv := s.win.Live()
+						if lv+nr.sufMax[jT]-baseT > s.win.Depth()-isa.WindowSize ||
+							lv+nr.sufMin[jT]-baseT < isa.WindowSize {
+							ok = false
+						}
+					}
+				}
+				if !ok {
+					// Control leaves the compiled space: exit. Cycle c
+					// is one of the branch's shadow cycles — idle.
+					ring[c&3].valid = false
+					flushSole()
+					idleRun++
+					idleStat++
+					X = c
+					exitPC = contPC
+					break
+				}
+				if nr != reg {
+					chainsN++
+					if m.rec != nil {
+						m.rec.Emit(obs.Event{Cycle: c, Kind: obs.KindBlockChain,
+							Stream: int8(id), PC: contPC, Aux: c - entry})
+					}
+					reg = nr
+				}
+				issueJ = jT
+			}
+		}
+		// Issue: a sole-ready pick, or a branch-shadow idle cycle.
+		if c < nextIssue {
+			ring[c&3].valid = false
+			flushSole()
+			idleRun++
+			idleStat++
+			continue
+		}
+		ring[c&3] = ringSlot{pc: reg.start + uint16(issueJ), valid: true}
+		pend[c&1] = pendEX{j: int32(issueJ), valid: true}
+		issues++
+		flushIdle()
+		soleRun++
+		if reg.brs[issueJ].valid {
+			// The §3.3 shadow: the two cycles behind a control transfer
+			// cannot issue; the continuation issues at c+3 with the
+			// cursor parked until the EX above resolves it.
+			nextIssue = c + 3
+		} else {
+			issueJ++
+		}
+	}
+	n := int(X - entry)
+
+	// --- Bulk accounting: exactly what n per-cycle Steps would do. ---
+	if bail {
+		// The bail cycle X never reached its issue phase. Its scheduler
+		// view depends on the latched mask: a shadow cycle latched zero
+		// (idle pick), any other latched the sole stream — the pick
+		// lands but the issue fails against the just-cleared ready bit,
+		// exactly the per-cycle wait-entry shape.
+		ring[X&3].valid = false
+		if X < nextIssue {
+			flushSole()
+			idleRun++
+		} else {
+			flushIdle()
+			soleRun++
+		}
+		idleStat++
+	}
+	flushSole()
+	flushIdle()
+	m.cycle = X
 	s.issued += uint64(issues)
 	m.stats.Issued += uint64(issues)
 	m.seq += uint64(issues)
-	// The scheduler saw a sole-ready stream every session cycle,
-	// including the bail cycle (readiness is latched at cycle top).
-	m.sch.AdvanceSole(id, n)
+	m.stats.IdleCycles += uint64(idleStat)
 	m.blockStats.Sessions++
 	m.blockStats.FusedCycles += uint64(n)
 	m.blockStats.FusedInstrs += uint64(issues)
+	m.blockStats.BranchFuses += brFusesN
+	m.blockStats.Chains += chainsN
+	switch {
+	case chainsN > 0:
+		m.blockStats.ChainSessions++
+		m.blockStats.ChainCycles += uint64(n)
+	case brFusesN > 0:
+		m.blockStats.BranchSessions++
+		m.blockStats.BranchCycles += uint64(n)
+	default:
+		m.blockStats.StraightSessions++
+		m.blockStats.StraightCycles += uint64(n)
+	}
 
 	// Retires: cycle entry+j retires what sat j stages from WR at
 	// entry — the initial WR and EX slots (any stream), the prefix
-	// slots, then the session's own issues.
+	// slots, then the session's own issues. An in-session issue retires
+	// unless it is still in flight at X (the last <= 4 cycles' issues;
+	// a bail's flushed slot sits there too and equally did not retire).
 	if wrS.valid {
 		m.streams[wrS.stream].retired++
 		m.stats.Retired++
@@ -415,61 +997,79 @@ func (m *Machine) blockSession(max int) int {
 		m.streams[exS.stream].retired++
 		m.stats.Retired++
 	}
-	sret := 0
 	if n >= 3 && u2S.valid {
-		sret++
+		s.retired++
+		m.stats.Retired++
 	}
 	if n >= 4 && u1S.valid {
-		sret++
+		s.retired++
+		m.stats.Retired++
 	}
-	if n >= 5 {
-		sret += n - 4
+	notRet := 0
+	for d := 0; d < 4; d++ {
+		cc := int64(X) - int64(d)
+		if cc <= int64(entry) {
+			break
+		}
+		if ring[cc&3].valid {
+			notRet++
+		}
 	}
+	sret := issues - notRet
 	s.retired += uint64(sret)
 	m.stats.Retired += uint64(sret)
 
-	// Materialize the at-rest pipe after n shifts.
+	// Materialize the at-rest pipe after n shifts: stage j holds what
+	// cycle X-j put there — an in-session issue (or a shadow/idle
+	// bubble), or one of the pre-session prefix slots.
 	m.pipeBase = uint8((int(m.pipeBase) + (isa.PipeDepth-1)*n) & (isa.PipeDepth - 1))
+	slotAt := func(cc int64) slot {
+		switch {
+		case cc > int64(entry):
+			if re := ring[cc&3]; re.valid {
+				return m.freshSlot(id, re.pc)
+			}
+			return slot{}
+		case cc == int64(entry):
+			return u1S
+		case cc == int64(entry)-1:
+			return u2S
+		case cc == int64(entry)-2:
+			return exS
+		default:
+			return wrS
+		}
+	}
 	if !bail {
-		b := int(p) + k - 1 // last issued address
-		s.pc = uint16(b + 1)
-		*m.stage(0) = m.freshSlot(id, uint16(b))
-		*m.stage(1) = m.freshSlot(id, uint16(b-1))
-		*m.stage(2) = m.freshSlot(id, uint16(b-2)) // executed in-session
-		*m.stage(3) = m.freshSlot(id, uint16(b-3)) // executed in-session
+		s.pc = exitPC
+		*m.stage(0) = slotAt(int64(X))
+		*m.stage(1) = slotAt(int64(X) - 1)
+		*m.stage(2) = slotAt(int64(X) - 2)
+		*m.stage(3) = slotAt(int64(X) - 3)
 	} else {
-		// The bailing access at address q executed at cycle entry+n and
-		// sits at EX; WR holds its predecessor; the flush rule emptied
-		// IF and RD; the stream PC was set to q+1 by the wait entry.
-		q := int(p) + n - 3
+		// The bailing access executed at X from EX; WR holds its
+		// predecessor; the §4.1 flush rule squashed the one younger
+		// in-flight slot (when a slot was in flight — the cycle before
+		// a bail can also be a shadow bubble); the wait entry already
+		// advanced the stream PC past the access.
 		*m.stage(0) = slot{}
 		*m.stage(1) = slot{}
-		switch {
-		case q >= int(p):
-			*m.stage(2) = m.freshSlot(id, uint16(q))
-		case q == int(p)-1:
-			*m.stage(2) = u1S
-		default: // q == p-2
-			*m.stage(2) = u2S
-		}
-		switch {
-		case q >= int(p)+1:
-			*m.stage(3) = m.freshSlot(id, uint16(q-1))
-		case q == int(p):
-			*m.stage(3) = u1S
-		case q == int(p)-1:
-			*m.stage(3) = u2S
-		default: // q == p-2
-			*m.stage(3) = exS
-		}
-		// Exactly one younger slot is flushed by the wait entry: the
-		// just-issued successor (n >= 2), or the pending IF prefix slot
-		// when the very first prefix op bailed.
-		if n >= 2 || u1S.valid {
+		*m.stage(2) = slotAt(int64(X) - 2)
+		*m.stage(3) = slotAt(int64(X) - 3)
+		if young := slotAt(int64(X) - 1); young.valid {
 			s.flushed++
 			m.stats.Flushed++
 		}
 		m.blockStats.Bails++
+	}
+
+	// Rest-state devices: replay the elided per-cycle ticks so device
+	// counters match a stepped run (a bail already caught up through X
+	// inside blockBusEnter and moved the watermark).
+	if m.bus.NeedsTick() {
+		if d := X - m.blockTickBase; d > 0 {
+			m.bus.CatchUp(d)
+		}
 	}
 
 	if m.rec != nil {
@@ -494,57 +1094,71 @@ func (m *Machine) blockSession(max int) int {
 			m.rec.Emit(obs.Event{Cycle: entry + 4, Kind: obs.KindRetire,
 				Stream: int8(id), PC: u1S.pc})
 		}
-		if bail && n == 1 && u1S.valid {
-			m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindFlush,
+		if bail && X == entry+1 && u1S.valid {
+			m.rec.Emit(obs.Event{Cycle: X, Kind: obs.KindFlush,
 				Stream: int8(id), PC: u1S.pc})
 		}
 		// Session-issued instructions still in the pipe at exit retire
 		// (or flush) later under per-cycle stepping, so they need open
-		// issue events at their true issue cycles — address a issued at
-		// entry+(a-p)+1 — or the trace reconstruction would mismatch
-		// them against younger instructions.
-		emitOpen := func(a int) {
-			m.rec.Emit(obs.Event{Cycle: entry + uint64(a-int(p)) + 1,
-				Kind: obs.KindIssue, Stream: int8(id), PC: uint16(a)})
+		// issue events at their true issue cycles — ascending — or the
+		// trace reconstruction would mismatch them against younger
+		// instructions. A bail's flushed slot (X-1) and the bail cycle
+		// itself issued nothing that survives.
+		lo := int64(entry) + 1
+		if v := int64(X) - 3; v > lo {
+			lo = v
 		}
-		if !bail {
-			for a := int(p) + k - 4; a <= int(p)+k-1; a++ {
-				emitOpen(a)
-			}
-		} else {
-			if q := int(p) + n - 3; q >= int(p)+1 {
-				emitOpen(q - 1)
-				emitOpen(q)
-			} else if q == int(p) {
-				emitOpen(q)
+		hi := int64(X)
+		if bail {
+			hi = int64(X) - 2
+		}
+		for cc := lo; cc <= hi; cc++ {
+			if re := ring[cc&3]; re.valid {
+				m.rec.Emit(obs.Event{Cycle: uint64(cc), Kind: obs.KindIssue,
+					Stream: int8(id), PC: re.pc})
 			}
 		}
 		bailFlag := uint8(0)
 		if bail {
 			bailFlag = 1
 		}
-		m.rec.Emit(obs.Event{Cycle: m.cycle, Kind: obs.KindBlockExit,
+		m.rec.Emit(obs.Event{Cycle: X, Kind: obs.KindBlockExit,
 			Stream: int8(id), PC: s.pc, Aux: uint64(n), Data: uint16(issues), B: bailFlag})
+	}
+	if g != nil {
+		m.gateUpdate(g, id, entryStart, n, probe)
 	}
 	return n
 }
 
-// freshSlot builds the pipe slot an in-session issue of pc produced:
-// a plain predecoded instruction of stream id (compiled regions hold
-// no control transfers, so shadow is always clear).
+// freshSlot builds the pipe slot an in-session issue of pc produced: a
+// predecoded instruction of stream id. A fused branch materialized in
+// the exit pipe carries its shadow mark, but only ever at EX/WR —
+// already resolved, so the stream's branchShadow stays net zero.
 func (m *Machine) freshSlot(id int, pc uint16) slot {
-	in, _ := m.prog.Decoded(pc)
-	return slot{instr: in, valid: true, stream: uint8(id), pc: pc}
+	in, meta := m.prog.Decoded(pc)
+	return slot{instr: in, valid: true, stream: uint8(id), pc: pc,
+		shadow: meta&mem.MetaShadow != 0}
 }
 
 // blockBusEnter performs the §3.6.1 wait-state entry for a compiled
-// memory op whose effective address went external: post the access,
-// block the stream, and advance its PC past the instruction (the
-// access completes asynchronously; flushed successors re-fetch from
-// there). The bus is never busy mid-session — the session's first
-// external access is also its last — so the busy-retry path cannot
-// occur. The caller commits flush and idle-slot accounting.
+// memory op whose effective address went external: catch the rest-state
+// devices up to now, post the access, block the stream, and advance its
+// PC past the instruction (the access completes asynchronously; flushed
+// successors re-fetch from there). The bus is never busy mid-session —
+// the session's first external access is also its last — so the
+// busy-retry path cannot occur. The caller commits flush and idle-slot
+// accounting.
 func (m *Machine) blockBusEnter(id int, s *stream, pc, ea uint16, write bool, data uint16, dest isa.Reg) {
+	if m.bus.NeedsTick() {
+		// The per-cycle path ticks devices at the top of every cycle,
+		// before EX posts the request; replay the session's elided
+		// ticks so the device sees the same age it would have.
+		if d := m.cycle - m.blockTickBase; d > 0 {
+			m.bus.CatchUp(d)
+			m.blockTickBase = m.cycle
+		}
+	}
 	m.bus.Start(bus.Request{
 		Stream: id,
 		Write:  write,
@@ -569,16 +1183,37 @@ func (m *Machine) blockBusEnter(id int, s *stream, pc, ea uint16, write bool, da
 	m.refreshReady(id)
 }
 
+// compileBranch compiles a control transfer into a fused-branch op, or
+// reports ok=false for the transfer kinds the session loop cannot own:
+// computed targets (JR, CALR, MTS PC), window-moving calls and returns,
+// and interrupt returns. JMP and Bcc qualify — their EX effect is the
+// control decision itself (plus any stack-window adjust), which the
+// session resolves against live flags at the exact EX cycle.
+func compileBranch(in isa.Instruction, pc uint16) (blockOp, brSpec, bool) {
+	var br brSpec
+	switch in.Op {
+	case isa.OpJMP:
+		br = brSpec{valid: true, uncond: true, taken: uint16(in.Imm), fall: pc + 1}
+	case isa.OpBcc:
+		br = brSpec{valid: true, uncond: in.Cond == isa.CondAL, cond: in.Cond,
+			taken: pc + 1 + uint16(in.Imm), fall: pc + 1}
+	default:
+		return nil, brSpec{}, false
+	}
+	op := blockOp(func(m *Machine, id int, s *stream) bool { return true })
+	return wrapSW(in, op), br, true
+}
+
 // compileOp compiles one instruction into a fused closure, or reports
 // ok=false for a region breaker. The qualification rule is semantic:
 // an instruction compiles exactly when its EX semantics cannot produce
-// an interleave-visible event — no control transfer (pipeline shadow),
-// no stream/interrupt control (scheduling visibility), no write to a
-// scheduling-visible special register. Memory ops compile with a
-// runtime internal-memory guard and end the session on an external
-// access; LDM/STM with a provably-external static address never
-// compile. Stack-window adjust fields compile freely — the session
-// entry headroom check proves they cannot fault.
+// an interleave-visible event — no stream/interrupt control
+// (scheduling visibility), no write to a scheduling-visible special
+// register. Control transfers go through compileBranch. Memory ops
+// compile with a runtime internal-memory guard and end the session on
+// an external access; LDM/STM with a provably-external static address
+// never compile. Stack-window adjust fields compile freely — the
+// session headroom checks prove they cannot fault.
 //
 // Every closure replicates the corresponding execute() case exactly,
 // including flag algebra and write ordering; equiv_test.go and
@@ -903,30 +1538,32 @@ func compileOp(in isa.Instruction, pc uint16) (blockOp, bool) {
 		}
 
 	default:
-		// Control flow, HALT, WAITI, SSTART, SIGNAL, CLRI, SETMR:
-		// interleave-visible by definition.
+		// HALT, WAITI, SSTART, SIGNAL, CLRI, SETMR, and the transfer
+		// kinds compileBranch rejects: interleave-visible by definition.
 		return nil, false
 	}
+	return wrapSW(in, op), true
+}
 
-	// Post-instruction stack-window adjust (§3.5). The entry headroom
-	// check proves the adjust cannot fault; the assertion turns an
-	// engine bug into a loud panic instead of a silent divergence. The
-	// adjust runs even when the base op bailed — the per-cycle execute
-	// path applies SW after a wait-state entry too (the instruction
-	// completed; only its successors were flushed).
-	if in.SW != isa.SWNone {
-		d := 1
-		if in.SW == isa.SWDec {
-			d = -1
-		}
-		inner := op
-		op = func(m *Machine, id int, s *stream) bool {
-			r := inner(m, id, s)
-			if ev := s.win.Adjust(d); ev != stackwin.EventNone {
-				panic("core: stack-window fault inside a fused block session (headroom check bug)")
-			}
-			return r
-		}
+// wrapSW appends an instruction's post-op stack-window adjust (§3.5).
+// The session headroom checks prove the adjust cannot fault; the
+// assertion turns an engine bug into a loud panic instead of a silent
+// divergence. The adjust runs even when the base op bailed — the
+// per-cycle execute path applies SW after a wait-state entry too (the
+// instruction completed; only its successors were flushed).
+func wrapSW(in isa.Instruction, op blockOp) blockOp {
+	if in.SW == isa.SWNone {
+		return op
 	}
-	return op, true
+	d := 1
+	if in.SW == isa.SWDec {
+		d = -1
+	}
+	return func(m *Machine, id int, s *stream) bool {
+		r := op(m, id, s)
+		if ev := s.win.Adjust(d); ev != stackwin.EventNone {
+			panic("core: stack-window fault inside a fused block session (headroom check bug)")
+		}
+		return r
+	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -367,10 +368,22 @@ func TestBlockEquivRunHelpers(t *testing.T) {
 	}
 }
 
-// TestBuildBlockTable covers the compiler's region extraction: control
-// transfers and other unfusible instructions break regions, short runs
-// are skipped, and the index maps addresses to their regions.
+// TestBuildBlockTable covers the compiler's region extraction: JMP and
+// Bcc compile into regions as fused branches, unfusible instructions
+// become carried gaps (unindexed, never issued) when short and split
+// the region when a dead stretch exceeds MaxRegionGap, short runs are
+// skipped, and the index maps live addresses to their regions.
 func TestBuildBlockTable(t *testing.T) {
+	// Layout (addresses):
+	//   0-3  ALU          (live)
+	//   4    JMP over     (fused branch)
+	//   5    HALT         (dead gap, carried in-region)
+	//   6-8  ALU          (live)
+	//   9    BNE main     (fused branch)
+	//   10-11 ALU         (live)
+	//   12-20 HALT x9     (> MaxRegionGap: splits the region)
+	//   21-22 ALU         (short run: skipped)
+	//   23   HALT
 	src := `
 		.org 0
 	main:
@@ -378,42 +391,304 @@ func TestBuildBlockTable(t *testing.T) {
 		ADD  R1, R0, R0
 		XOR  R2, R1, R0
 		SUB  R3, R1, R2
-		JMP  next
-		ADDI R4, 1
-		ADDI R4, 2
-		JMP  main
-	next:
+		JMP  over
+		HALT
+	over:
 		OR   R5, R3, R0
 		AND  R6, R5, R1
 		NOT  R7, R6
+		BNE  main
 		NEG  R0, R7
 		SWP  R1, R2
+		HALT
+		HALT
+		HALT
+		HALT
+		HALT
+		HALT
+		HALT
+		HALT
+		HALT
+		ADDI R4, 1
+		ADDI R4, 2
 		HALT
 	`
 	m := MustNew(Config{Streams: 1})
 	load(t, m, src)
 	tab := wholeImageTable(m)
-	if tab.Regions != 2 {
-		t.Fatalf("expected 2 regions, got %d (compiled=%d skipped=%d)", tab.Regions, tab.Compiled, tab.Skipped)
+	if tab.Regions != 1 {
+		t.Fatalf("expected 1 region, got %d (compiled=%d skipped=%d)", tab.Regions, tab.Compiled, tab.Skipped)
 	}
-	if tab.Compiled != 9 {
-		t.Fatalf("expected 9 compiled instructions, got %d", tab.Compiled)
+	if tab.Compiled != 11 {
+		t.Fatalf("expected 11 compiled instructions, got %d", tab.Compiled)
 	}
-	if s, e, ok := tab.RegionAt(0); !ok || s != 0 || e != 3 {
+	if s, e, ok := tab.RegionAt(0); !ok || s != 0 || e != 11 {
 		t.Fatalf("region at 0: (%d,%d,%v)", s, e, ok)
 	}
-	if s, e, ok := tab.RegionAt(8); !ok || s != 8 || e != 12 {
-		t.Fatalf("region at 8: (%d,%d,%v)", s, e, ok)
+	if _, _, ok := tab.RegionAt(4); !ok {
+		t.Fatal("JMP did not compile as a fused branch")
 	}
-	if _, _, ok := tab.RegionAt(4); ok {
-		t.Fatal("JMP compiled into a region")
+	if _, _, ok := tab.RegionAt(9); !ok {
+		t.Fatal("Bcc did not compile as a fused branch")
 	}
 	if _, _, ok := tab.RegionAt(5); ok {
-		t.Fatal("2-instruction run between transfers fused below MinFuseLen")
+		t.Fatal("dead gap address indexed: a session could enter or chain onto it")
+	}
+	if _, _, ok := tab.RegionAt(14); ok {
+		t.Fatal("over-long dead stretch compiled instead of splitting the region")
+	}
+	if _, _, ok := tab.RegionAt(21); ok {
+		t.Fatal("2-instruction run fused below MinFuseLen")
 	}
 	if tab.Version() != m.Program().Version() {
 		t.Fatal("table version does not match the program store")
 	}
+}
+
+// TestBlockEquivBranchLoop: nested counting loops whose conditional
+// branches resolve both ways inside one compiled region. Fused
+// branches must replay the §3.3 shadow (two idle cycles, continuation
+// at +3) bit-exactly, including the not-taken fall-through and the
+// final exit to HALT, which sits in the region as a dead gap.
+func TestBlockEquivBranchLoop(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		LDI  R0, 0
+		LDI  R1, 25
+	outer:
+		LDI  R2, 5
+	inner:
+		ADDI R0, 1
+		SUBI R2, 1
+		BNE  inner
+		ADD  R3, R0, R1
+		XOR  R4, R3, R0
+		SUBI R1, 1
+		BNE  outer
+		HALT
+	`
+	fast, ref, blk := triple(t, Config{Streams: 1}, func(m *Machine) {
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	lockstep3(t, fast, ref, blk, 2000, nil)
+	bs := blk.BlockStats()
+	if bs.BranchFuses == 0 {
+		t.Fatal("no fused branches resolved in a branch-dense loop")
+	}
+	if bs.BranchSessions == 0 && bs.ChainSessions == 0 {
+		t.Fatal("every session was straight-line despite in-region branches")
+	}
+	if bs.Bails != 0 {
+		t.Fatalf("%d bails without any external access", bs.Bails)
+	}
+}
+
+// TestBlockEquivChainedRegions: two compiled regions, each ending in a
+// JMP to the other, separated by a dead stretch too long to carry as a
+// gap. Sessions must chain across the region boundary — continuing in
+// the new region without returning to the interpreter — after
+// re-proving quiescence and the new region's stack-window headroom.
+func TestBlockEquivChainedRegions(t *testing.T) {
+	src := `
+		.org 0
+	a:
+		ADDI R0, 1
+		ADD  R2, R0, R0
+		XOR  R3, R2, R0
+		SUB  R4, R2, R3
+		JMP  b
+		HALT
+		HALT
+		HALT
+		HALT
+		HALT
+		HALT
+		HALT
+		HALT
+		HALT
+	b:
+		OR   R5, R4, R0
+		AND  R6, R5, R2
+		NOT  R7, R6
+		ADDI R1, 3
+		JMP  a
+	`
+	fast, ref, blk := triple(t, Config{Streams: 1}, func(m *Machine) {
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if blk.AttachedBlockTable().Regions != 2 {
+		t.Fatalf("expected 2 regions, got %d", blk.AttachedBlockTable().Regions)
+	}
+	lockstep3(t, fast, ref, blk, 3000, nil)
+	bs := blk.BlockStats()
+	if bs.Chains == 0 || bs.ChainSessions == 0 {
+		t.Fatalf("no cross-region chains on a two-region ping-pong: %+v", bs)
+	}
+}
+
+// TestBlockGateDemotePromote: the adaptive gate must demote a region
+// whose sessions chronically bail (phase 1: every loop iteration hits
+// external RAM) and re-promote it on a probe after the workload turns
+// fusion-friendly (phase 2: the same loop against internal memory) —
+// all while staying bit-identical to per-cycle execution.
+func TestBlockGateDemotePromote(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		LDHI R7, 0x04
+		LDI  R6, 80
+	phase1:
+		LD   R1, [R7+0]
+		LD   R2, [R7+1]
+		SUBI R6, 1
+		BNE  phase1
+		LDI  R7, 0x40
+	phase2:
+		ADDI R0, 1
+		ADD  R2, R0, R0
+		LD   R1, [R7+0]
+		XOR  R3, R2, R1
+		JMP  phase2
+	`
+	fast, ref, blk := triple(t, Config{Streams: 1}, func(m *Machine) {
+		if err := m.Bus().Attach(isa.ExternalBase, 64, bus.NewRAM("ext", 64, 3)); err != nil {
+			t.Fatal(err)
+		}
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	lockstep3(t, fast, ref, blk, 6000, nil)
+	bs := blk.BlockStats()
+	if bs.Demotes == 0 {
+		t.Fatalf("chronically bailing region never demoted: %+v", bs)
+	}
+	if bs.Promotes == 0 {
+		t.Fatalf("region never re-promoted after the phase change: %+v", bs)
+	}
+}
+
+// TestBlockGateOff: with the gate disabled every qualifying dispatch
+// attempts a session regardless of history — still bit-identical, and
+// with no demotions recorded.
+func TestBlockGateOff(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		LDHI R7, 0x04
+	loop:
+		ADDI R0, 1
+		ADD  R2, R0, R0
+		LD   R1, [R7+0]
+		XOR  R3, R2, R1
+		SUBI R6, 1
+		JMP  loop
+	`
+	fast, ref, blk := triple(t, Config{Streams: 1}, func(m *Machine) {
+		if err := m.Bus().Attach(isa.ExternalBase, 64, bus.NewRAM("ext", 64, 3)); err != nil {
+			t.Fatal(err)
+		}
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	blk.SetBlockGate(false)
+	lockstep3(t, fast, ref, blk, 3000, nil)
+	bs := blk.BlockStats()
+	if bs.Demotes != 0 {
+		t.Fatalf("gate disabled but %d demotions recorded", bs.Demotes)
+	}
+	if bs.Sessions == 0 || bs.Bails == 0 {
+		t.Fatalf("expected ungated bailing sessions, got %+v", bs)
+	}
+}
+
+// clockedRAM is a quiet ticker whose access outcomes depend on its own
+// cycle counter: reads at an odd clock parity return the stored value
+// XORed with the low clock bits, and the wait count alternates with a
+// coarse clock phase. It keeps no activity while the bus is idle
+// (Quiet is always true) but its clock MUST stay in lockstep with the
+// machine — the CatchUp watermark contract — or results diverge.
+type clockedRAM struct {
+	cells [64]uint16
+	clock uint64
+	ticks uint64 // total Tick+CatchUp cycles observed (serialized check)
+}
+
+func (d *clockedRAM) Name() string { return "clocked" }
+func (d *clockedRAM) AccessCycles(offset uint16, write bool) int {
+	return 2 + int((d.clock>>6)&3)
+}
+func (d *clockedRAM) Read(offset uint16) uint16 {
+	return d.cells[offset%64] ^ uint16(d.clock&7)
+}
+func (d *clockedRAM) Write(offset uint16, v uint16) { d.cells[offset%64] = v }
+func (d *clockedRAM) Tick()                         { d.clock++; d.ticks++ }
+func (d *clockedRAM) Quiet() bool                   { return true }
+func (d *clockedRAM) CatchUp(n uint64)              { d.clock += n; d.ticks += n }
+
+// TestBlockEquivClockedTicker: a quiet ticker whose access results
+// depend on its clock. Sessions open over it (Quiet), so the engine
+// elides its per-cycle ticks — the CatchUp watermark must replay them
+// exactly before any bus access and at session end, or the next access
+// reads a skewed clock and architectural state diverges.
+func TestBlockEquivClockedTicker(t *testing.T) {
+	src := `
+		.org 0
+	main:
+		LDHI R7, 0x04
+	loop:
+		ADDI R0, 1
+		ADD  R2, R0, R0
+		XOR  R3, R2, R0
+		SUB  R4, R2, R3
+		ST   R0, [R7+1]
+		OR   R5, R4, R0
+		AND  R6, R5, R2
+		LD   R1, [R7+1]
+		JMP  loop
+	`
+	devs := map[*Machine]*clockedRAM{}
+	fast, ref, blk := triple(t, Config{Streams: 1}, func(m *Machine) {
+		d := &clockedRAM{}
+		devs[m] = d
+		if err := m.Bus().Attach(isa.ExternalBase, 64, d); err != nil {
+			t.Fatal(err)
+		}
+		load(t, m, src)
+		if err := m.StartStream(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	lockstep3(t, fast, ref, blk, 6000, nil)
+	if blk.BlockStats().Sessions == 0 {
+		t.Fatal("no sessions opened over a quiet clocked ticker")
+	}
+	if devs[fast].ticks != devs[blk].ticks || devs[fast].clock != devs[blk].clock {
+		t.Fatalf("device clock drifted: fast ticks=%d clock=%d, block ticks=%d clock=%d",
+			devs[fast].ticks, devs[fast].clock, devs[blk].ticks, devs[blk].clock)
+	}
+	if !bytes.Equal(u16s(devs[fast].cells[:]), u16s(devs[blk].cells[:])) {
+		t.Fatal("device memory diverged between per-cycle and block execution")
+	}
+}
+
+// u16s flattens a uint16 slice for byte comparison.
+func u16s(v []uint16) []byte {
+	out := make([]byte, 0, len(v)*2)
+	for _, x := range v {
+		out = append(out, byte(x), byte(x>>8))
+	}
+	return out
 }
 
 // TestBlockEquivQuiescentTicker: a machine with time-keeping devices

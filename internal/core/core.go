@@ -219,6 +219,22 @@ type Machine struct {
 	blocks     *BlockTable
 	blockStats BlockStats
 
+	// gates are the per-region adaptive dispatch gates (parallel to
+	// blocks.regions; nil without a table). blockGateOff disables them
+	// (SetBlockGate). blockTickBase is the fused-session device-tick
+	// watermark: the cycle up to which rest-state tickers have been
+	// caught up (bus.CatchUp) during the current session. blockSkip
+	// batches a demoted region's probe countdown: StepBlock steps plainly
+	// for that many dispatches without re-running the entry predicate.
+	// blockIdleSkip is the escalating skip for not-sole-ready rejects
+	// (see notSoleSkip0 in block.go).
+	gates           []regionGate
+	blockGateOff    bool
+	blockTickBase   uint64
+	blockSkip       uint32
+	blockIdleSkip   uint32
+	blockDemoteSkip uint32
+
 	stats Stats
 }
 
@@ -504,6 +520,13 @@ func (m *Machine) Reset() {
 	// itself survives — like program memory, it is loaded configuration.
 	m.profile = nil
 	m.blockStats = BlockStats{}
+	m.blockTickBase = 0
+	m.blockSkip = 0
+	m.blockIdleSkip = 0
+	m.blockDemoteSkip = 0
+	for i := range m.gates {
+		m.gates[i] = regionGate{score: gateScoreInit}
+	}
 	m.ready, m.stallMask = 0, 0
 	for i := range m.streams {
 		m.intrVer[i] = m.streams[i].intr.Version()

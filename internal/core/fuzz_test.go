@@ -3,10 +3,26 @@ package core
 import (
 	"testing"
 
+	"disc/internal/asm"
 	"disc/internal/bus"
 	"disc/internal/isa"
 	"disc/internal/rng"
 )
+
+// packWords assembles src (single .org 0 section) and packs its words
+// into the fuzzer's 3-bytes-per-word seed format.
+func packWords(f *testing.F, src string) []byte {
+	f.Helper()
+	im, err := asm.Assemble(src)
+	if err != nil {
+		f.Fatalf("seed assemble: %v", err)
+	}
+	var out []byte
+	for _, w := range im.Sections[0].Words {
+		out = append(out, byte(w>>16), byte(w>>8), byte(w))
+	}
+	return out
+}
 
 // TestRandomProgramsNeverPanic is the machine's robustness contract:
 // arbitrary 24-bit words — most of them decodable into wild but legal
@@ -324,6 +340,32 @@ func FuzzStepEquiv(f *testing.F) {
 	f.Add(uint64(1), uint8(1), []byte{0, 0, 0, 1, 2, 3})
 	f.Add(uint64(0xD15C), uint8(4), []byte("\x00\x01\x02\x03\x04\x05\x06\x07\x08"))
 	f.Add(uint64(7), uint8(2), []byte{0xFF, 0xFF, 0xFF, 0x12, 0x34, 0x56})
+	// Branch-dense seeds: real control-flow soup so the corpus starts
+	// with in-region Bcc/JMP chains, cross-region jumps, and a counted
+	// loop — the shapes the branch-fusing compiler and cross-session
+	// chainer must replay exactly.
+	f.Add(uint64(0xB5A2), uint8(2), packWords(f, `
+		.org 0
+	a:	ADDI R0, 1
+		SUBI R1, 1
+		BNE  a
+		ADDI R2, 3
+		JMP  c
+	b:	XOR  R3, R0, R2
+		BEQ  a
+		JMP  b
+	c:	ADD  R4, R0, R0
+		BCC  b
+		HALT
+	`))
+	f.Add(uint64(0x1E4F), uint8(3), packWords(f, `
+		.org 0
+	spin:	LDI  R5, 6
+	in:	ADDI R6, 1
+		SUBI R5, 1
+		BNE  in
+		BAL  spin
+	`))
 	f.Fuzz(func(t *testing.T, seed uint64, nstreams uint8, data []byte) {
 		if len(data) < 3 {
 			return

@@ -198,6 +198,24 @@ func (m *Machine) verifyReadyMask() {
 func (m *Machine) Run(n int) {
 	if m.blocks != nil {
 		for left := n; left > 0; {
+			if k := m.blockSkip; k > 0 {
+				// A demoted region parked a probe-backoff batch
+				// (blockSession); drain it in a tight plain loop identical
+				// to the no-table path. Observationally the same as k
+				// StepBlock calls — each would only decrement and Step —
+				// but without the per-cycle dispatch overhead, which is
+				// what keeps the engine at parity on loads that never
+				// fuse.
+				if k > uint32(left) {
+					k = uint32(left)
+				}
+				m.blockSkip -= k
+				left -= int(k)
+				for ; k > 0; k-- {
+					m.Step()
+				}
+				continue
+			}
 			left -= m.StepBlock(left)
 		}
 		return

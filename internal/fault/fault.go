@@ -116,6 +116,38 @@ func (d *Device) Tick() {
 	}
 }
 
+// Quiet reports whether ticking the wrapper is state-preserving apart
+// from its cycle count: true when the inner device is quiet (or keeps
+// no time at all). The wrapper's own clock-derived state — the cycle
+// counter that Dead windows, stuck-busy periods and the RNG-sampled
+// faults are all evaluated against lazily at access time — is restored
+// exactly by CatchUp, so a quiet inner device makes the pair
+// fusion-transparent.
+func (d *Device) Quiet() bool {
+	if q, ok := d.inner.(bus.Quieter); ok {
+		return q.Quiet()
+	}
+	_, ticks := d.inner.(bus.Ticker)
+	return !ticks
+}
+
+// CatchUp accounts n machine cycles that were provably quiet (no bus
+// access, inner device quiet) without per-cycle Tick calls: the
+// wrapper's observed-cycle count advances by n — keeping Dead windows,
+// stuck-busy arithmetic and serialized snapshots (MarshalState writes
+// d.cycle) bit-identical to the per-cycle path — and the inner device
+// gets the same chance. Skipped inner Ticks were no-ops by the Quiet
+// precondition, so forwarding is only needed for inner CatchUpTickers.
+func (d *Device) CatchUp(n uint64) {
+	d.cycle += n
+	if c, ok := d.inner.(bus.CatchUpTicker); ok {
+		c.CatchUp(n)
+	}
+}
+
+var _ bus.Quieter = (*Device)(nil)
+var _ bus.CatchUpTicker = (*Device)(nil)
+
 // dead reports whether the device currently answers no access.
 func (d *Device) dead() bool {
 	if d.cycle < d.stuckUntil {

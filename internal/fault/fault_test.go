@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
@@ -236,5 +237,63 @@ loop1:
 	}
 	if st.PerStream[1].Retired < 400 {
 		t.Fatalf("victim starved during neighbour's stall: %d", st.PerStream[1].Retired)
+	}
+}
+
+// TestCatchUpMatchesTicks: on a quiet wrapped device, CatchUp(n) must
+// leave the wrapper in the exact serialized state n individual Ticks
+// would — the block engine relies on this to skip per-cycle ticking
+// across fused sessions without perturbing Dead windows, stuck-busy
+// arithmetic or snapshot bytes.
+func TestCatchUpMatchesTicks(t *testing.T) {
+	mk := func() *Device {
+		return Wrap(bus.NewGPIO("g", 1), DeviceConfig{
+			Seed:          7,
+			StuckBusyProb: 0.3,
+			StuckBusyLen:  20,
+			Dead:          []Window{{From: 400, To: 1000}},
+		})
+	}
+	ticked, caught := mk(), mk()
+	for _, n := range []uint64{1, 3, 17, 400} {
+		for i := uint64(0); i < n; i++ {
+			ticked.Tick()
+		}
+		caught.CatchUp(n)
+		a, err := ticked.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := caught.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("after +%d cycles: CatchUp state diverged from ticked state", n)
+		}
+	}
+	// The skipped span still counts for fault evaluation: both copies
+	// now sit past cycle 400, inside the Dead window.
+	if ticked.AccessCycles(0, false) != Wedged || caught.AccessCycles(0, false) != Wedged {
+		t.Fatal("Dead window not honoured after CatchUp")
+	}
+}
+
+// TestWrapperQuiet: the wrapper's quiescence answer is the inner
+// device's — clockless inners are unconditionally quiet, quiet-capable
+// inners are consulted live.
+func TestWrapperQuiet(t *testing.T) {
+	if !Wrap(bus.NewGPIO("g", 1), DeviceConfig{}).Quiet() {
+		t.Fatal("wrapped clockless device not quiet")
+	}
+	tm := bus.NewTimer("t", 1, nil, 0, 4)
+	w := Wrap(tm, DeviceConfig{})
+	if !w.Quiet() {
+		t.Fatal("wrapped disarmed timer not quiet")
+	}
+	tm.Write(bus.TimerCount, 8)
+	tm.Write(bus.TimerCtrl, 1)
+	if w.Quiet() {
+		t.Fatal("wrapped armed timer reported quiet")
 	}
 }

@@ -137,6 +137,13 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			instant(int(ev.Stream), fmt.Sprintf("bus-retry %#04x", ev.Addr), ev.Cycle, nil)
 		case KindBlockEnter:
 			blockEnter[ev.Stream] = ev
+		case KindBlockChain:
+			instant(int(ev.Stream), fmt.Sprintf("block-chain %#04x", ev.PC), ev.Cycle, nil)
+		case KindBlockDemote:
+			instant(int(ev.Stream), fmt.Sprintf("block-demote %#04x", ev.PC), ev.Cycle,
+				map[string]any{"backoff": ev.Aux})
+		case KindBlockPromote:
+			instant(int(ev.Stream), fmt.Sprintf("block-promote %#04x", ev.PC), ev.Cycle, nil)
 		case KindBlockExit:
 			// Fused sessions render as one slice spanning the covered
 			// cycles — the per-instruction events they summarize were

@@ -84,6 +84,17 @@ const (
 	// instructions issued, and B=1 when the session ended early on an
 	// external memory access (the bail path).
 	KindBlockExit
+	// KindBlockChain: a fused session ran off the end of one compiled
+	// region straight into another without returning to the
+	// interpreter. PC is the new region's entry; Aux the cycles covered
+	// so far in the session.
+	KindBlockChain
+	// KindBlockDemote: the adaptive gate stopped dispatching the region
+	// at PC (chronic bailing); Aux is the retry backoff in attempts.
+	KindBlockDemote
+	// KindBlockPromote: a probe session re-qualified the region at PC
+	// for dispatch.
+	KindBlockPromote
 
 	// NumKinds bounds the Kind space (metrics index by it).
 	NumKinds
@@ -93,7 +104,7 @@ var kindNames = [NumKinds]string{
 	"issue", "retire", "flush", "state", "donated",
 	"irq-raise", "irq-vector", "irq-ack",
 	"bus-wait", "bus-retry", "bus-start", "bus-complete", "bus-timeout", "bus-fault",
-	"block-enter", "block-exit",
+	"block-enter", "block-exit", "block-chain", "block-demote", "block-promote",
 }
 
 func (k Kind) String() string {
@@ -194,6 +205,12 @@ func (e Event) String() string {
 			end = "bail"
 		}
 		return fmt.Sprintf("[c=%d] %s block-exit (%s) next=%#04x cycles=%d issued=%d", e.Cycle, who, end, e.PC, e.Aux, e.Data)
+	case KindBlockChain:
+		return fmt.Sprintf("[c=%d] %s block-chain pc=%#04x cycles=%d", e.Cycle, who, e.PC, e.Aux)
+	case KindBlockDemote:
+		return fmt.Sprintf("[c=%d] %s block-demote region=%#04x backoff=%d", e.Cycle, who, e.PC, e.Aux)
+	case KindBlockPromote:
+		return fmt.Sprintf("[c=%d] %s block-promote region=%#04x", e.Cycle, who, e.PC)
 	}
 	return fmt.Sprintf("[c=%d] %s %s", e.Cycle, who, e.Kind)
 }

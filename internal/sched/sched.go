@@ -54,6 +54,7 @@ func (m *ReadyMask) SetTo(i int, ready bool) {
 type Scheduler struct {
 	slots    []int
 	nstream  int
+	ownCount []int // per stream, how many slots it owns (table form)
 	cursor   int
 	rr       int // round-robin pointer for donated slots
 	priority bool
@@ -112,9 +113,14 @@ func NewTable(slots []int, nstream int) (*Scheduler, error) {
 	}
 	cp := make([]int, len(slots))
 	copy(cp, slots)
+	own := make([]int, nstream)
+	for _, s := range cp {
+		own[s]++
+	}
 	return &Scheduler{
 		slots:         cp,
 		nstream:       nstream,
+		ownCount:      own,
 		cursor:        len(cp) - 1, // first Next advances to slot 0
 		OwnIssues:     make([]uint64, nstream),
 		DonatedIssues: make([]uint64, nstream),
@@ -235,7 +241,14 @@ func (s *Scheduler) Next(ready ReadyMask) (stream, owner int, ok bool) {
 // per-cycle call. The onDonate observer is NOT fired: the block engine
 // is the only caller, and its trace contract summarizes in-session
 // scheduling with block-enter/exit events (DESIGN.md §13).
+//
+// The cost is O(len(slots)) regardless of n: the visited window is
+// full table rotations (own slots counted by the precomputed table
+// census) plus at most one partial rotation walked explicitly.
 func (s *Scheduler) AdvanceSole(id, n int) {
+	if n <= 0 {
+		return
+	}
 	if s.priority {
 		if id == 0 {
 			s.OwnIssues[0] += uint64(n)
@@ -244,19 +257,42 @@ func (s *Scheduler) AdvanceSole(id, n int) {
 		}
 		return
 	}
-	for i := 0; i < n; i++ {
-		s.cursor++
-		if s.cursor == len(s.slots) {
-			s.cursor = 0
+	l := len(s.slots)
+	own := (n / l) * s.ownCount[id]
+	for i, rem := s.cursor, n%l; rem > 0; rem-- {
+		i++
+		if i == l {
+			i = 0
 		}
-		if owner := s.slots[s.cursor]; owner == id {
-			s.OwnIssues[id]++
-		} else {
-			// Sole-ready donation: the rotated scan can only land on id.
-			s.rr = id
-			s.DonatedIssues[id]++
+		if s.slots[i] == id {
+			own++
 		}
 	}
+	s.cursor = (s.cursor + n) % l
+	s.OwnIssues[id] += uint64(own)
+	if don := n - own; don > 0 {
+		// At least one visited slot was donated: the rotated scan can
+		// only land on id, so rr parks there exactly as the last
+		// donating Next left it.
+		s.rr = id
+		s.DonatedIssues[id] += uint64(don)
+	}
+}
+
+// AdvanceIdle advances the scheduler by n cycles during which no
+// stream is ready, exactly as n calls of Next(0) would: the cursor
+// rotates past n slots and each counts as an idle slot. The round-robin
+// pointer and issue counters are untouched (an idle Next never moves
+// them).
+func (s *Scheduler) AdvanceIdle(n int) {
+	if n <= 0 {
+		return
+	}
+	s.IdleSlots += uint64(n)
+	if s.priority {
+		return // nextPriority has no cursor
+	}
+	s.cursor = (s.cursor + n) % len(s.slots)
 }
 
 // State is the serializable mutable state of a Scheduler: the slot

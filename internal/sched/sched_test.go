@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -330,5 +331,99 @@ func TestAdvanceSolePriority(t *testing.T) {
 				t.Fatalf("id=%d stream %d: counters diverge", id, i)
 			}
 		}
+	}
+}
+
+// TestAdvanceSoleAllOwnTable: when every visited slot belongs to id,
+// no donation happens and the round-robin pointer must not move —
+// the closed-form path has a dedicated branch for this.
+func TestAdvanceSoleAllOwnTable(t *testing.T) {
+	table := []int{1, 1, 1, 1}
+	a, err := NewTable(table, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTable(table, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AdvanceSole(1, 11)
+	for i := 0; i < 11; i++ {
+		b.Next(ReadyMask(1 << 1))
+	}
+	if a.OwnIssues[1] != b.OwnIssues[1] || a.DonatedIssues[1] != b.DonatedIssues[1] {
+		t.Fatalf("counters diverge: own %d/%d donated %d/%d",
+			a.OwnIssues[1], b.OwnIssues[1], a.DonatedIssues[1], b.DonatedIssues[1])
+	}
+	// rr is observable through the next donation scan: make stream 1
+	// unready so slot 0 donates; both must pick the same stream.
+	s1, _, _ := a.Next(ReadyMask(0b101))
+	s2, _, _ := b.Next(ReadyMask(0b101))
+	if s1 != s2 {
+		t.Fatalf("rr diverged: donation picked %d vs %d", s1, s2)
+	}
+}
+
+// TestAdvanceSoleLong drives the closed-form path through many full
+// table rotations plus a partial one and checks it against per-cycle
+// Next over the same span.
+func TestAdvanceSoleLong(t *testing.T) {
+	table := []int{0, 2, 1, 0, 2, 0, 1}
+	for id := 0; id < 3; id++ {
+		for _, n := range []int{6, 7, 8, 70, 701} {
+			a, _ := NewTable(table, 3)
+			b, _ := NewTable(table, 3)
+			for i := 0; i < 3; i++ {
+				a.Next(allReady)
+				b.Next(allReady)
+			}
+			a.AdvanceSole(id, n)
+			for i := 0; i < n; i++ {
+				b.Next(ReadyMask(1 << uint(id)))
+			}
+			if !reflect.DeepEqual(a.State(), b.State()) {
+				t.Fatalf("id=%d n=%d: state diverged\nbulk: %+v\nstep: %+v", id, n, a.State(), b.State())
+			}
+		}
+	}
+}
+
+// TestAdvanceIdleMatchesNext: AdvanceIdle(n) must equal n idle Next(0)
+// calls — cursor rotation plus idle-slot accounting, nothing else —
+// on both table and priority schedulers.
+func TestAdvanceIdleMatchesNext(t *testing.T) {
+	table := []int{0, 1, 0, 2, 2, 0}
+	for _, n := range []int{1, 2, 5, 6, 13, 200} {
+		a, _ := NewTable(table, 3)
+		b, _ := NewTable(table, 3)
+		for i := 0; i < 4; i++ {
+			a.Next(allReady)
+			b.Next(allReady)
+		}
+		a.AdvanceIdle(n)
+		for i := 0; i < n; i++ {
+			if _, _, ok := b.Next(0); ok {
+				t.Fatal("Next(0) issued")
+			}
+		}
+		if !reflect.DeepEqual(a.State(), b.State()) {
+			t.Fatalf("n=%d: state diverged\nbulk: %+v\nstep: %+v", n, a.State(), b.State())
+		}
+		// Cursor equality shows up in the very next pick.
+		s1, o1, _ := a.Next(allReady)
+		s2, o2, _ := b.Next(allReady)
+		if s1 != s2 || o1 != o2 {
+			t.Fatalf("n=%d: follow-up pick diverged (%d,%d) vs (%d,%d)", n, s1, o1, s2, o2)
+		}
+	}
+
+	p1, _ := NewPriority(3)
+	p2, _ := NewPriority(3)
+	p1.AdvanceIdle(7)
+	for i := 0; i < 7; i++ {
+		p2.Next(0)
+	}
+	if !reflect.DeepEqual(p1.State(), p2.State()) {
+		t.Fatalf("priority state diverged: %+v vs %+v", p1.State(), p2.State())
 	}
 }
