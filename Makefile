@@ -1,9 +1,9 @@
 # Single documented quality gate; CI and pre-commit both run `make check`.
 GO ?= go
 
-.PHONY: check build vet test race chaos lint-examples bench bench-core bench-core-gate equiv obs-bench absint detlint snap
+.PHONY: check build vet test race chaos lint-examples bench bench-core bench-core-gate bench-serve equiv obs-bench absint detlint snap serve
 
-check: build vet test race chaos equiv obs-bench bench-core-gate absint detlint snap
+check: build vet test race chaos equiv obs-bench bench-core-gate absint detlint snap serve
 
 build:
 	$(GO) build ./...
@@ -85,7 +85,7 @@ absint:
 # map-order iteration in the packages whose outputs must be
 # bit-identical run to run.
 detlint:
-	$(GO) run ./cmd/detlint internal/core internal/sched internal/obs internal/parallel internal/stoch internal/rng internal/analysis internal/blockc internal/snap
+	$(GO) run ./cmd/detlint internal/core internal/sched internal/obs internal/parallel internal/stoch internal/rng internal/analysis internal/blockc internal/snap internal/serve
 
 # Crash-safety gate: the disc-snap/1 codec round-trip, the pinned
 # golden fixture, the restore trust boundary (corruption rejection +
@@ -97,6 +97,22 @@ snap:
 	$(GO) test -run 'TestEncodeDecode|TestSaveLoad|TestSaveIsAtomic|TestGolden|TestDecodeRejects|Fuzz' ./internal/snap/
 	$(GO) test -run 'TestSnapshot|TestReset|TestRestore|TestFaultDevice' ./internal/core/ ./internal/fault/
 	$(GO) test -run 'TestJournal|TestTable42Resumes|TestJournaledTable' ./internal/parallel/ ./internal/tables/
+
+# Simulation-as-a-service gate: the session server's unit and HTTP
+# end-to-end tests under the race detector (the worker-ownership proof
+# that no machine is ever stepped and snapshotted concurrently), plus
+# the process-level exit-path tests — SIGINT checkpoint/resume,
+# fixed-length watchdog, sink flushing on fatal, discserve's graceful
+# drain. `test` and `race` cover these too; this target names the gate.
+serve:
+	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -run 'TestCLIDiscserve|TestCLIDiscsimSignal|TestCLIDiscsimFixedLength|TestCLIDiscsimFatal' -count=1 .
+
+# Session-server throughput, recorded in BENCH_serve.json: concurrent
+# sessions stepped across the worker pool — steps/s, simulated
+# cycles/s, p50/p99 step latency, host CPU count.
+bench-serve:
+	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run TestBenchServeJSON -count=1 -v ./internal/serve/
 
 # Convenience: re-lint the shipped assembly library and every example
 # program (same checks `make test` already runs, but in isolation).

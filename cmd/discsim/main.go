@@ -60,6 +60,12 @@
 // A standard peripheral board is always attached: timer @0xF000 (IRQ
 // stream 0 bit 4), UART @0xF010, GPIO @0xF020, ADC @0xF030 (no IRQ
 // wired; bit 5 is reserved for -trap-busfault), stepper @0xF040.
+//
+// SIGINT/SIGTERM during a run is handled at the next dispatch
+// boundary: with -checkpoint-out a final crash-atomic snapshot is
+// written first, -trace-out/-metrics sinks are flushed either way, and
+// the process exits with the conventional 130/143 status. A second
+// signal kills it immediately.
 package main
 
 import (
@@ -67,8 +73,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 
 	"disc/internal/analysis"
 	"disc/internal/asm"
@@ -182,6 +192,16 @@ func main() {
 			met = rec.EnableMetrics(*streams)
 		}
 		m.SetRecorder(rec)
+		// From here on every exit path — the clean end of main, fatal(),
+		// a polled signal — flushes the observability sinks exactly once:
+		// a run that dies still leaves its trace and metrics behind.
+		var once sync.Once
+		var ferr error
+		to := *traceOut
+		flushSinks = func() error {
+			once.Do(func() { ferr = writeSinks(to, rec, met) })
+			return ferr
+		}
 	}
 	for _, sec := range im.Sections {
 		if err := m.LoadProgram(sec.Base, sec.Words); err != nil {
@@ -281,26 +301,19 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "discsim: no debug event within %d cycles\n", budget)
 		}
-	} else if *checkpointOut != "" {
-		if err := runCheckpointed(m, *cycles, *maxCycles, *stallWindow, *checkpointEvery, *checkpointOut); err != nil {
+	} else {
+		armSignals()
+		if err := runSim(m, *cycles, *maxCycles, *stallWindow, *checkpointEvery, *checkpointOut); err != nil {
+			// Print the diagnosis now but the statistics too: a wedged
+			// run's numbers are exactly what the user needs to see. With
+			// a flight recorder attached the guard also carries a
+			// post-mortem of each stream's last moves.
 			fmt.Fprintln(os.Stderr, "discsim:", err)
 			if pm := postMortem(err); pm != "" {
 				fmt.Fprint(os.Stderr, pm)
 			}
 			runFailed = true
 		}
-	} else if *cycles > 0 {
-		m.Run(*cycles)
-	} else if _, err := m.RunGuarded(*maxCycles, *stallWindow); err != nil {
-		// Print the diagnosis now but the statistics too: a wedged
-		// run's numbers are exactly what the user needs to see. With a
-		// flight recorder attached the guard also carries a post-mortem
-		// of each stream's last moves.
-		fmt.Fprintln(os.Stderr, "discsim:", err)
-		if pm := postMortem(err); pm != "" {
-			fmt.Fprint(os.Stderr, pm)
-		}
-		runFailed = true
 	}
 
 	st := m.Stats()
@@ -348,23 +361,8 @@ func main() {
 			fmt.Printf("  IS%d %-28s x%d\n", e.Stream, text, e.Retired)
 		}
 	}
-	if met != nil {
-		fmt.Print(met.Render())
-	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "discsim: wrote %s (%d of %d events retained)\n",
-			*traceOut, len(rec.Events()), rec.Total())
+	if err := flushSinks(); err != nil {
+		fatal(err)
 	}
 	if *dump != "" {
 		lo, hi, err := parseRange(*dump)
@@ -389,6 +387,41 @@ func main() {
 // is replaced by main once profiling starts and stays safe to call
 // from every exit path.
 var stopProfiles = func() {}
+
+// flushSinks writes the -trace-out file and renders -metrics; main
+// replaces it once a recorder is attached (idempotent via sync.Once),
+// and every exit path — clean, fatal, signalled — calls it so a dying
+// run never loses the observability it was asked to collect.
+var flushSinks = func() error { return nil }
+
+// sigCode holds the conventional 128+signum exit status once a
+// SIGINT/SIGTERM has landed, 0 before. The run loop polls it between
+// guard dispatches — never mid-cycle — so the machine is always in a
+// snapshottable state when the signal is acted on.
+var sigCode atomic.Int32
+
+// sigQuantum caps a single guard dispatch while signals are armed, so
+// a pending SIGINT is noticed within ~64K cycles even when the block
+// engine would happily fuse far longer sessions.
+const sigQuantum = 1 << 16
+
+// armSignals converts the first SIGINT/SIGTERM into a polled flag and
+// then restores the default disposition, so a second signal kills the
+// process immediately (the escape hatch when a checkpoint write hangs).
+func armSignals() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		code := int32(130) // 128 + SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143 // 128 + SIGTERM
+		}
+		sigCode.Store(code)
+		signal.Stop(ch)
+		signal.Reset(syscall.SIGINT, syscall.SIGTERM)
+	}()
+}
 
 // loadImage assembles .s sources or parses .hex images, running any
 // load gates (e.g. -lint) over the result either way.
@@ -470,53 +503,81 @@ func boardRanges(ramWaits int) []analysis.BusRange {
 	}
 }
 
-// runCheckpointed drives the run in checkpoint-sized chunks. A
-// snapshot lands at path — crash-atomically, so the previous one
-// survives a kill mid-write — every `every` cycles (0: never) and once
-// more on every way out: clean idle, fixed cycle count, cycle budget,
-// deadlock diagnosis. The returned error is the run's verdict; a
-// checkpoint that cannot be written is fatal, because a user who asked
-// for checkpoints is relying on them being there.
-func runCheckpointed(m *core.Machine, cycles, maxCycles int, stallWindow uint64, every int, path string) error {
+// runSim drives every non-debug run — fixed-length (-cycles) and
+// until-idle alike — under the liveness guard, in chunks sized by the
+// checkpoint schedule and the signal-poll quantum.
+//
+// With a checkpoint path a snapshot lands there — crash-atomically, so
+// the previous one survives a kill mid-write — every `every` cycles
+// (0: never) and once more on every way out: clean idle, fixed cycle
+// count, cycle budget, deadlock diagnosis. A checkpoint that cannot be
+// written is fatal, because a user who asked for checkpoints is
+// relying on them being there.
+//
+// A fixed-length run keeps m.Run's cycle accounting (an idle machine
+// still burns cycles until the count is reached) but now shares the
+// deadlock watchdog: a wedged program diagnosed mid-count stops there
+// with the diagnosis instead of silently spinning out the remainder.
+//
+// A SIGINT/SIGTERM polled between dispatches takes a final checkpoint,
+// flushes the observability sinks, and exits 130/143.
+func runSim(m *core.Machine, cycles, maxCycles int, stallWindow uint64, every int, path string) error {
 	save := func() {
+		if path == "" {
+			return
+		}
 		if err := snap.Capture(path, m); err != nil {
 			fatal(err)
 		}
 	}
-	if cycles > 0 {
-		// Fixed-length run: no watchdog, mirror m.Run chunk by chunk.
-		for done := 0; done < cycles; {
-			chunk := cycles - done
-			if every > 0 && chunk > every {
-				chunk = every
-			}
-			m.Run(chunk)
-			done += chunk
-			save()
-		}
-		return nil
-	}
-	// Until-idle run: mirror RunGuarded, capping each dispatch at the
-	// next checkpoint boundary so snapshots land on schedule even when
-	// the block engine is fusing long sessions.
 	g := m.NewGuard(stallWindow)
 	next := 0
-	if every > 0 {
+	if path != "" && every > 0 {
 		next = every
 	}
-	for n := 0; maxCycles == 0 || n < maxCycles; {
+	n := 0
+	for {
+		if code := sigCode.Load(); code != 0 {
+			save()
+			name := "SIGINT"
+			if code == 143 {
+				name = "SIGTERM"
+			}
+			if path != "" {
+				fmt.Fprintf(os.Stderr, "discsim: %s: checkpointed %s at cycle %d\n", name, path, m.Stats().Cycles)
+			} else {
+				fmt.Fprintf(os.Stderr, "discsim: %s at cycle %d\n", name, m.Stats().Cycles)
+			}
+			if err := flushSinks(); err != nil {
+				fmt.Fprintln(os.Stderr, "discsim:", err)
+			}
+			stopProfiles()
+			os.Exit(int(code))
+		}
 		budget := 1 << 30
-		if maxCycles != 0 {
+		if cycles > 0 {
+			budget = cycles - n
+		} else if maxCycles != 0 {
 			budget = maxCycles - n
+		}
+		if budget <= 0 {
+			break
 		}
 		if next > 0 && next-n < budget {
 			budget = next - n
 		}
+		if budget > sigQuantum {
+			budget = sigQuantum
+		}
 		k, done, err := g.StepN(budget)
 		n += k
-		if err != nil || done {
+		if err != nil {
 			save()
 			return err
+		}
+		if done && cycles == 0 {
+			save()
+			return nil
 		}
 		if next > 0 && n >= next {
 			save()
@@ -524,7 +585,36 @@ func runCheckpointed(m *core.Machine, cycles, maxCycles int, stallWindow uint64,
 		}
 	}
 	save()
-	return &core.CycleLimitError{Limit: maxCycles, PostMortem: m.PostMortem(8)}
+	if cycles == 0 {
+		return &core.CycleLimitError{Limit: maxCycles, PostMortem: m.PostMortem(8)}
+	}
+	return nil
+}
+
+// writeSinks renders the -metrics registry to stdout and the recorded
+// run to the -trace-out file. It exists apart from main so fatal and
+// the signal path flush the same way the clean exit does.
+func writeSinks(traceOut string, rec *obs.Recorder, met *obs.Metrics) error {
+	if met != nil {
+		fmt.Print(met.Render())
+	}
+	if traceOut == "" {
+		return nil
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "discsim: wrote %s (%d of %d events retained)\n",
+		traceOut, len(rec.Events()), rec.Total())
+	return nil
 }
 
 // postMortem extracts the flight-recorder dump a guarded failure
@@ -542,6 +632,12 @@ func postMortem(err error) string {
 }
 
 func fatal(err error) {
+	// Flush trace/metrics first: the run that just died is exactly the
+	// one whose record the user needs. The flush error is only worth a
+	// line when it is not the error already being reported.
+	if ferr := flushSinks(); ferr != nil && ferr != err {
+		fmt.Fprintln(os.Stderr, "discsim:", ferr)
+	}
 	stopProfiles()
 	fmt.Fprintln(os.Stderr, "discsim:", err)
 	os.Exit(1)

@@ -448,6 +448,12 @@ func (m *Machine) StreamState(i int) StreamState { return m.streams[i].state }
 // StreamPC returns stream i's fetch PC.
 func (m *Machine) StreamPC(i int) uint16 { return m.streams[i].pc }
 
+// StreamFlags returns stream i's condition flags (Z,N,C,V).
+func (m *Machine) StreamFlags(i int) uint8 { return m.streams[i].flags }
+
+// StreamH returns stream i's multiply high-half register.
+func (m *Machine) StreamH(i int) uint16 { return m.streams[i].h }
+
 // Window returns a copy of stream i's visible register window.
 func (m *Machine) Window(i int) [isa.WindowSize]uint16 { return m.streams[i].win.Window() }
 

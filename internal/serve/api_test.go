@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// httpJSON issues one request against the test server and decodes the
+// JSON body into out (skipped when out is nil), returning the status.
+func httpJSON(t *testing.T, c *http.Client, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON body (%v):\n%s", method, url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+func httpBytes(t *testing.T, c *http.Client, url string) []byte {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestHTTPEndToEnd drives the full disc-serve/1 API the way a tenant
+// fleet would: 64 sessions created and stepped concurrently, one
+// forked mid-run with a byte-identical continuation proof over the
+// snapshot download endpoint, then the error paths. Run under `make
+// race` this doubles as the serving-layer race proof.
+func TestHTTPEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 8, QueueDepth: 256})
+	defer s.Close()
+	ts := httptest.NewServer(NewMux(s))
+	defer ts.Close()
+	c := ts.Client()
+
+	const n = 64
+	ids := make([]string, n)
+	for i := range ids {
+		var info SessionInfo
+		code := httpJSON(t, c, "POST", ts.URL+"/v1/sessions",
+			CreateRequest{Program: counterProgram, Streams: 1}, &info)
+		if code != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, code)
+		}
+		if info.Schema != Schema || info.ID == "" {
+			t.Fatalf("create %d: %+v", i, info)
+		}
+		ids[i] = info.ID
+	}
+
+	// All 64 sessions stepped in parallel, several rounds each.
+	var wg sync.WaitGroup
+	errc := make(chan error, n)
+	for _, id := range ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				var res StepResult
+				code := httpJSON(t, c, "POST", ts.URL+"/v1/sessions/"+id+"/step",
+					stepRequest{Cycles: 300}, &res)
+				if code != http.StatusOK || res.CyclesRun != 300 {
+					errc <- fmt.Errorf("step %s round %d: status %d, %+v", id, round, code, res)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	var ls listResponse
+	if code := httpJSON(t, c, "GET", ts.URL+"/v1/sessions", nil, &ls); code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	if len(ls.Sessions) != n {
+		t.Fatalf("listed %d sessions, want %d", len(ls.Sessions), n)
+	}
+	for _, sum := range ls.Sessions {
+		if sum.SteppedCycles != 1500 {
+			t.Fatalf("session %s stepped %d cycles, want 1500", sum.ID, sum.SteppedCycles)
+		}
+	}
+
+	// Fork mid-run: twin snapshot equals parent's now and after both
+	// advance the same distance.
+	parent := ids[0]
+	var twin SessionInfo
+	if code := httpJSON(t, c, "POST", ts.URL+"/v1/sessions/"+parent+"/fork", nil, &twin); code != http.StatusCreated {
+		t.Fatalf("fork: status %d", code)
+	}
+	pb := httpBytes(t, c, ts.URL+"/v1/sessions/"+parent+"/snapshot")
+	tb := httpBytes(t, c, ts.URL+"/v1/sessions/"+twin.ID+"/snapshot")
+	if !bytes.Equal(pb, tb) {
+		t.Fatal("fork-time snapshot downloads differ")
+	}
+	for _, id := range []string{parent, twin.ID} {
+		var res StepResult
+		if code := httpJSON(t, c, "POST", ts.URL+"/v1/sessions/"+id+"/step",
+			stepRequest{Cycles: 777}, &res); code != http.StatusOK {
+			t.Fatalf("step %s: status %d", id, code)
+		}
+	}
+	pb2 := httpBytes(t, c, ts.URL+"/v1/sessions/"+parent+"/snapshot")
+	tb2 := httpBytes(t, c, ts.URL+"/v1/sessions/"+twin.ID+"/snapshot")
+	if !bytes.Equal(pb2, tb2) {
+		t.Fatal("fork continuation diverged over HTTP")
+	}
+
+	// Inspect carries the architectural view.
+	var info SessionInfo
+	if code := httpJSON(t, c, "GET", ts.URL+"/v1/sessions/"+parent, nil, &info); code != http.StatusOK {
+		t.Fatalf("inspect: status %d", code)
+	}
+	if info.Cycle != 1500+777 || len(info.Streams) != 1 {
+		t.Fatalf("inspect body: %+v", info)
+	}
+
+	// Delete, then the error paths.
+	if code := httpJSON(t, c, "DELETE", ts.URL+"/v1/sessions/"+twin.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	var apiErr apiError
+	if code := httpJSON(t, c, "GET", ts.URL+"/v1/sessions/"+twin.ID, nil, &apiErr); code != http.StatusNotFound {
+		t.Fatalf("deleted session inspect: status %d", code)
+	}
+	if apiErr.Schema != Schema || apiErr.Error == "" {
+		t.Fatalf("error body: %+v", apiErr)
+	}
+	if code := httpJSON(t, c, "POST", ts.URL+"/v1/sessions/"+parent+"/step",
+		stepRequest{Cycles: 0}, nil); code != http.StatusBadRequest {
+		t.Fatalf("zero-cycle step: status %d", code)
+	}
+	if code := httpJSON(t, c, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"progarm": "typo"}, nil); code != http.StatusBadRequest {
+		t.Fatal("unknown JSON field accepted")
+	}
+
+	// Server-wide metrics reflect the run.
+	var st ServerStats
+	if code := httpJSON(t, c, "GET", ts.URL+"/v1/metrics", nil, &st); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if st.SessionsLive != n || st.Steps < 5*n || st.Forks != 1 {
+		t.Fatalf("server stats: %+v", st)
+	}
+	if st.LatencySamples == 0 || st.StepLatencyP99 < st.StepLatencyP50 {
+		t.Fatalf("latency sampler: %+v", st)
+	}
+}

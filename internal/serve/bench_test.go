@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBenchServeJSON measures the session server under a saturating
+// multi-tenant load — every host CPU stepping its own shard of 64
+// sessions — and records the result where BENCH_SERVE_JSON points
+// (`make bench-serve` → BENCH_serve.json). Env-gated like the other
+// recorded benches: wall-clock numbers belong in a measurement
+// artifact, not in an assertion that flakes with host load.
+func TestBenchServeJSON(t *testing.T) {
+	path := os.Getenv("BENCH_SERVE_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SERVE_JSON=/path/to/BENCH_serve.json to record the serve benchmark")
+	}
+
+	workers := runtime.NumCPU()
+	s := New(Config{Workers: workers, QueueDepth: 1024})
+	defer s.Close()
+
+	const (
+		sessions   = 64
+		rounds     = 40
+		stepCycles = 2000
+	)
+	ids := make([]string, sessions)
+	for i := range ids {
+		info, err := s.Create(CreateRequest{Program: counterProgram, Streams: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				t0 := time.Now()
+				if _, err := s.Step(id, stepCycles); err != nil {
+					t.Errorf("step %s: %v", id, err)
+					return
+				}
+				s.Metrics().ObserveStepLatency(time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if t.Failed() {
+		return
+	}
+
+	st := s.Stats()
+	doc := struct {
+		Schema         string  `json:"schema"`
+		Sessions       int     `json:"sessions"`
+		Workers        int     `json:"workers"`
+		Steps          uint64  `json:"steps"`
+		SteppedCycles  uint64  `json:"stepped_cycles"`
+		WallSec        float64 `json:"wall_sec"`
+		StepsPerSec    float64 `json:"steps_per_sec"`
+		CyclesPerSec   float64 `json:"cycles_per_sec"`
+		StepLatencyP50 int64   `json:"step_latency_p50_ns"`
+		StepLatencyP99 int64   `json:"step_latency_p99_ns"`
+		HostCPUs       int     `json:"host_cpus"`
+		GoVersion      string  `json:"go_version"`
+	}{
+		Schema:         "disc-serve-bench/1",
+		Sessions:       sessions,
+		Workers:        workers,
+		Steps:          st.Steps,
+		SteppedCycles:  st.SteppedCycles,
+		WallSec:        wall.Seconds(),
+		StepsPerSec:    float64(st.Steps) / wall.Seconds(),
+		CyclesPerSec:   float64(st.SteppedCycles) / wall.Seconds(),
+		StepLatencyP50: st.StepLatencyP50,
+		StepLatencyP99: st.StepLatencyP99,
+		HostCPUs:       runtime.NumCPU(),
+		GoVersion:      runtime.Version(),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("serve bench: %d sessions x %d rounds x %d cycles in %.3fs (%.0f steps/s, %.2fM cycles/s, p50 %dµs p99 %dµs) -> %s\n",
+		sessions, rounds, stepCycles, wall.Seconds(), doc.StepsPerSec, doc.CyclesPerSec/1e6,
+		doc.StepLatencyP50/1000, doc.StepLatencyP99/1000, path)
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latSamples is the latency sampler's ring capacity: the quantiles
+// describe the most recent latSamples step requests, which is what an
+// operator watching the tail wants (and what the bench records).
+const latSamples = 8192
+
+// Metrics is the server-wide counter set. Everything in here is
+// observation of the serving edge — request counts, wall-clock
+// latency — and never feeds back into simulation state, which is why
+// the wall-clock reads below carry detlint ignores: they are the
+// documented display/measurement boundary of the deterministic core.
+type Metrics struct {
+	mu sync.Mutex
+
+	start time.Time
+
+	sessionsCreated uint64
+	forks           uint64
+	steps           uint64
+	steppedCycles   uint64
+	rejectedBusy    uint64
+
+	lat      []time.Duration // ring of the last latSamples step latencies
+	latTotal uint64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		start: time.Now(), //detlint:ignore serving-edge uptime measurement, never in simulation state
+	}
+}
+
+func (m *Metrics) sessionCreated() {
+	m.mu.Lock()
+	m.sessionsCreated++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) forked() {
+	m.mu.Lock()
+	m.forks++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) rejected() {
+	m.mu.Lock()
+	m.rejectedBusy++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) stepped(cycles uint64) {
+	m.mu.Lock()
+	m.steps++
+	m.steppedCycles += cycles
+	m.mu.Unlock()
+}
+
+// ObserveStepLatency records one step request's wall-clock latency —
+// queue wait included, because that is the latency a tenant sees.
+func (m *Metrics) ObserveStepLatency(d time.Duration) {
+	m.mu.Lock()
+	if len(m.lat) < latSamples {
+		m.lat = append(m.lat, d)
+	} else {
+		m.lat[m.latTotal%latSamples] = d
+	}
+	m.latTotal++
+	m.mu.Unlock()
+}
+
+// quantiles returns the requested quantiles over the sampled window,
+// zeros when nothing has been observed yet.
+func (m *Metrics) quantiles(qs ...float64) []time.Duration {
+	m.mu.Lock()
+	samples := append([]time.Duration(nil), m.lat...)
+	m.mu.Unlock()
+	out := make([]time.Duration, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for i, q := range qs {
+		idx := int(q * float64(len(samples)-1))
+		out[i] = samples[idx]
+	}
+	return out
+}
+
+// ServerStats is the /v1/metrics JSON body.
+type ServerStats struct {
+	Schema          string  `json:"schema"`
+	SessionsLive    int     `json:"sessions_live"`
+	SessionsCreated uint64  `json:"sessions_created"`
+	Forks           uint64  `json:"forks"`
+	Steps           uint64  `json:"steps"`
+	SteppedCycles   uint64  `json:"stepped_cycles"`
+	RejectedBusy    uint64  `json:"rejected_busy"`
+	StepsPerSec     float64 `json:"steps_per_sec"`
+	StepLatencyP50  int64   `json:"step_latency_p50_ns"`
+	StepLatencyP99  int64   `json:"step_latency_p99_ns"`
+	LatencySamples  uint64  `json:"latency_samples"`
+	UptimeSec       float64 `json:"uptime_sec"`
+	HostCPUs        int     `json:"host_cpus"`
+}
+
+// Stats assembles the server-wide metrics snapshot.
+func (s *Server) Stats() ServerStats {
+	m := s.met
+	q := m.quantiles(0.50, 0.99)
+	m.mu.Lock()
+	uptime := time.Since(m.start) //detlint:ignore serving-edge uptime measurement, never in simulation state
+	st := ServerStats{
+		Schema:          Schema,
+		SessionsCreated: m.sessionsCreated,
+		Forks:           m.forks,
+		Steps:           m.steps,
+		SteppedCycles:   m.steppedCycles,
+		RejectedBusy:    m.rejectedBusy,
+		StepLatencyP50:  q[0].Nanoseconds(),
+		StepLatencyP99:  q[1].Nanoseconds(),
+		LatencySamples:  m.latTotal,
+		HostCPUs:        runtime.NumCPU(),
+	}
+	m.mu.Unlock()
+	st.SessionsLive = s.SessionsLive()
+	st.UptimeSec = uptime.Seconds()
+	if st.UptimeSec > 0 {
+		st.StepsPerSec = float64(st.Steps) / st.UptimeSec
+	}
+	return st
+}

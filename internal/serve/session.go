@@ -1,0 +1,558 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"disc/internal/analysis"
+	"disc/internal/asm"
+	"disc/internal/blockc"
+	"disc/internal/bus"
+	"disc/internal/core"
+	"disc/internal/fault"
+	"disc/internal/isa"
+	"disc/internal/obs"
+	"disc/internal/snap"
+)
+
+// Schema versions every JSON body this package emits. Field additions
+// are compatible; removals or meaning changes bump the version.
+const Schema = "disc-serve/1"
+
+// DefaultStallWindow is the per-session deadlock watchdog window when
+// a create request does not choose one (discsim's default).
+const DefaultStallWindow = 50_000
+
+// FaultWindow is a half-open cycle interval, the JSON mirror of
+// fault.Window.
+type FaultWindow struct {
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+// FaultConfig is the JSON mirror of fault.DeviceConfig: the per-device
+// fault policy a tenant may attach to its own session's board.
+type FaultConfig struct {
+	Seed          uint64        `json:"seed,omitempty"`
+	ExtraWaitProb float64       `json:"extra_wait_prob,omitempty"`
+	ExtraWaitMax  int           `json:"extra_wait_max,omitempty"`
+	BitFlipProb   float64       `json:"bit_flip_prob,omitempty"`
+	FaultProb     float64       `json:"fault_prob,omitempty"`
+	StuckBusyProb float64       `json:"stuck_busy_prob,omitempty"`
+	StuckBusyLen  uint64        `json:"stuck_busy_len,omitempty"`
+	Dead          []FaultWindow `json:"dead,omitempty"`
+}
+
+func (f FaultConfig) device() fault.DeviceConfig {
+	cfg := fault.DeviceConfig{
+		Seed:          f.Seed,
+		ExtraWaitProb: f.ExtraWaitProb,
+		ExtraWaitMax:  f.ExtraWaitMax,
+		BitFlipProb:   f.BitFlipProb,
+		FaultProb:     f.FaultProb,
+		StuckBusyProb: f.StuckBusyProb,
+		StuckBusyLen:  f.StuckBusyLen,
+	}
+	for _, w := range f.Dead {
+		cfg.Dead = append(cfg.Dead, fault.Window{From: w.From, To: w.To})
+	}
+	return cfg
+}
+
+// CreateRequest creates a session from an assembled program or an
+// uploaded disc-snap/1 blob (Snapshot is base64 in JSON). With a
+// snapshot the machine geometry comes from the blob and Streams /
+// Start / Shares / VectorBase / BusTimeout / TrapBusFault are ignored;
+// the board fields (ExtramWaits, Fault) must describe the board the
+// snapshot was taken against, exactly as with discsim -resume.
+type CreateRequest struct {
+	Program  string `json:"program,omitempty"`
+	Snapshot []byte `json:"snapshot,omitempty"`
+
+	Streams      int               `json:"streams,omitempty"`       // default 4
+	Start        map[string]string `json:"start,omitempty"`         // stream -> label/addr, default {"0": "0"}
+	Shares       []int             `json:"shares,omitempty"`        // scheduler partition weights
+	VectorBase   uint16            `json:"vector_base,omitempty"`   // default 0x0200
+	BusTimeout   int               `json:"bus_timeout,omitempty"`   // ABI bounded-wait budget, 0 = wait forever
+	TrapBusFault bool              `json:"trap_busfault,omitempty"` // raise IR bit 5 on failed accesses
+
+	ExtramWaits *int                   `json:"extram_waits,omitempty"` // default 4
+	Fault       map[string]FaultConfig `json:"fault,omitempty"`        // device name -> policy
+
+	StallWindow *uint64 `json:"stall_window,omitempty"` // deadlock watchdog, default 50000, 0 = off
+	CycleBudget uint64  `json:"cycle_budget,omitempty"` // lifetime cycle budget, 0 = unlimited
+
+	BlockEngine bool `json:"block_engine,omitempty"` // fused block sessions (program path only)
+	Metrics     bool `json:"metrics,omitempty"`      // attach the obs metrics registry
+}
+
+// boardSpec is the retained board shape; a fork rebuilds the twin's
+// board from it so device (base, name) identity matches the snapshot.
+type boardSpec struct {
+	ExtramWaits int
+	Fault       map[string]fault.DeviceConfig
+}
+
+// boardDevices names the standard peripheral board, in attach order —
+// the same board discsim wires, so snapshots move between the two.
+var boardDevices = []string{"extram", "timer0", "uart0", "gpio0", "adc0", "step0"}
+
+// attachBoard populates the bus with the standard board, wrapping any
+// device named in spec.Fault with its fault policy.
+func attachBoard(m *core.Machine, spec boardSpec) error {
+	wrap := func(name string, d bus.Device) bus.Device {
+		if cfg, ok := spec.Fault[name]; ok {
+			return fault.Wrap(d, cfg)
+		}
+		return d
+	}
+	b := m.Bus()
+	type devAt struct {
+		base uint16
+		size uint16
+		dev  bus.Device
+	}
+	devs := []devAt{
+		{isa.ExternalBase, 0x1000, wrap("extram", bus.NewRAM("extram", 0x1000, spec.ExtramWaits))},
+		{isa.IOBase + 0x00, 4, wrap("timer0", bus.NewTimer("timer0", 2, m.RaiseIRQ, 0, 4))},
+		{isa.IOBase + 0x10, 2, wrap("uart0", bus.NewUART("uart0", 6))},
+		{isa.IOBase + 0x20, 8, wrap("gpio0", bus.NewGPIO("gpio0", 1))},
+		{isa.IOBase + 0x30, 4, wrap("adc0", bus.NewADC("adc0", 4, 25, nil))},
+		{isa.IOBase + 0x40, 2, wrap("step0", bus.NewStepper("step0", 3))},
+	}
+	for _, d := range devs {
+		if err := b.Attach(d.base, d.size, d.dev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// boardRanges mirrors attachBoard for the static analyzer, as in
+// discsim: every externally addressable span with its wait states.
+func boardRanges(ramWaits int) []analysis.BusRange {
+	return []analysis.BusRange{
+		{Base: isa.ExternalBase, Size: 0x1000, Wait: ramWaits},
+		{Base: isa.IOBase + 0x00, Size: 4, Wait: 2},
+		{Base: isa.IOBase + 0x10, Size: 2, Wait: 6},
+		{Base: isa.IOBase + 0x20, Size: 8, Wait: 1},
+		{Base: isa.IOBase + 0x30, Size: 4, Wait: 4},
+		{Base: isa.IOBase + 0x40, Size: 2, Wait: 3},
+	}
+}
+
+// Session is one hosted simulation. The fields below the worker index
+// are owned by that worker: only closures running on it may touch
+// them once the session is registered. Fields up to and including
+// blockOpts are immutable after construction and safe to read from
+// any goroutine.
+type Session struct {
+	id     string
+	worker int
+
+	spec        boardSpec
+	stallWindow uint64
+	budget      uint64 // lifetime cycle budget, 0 = unlimited
+	blockEngine bool
+	im          *asm.Image // program-path sessions: retained for fork re-attach
+	blockOpts   analysis.Options
+
+	// Worker-owned state.
+	m       *core.Machine
+	g       *core.Guard
+	rec     *obs.Recorder
+	met     *obs.Metrics
+	stepped uint64 // cycles executed by this server (budget accounting)
+	steps   uint64 // step requests served
+	status  string // running | idle | deadlock | budget
+	lastErr string
+	diag    []string
+}
+
+func boardSpecOf(req CreateRequest) (boardSpec, error) {
+	spec := boardSpec{ExtramWaits: 4}
+	if req.ExtramWaits != nil {
+		spec.ExtramWaits = *req.ExtramWaits
+	}
+	if len(req.Fault) > 0 {
+		known := make(map[string]bool, len(boardDevices))
+		for _, n := range boardDevices {
+			known[n] = true
+		}
+		spec.Fault = make(map[string]fault.DeviceConfig, len(req.Fault))
+		//detlint:ignore collection pass into a keyed map; order-free
+		for name, cfg := range req.Fault {
+			if !known[name] {
+				return boardSpec{}, fmt.Errorf("serve: fault policy names unknown device %q (board: %s)",
+					name, strings.Join(boardDevices, ", "))
+			}
+			spec.Fault[name] = cfg.device()
+		}
+	}
+	return spec, nil
+}
+
+// buildSession constructs a machine for req and wraps it as a session.
+func buildSession(id string, worker int, req CreateRequest) (*Session, error) {
+	spec, err := boardSpecOf(req)
+	if err != nil {
+		return nil, err
+	}
+	stallWindow := uint64(DefaultStallWindow)
+	if req.StallWindow != nil {
+		stallWindow = *req.StallWindow
+	}
+	sess := &Session{
+		id:          id,
+		worker:      worker,
+		spec:        spec,
+		stallWindow: stallWindow,
+		budget:      req.CycleBudget,
+		blockEngine: req.BlockEngine,
+		status:      "running",
+	}
+
+	if len(req.Snapshot) > 0 {
+		if req.Program != "" {
+			return nil, errors.New("serve: create wants program or snapshot, not both")
+		}
+		if req.BlockEngine {
+			return nil, errors.New("serve: block_engine needs a program (no image travels with a snapshot)")
+		}
+		sn, err := snap.Decode(req.Snapshot)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.New(sn.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := attachBoard(m, spec); err != nil {
+			return nil, err
+		}
+		sess.attachObs(m, req, sn.Cfg.Streams)
+		if err := m.Restore(sn); err != nil {
+			return nil, err
+		}
+		sess.m = m
+		sess.g = m.NewGuard(stallWindow)
+		return sess, nil
+	}
+
+	if req.Program == "" {
+		return nil, errors.New("serve: create needs a program or a snapshot")
+	}
+	im, err := asm.Assemble(req.Program)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Streams:       req.Streams,
+		VectorBase:    req.VectorBase,
+		TrapBusFaults: req.TrapBusFault,
+		Shares:        req.Shares,
+	}
+	if cfg.Streams == 0 {
+		cfg.Streams = 4
+	}
+	if cfg.VectorBase == 0 {
+		cfg.VectorBase = 0x0200
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Bus().SetTimeout(req.BusTimeout)
+	if err := attachBoard(m, spec); err != nil {
+		return nil, err
+	}
+	sess.attachObs(m, req, cfg.Streams)
+	for _, sec := range im.Sections {
+		if err := m.LoadProgram(sec.Base, sec.Words); err != nil {
+			return nil, err
+		}
+	}
+	start := req.Start
+	if len(start) == 0 {
+		start = map[string]string{"0": "0"}
+	}
+	// Streams start in index order regardless of JSON map order, so a
+	// session's creation is deterministic.
+	for sid := 0; sid < cfg.Streams; sid++ {
+		at, ok := start[strconv.Itoa(sid)]
+		if !ok {
+			continue
+		}
+		addr, err := resolveStart(im, at)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.StartStream(sid, addr); err != nil {
+			return nil, err
+		}
+	}
+	//detlint:ignore validation pass; any bad key errors, order-free
+	for key := range start {
+		if sid, err := strconv.Atoi(key); err != nil || sid < 0 || sid >= cfg.Streams {
+			return nil, fmt.Errorf("serve: start names stream %q, machine has 0..%d", key, cfg.Streams-1)
+		}
+	}
+	sess.im = im
+	if req.BlockEngine {
+		sess.blockOpts = analysis.Options{
+			VectorBase: cfg.VectorBase,
+			Streams:    cfg.Streams,
+			BusTimeout: req.BusTimeout,
+			BusRanges:  boardRanges(spec.ExtramWaits),
+		}
+		// The returned analysis report is advisory here; the table is
+		// attached (or empty) either way, and the session stays exact.
+		blockc.Attach(m, im, sess.blockOpts)
+	}
+	sess.m = m
+	sess.g = m.NewGuard(stallWindow)
+	return sess, nil
+}
+
+// forkSession restores blob into a twin of parent. stepped is the
+// parent's budget accounting at snapshot time, captured on the
+// parent's worker alongside the blob.
+func forkSession(id string, worker int, parent *Session, blob []byte, stepped uint64) (*Session, error) {
+	sn, err := snap.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(sn.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := attachBoard(m, parent.spec); err != nil {
+		return nil, err
+	}
+	sess := &Session{
+		id:          id,
+		worker:      worker,
+		spec:        parent.spec,
+		stallWindow: parent.stallWindow,
+		budget:      parent.budget,
+		blockEngine: parent.blockEngine,
+		im:          parent.im,
+		blockOpts:   parent.blockOpts,
+		stepped:     stepped,
+		status:      "running",
+	}
+	if parent.met != nil {
+		rec := obs.NewRecorder(obs.DefaultCapacity)
+		sess.met = rec.EnableMetrics(sn.Cfg.Streams)
+		sess.rec = rec
+		m.SetRecorder(rec)
+	}
+	if err := m.Restore(sn); err != nil {
+		return nil, err
+	}
+	// Restore detaches any block table (the program-store version
+	// advanced); re-plan against the retained image, as DESIGN.md §14
+	// prescribes for restoring hosts.
+	if parent.blockEngine && parent.im != nil {
+		blockc.Attach(m, parent.im, parent.blockOpts)
+	}
+	sess.m = m
+	sess.g = m.NewGuard(parent.stallWindow)
+	return sess, nil
+}
+
+func (sess *Session) attachObs(m *core.Machine, req CreateRequest, streams int) {
+	if !req.Metrics {
+		return
+	}
+	rec := obs.NewRecorder(obs.DefaultCapacity)
+	sess.met = rec.EnableMetrics(streams)
+	sess.rec = rec
+	m.SetRecorder(rec)
+}
+
+// resolveStart turns a label or numeric literal into an address.
+func resolveStart(im *asm.Image, s string) (uint16, error) {
+	if v, ok := im.Symbol(s); ok {
+		return v, nil
+	}
+	base := 10
+	if strings.HasPrefix(s, "0x") {
+		base, s = 16, s[2:]
+	}
+	v, err := strconv.ParseUint(s, base, 16)
+	if err != nil {
+		return 0, fmt.Errorf("serve: start %q: not a label or address", s)
+	}
+	return uint16(v), nil
+}
+
+// StepResult reports one step call's outcome.
+type StepResult struct {
+	Schema          string   `json:"schema"`
+	ID              string   `json:"id"`
+	CyclesRun       int      `json:"cycles_run"`
+	Cycle           uint64   `json:"cycle"` // machine cycle counter after the step
+	Done            bool     `json:"done"`  // machine went cleanly idle
+	Status          string   `json:"status"`
+	Error           string   `json:"error,omitempty"`
+	Diagnosis       []string `json:"diagnosis,omitempty"`
+	BudgetRemaining *uint64  `json:"budget_remaining,omitempty"`
+}
+
+// step advances the session by up to max cycles under its guard. It
+// runs on the owning worker. A spent budget is ErrBudget; a deadlock
+// diagnosis is a result, not an error — the session stays inspectable.
+func (sess *Session) step(max int) (StepResult, error) {
+	if sess.budget > 0 {
+		rem := sess.budget - sess.stepped
+		if rem == 0 {
+			sess.status = "budget"
+			return StepResult{}, ErrBudget
+		}
+		if uint64(max) > rem {
+			max = int(rem)
+		}
+	}
+	n := 0
+	done := false
+	var runErr error
+	for n < max {
+		k, d, err := sess.g.StepN(max - n)
+		n += k
+		if err != nil {
+			runErr = err
+			break
+		}
+		if d {
+			done = true
+			break
+		}
+	}
+	sess.stepped += uint64(n)
+	sess.steps++
+	switch {
+	case runErr != nil:
+		sess.status = "deadlock"
+		sess.lastErr = runErr.Error()
+		sess.diag = nil
+		var dl *core.DeadlockError
+		if errors.As(runErr, &dl) {
+			for _, d := range dl.Streams {
+				sess.diag = append(sess.diag, d.String())
+			}
+		}
+	case done:
+		sess.status = "idle"
+	default:
+		sess.status = "running"
+	}
+	res := StepResult{
+		Schema:    Schema,
+		ID:        sess.id,
+		CyclesRun: n,
+		Cycle:     sess.m.Cycle(),
+		Done:      done,
+		Status:    sess.status,
+	}
+	if runErr != nil {
+		res.Error = sess.lastErr
+		res.Diagnosis = sess.diag
+	}
+	if sess.budget > 0 {
+		rem := sess.budget - sess.stepped
+		res.BudgetRemaining = &rem
+	}
+	return res, nil
+}
+
+// StreamInfo is one stream's architectural view.
+type StreamInfo struct {
+	Stream int      `json:"stream"`
+	PC     uint16   `json:"pc"`
+	State  string   `json:"state"`
+	Flags  uint8    `json:"flags"`
+	H      uint16   `json:"h"`
+	Window []uint16 `json:"window"` // visible stack-window registers
+}
+
+// SessionSummary is the listing row.
+type SessionSummary struct {
+	ID            string `json:"id"`
+	Status        string `json:"status"`
+	Cycle         uint64 `json:"cycle"`
+	SteppedCycles uint64 `json:"stepped_cycles"`
+	Steps         uint64 `json:"steps"`
+}
+
+// SessionInfo is the full inspection view.
+type SessionInfo struct {
+	Schema          string           `json:"schema"`
+	ID              string           `json:"id"`
+	Status          string           `json:"status"`
+	Cycle           uint64           `json:"cycle"`
+	SteppedCycles   uint64           `json:"stepped_cycles"`
+	Steps           uint64           `json:"steps"`
+	BudgetRemaining *uint64          `json:"budget_remaining,omitempty"`
+	Error           string           `json:"error,omitempty"`
+	Diagnosis       []string         `json:"diagnosis,omitempty"`
+	Streams         []StreamInfo     `json:"streams"`
+	Globals         []uint16         `json:"globals"`
+	Stats           core.Stats       `json:"stats"`
+	Block           *core.BlockStats `json:"block,omitempty"`
+	Metrics         string           `json:"metrics,omitempty"` // rendered obs registry
+}
+
+func (sess *Session) summary() SessionSummary {
+	return SessionSummary{
+		ID:            sess.id,
+		Status:        sess.status,
+		Cycle:         sess.m.Cycle(),
+		SteppedCycles: sess.stepped,
+		Steps:         sess.steps,
+	}
+}
+
+// info runs on the owning worker and reads the machine directly.
+func (sess *Session) info() SessionInfo {
+	m := sess.m
+	info := SessionInfo{
+		Schema:        Schema,
+		ID:            sess.id,
+		Status:        sess.status,
+		Cycle:         m.Cycle(),
+		SteppedCycles: sess.stepped,
+		Steps:         sess.steps,
+		Error:         sess.lastErr,
+		Diagnosis:     sess.diag,
+		Stats:         m.Stats(),
+	}
+	if sess.budget > 0 {
+		rem := sess.budget - sess.stepped
+		info.BudgetRemaining = &rem
+	}
+	for i := 0; i < m.Streams(); i++ {
+		win := m.Window(i)
+		info.Streams = append(info.Streams, StreamInfo{
+			Stream: i,
+			PC:     m.StreamPC(i),
+			State:  m.StreamState(i).String(),
+			Flags:  m.StreamFlags(i),
+			H:      m.StreamH(i),
+			Window: append([]uint16(nil), win[:]...),
+		})
+	}
+	for g := 0; g < isa.NumGlobals; g++ {
+		info.Globals = append(info.Globals, m.Global(g))
+	}
+	if m.AttachedBlockTable() != nil {
+		bs := m.BlockStats()
+		info.Block = &bs
+	}
+	if sess.met != nil {
+		info.Metrics = sess.met.Render()
+	}
+	return info
+}

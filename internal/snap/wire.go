@@ -1,0 +1,30 @@
+package snap
+
+import "disc/internal/core"
+
+// Bytes captures a live machine straight into the disc-snap/1 wire
+// form: Snapshot + Encode in one call. It is the serving-system
+// counterpart of Capture — the blob goes over a network connection (or
+// into a fork) instead of onto disk, so no atomic-write machinery is
+// involved. The returned slice shares nothing with the machine; the
+// caller may hand it to another goroutine freely.
+func Bytes(m *core.Machine) ([]byte, error) {
+	s, err := m.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return Encode(s)
+}
+
+// RestoreBytes decodes a disc-snap container and restores it into m.
+// The bytes cross the same trust boundary as Load: a malformed blob is
+// a *FormatError, and core.Machine.Restore re-validates the decoded
+// state against m's configuration and board. On error m may be
+// partially overwritten — discard it, exactly as with Restore.
+func RestoreBytes(m *core.Machine, b []byte) error {
+	s, err := Decode(b)
+	if err != nil {
+		return err
+	}
+	return m.Restore(s)
+}
